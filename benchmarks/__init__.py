@@ -1,0 +1,19 @@
+"""Benchmark harness reproducing every table and figure of the paper.
+
+Each ``bench_*.py`` module regenerates one experiment of the paper's
+Section 6 on the synthetic benchmark suite, records its rows through
+:mod:`benchmarks._recorder` (printed at the end of the pytest run and
+saved as JSON under ``benchmarks/results/``), and times the core operation
+with pytest-benchmark.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+then regenerate EXPERIMENTS.md with::
+
+    python -m benchmarks.report
+
+The ``REPRO_BENCH_SCALE`` environment variable proportionally resizes all
+datasets (default 1.0 — a few thousand entities per collection).
+"""

@@ -1,0 +1,71 @@
+"""Result recording shared by all benchmark modules.
+
+Every bench test records the rows of the paper table it reproduces. At the
+end of the pytest session the rows are pretty-printed and saved as JSON
+under ``benchmarks/results/`` (one file per table), where
+``benchmarks/report.py`` picks them up to regenerate EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+class Recorder:
+    """Accumulates table rows during a benchmark session."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, list[dict]] = {}
+
+    def record(self, table: str, row: dict) -> None:
+        """Append one row (a flat dict) to the named table."""
+        self.tables.setdefault(table, []).append(dict(row))
+
+    def render(self) -> str:
+        """Human-readable rendering of every recorded table."""
+        chunks: list[str] = []
+        for table in sorted(self.tables):
+            rows = self.tables[table]
+            columns = list(dict.fromkeys(key for row in rows for key in row))
+            rendered = [
+                [_format_value(row.get(column, "")) for column in columns]
+                for row in rows
+            ]
+            widths = [
+                max(len(column), *(len(line[i]) for line in rendered))
+                for i, column in enumerate(columns)
+            ]
+            lines = [f"── {table} " + "─" * max(0, 70 - len(table))]
+            lines.append(
+                "  " + "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+            )
+            for line in rendered:
+                lines.append(
+                    "  " + "  ".join(v.rjust(w) for v, w in zip(line, widths))
+                )
+            chunks.append("\n".join(lines))
+        return "\n\n".join(chunks)
+
+    def save(self, directory: Path = RESULTS_DIR) -> None:
+        """Write one ``<table>.json`` per recorded table."""
+        directory.mkdir(parents=True, exist_ok=True)
+        for table, rows in self.tables.items():
+            path = directory / f"{table}.json"
+            path.write_text(json.dumps(rows, indent=1), encoding="utf-8")
+
+
+#: Session-wide singleton used by every bench module.
+RECORDER = Recorder()

@@ -1,0 +1,58 @@
+"""Ablation — the three edge weighting backends (extra).
+
+Times a full WNP pruning run on every dataset's filtered blocks under the
+original (Algorithm 2), optimized (Algorithm 3) and numpy-vectorized
+backends, verifying that all three retain identical comparisons. Extends
+Table 5 with the library's extra backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._recorder import RECORDER
+from benchmarks.conftest import DATASET_NAMES
+from repro.core.edge_weighting import OptimizedEdgeWeighting, OriginalEdgeWeighting
+from repro.core.pruning import WeightedNodePruning
+from repro.core.vectorized import VectorizedEdgeWeighting
+from repro.utils.timer import Timer
+
+BACKENDS = {
+    "original": OriginalEdgeWeighting,
+    "optimized": OptimizedEdgeWeighting,
+    "vectorized": VectorizedEdgeWeighting,
+}
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_ablation_backends(benchmark, filtered_blocks, name):
+    blocks = filtered_blocks[name]
+    pruning = WeightedNodePruning()
+
+    def run_all():
+        outcomes = {}
+        for label, backend in BACKENDS.items():
+            with Timer() as timer:
+                comparisons = pruning.prune(backend(blocks, "JS"))
+            outcomes[label] = (comparisons, timer.elapsed)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    reference = sorted(outcomes["optimized"][0].pairs)
+    for label, (comparisons, seconds) in outcomes.items():
+        assert sorted(comparisons.pairs) == reference, label
+        RECORDER.record(
+            "ablation_backends",
+            {
+                "dataset": name,
+                "backend": label,
+                "||B'||": comparisons.cardinality,
+                "seconds": round(seconds, 3),
+                "speedup_vs_original": round(
+                    outcomes["original"][1] / max(seconds, 1e-9), 2
+                ),
+            },
+        )
+    # Algorithm 3 must beat Algorithm 2 (the paper's Table 5 claim).
+    assert outcomes["optimized"][1] < outcomes["original"][1]

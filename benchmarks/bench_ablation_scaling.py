@@ -1,0 +1,66 @@
+"""Ablation — overhead scaling with collection size (extra).
+
+The paper's headline is *scaling* ER: meta-blocking's overhead should grow
+with the blocks' total cardinality ||B||, not with the quadratic ||E||.
+This ablation times the recommended configuration (Block Filtering 0.8 +
+JS + Reciprocal WNP, optimized backend) on the bibliographic dataset at
+three scale factors and records the growth rates.
+"""
+
+from __future__ import annotations
+
+from benchmarks._recorder import RECORDER
+from repro import BlockPurging, TokenBlocking
+from repro.core import meta_block
+from repro.datasets.synthetic import DEFAULT_SCALES, bibliographic_dataset
+from repro.evaluation import evaluate
+from repro.utils.timer import Timer
+
+FACTORS = (0.5, 1.0, 2.0)
+
+
+def test_ablation_scaling(benchmark):
+    rows = []
+
+    def run_all():
+        out = []
+        for factor in FACTORS:
+            dataset = bibliographic_dataset(
+                DEFAULT_SCALES["D1"].scaled(factor), seed=42
+            )
+            blocks = BlockPurging().process(TokenBlocking().build(dataset))
+            with Timer() as timer:
+                result = meta_block(blocks, scheme="JS", algorithm="RcWNP")
+            report = evaluate(
+                result.comparisons, dataset.ground_truth, blocks.cardinality
+            )
+            out.append(
+                {
+                    "factor": factor,
+                    "|E|": dataset.num_entities,
+                    "||E||": dataset.brute_force_comparisons,
+                    "||B||": blocks.cardinality,
+                    "OT_seconds": round(timer.elapsed, 3),
+                    "PC": round(report.pc, 3),
+                    "PQ": round(report.pq, 5),
+                }
+            )
+        return out
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for row in rows:
+        RECORDER.record("ablation_scaling", row)
+
+    small, _, large = rows
+    size_growth = large["|E|"] / small["|E|"]
+    brute_growth = large["||E||"] / small["||E||"]
+    time_growth = large["OT_seconds"] / max(small["OT_seconds"], 1e-9)
+    workload_growth = large["||B||"] / small["||B||"]
+    # Overhead grows strictly slower than the quadratic brute-force
+    # workload and roughly tracks ||B|| (wall-clock wobbles, so the bound
+    # on the ||B|| side is generous).
+    assert time_growth < brute_growth
+    assert time_growth < 3.0 * workload_growth
+    # ...and recall does not degrade with scale.
+    assert large["PC"] >= small["PC"] - 0.05
+    assert size_growth >= 3.5  # sanity: the sweep actually scaled

@@ -1,0 +1,65 @@
+"""Figure 10 — the effect of Block Filtering's ratio r on RR and PC.
+
+Sweeps r over [0.05, 1.0] with step 0.05 on D2C and D2D (the datasets the
+paper plots) and records the PC and RR series. The paper's qualitative
+claims, asserted here: a clear RR/PC trade-off that is *robust* — small
+changes in r cause small changes in both measures — and the r=0.8 operating
+point loses well under a few percent of recall.
+
+Timed operation: one full sweep on D2C.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._recorder import RECORDER
+from repro.core import BlockFiltering
+from repro.evaluation import evaluate
+
+RATIOS = [round(0.05 * step, 2) for step in range(1, 21)]
+
+
+def _sweep(dataset, blocks):
+    series = []
+    for ratio in RATIOS:
+        filtered = BlockFiltering(ratio).process(blocks)
+        report = evaluate(
+            filtered, dataset.ground_truth, reference_cardinality=blocks.cardinality
+        )
+        series.append((ratio, report.pc, report.rr))
+    return series
+
+
+@pytest.mark.parametrize("name", ["D2C", "D2D"])
+def test_figure10_ratio_sweep(benchmark, suite, original_blocks, name):
+    dataset = suite[name]
+    blocks = original_blocks[name]
+    if name == "D2C":
+        series = benchmark.pedantic(
+            _sweep, args=(dataset, blocks), rounds=1, iterations=1
+        )
+    else:
+        benchmark.pedantic(
+            BlockFiltering(0.8).process, args=(blocks,), rounds=1, iterations=1
+        )
+        series = _sweep(dataset, blocks)
+
+    for ratio, pc, rr in series:
+        RECORDER.record(
+            "figure10_ratio_sweep",
+            {"dataset": name, "r": ratio, "PC": round(pc, 4), "RR": round(rr, 4)},
+        )
+
+    ratios, pcs, rrs = zip(*series)
+    # Monotone trade-off: PC never decreases, RR never increases with r.
+    assert all(a <= b + 1e-9 for a, b in zip(pcs, pcs[1:]))
+    assert all(a >= b - 1e-9 for a, b in zip(rrs, rrs[1:]))
+    # Extremes: r=1.0 keeps everything.
+    assert pcs[-1] == max(pcs)
+    assert rrs[-1] == pytest.approx(0.0, abs=1e-9)
+    # Robustness: no 0.05-step changes PC by more than 0.2.
+    assert max(abs(a - b) for a, b in zip(pcs, pcs[1:])) < 0.2
+    # The paper's operating point r=0.8 keeps nearly all recall.
+    pc_at_08 = pcs[RATIOS.index(0.8)]
+    assert pc_at_08 > 0.97 * pcs[-1]

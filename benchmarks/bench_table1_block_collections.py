@@ -1,0 +1,82 @@
+"""Table 1 — block collections before and after Block Filtering.
+
+For each of the six datasets: |B|, ||B||, BPE, PC, PQ, RR, and the blocking
+graph's order |V_B| and size |E_B|, on (a) the purged Token Blocking output
+and (b) its Block-Filtered (r=0.8) restructuring. RR of (a) is measured
+against brute force, RR of (b) against (a), exactly as in the paper.
+
+Timed operations: blocking+purging (a) and Block Filtering (b).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._recorder import RECORDER
+from benchmarks.conftest import DATASET_NAMES, FILTER_RATIO
+from benchmarks.paper_reference import TABLE1_FILTERED, TABLE1_ORIGINAL
+from repro import BlockPurging, TokenBlocking
+from repro.core import BlockFiltering
+from repro.evaluation import profile_blocks
+from repro.matching import JaccardMatcher, estimate_resolution_seconds
+
+
+def _record(table: str, name: str, profile, paper: dict, rtime: float) -> None:
+    row = {"dataset": name, **profile.row()}
+    row["RTime_est_s"] = round(rtime, 1)
+    row["paper_PC"] = paper["PC"]
+    row["paper_RR"] = paper["RR"]
+    row["paper_BPE"] = paper["BPE"]
+    RECORDER.record(table, row)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_table1a_original_blocks(benchmark, suite, name):
+    dataset = suite[name]
+
+    def build():
+        return BlockPurging().process(TokenBlocking().build(dataset))
+
+    blocks = benchmark.pedantic(build, rounds=1, iterations=1)
+    profile = profile_blocks(
+        blocks, dataset.ground_truth, dataset.brute_force_comparisons
+    )
+    # RTime = OTime + time to match every comparison; the matching term is
+    # estimated from a sample, as the paper does for its largest datasets.
+    rtime = estimate_resolution_seconds(
+        blocks.cardinality, blocks, JaccardMatcher(dataset)
+    )
+    _record("table1a_original_blocks", name, profile, TABLE1_ORIGINAL[name], rtime)
+
+    # Paper shape: near-perfect recall, precision far below 0.01, and a
+    # large reduction over brute force.
+    assert profile.pc > 0.95
+    assert profile.pq < 0.01
+    assert profile.rr is not None and profile.rr > 0.3
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_table1b_filtered_blocks(benchmark, suite, original_blocks, name):
+    dataset = suite[name]
+    blocks = original_blocks[name]
+
+    def apply_filtering():
+        return BlockFiltering(FILTER_RATIO).process(blocks)
+
+    filtered = benchmark.pedantic(apply_filtering, rounds=1, iterations=1)
+    profile = profile_blocks(
+        filtered, dataset.ground_truth, reference_cardinality=blocks.cardinality
+    )
+    rtime = estimate_resolution_seconds(
+        filtered.cardinality, filtered, JaccardMatcher(dataset)
+    )
+    _record("table1b_filtered_blocks", name, profile, TABLE1_FILTERED[name], rtime)
+
+    # Paper shape (Section 6.2): cardinality drops by a large factor while
+    # recall stays within ~2%, and BPE drops by about (1 - r).
+    original_profile = profile_blocks(
+        blocks, dataset.ground_truth, dataset.brute_force_comparisons
+    )
+    assert profile.rr is not None and profile.rr > 0.3
+    assert profile.pc > 0.97 * original_profile.pc
+    assert profile.bpe < original_profile.bpe

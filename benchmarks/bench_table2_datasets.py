@@ -1,0 +1,61 @@
+"""Table 2 — technical characteristics of the entity collections.
+
+Reports |E| (per side for Clean-Clean), |D(E)|, |N| (attribute names),
+|P| (name-value pairs), p-bar, and the brute-force workload ||E||, next to
+the paper's published values. The timed operation is dataset generation.
+"""
+
+from __future__ import annotations
+
+from benchmarks._recorder import RECORDER
+from benchmarks.conftest import bench_scale
+from benchmarks.paper_reference import TABLE2
+from repro.datamodel.dataset import CleanCleanERDataset
+from repro.datasets import paper_benchmark_suite
+
+
+def test_table2_dataset_characteristics(benchmark, suite):
+    def generate():
+        return paper_benchmark_suite(scale_factor=bench_scale())
+
+    benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    for name, dataset in suite.items():
+        paper = TABLE2[name]
+        if isinstance(dataset, CleanCleanERDataset):
+            collections = [dataset.collection1, dataset.collection2]
+            sizes = {
+                "|E1|": len(dataset.collection1),
+                "|E2|": len(dataset.collection2),
+            }
+        else:
+            collections = [dataset.collection]
+            sizes = {"|E|": dataset.num_entities}
+        attribute_names = set()
+        pairs = 0
+        for collection in collections:
+            attribute_names |= collection.attribute_names
+            pairs += collection.total_name_value_pairs
+        RECORDER.record(
+            "table2_datasets",
+            {
+                "dataset": name,
+                **sizes,
+                "|D(E)|": len(dataset.ground_truth),
+                "|N|": len(attribute_names),
+                "|P|": pairs,
+                "p_mean": round(pairs / dataset.num_entities, 2),
+                "||E||": dataset.brute_force_comparisons,
+                "paper_||E||": paper["||E||"],
+                "paper_|D(E)|": paper["|D(E)|"],
+            },
+        )
+        # Structural sanity: every dataset keeps the paper's proportions.
+        assert len(dataset.ground_truth) > 0
+        assert dataset.brute_force_comparisons > 0
+
+    # The paper's size skews must survive scaling: D1's second collection
+    # dominates, D3 is the largest task.
+    d1 = suite["D1C"]
+    assert len(d1.collection2) > 2 * len(d1.collection1)
+    assert suite["D3C"].num_entities > suite["D2C"].num_entities

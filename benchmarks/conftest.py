@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark suite.
+
+The six evaluation datasets (D1C-D3C Clean-Clean, D1D-D3D Dirty) are built
+once per session at the scale given by the ``REPRO_BENCH_SCALE``
+environment variable (default 1.0). Their purged Token Blocking collections
+and Block-Filtered (r=0.8) variants — the paper's Table 1(a) and 1(b)
+inputs — are likewise session-cached.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks._recorder import RECORDER
+from repro import BlockPurging, TokenBlocking
+from repro.core import BlockFiltering
+from repro.datasets import paper_benchmark_suite
+
+DATASET_NAMES = ("D1C", "D2C", "D3C", "D1D", "D2D", "D3D")
+FILTER_RATIO = 0.8
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The six evaluation datasets."""
+    return paper_benchmark_suite(scale_factor=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def original_blocks(suite):
+    """Token Blocking + Block Purging per dataset — Table 1(a) inputs."""
+    purging = BlockPurging()
+    return {
+        name: purging.process(TokenBlocking().build(dataset))
+        for name, dataset in suite.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def filtered_blocks(original_blocks):
+    """Block Filtering (r=0.8) per dataset — Table 1(b) inputs."""
+    filtering = BlockFiltering(FILTER_RATIO)
+    return {
+        name: filtering.process(blocks)
+        for name, blocks in original_blocks.items()
+    }
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if RECORDER.tables:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(RECORDER.render())
+        RECORDER.save()
+        terminalreporter.write_line(
+            "\nresults saved under benchmarks/results/ — regenerate "
+            "EXPERIMENTS.md with: python -m benchmarks.report"
+        )

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Incremental ER: resolving a stream of arriving profiles.
+
+The paper's future-work direction, implemented in ``repro.incremental``:
+profiles arrive one at a time (here: the scholar crawl streaming in against
+an already-loaded library catalogue) and each insertion immediately yields
+the top pruned candidate matches — no batch re-blocking.
+
+Run with:  python examples/incremental_er.py
+"""
+
+import time
+
+from repro.blocking import TokenBlocking
+from repro.datasets import bibliographic_dataset
+from repro.incremental import IncrementalMetaBlocking
+
+
+def main() -> None:
+    dataset = bibliographic_dataset(seed=29)
+    resolver = IncrementalMetaBlocking(
+        keys_for=TokenBlocking().keys_for,
+        scheme="JS",
+        k=3,
+        reciprocal=False,
+        filtering_ratio=0.8,
+        max_block_size=80,
+        clean_clean=True,
+    )
+
+    # Phase 1: bulk-load the catalogue (source 0). No candidates expected —
+    # the catalogue side is duplicate-free.
+    for position, profile in enumerate(dataset.collection1):
+        resolver.add(profile, source=0)
+    print(f"loaded {len(dataset.collection1)} catalogue records "
+          f"({resolver.num_blocks} blocks)")
+
+    # Phase 2: stream the crawl (source 1); each insertion surfaces
+    # candidate links right away.
+    matches: set[tuple[int, int]] = set()
+    started = time.perf_counter()
+    for position, profile in enumerate(dataset.collection2):
+        entity_id = dataset.split + position
+        for candidate in resolver.add(profile, source=1):
+            matches.add(tuple(sorted((entity_id, candidate.entity_id))))
+    elapsed = time.perf_counter() - started
+    rate = len(dataset.collection2) / elapsed
+    print(f"\nstreamed {len(dataset.collection2)} records in "
+          f"{elapsed:.2f}s ({rate:,.0f} profiles/s)")
+
+    detected = dataset.ground_truth.detected_in(matches)
+    print(f"candidate pairs emitted: {len(matches):,}")
+    print(f"duplicate recall:        "
+          f"{len(detected) / len(dataset.ground_truth):.3f}")
+    print(f"candidate precision:     {len(detected) / len(matches):.3f}")
+    print("\n(for comparison, brute force would need "
+          f"{dataset.brute_force_comparisons:,} comparisons)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Product matching across two retailers with a 1-1 output constraint.
+
+Each product of shop A corresponds to at most one product of shop B, so
+the final decision should be a (partial) one-to-one mapping, not a set of
+independently-thresholded pairs. Pipeline: meta-blocking to prune the
+candidate space, TF-IDF cosine scoring (model numbers are rare tokens, so
+they dominate), then Unique Mapping Clustering to commit to the mapping.
+
+Run with:  python examples/product_matching.py
+"""
+
+from repro import BlockPurging, TokenBlocking, evaluate
+from repro.core import meta_block
+from repro.datasets import products_dataset
+from repro.matching import TfIdfCosineMatcher, unique_mapping_clustering
+
+
+def main() -> None:
+    dataset = products_dataset(seed=19)
+    blocks = BlockPurging().process(TokenBlocking().build(dataset))
+    print(f"dataset: {dataset}")
+    print(f"blocks:  ||B||={blocks.cardinality:,} "
+          f"(brute force {dataset.brute_force_comparisons:,})\n")
+
+    result = meta_block(blocks, scheme="ECBS", algorithm="RcWNP")
+    report = evaluate(result.comparisons, dataset.ground_truth,
+                      reference_cardinality=blocks.cardinality)
+    print(f"meta-blocked candidates: {report}")
+
+    matcher = TfIdfCosineMatcher(dataset)
+    scored = [
+        (left, right, matcher.similarity(left, right))
+        for left, right in result.comparisons.distinct_comparisons()
+    ]
+    scored = [entry for entry in scored if entry[2] >= 0.15]
+
+    # Commit to at most one partner per product, best matches first.
+    mapping = unique_mapping_clustering(scored, split=dataset.split)
+    true_links = dataset.ground_truth.detected_in(mapping)
+    precision = len(true_links) / len(mapping) if mapping else 0.0
+    recall = len(true_links) / len(dataset.ground_truth)
+    print(f"\nunique mapping: {len(mapping):,} links")
+    print(f"  precision: {precision:.3f}")
+    print(f"  recall:    {recall:.3f}")
+
+    # Contrast with plain thresholding (no 1-1 constraint).
+    thresholded = {(left, right) for left, right, _ in scored}
+    true_thresholded = dataset.ground_truth.detected_in(thresholded)
+    print(f"\nplain threshold at the same cut-off: {len(thresholded):,} links, "
+          f"precision {len(true_thresholded) / len(thresholded):.3f}")
+
+    example = sorted(mapping)[0]
+    print("\nexample link:")
+    print(f"  A: {dataset.profile(example[0]).values('title')}")
+    print(f"  B: {dataset.profile(example[1]).values('name')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Reproduces Figures 1-9 of the paper on its own six-profile example:
+Token Blocking, the JS-weighted blocking graph, and the effect of every
+pruning algorithm, printed step by step.
+
+Run with:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import evaluate, meta_block
+from repro.core import MaterializedBlockingGraph
+from repro.core.pruning import PRUNING_ALGORITHMS
+from repro.datasets import paper_example_blocks, paper_example_dataset
+
+
+def main() -> None:
+    dataset = paper_example_dataset()
+    print("=== Entity profiles (paper Figure 1a) ===")
+    for entity_id, profile in dataset.iter_profiles():
+        attributes = ", ".join(
+            f"{a.name}={a.value!r}" for a in profile.attributes
+        )
+        print(f"  p{entity_id + 1}: {attributes}")
+    print(f"  duplicates: {sorted(dataset.ground_truth)}  (p1=p3, p2=p4)")
+
+    blocks = paper_example_blocks()
+    print("\n=== Token Blocking (Figure 1b) ===")
+    for block in blocks:
+        members = ", ".join(f"p{e + 1}" for e in block.entities1)
+        print(f"  block {block.key!r}: {members}")
+    print(f"  |B|={len(blocks)}, ||B||={blocks.cardinality} comparisons")
+
+    print("\n=== JS blocking graph (Figure 2a) ===")
+    graph = MaterializedBlockingGraph(blocks, "JS")
+    for left, right, weight in graph.edges():
+        nice = Fraction(weight).limit_denominator(10)
+        print(f"  p{left + 1} -- p{right + 1}: {nice}")
+
+    print("\n=== Pruning algorithms ===")
+    print(f"  {'algorithm':8s} {'kept':>4s} {'recall':>6s}  retained pairs")
+    for name in PRUNING_ALGORITHMS:
+        result = meta_block(
+            blocks, scheme="JS", algorithm=name, block_filtering_ratio=None
+        )
+        report = evaluate(result.comparisons, dataset.ground_truth)
+        pairs = ", ".join(
+            f"p{l + 1}-p{r + 1}"
+            for l, r in sorted(result.comparisons.distinct_comparisons())
+        )
+        print(f"  {name:8s} {result.comparisons.cardinality:4d} "
+              f"{report.pc:6.2f}  {pairs}")
+
+    print("\nBoth duplicate pairs survive every weight-based scheme; the")
+    print("reciprocal variants keep the fewest comparisons (Figure 9).")
+
+
+if __name__ == "__main__":
+    main()

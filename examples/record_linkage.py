@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Clean-Clean ER (record linkage) across two bibliographic sources.
+
+Scenario: link a curated library catalogue ("dblp") against a much larger,
+noisier crawl ("scholar") — the paper's D1 workload. Demonstrates the full
+production pipeline: Token Blocking -> Block Purging -> Block Filtering ->
+meta-blocking -> Jaccard matching, with quality figures at each stage.
+
+Run with:  python examples/record_linkage.py
+"""
+
+from repro import BlockPurging, TokenBlocking, evaluate
+from repro.core import meta_block
+from repro.datasets import bibliographic_dataset
+from repro.matching import JaccardMatcher, matched_pairs, resolve
+
+
+def main() -> None:
+    dataset = bibliographic_dataset(seed=7)
+    print(f"dataset: {dataset}")
+    print(f"  brute force would execute {dataset.brute_force_comparisons:,} "
+          "comparisons\n")
+
+    blocks = TokenBlocking().build(dataset)
+    blocks = BlockPurging().process(blocks)
+    baseline = evaluate(
+        blocks, dataset.ground_truth, dataset.brute_force_comparisons
+    )
+    print(f"token blocking + purging: {baseline}")
+
+    # Effectiveness-intensive configuration: Reciprocal WNP keeps recall
+    # high while pruning hard (paper Section 6.4).
+    result = meta_block(
+        blocks, scheme="JS", algorithm="RcWNP", block_filtering_ratio=0.8
+    )
+    restructured = evaluate(
+        result.comparisons,
+        dataset.ground_truth,
+        reference_cardinality=blocks.cardinality,
+    )
+    print(f"reciprocal WNP:           {restructured}")
+    print(f"  meta-blocking overhead: {result.overhead_seconds * 1000:.0f} ms")
+
+    # Run actual entity matching on the surviving comparisons.
+    matcher = JaccardMatcher(dataset, threshold=0.3)
+    resolution = resolve(result.comparisons, matcher)
+    links = matched_pairs(resolution.matches, dataset.split)
+    true_links = dataset.ground_truth.detected_in(links)
+    print(f"\njaccard matching over {resolution.executed_comparisons:,} "
+          f"comparisons ({resolution.elapsed_seconds * 1000:.0f} ms):")
+    print(f"  emitted links:     {len(links):,}")
+    precision = len(true_links) / len(links) if links else 0.0
+    recall = len(true_links) / len(dataset.ground_truth)
+    print(f"  link precision:    {precision:.3f}")
+    print(f"  link recall:       {recall:.3f}")
+
+    source1 = dataset.collection1
+    left, right = sorted(links)[0]
+    print("\nexample link:")
+    print(f"  {source1[left].values()!r}")
+    print(f"  {dataset.profile(right).values()!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Supervised meta-blocking: learning which edges to keep from labels.
+
+When a (small) set of labelled matching/non-matching pairs is available —
+e.g. from a manual review round — a classifier over per-edge co-occurrence
+features prunes the blocking graph more accurately than any single
+weighting scheme (the paper's Related Work, reference [23]).
+
+This example labels a sample of edges from the gold standard (standing in
+for human review), trains the bundled logistic regression, and compares the
+supervised pruning against unsupervised WEP.
+
+Run with:  python examples/supervised_metablocking.py
+"""
+
+import random
+
+from repro import BlockPurging, TokenBlocking, evaluate
+from repro.core import BlockFiltering, meta_block
+from repro.datasets import bibliographic_dataset
+from repro.supervised import (
+    EdgeFeatureExtractor,
+    LogisticRegressionClassifier,
+    SupervisedMetaBlocking,
+    training_edges,
+)
+
+
+def main() -> None:
+    dataset = bibliographic_dataset(seed=23)
+    blocks = BlockFiltering(0.8).process(
+        BlockPurging().process(TokenBlocking().build(dataset))
+    )
+    extractor = EdgeFeatureExtractor(blocks)
+    print(f"dataset: {dataset}")
+    print(f"blocking graph: {len(blocks.distinct_comparisons()):,} edges\n")
+
+    # --- "manual review": label 150 positive and 150 negative pairs ------
+    rng = random.Random(5)
+    positives = rng.sample(sorted(dataset.ground_truth), 150)
+    all_edges = sorted(blocks.distinct_comparisons())
+    negatives = []
+    while len(negatives) < 150:
+        pair = rng.choice(all_edges)
+        if pair not in dataset.ground_truth:
+            negatives.append(pair)
+    labelled = [(l, r, True) for l, r in positives] + [
+        (l, r, False) for l, r in negatives
+    ]
+    X, y = training_edges(extractor, labelled)
+    model = LogisticRegressionClassifier().fit(X, y)
+    print(f"trained on {len(labelled)} labelled pairs")
+    print(f"learned weights: {[round(float(w), 2) for w in model.weights]}\n")
+
+    print(f"{'method':22s} {'PC':>6s} {'PQ':>8s} {'||B..||':>9s}")
+    for mode in ("wep", "cep", "cnp"):
+        pruned = SupervisedMetaBlocking(model, mode=mode).prune(extractor)
+        report = evaluate(pruned, dataset.ground_truth, blocks.cardinality)
+        print(f"supervised-{mode:11s} {report.pc:6.3f} {report.pq:8.4f} "
+              f"{report.cardinality:9,d}")
+    for algorithm in ("WEP", "RcWNP"):
+        result = meta_block(
+            blocks, scheme="JS", algorithm=algorithm, block_filtering_ratio=None
+        )
+        report = evaluate(
+            result.comparisons, dataset.ground_truth, blocks.cardinality
+        )
+        print(f"unsupervised-{algorithm:9s} {report.pc:6.3f} {report.pq:8.4f} "
+              f"{report.cardinality:9,d}")
+
+    print("\nWith a few hundred labels, the supervised weight-based variant")
+    print("outprunes every unsupervised scheme at comparable recall.")
+
+
+if __name__ == "__main__":
+    main()

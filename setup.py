@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Package metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(pip falls back to a legacy editable install through setuptools).
+"""
+
+from setuptools import setup
+
+setup()

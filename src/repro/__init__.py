@@ -1,0 +1,64 @@
+"""repro — Enhanced Meta-blocking for scalable Entity Resolution.
+
+A complete, from-scratch reproduction of *"Scaling Entity Resolution to
+Large, Heterogeneous Data with Enhanced Meta-blocking"* (Papadakis,
+Papastefanatos, Palpanas, Koubarakis — EDBT 2016): schema-agnostic blocking,
+block processing, the meta-blocking framework with its five weighting
+schemes and eight pruning algorithms (including the paper's redefined and
+reciprocal node-centric contributions), Block Filtering, optimized edge
+weighting, and the baselines it is evaluated against.
+
+Quickstart::
+
+    from repro import TokenBlocking, meta_block, evaluate
+    from repro.datasets import bibliographic_dataset
+
+    dataset = bibliographic_dataset(seed=7)
+    blocks = TokenBlocking().build(dataset)
+    result = meta_block(blocks, scheme="JS", algorithm="RcWNP")
+    report = evaluate(result.comparisons, dataset.ground_truth,
+                      reference_cardinality=blocks.cardinality)
+    print(report)
+"""
+
+from repro.blocking import TokenBlocking
+from repro.blockprocessing import BlockPurging, ComparisonPropagation
+from repro.core import (
+    BlockFiltering,
+    GraphFreeMetaBlocking,
+    MetaBlockingWorkflow,
+    meta_block,
+)
+from repro.datamodel import (
+    Block,
+    BlockCollection,
+    CleanCleanERDataset,
+    ComparisonCollection,
+    DirtyERDataset,
+    DuplicateSet,
+    EntityCollection,
+    EntityProfile,
+)
+from repro.evaluation import evaluate, profile_blocks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block",
+    "BlockCollection",
+    "BlockFiltering",
+    "BlockPurging",
+    "CleanCleanERDataset",
+    "ComparisonCollection",
+    "ComparisonPropagation",
+    "DirtyERDataset",
+    "DuplicateSet",
+    "EntityCollection",
+    "EntityProfile",
+    "GraphFreeMetaBlocking",
+    "MetaBlockingWorkflow",
+    "TokenBlocking",
+    "evaluate",
+    "meta_block",
+    "profile_blocks",
+]

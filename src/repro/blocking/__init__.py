@@ -1,0 +1,54 @@
+"""Blocking methods: build a block collection from an ER dataset.
+
+Token Blocking is the method the paper's evaluation is built on; the other
+methods cover the three redundancy categories of Section 2 so that users can
+swap in any redundancy-positive method (the paper notes its results are
+independent of which schema-agnostic, redundancy-positive method yields the
+input blocks):
+
+* redundancy-positive: :class:`TokenBlocking`, :class:`QGramsBlocking`,
+  :class:`SuffixArraysBlocking`, :class:`AttributeClusteringBlocking`;
+* redundancy-neutral: :class:`SortedNeighborhoodBlocking`;
+* redundancy-negative: :class:`CanopyClustering`;
+* schema-based, disjoint: :class:`StandardBlocking`.
+"""
+
+from repro.blocking.base import BlockingMethod
+from repro.blocking.attribute_clustering import AttributeClusteringBlocking
+from repro.blocking.canopy import CanopyClustering
+from repro.blocking.extended_canopy import ExtendedCanopyClustering
+from repro.blocking.extended_qgrams import ExtendedQGramsBlocking
+from repro.blocking.minhash import MinHashBlocking
+from repro.blocking.qgrams import QGramsBlocking
+from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocking
+from repro.blocking.standard import StandardBlocking
+from repro.blocking.suffix_arrays import SuffixArraysBlocking
+from repro.blocking.token_blocking import TokenBlocking
+
+BLOCKING_METHODS = {
+    "token": TokenBlocking,
+    "qgrams": QGramsBlocking,
+    "extended-qgrams": ExtendedQGramsBlocking,
+    "suffix-arrays": SuffixArraysBlocking,
+    "attribute-clustering": AttributeClusteringBlocking,
+    "minhash": MinHashBlocking,
+    "standard": StandardBlocking,
+    "sorted-neighborhood": SortedNeighborhoodBlocking,
+    "canopy": CanopyClustering,
+    "extended-canopy": ExtendedCanopyClustering,
+}
+
+__all__ = [
+    "BLOCKING_METHODS",
+    "AttributeClusteringBlocking",
+    "BlockingMethod",
+    "CanopyClustering",
+    "ExtendedCanopyClustering",
+    "ExtendedQGramsBlocking",
+    "MinHashBlocking",
+    "QGramsBlocking",
+    "SortedNeighborhoodBlocking",
+    "StandardBlocking",
+    "SuffixArraysBlocking",
+    "TokenBlocking",
+]

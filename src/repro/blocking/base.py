@@ -1,0 +1,71 @@
+"""Shared machinery for blocking methods."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable
+
+from repro.datamodel.blocks import Block, BlockCollection
+from repro.datamodel.dataset import CleanCleanERDataset, ERDataset
+from repro.datamodel.profiles import EntityProfile
+
+
+class BlockingMethod(ABC):
+    """Base class: turn an ER dataset into a block collection.
+
+    Subclasses implement :meth:`keys_for`, mapping a profile to its blocking
+    keys; the base class builds the inverted index, drops invalid blocks
+    (those yielding no comparison — for Clean-Clean ER a block must contain
+    at least one entity from *each* collection) and returns the collection.
+
+    Methods that do not fit the key-based template (Sorted Neighborhood,
+    Canopy Clustering) override :meth:`build` directly.
+    """
+
+    #: Whether sharing more blocks implies a higher matching likelihood.
+    #: Meta-blocking operates *exclusively* on redundancy-positive blocks
+    #: (paper Section 2); the pipeline refuses other methods.
+    redundancy_positive: bool = False
+
+    @abstractmethod
+    def keys_for(self, profile: EntityProfile) -> Iterable[Hashable]:
+        """Return the blocking keys of one profile (duplicates are fine)."""
+
+    def build(self, dataset: ERDataset) -> BlockCollection:
+        """Build the block collection for ``dataset``.
+
+        Blocks are emitted sorted by key for determinism. Entity ids inside
+        each block preserve the dataset iteration order (ascending id).
+        """
+        index: dict[Hashable, list[int]] = {}
+        for entity_id, profile in dataset.iter_profiles():
+            for key in set(self.keys_for(profile)):
+                index.setdefault(key, []).append(entity_id)
+        return blocks_from_index(index, dataset)
+
+
+def blocks_from_index(
+    index: dict[Hashable, list[int]], dataset: ERDataset
+) -> BlockCollection:
+    """Turn an inverted index ``key -> entity ids`` into valid blocks.
+
+    For Clean-Clean ER the ids are split by source collection into bilateral
+    blocks; keys whose entities all come from one side are dropped. For
+    Dirty ER, keys with fewer than two entities are dropped.
+    """
+    blocks: list[Block] = []
+    if isinstance(dataset, CleanCleanERDataset):
+        split = dataset.split
+        for key in sorted(index, key=str):
+            members = index[key]
+            side1 = [e for e in members if e < split]
+            side2 = [e for e in members if e >= split]
+            block = Block(str(key), side1, side2)
+            if block.is_valid:
+                blocks.append(block)
+    else:
+        for key in sorted(index, key=str):
+            members = index[key]
+            if len(members) > 1:
+                blocks.append(Block(str(key), members))
+    return BlockCollection(blocks, dataset.num_entities)

@@ -1,0 +1,109 @@
+"""Canopy Clustering blocking.
+
+The redundancy-negative example of the paper's Section 2 [McCallum, Nigam &
+Ungar, KDD 2000]: a cheap similarity (token Jaccard) groups entities into
+overlapping canopies. Entities within the *tight* threshold of a canopy's
+seed are removed from the candidate pool — so the most similar profiles
+share exactly one block, which is the defining redundancy-negative property.
+
+Meta-blocking must not be applied on top of canopies (sharing many blocks
+signals a *non*-match here); the class exists so the library covers all
+three redundancy categories and so tests can assert the pipeline guardrails.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable
+
+from repro.blocking.base import BlockingMethod
+from repro.datamodel.blocks import Block, BlockCollection
+from repro.datamodel.dataset import CleanCleanERDataset, ERDataset
+from repro.datamodel.profiles import EntityProfile
+from repro.utils.tokenize import profile_tokens
+
+
+class CanopyClustering(BlockingMethod):
+    """Overlapping canopies from cheap Jaccard similarity.
+
+    Parameters
+    ----------
+    loose_threshold:
+        Entities at least this similar to the seed join its canopy.
+    tight_threshold:
+        Entities at least this similar are additionally removed from the
+        candidate pool (must be >= ``loose_threshold``).
+    seed:
+        Seed for the random selection of canopy centers.
+    """
+
+    def __init__(
+        self,
+        loose_threshold: float = 0.2,
+        tight_threshold: float = 0.5,
+        seed: int = 42,
+    ) -> None:
+        if not 0.0 < loose_threshold <= tight_threshold <= 1.0:
+            raise ValueError(
+                "thresholds must satisfy 0 < loose <= tight <= 1, got "
+                f"loose={loose_threshold}, tight={tight_threshold}"
+            )
+        self.loose_threshold = loose_threshold
+        self.tight_threshold = tight_threshold
+        self.seed = seed
+
+    def keys_for(self, profile: EntityProfile) -> Iterable[Hashable]:
+        return profile_tokens(profile)
+
+    def build(self, dataset: ERDataset) -> BlockCollection:
+        tokens: dict[int, frozenset[str]] = {
+            entity_id: frozenset(profile_tokens(profile))
+            for entity_id, profile in dataset.iter_profiles()
+        }
+        # Token-level inverted index makes candidate generation cheap: only
+        # entities sharing a token with the seed can clear the thresholds.
+        inverted: dict[str, list[int]] = {}
+        for entity_id, entity_tokens in tokens.items():
+            for token in entity_tokens:
+                inverted.setdefault(token, []).append(entity_id)
+
+        rng = random.Random(self.seed)
+        pool = set(tokens)
+        split = dataset.split if isinstance(dataset, CleanCleanERDataset) else None
+        blocks: list[Block] = []
+        while pool:
+            seed_entity = rng.choice(sorted(pool))
+            pool.discard(seed_entity)
+            seed_tokens = tokens[seed_entity]
+            candidates: set[int] = set()
+            for token in seed_tokens:
+                candidates.update(inverted.get(token, ()))
+            candidates.discard(seed_entity)
+
+            canopy = [seed_entity]
+            for candidate in sorted(candidates):
+                similarity = _jaccard(seed_tokens, tokens[candidate])
+                if similarity >= self.loose_threshold:
+                    canopy.append(candidate)
+                    if similarity >= self.tight_threshold:
+                        pool.discard(candidate)
+            if split is None:
+                block = Block(f"canopy-{seed_entity}", sorted(canopy))
+            else:
+                block = Block(
+                    f"canopy-{seed_entity}",
+                    sorted(e for e in canopy if e < split),
+                    sorted(e for e in canopy if e >= split),
+                )
+            if block.is_valid:
+                blocks.append(block)
+        return BlockCollection(blocks, dataset.num_entities)
+
+
+def _jaccard(left: frozenset[str], right: frozenset[str]) -> float:
+    if not left or not right:
+        return 0.0
+    intersection = len(left & right)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(left) + len(right) - intersection)

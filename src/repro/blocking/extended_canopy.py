@@ -1,0 +1,107 @@
+"""Extended Canopy Clustering.
+
+The cardinality-based variant of Canopy Clustering [Papadakis et al.,
+TKDE 2013 adaptation]: instead of absolute similarity thresholds — which
+are hard to tune across heterogeneous datasets — each canopy admits its
+``n1`` most similar candidates and removes its ``n2 <= n1`` most similar
+ones from the candidate pool. This makes the method parameter-robust, but
+it remains redundancy-*negative*: the profiles most similar to a seed share
+only that seed's block, so Meta-blocking must not be applied on top of it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable
+
+from repro.blocking.base import BlockingMethod
+from repro.datamodel.blocks import Block, BlockCollection
+from repro.datamodel.dataset import CleanCleanERDataset, ERDataset
+from repro.datamodel.profiles import EntityProfile
+from repro.utils.tokenize import profile_tokens
+from repro.utils.topk import TopKHeap
+
+
+class ExtendedCanopyClustering(BlockingMethod):
+    """Canopies admitting the top-``n1`` candidates, removing the top-``n2``.
+
+    Parameters
+    ----------
+    n1:
+        Number of most similar candidates placed in each canopy.
+    n2:
+        Number of most similar candidates additionally removed from the
+        pool (``1 <= n2 <= n1``).
+    seed:
+        Seed for the random selection of canopy centers.
+    """
+
+    redundancy_positive = False
+
+    def __init__(self, n1: int = 10, n2: int = 3, seed: int = 42) -> None:
+        if not 1 <= n2 <= n1:
+            raise ValueError(f"need 1 <= n2 <= n1, got n1={n1}, n2={n2}")
+        self.n1 = n1
+        self.n2 = n2
+        self.seed = seed
+
+    def keys_for(self, profile: EntityProfile) -> Iterable[Hashable]:
+        return profile_tokens(profile)
+
+    def build(self, dataset: ERDataset) -> BlockCollection:
+        tokens: dict[int, frozenset[str]] = {
+            entity_id: frozenset(profile_tokens(profile))
+            for entity_id, profile in dataset.iter_profiles()
+        }
+        inverted: dict[str, list[int]] = {}
+        for entity_id, entity_tokens in tokens.items():
+            for token in entity_tokens:
+                inverted.setdefault(token, []).append(entity_id)
+
+        rng = random.Random(self.seed)
+        pool = set(tokens)
+        split = dataset.split if isinstance(dataset, CleanCleanERDataset) else None
+        blocks: list[Block] = []
+        while pool:
+            seed_entity = rng.choice(sorted(pool))
+            pool.discard(seed_entity)
+            seed_tokens = tokens[seed_entity]
+            candidates: set[int] = set()
+            for token in seed_tokens:
+                candidates.update(inverted.get(token, ()))
+            candidates.discard(seed_entity)
+
+            ranked: TopKHeap[int] = TopKHeap(self.n1)
+            for candidate in candidates:
+                if candidate not in pool and candidate != seed_entity:
+                    # Entities already consumed by earlier canopies may
+                    # still join this one; only pool-removal is exclusive.
+                    pass
+                similarity = _jaccard(seed_tokens, tokens[candidate])
+                if similarity > 0.0:
+                    ranked.push(similarity, candidate)
+            members = [seed_entity]
+            for position, (_, candidate) in enumerate(ranked.sorted_items()):
+                members.append(candidate)
+                if position < self.n2:
+                    pool.discard(candidate)
+            if split is None:
+                block = Block(f"xcanopy-{seed_entity}", sorted(members))
+            else:
+                block = Block(
+                    f"xcanopy-{seed_entity}",
+                    sorted(e for e in members if e < split),
+                    sorted(e for e in members if e >= split),
+                )
+            if block.is_valid:
+                blocks.append(block)
+        return BlockCollection(blocks, dataset.num_entities)
+
+
+def _jaccard(left: frozenset[str], right: frozenset[str]) -> float:
+    if not left or not right:
+        return 0.0
+    intersection = len(left & right)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(left) + len(right) - intersection)

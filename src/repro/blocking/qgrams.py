@@ -1,0 +1,34 @@
+"""Q-grams Blocking.
+
+A redundancy-positive, schema-agnostic method [Gravano et al., VLDB 2001]:
+every token of every attribute value is decomposed into overlapping character
+q-grams, and one block is created per q-gram. More robust to typos than
+Token Blocking (a single-character error leaves most q-grams intact) at the
+cost of more and larger blocks. The paper reports its blocks behave like
+Token Blocking's, which our benchmarks confirm.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.blocking.base import BlockingMethod
+from repro.datamodel.profiles import EntityProfile
+from repro.utils.tokenize import character_qgrams
+
+
+class QGramsBlocking(BlockingMethod):
+    """One block per character q-gram of any attribute-value token."""
+
+    redundancy_positive = True
+
+    def __init__(self, q: int = 3) -> None:
+        if q < 1:
+            raise ValueError(f"q must be positive, got {q}")
+        self.q = q
+
+    def keys_for(self, profile: EntityProfile) -> Iterable[Hashable]:
+        grams: set[str] = set()
+        for attribute in profile.attributes:
+            grams.update(character_qgrams(attribute.value, q=self.q))
+        return grams

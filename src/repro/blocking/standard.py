@@ -1,0 +1,45 @@
+"""Standard (schema-based) Blocking.
+
+The classic disjoint method [Fellegi & Sunter, 1969]: a user-chosen key
+function maps every profile to exactly one blocking key, and profiles with
+equal keys form a block. Included as the canonical non-redundant baseline of
+Section 2; it is *not* redundancy-positive, so Meta-blocking must not be
+applied on top of it (the weighting schemes would be meaningless) — the
+pipeline refuses that combination.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from repro.blocking.base import BlockingMethod
+from repro.datamodel.profiles import EntityProfile
+
+KeyFunction = Callable[[EntityProfile], Hashable | None]
+
+
+def first_value_prefix(attribute: str, length: int = 3) -> KeyFunction:
+    """Key function: lowercase prefix of the first value of ``attribute``.
+
+    Profiles lacking the attribute produce no key (they end up in no block).
+    """
+
+    def key(profile: EntityProfile) -> Hashable | None:
+        values = profile.values(attribute)
+        if not values:
+            return None
+        head = values[0].strip().lower()
+        return head[:length] if head else None
+
+    return key
+
+
+class StandardBlocking(BlockingMethod):
+    """Disjoint blocks from a single key function per profile."""
+
+    def __init__(self, key_function: KeyFunction) -> None:
+        self.key_function = key_function
+
+    def keys_for(self, profile: EntityProfile) -> Iterable[Hashable]:
+        key = self.key_function(profile)
+        return () if key is None else (key,)

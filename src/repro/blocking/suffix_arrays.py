@@ -1,0 +1,54 @@
+"""Suffix Arrays Blocking.
+
+A redundancy-positive method [Aizawa & Oyama, WIRI 2005]: every token is
+expanded into its suffixes of at least ``min_suffix_length`` characters, and
+one block is created per suffix. Suffixes shared by too many entities are
+dropped (``max_block_size``), which is the method's built-in guard against
+stop-word-like suffixes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.blocking.base import BlockingMethod, blocks_from_index
+from repro.datamodel.blocks import BlockCollection
+from repro.datamodel.dataset import ERDataset
+from repro.datamodel.profiles import EntityProfile
+from repro.utils.tokenize import profile_tokens, token_suffixes
+
+
+class SuffixArraysBlocking(BlockingMethod):
+    """One block per token suffix, capped at ``max_block_size`` entities."""
+
+    redundancy_positive = True
+
+    def __init__(self, min_suffix_length: int = 4, max_block_size: int = 50) -> None:
+        if min_suffix_length < 1:
+            raise ValueError(
+                f"min_suffix_length must be positive, got {min_suffix_length}"
+            )
+        if max_block_size < 2:
+            raise ValueError(f"max_block_size must be >= 2, got {max_block_size}")
+        self.min_suffix_length = min_suffix_length
+        self.max_block_size = max_block_size
+
+    def keys_for(self, profile: EntityProfile) -> Iterable[Hashable]:
+        suffixes: set[str] = set()
+        for token in profile_tokens(profile):
+            suffixes.update(token_suffixes(token, self.min_suffix_length))
+        return suffixes
+
+    def build(self, dataset: ERDataset) -> BlockCollection:
+        index: dict[Hashable, list[int]] = {}
+        for entity_id, profile in dataset.iter_profiles():
+            for key in set(self.keys_for(profile)):
+                index.setdefault(key, []).append(entity_id)
+        # The size cap is the method-specific part: oversized suffix blocks
+        # are discarded outright rather than left for Block Purging.
+        capped = {
+            key: members
+            for key, members in index.items()
+            if len(members) <= self.max_block_size
+        }
+        return blocks_from_index(capped, dataset)

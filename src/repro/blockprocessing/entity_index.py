@@ -1,0 +1,124 @@
+"""The Entity Index: inverted index from entity ids to block ids.
+
+The blocking graph is never materialised at scale (paper, Section 4.2);
+instead, every method works through this index. For an entity ``i``,
+``block_list(i)`` (the paper's ``B_i``) is the ascending list of positions of
+the blocks that contain ``i`` — positions within the block collection's
+*processing order*, so the Least Common Block Index condition (LeCoBI) is a
+simple comparison of the smallest shared id.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.blocks import BlockCollection
+
+
+class EntityIndex:
+    """Inverted index over a block collection.
+
+    The collection's current order defines the block ids; callers that rely
+    on LeCoBI semantics (Comparison Propagation, Meta-blocking) should index
+    a collection already sorted in processing order
+    (:meth:`~repro.datamodel.blocks.BlockCollection.sorted_by_cardinality`).
+    """
+
+    def __init__(self, blocks: BlockCollection) -> None:
+        self.blocks = blocks
+        self.num_entities = blocks.num_entities
+        self._block_lists: list[list[int]] = [[] for _ in range(self.num_entities)]
+        for position, block in enumerate(blocks):
+            for entity in block.all_entities:
+                self._block_lists[entity].append(position)
+        # Entity iteration order inside blocks follows ascending entity id,
+        # but be defensive: LeCoBI requires sorted block lists.
+        for block_list in self._block_lists:
+            block_list.sort()
+        self.inverse_cardinalities: list[float] = [
+            1.0 / block.cardinality if block.cardinality else 0.0 for block in blocks
+        ]
+        # For bilateral (Clean-Clean) collections, record which side of the
+        # split every entity lives on; algorithms use it to pick the
+        # "other side" of a block in O(1) instead of scanning membership.
+        self.is_bilateral = blocks.is_bilateral
+        self._second_side: list[bool] = [False] * self.num_entities
+        if self.is_bilateral:
+            for block in blocks:
+                if block.entities2 is not None:
+                    for entity in block.entities2:
+                        self._second_side[entity] = True
+
+    def __repr__(self) -> str:
+        return f"EntityIndex(|B|={len(self.blocks)}, |E|={self.num_entities})"
+
+    def in_second_collection(self, entity: int) -> bool:
+        """True iff the entity appears on the second side of bilateral blocks."""
+        return self._second_side[entity]
+
+    def cooccurring(self, entity: int, block_position: int) -> tuple[int, ...]:
+        """Entities the given one is compared with inside one of its blocks.
+
+        For unilateral blocks these are all members (the caller filters out
+        ``entity`` itself); for bilateral blocks, the members of the opposite
+        side.
+        """
+        block = self.blocks[block_position]
+        if block.entities2 is None:
+            return block.entities1
+        if self._second_side[entity]:
+            return block.entities1
+        return block.entities2
+
+    def block_list(self, entity: int) -> list[int]:
+        """``B_i`` — ascending block positions containing ``entity``."""
+        return self._block_lists[entity]
+
+    def num_blocks_of(self, entity: int) -> int:
+        """``|B_i|`` — how many blocks contain ``entity``."""
+        return len(self._block_lists[entity])
+
+    def placed_entities(self) -> list[int]:
+        """Entity ids that participate in at least one block (``V_B``)."""
+        return [
+            entity
+            for entity in range(self.num_entities)
+            if self._block_lists[entity]
+        ]
+
+    def common_blocks(self, left: int, right: int) -> list[int]:
+        """The ascending positions of blocks shared by both entities."""
+        first, second = self._block_lists[left], self._block_lists[right]
+        common: list[int] = []
+        pos_first = pos_second = 0
+        while pos_first < len(first) and pos_second < len(second):
+            if first[pos_first] < second[pos_second]:
+                pos_first += 1
+            elif first[pos_first] > second[pos_second]:
+                pos_second += 1
+            else:
+                common.append(first[pos_first])
+                pos_first += 1
+                pos_second += 1
+        return common
+
+    def least_common_block(self, left: int, right: int) -> int | None:
+        """The smallest shared block position, or None if disjoint."""
+        first, second = self._block_lists[left], self._block_lists[right]
+        pos_first = pos_second = 0
+        while pos_first < len(first) and pos_second < len(second):
+            if first[pos_first] < second[pos_second]:
+                pos_first += 1
+            elif first[pos_first] > second[pos_second]:
+                pos_second += 1
+            else:
+                return first[pos_first]
+        return None
+
+    def satisfies_lecobi(self, left: int, right: int, block_position: int) -> bool:
+        """Least Common Block Index condition (paper, Section 2).
+
+        A comparison ``left``-``right`` inside the block at ``block_position``
+        is non-redundant iff that position is the least common block id of
+        the two entities: the pair is then "executed" exactly once, in the
+        first block of the processing order that contains both.
+        """
+        return self.least_common_block(left, right) == block_position

@@ -1,0 +1,110 @@
+"""Iterative Blocking [Whang et al., SIGMOD 2009] — baseline block processor.
+
+Iterative Blocking processes blocks sequentially and *propagates* every
+detected match to the blocks processed afterwards: once two profiles are
+known to co-refer they act as one merged profile, so (i) repeated
+comparisons of the pair are skipped, and (ii) the merged information can
+reveal further matches. It targets exclusively redundant comparisons between
+matching profiles, which is why the paper uses it as the state-of-the-art
+block processing baseline (Section 6.4).
+
+Following the paper's experimental protocol, the implementation here:
+
+* orders blocks from smallest to largest cardinality (the optimisation the
+  paper applied);
+* optionally assumes the Clean-Clean ideal case — after a first-collection
+  profile has found its match, it is not compared against other co-occurring
+  profiles (``clean_clean_ideal=True``, as in Section 6.4);
+* counts as "executed" only the comparisons that actually reach the matcher
+  (skipped repeats are the method's savings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datamodel.blocks import BlockCollection
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.matching.matchers import Matcher
+from repro.utils.timer import Timer
+from repro.utils.unionfind import UnionFind
+
+Comparison = tuple[int, int]
+
+
+@dataclass
+class IterativeBlockingResult:
+    """Outcome of an Iterative Blocking run.
+
+    ``executed_comparisons`` plays the role of ``||B'||`` when comparing
+    against meta-blocking methods; ``detected_duplicates`` is ``D(B')``.
+    """
+
+    executed_comparisons: int
+    matches: set[Comparison] = field(default_factory=set)
+    detected_duplicates: set[Comparison] = field(default_factory=set)
+    elapsed_seconds: float = 0.0
+
+    def recall(self, ground_truth: DuplicateSet) -> float:
+        """PC of the run with respect to the gold standard."""
+        if not ground_truth:
+            return 0.0
+        return len(self.detected_duplicates) / len(ground_truth)
+
+    @property
+    def precision(self) -> float:
+        """PQ of the run: detected duplicates per executed comparison."""
+        if self.executed_comparisons == 0:
+            return 0.0
+        return len(self.detected_duplicates) / self.executed_comparisons
+
+
+class IterativeBlocking:
+    """Sequential block processing with match propagation."""
+
+    def __init__(self, matcher: Matcher, clean_clean_ideal: bool = False) -> None:
+        self.matcher = matcher
+        self.clean_clean_ideal = clean_clean_ideal
+
+    def process(
+        self,
+        blocks: BlockCollection,
+        ground_truth: DuplicateSet | None = None,
+    ) -> IterativeBlockingResult:
+        """Run over the collection; blocks are processed smallest-first.
+
+        ``ground_truth``, when given, is only used to tally which detected
+        matches are true duplicates — it never influences the decisions
+        (those come from the matcher).
+        """
+        ordered = blocks.sorted_by_cardinality()
+        clusters = UnionFind()
+        resolved: set[int] = set()
+        matches: set[Comparison] = set()
+        executed = 0
+        with Timer() as timer:
+            for block in ordered:
+                for left, right in block.comparisons():
+                    if self.clean_clean_ideal and (
+                        left in resolved or right in resolved
+                    ):
+                        continue
+                    if clusters.connected(left, right):
+                        # Match already propagated from an earlier block.
+                        continue
+                    executed += 1
+                    if self.matcher.matches(left, right):
+                        clusters.union(left, right)
+                        matches.add((left, right))
+                        if self.clean_clean_ideal:
+                            resolved.add(left)
+                            resolved.add(right)
+        detected = (
+            ground_truth.detected_in(matches) if ground_truth is not None else set()
+        )
+        return IterativeBlockingResult(
+            executed_comparisons=executed,
+            matches=matches,
+            detected_duplicates=detected,
+            elapsed_seconds=timer.elapsed,
+        )

@@ -1,0 +1,85 @@
+"""Block Filtering (paper Algorithm 1) — the first efficiency contribution.
+
+Every block has a different importance for each entity it contains: a huge
+block is superfluous for most of its members but may be the only block where
+a particular pair of duplicates co-occurs. Block Filtering removes each
+entity from the *least important* portion of its blocks. Importance is the
+block's cardinality — the fewer comparisons a block entails, the more
+important it is — so blocks are processed from smallest to largest and each
+entity is retained only in the first ``r`` fraction of its blocks.
+
+The filtering ratio ``r`` is a *local* threshold: entity ``i`` keeps
+``max(1, round(r · |B_i|))`` block assignments. A global threshold performs
+poorly because the number of blocks per entity varies wildly (paper,
+Section 4.1); the floor of one assignment guarantees no entity disappears
+from the collection outright.
+
+Used in two ways (paper Figure 7): as pre-processing that shrinks the
+blocking graph before graph-based Meta-blocking, or — with a much smaller
+``r`` — combined with Comparison Propagation as *Graph-free Meta-blocking*
+(see :mod:`repro.core.graph_free`).
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.blocks import Block, BlockCollection
+
+
+class BlockFiltering:
+    """Retain each entity only in its ``r`` most important blocks.
+
+    Parameters
+    ----------
+    ratio:
+        The filtering ratio ``r`` in (0, 1]. ``r=0.8`` (the paper's tuned
+        value) keeps every entity in the smallest 80% of its blocks.
+    """
+
+    def __init__(self, ratio: float = 0.8) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+
+    def process(self, blocks: BlockCollection) -> BlockCollection:
+        """Algorithm 1: sort by importance, cap assignments per entity.
+
+        Returns a new collection in processing order (ascending block
+        cardinality); blocks left with fewer than one comparison are
+        dropped.
+        """
+        ordered = blocks.sorted_by_cardinality()
+        limits = self._assignment_limits(ordered)
+        counters = [0] * ordered.num_entities
+        filtered: list[Block] = []
+        for block in ordered:
+            retained1 = self._retain(block.entities1, limits, counters)
+            if block.entities2 is None:
+                new_block = Block(block.key, retained1)
+            else:
+                retained2 = self._retain(block.entities2, limits, counters)
+                new_block = Block(block.key, retained1, retained2)
+            if new_block.is_valid:
+                filtered.append(new_block)
+        return BlockCollection(filtered, ordered.num_entities)
+
+    def _assignment_limits(self, blocks: BlockCollection) -> list[int]:
+        """``maxBlocks[i] = max(1, round(r · |B_i|))`` for every entity."""
+        limits = [0] * blocks.num_entities
+        for block in blocks:
+            for entity in block.all_entities:
+                limits[entity] += 1
+        for entity, count in enumerate(limits):
+            if count:
+                limits[entity] = max(1, int(self.ratio * count + 0.5))
+        return limits
+
+    @staticmethod
+    def _retain(
+        entities: tuple[int, ...], limits: list[int], counters: list[int]
+    ) -> list[int]:
+        retained: list[int] = []
+        for entity in entities:
+            if counters[entity] < limits[entity]:
+                counters[entity] += 1
+                retained.append(entity)
+        return retained

@@ -1,0 +1,114 @@
+"""Blocking graph utilities.
+
+The production algorithms never materialise the blocking graph (see
+:mod:`repro.core.edge_weighting`); this module provides
+
+* :func:`blocking_graph_stats` — the order ``|V_B|`` and size ``|E_B|`` of
+  the implicit graph, reported in the paper's Table 1, computed without
+  building the graph;
+* :class:`MaterializedBlockingGraph` — a networkx-backed explicit graph for
+  tests, small examples and visual exploration. Building it is O(|E_B|)
+  memory, so it is guarded by a node-count limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.blockprocessing.entity_index import EntityIndex
+from repro.core.weights import WeightingScheme
+from repro.datamodel.blocks import BlockCollection
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Order and size of a blocking graph."""
+
+    order: int
+    size: int
+
+
+def blocking_graph_stats(blocks: BlockCollection) -> GraphStats:
+    """Compute ``|V_B|`` (nodes) and ``|E_B|`` (distinct edges).
+
+    Uses the flags-array scan of Algorithm 3, so the cost is
+    O(||B|| + |E_B|) and nothing is materialised.
+    """
+    index = EntityIndex(blocks)
+    flags = [-1] * blocks.num_entities
+    order = 0
+    size = 0
+    bilateral = index.is_bilateral
+    for entity in range(blocks.num_entities):
+        block_list = index.block_list(entity)
+        if not block_list:
+            continue
+        order += 1
+        if bilateral and index.in_second_collection(entity):
+            continue
+        for position in block_list:
+            for other in index.cooccurring(entity, position):
+                if other == entity or (not bilateral and other <= entity):
+                    continue
+                if flags[other] != entity:
+                    flags[other] = entity
+                    size += 1
+    return GraphStats(order=order, size=size)
+
+
+class MaterializedBlockingGraph:
+    """An explicit, weighted networkx graph of a block collection.
+
+    Intended for didactic use and testing: the paper's Figures 2, 5, 6, 8
+    and 9 are asserted against instances of this class. Refuses to build
+    graphs above ``max_nodes`` to protect callers from accidental blow-ups.
+    """
+
+    def __init__(
+        self,
+        blocks: BlockCollection,
+        scheme: "str | WeightingScheme",
+        max_nodes: int = 100_000,
+    ) -> None:
+        # Imported here to avoid a module cycle (edge_weighting -> graph).
+        from repro.core.edge_weighting import OptimizedEdgeWeighting
+
+        weighting = OptimizedEdgeWeighting(blocks, scheme)
+        if weighting.graph_order > max_nodes:
+            raise ValueError(
+                f"refusing to materialise a graph with {weighting.graph_order} "
+                f"nodes (limit {max_nodes}); use the implicit EdgeWeighting "
+                "backends instead"
+            )
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(weighting.nodes())
+        for left, right, weight in weighting.iter_edges():
+            self.graph.add_edge(left, right, weight=weight)
+
+    @property
+    def order(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def size(self) -> int:
+        return self.graph.number_of_edges()
+
+    def weight(self, left: int, right: int) -> float:
+        """The weight of one edge; KeyError if absent."""
+        return self.graph.edges[left, right]["weight"]
+
+    def edges(self) -> list[tuple[int, int, float]]:
+        """All edges as canonical ``(smaller, larger, weight)`` triples."""
+        return sorted(
+            (min(u, v), max(u, v), data["weight"])
+            for u, v, data in self.graph.edges(data=True)
+        )
+
+    def mean_weight(self) -> float:
+        """Average edge weight — WEP's global pruning criterion."""
+        if self.graph.number_of_edges() == 0:
+            return 0.0
+        total = sum(data["weight"] for _, _, data in self.graph.edges(data=True))
+        return total / self.graph.number_of_edges()

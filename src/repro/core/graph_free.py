@@ -1,0 +1,49 @@
+"""Graph-free Meta-blocking (paper Figure 7b, evaluated in Section 6.4).
+
+Block Filtering can act as a meta-blocking method in its own right: applied
+with an aggressive ratio and followed by Comparison Propagation, it prunes
+comparisons *without ever touching the blocking graph*, operating on
+individual profiles instead of profile pairs. It is dramatically faster than
+any graph-based algorithm, at the cost of coarser pruning (lower precision
+than reciprocal pruning at comparable recall).
+
+The paper tunes the ratio per application type over its datasets:
+``r = 0.25`` for efficiency-intensive applications (PC >= 0.8) and
+``r = 0.55`` for effectiveness-intensive ones (PC >= 0.95).
+"""
+
+from __future__ import annotations
+
+from repro.blockprocessing.comparison_propagation import ComparisonPropagation
+from repro.core.block_filtering import BlockFiltering
+from repro.datamodel.blocks import BlockCollection, ComparisonCollection
+
+#: Paper-tuned ratios per application type (Section 6.4).
+EFFICIENCY_RATIO = 0.25
+EFFECTIVENESS_RATIO = 0.55
+
+
+class GraphFreeMetaBlocking:
+    """Block Filtering + Comparison Propagation, no blocking graph."""
+
+    def __init__(self, ratio: float) -> None:
+        self.filtering = BlockFiltering(ratio)
+        self.propagation = ComparisonPropagation()
+
+    @classmethod
+    def for_efficiency(cls) -> "GraphFreeMetaBlocking":
+        """Configuration for efficiency-intensive applications (r=0.25)."""
+        return cls(EFFICIENCY_RATIO)
+
+    @classmethod
+    def for_effectiveness(cls) -> "GraphFreeMetaBlocking":
+        """Configuration for effectiveness-intensive applications (r=0.55)."""
+        return cls(EFFECTIVENESS_RATIO)
+
+    @property
+    def ratio(self) -> float:
+        return self.filtering.ratio
+
+    def process(self, blocks: BlockCollection) -> ComparisonCollection:
+        """Return the distinct comparisons of the filtered collection."""
+        return self.propagation.process(self.filtering.process(blocks))

@@ -1,0 +1,54 @@
+"""Shared machinery of the pruning algorithms."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.edge_weighting import EdgeWeighting
+from repro.datamodel.blocks import BlockCollection, ComparisonCollection
+
+
+class PruningAlgorithm(ABC):
+    """Base class: prune a weighted blocking graph into comparisons.
+
+    Every pruning scheme is the combination of a pruning *algorithm* (edge-
+    or node-centric) with a pruning *criterion* (weight or cardinality
+    threshold, global or local). Instances are stateless across calls;
+    :meth:`prune` may be invoked with different weighting backends.
+    """
+
+    #: Acronym used in the paper and in the registry.
+    name: str = ""
+
+    @abstractmethod
+    def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
+        """Return the retained comparisons of the weighted blocking graph."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def cardinality_edge_threshold(blocks: BlockCollection) -> int:
+    """CEP's global cardinality threshold ``K = floor(sum(|b|) / 2)``."""
+    return blocks.aggregate_size // 2
+
+
+def cardinality_node_threshold(blocks: BlockCollection) -> int:
+    """CNP's per-node threshold ``k = floor(sum(|b|)/|E| - 1)``, at least 1.
+
+    ``sum(|b|)/|E|`` is BPE, so each node retains one edge per block it
+    would on average participate in, minus one.
+    """
+    if blocks.num_entities == 0:
+        return 1
+    return max(1, int(blocks.aggregate_size / blocks.num_entities - 1))
+
+
+def mean_edge_weight(weighting: EdgeWeighting) -> float:
+    """WEP's global threshold: the average weight over all distinct edges."""
+    total = 0.0
+    count = 0
+    for _, _, weight in weighting.iter_edges():
+        total += weight
+        count += 1
+    return total / count if count else 0.0

@@ -1,0 +1,72 @@
+"""Edge-centric pruning: retain the globally best edges.
+
+Both algorithms stream the distinct edges of the implicit blocking graph and
+keep those passing a *global* criterion, so their output never contains
+redundant comparisons. They cannot, however, guarantee that every entity
+keeps at least one edge — the reason the paper's new algorithms build on the
+node-centric family instead.
+"""
+
+from __future__ import annotations
+
+from repro.core.edge_weighting import EdgeWeighting
+from repro.core.pruning.base import (
+    PruningAlgorithm,
+    cardinality_edge_threshold,
+    mean_edge_weight,
+)
+from repro.datamodel.blocks import ComparisonCollection
+from repro.utils.topk import TopKHeap
+
+
+class CardinalityEdgePruning(PruningAlgorithm):
+    """CEP: keep the top-K weighted edges of the whole graph.
+
+    ``K = floor(sum(|b|)/2)`` by default (the paper's configuration); pass
+    ``k`` to override. Weight ties are broken by the canonical edge ids so
+    the retained set is deterministic.
+    """
+
+    name = "CEP"
+
+    def __init__(self, k: int | None = None) -> None:
+        if k is not None and k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+
+    def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
+        k = self.k if self.k is not None else cardinality_edge_threshold(
+            weighting.blocks
+        )
+        heap: TopKHeap[tuple[int, int]] = TopKHeap(k)
+        for left, right, weight in weighting.iter_edges():
+            heap.push(weight, (left, right))
+        retained = sorted(heap.items())
+        return ComparisonCollection(retained, weighting.num_entities)
+
+
+class WeightedEdgePruning(PruningAlgorithm):
+    """WEP: keep the edges at or above the global mean weight.
+
+    Two passes over the edge stream: the first averages the weights (the
+    threshold can only be known a-posteriori — the reason Prefix Filtering
+    does not apply, paper Section 4.2), the second retains.
+    """
+
+    name = "WEP"
+
+    def __init__(self, threshold: float | None = None) -> None:
+        self.threshold = threshold
+
+    def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
+        threshold = (
+            self.threshold
+            if self.threshold is not None
+            else mean_edge_weight(weighting)
+        )
+        retained = [
+            (left, right)
+            for left, right, weight in weighting.iter_edges()
+            if weight >= threshold
+        ]
+        return ComparisonCollection(retained, weighting.num_entities)

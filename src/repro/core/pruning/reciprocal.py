@@ -1,0 +1,36 @@
+"""Reciprocal node-centric pruning (paper Section 5.2).
+
+A redundant comparison retained by the original CNP/WNP — an edge kept in
+*both* incident neighbourhoods — is a strong signal: each endpoint considers
+the other among its best candidates. Reciprocal Pruning keeps exactly those
+reciprocally-linked pairs, replacing the disjunction of the redefined
+algorithms with a conjunction (the only code difference, as in the paper
+where OR becomes AND in Algorithms 4-5).
+
+In the worst case every retained edge is reciprocal and the output equals
+the redefined algorithms'; in practice precision rises by up to an order of
+magnitude at a small recall cost, making Reciprocal CNP the method of choice
+for efficiency-intensive applications and Reciprocal WNP for
+effectiveness-intensive ones (paper Section 6.4).
+"""
+
+from __future__ import annotations
+
+from repro.core.pruning.redefined import (
+    RedefinedCardinalityNodePruning,
+    RedefinedWeightedNodePruning,
+)
+
+
+class ReciprocalCardinalityNodePruning(RedefinedCardinalityNodePruning):
+    """Reciprocal CNP: keep an edge only if in the top-k of both endpoints."""
+
+    name = "RcCNP"
+    conjunctive = True
+
+
+class ReciprocalWeightedNodePruning(RedefinedWeightedNodePruning):
+    """Reciprocal WNP: keep an edge only above both local thresholds."""
+
+    name = "RcWNP"
+    conjunctive = True

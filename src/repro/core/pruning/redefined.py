@@ -1,0 +1,105 @@
+"""Redefined node-centric pruning (paper Algorithms 4 and 5).
+
+The original CNP/WNP emit an edge from *each* endpoint that finds it
+important, producing redundant comparisons. Rather than bolting Comparison
+Propagation onto their output (an extra O(2·BPE·||B'||) pass), the redefined
+algorithms integrate it:
+
+* **phase 1** (node-centric) walks every node neighbourhood and derives the
+  local pruning criterion — the top-k sorted stack for CNP, the mean weight
+  for WNP;
+* **phase 2** (edge-centric) streams every distinct edge once and retains it
+  if it satisfies the criterion of *either* endpoint (disjunctive
+  condition).
+
+Each edge is thus kept at most once: same recall as the originals, no
+redundant comparisons — on average 30% fewer comparisons for free.
+"""
+
+from __future__ import annotations
+
+from repro.core.edge_weighting import EdgeWeighting
+from repro.core.pruning.base import PruningAlgorithm, cardinality_node_threshold
+from repro.datamodel.blocks import ComparisonCollection
+from repro.utils.topk import TopKHeap
+
+Comparison = tuple[int, int]
+
+
+def nearest_neighbor_sets(
+    weighting: EdgeWeighting, k: int
+) -> dict[int, set[int]]:
+    """Phase 1 of (redefined/reciprocal) CNP: top-k neighbours per node.
+
+    Returns ``{entity: set of its k nearest neighbours}`` with the same
+    deterministic tie-breaking as the original CNP.
+    """
+    retained: dict[int, set[int]] = {}
+    for entity, neighborhood in weighting.iter_neighborhoods():
+        heap: TopKHeap[int] = TopKHeap(k)
+        for other, weight in neighborhood:
+            heap.push(weight, other)
+        retained[entity] = heap.items()
+    return retained
+
+
+def neighborhood_thresholds(weighting: EdgeWeighting) -> dict[int, float]:
+    """Phase 1 of (redefined/reciprocal) WNP: mean weight per neighbourhood."""
+    thresholds: dict[int, float] = {}
+    for entity, neighborhood in weighting.iter_neighborhoods():
+        if neighborhood:
+            thresholds[entity] = sum(
+                weight for _, weight in neighborhood
+            ) / len(neighborhood)
+    return thresholds
+
+
+class RedefinedCardinalityNodePruning(PruningAlgorithm):
+    """Redefined CNP (Algorithm 4): disjunctive top-k retention."""
+
+    name = "ReCNP"
+    #: Subclasses flip this to get the conjunctive (reciprocal) behaviour.
+    conjunctive = False
+
+    def __init__(self, k: int | None = None) -> None:
+        if k is not None and k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+
+    def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
+        k = self.k if self.k is not None else cardinality_node_threshold(
+            weighting.blocks
+        )
+        nearest = nearest_neighbor_sets(weighting, k)
+        empty: set[int] = set()
+        retained: list[Comparison] = []
+        for left, right, _ in weighting.iter_edges():
+            in_left = right in nearest.get(left, empty)
+            in_right = left in nearest.get(right, empty)
+            keep = (in_left and in_right) if self.conjunctive else (in_left or in_right)
+            if keep:
+                retained.append((left, right))
+        return ComparisonCollection(retained, weighting.num_entities)
+
+
+class RedefinedWeightedNodePruning(PruningAlgorithm):
+    """Redefined WNP (Algorithm 5): disjunctive local-threshold retention."""
+
+    name = "ReWNP"
+    conjunctive = False
+
+    def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
+        thresholds = neighborhood_thresholds(weighting)
+        infinity = float("inf")
+        retained: list[Comparison] = []
+        for left, right, weight in weighting.iter_edges():
+            over_left = weight >= thresholds.get(left, infinity)
+            over_right = weight >= thresholds.get(right, infinity)
+            keep = (
+                (over_left and over_right)
+                if self.conjunctive
+                else (over_left or over_right)
+            )
+            if keep:
+                retained.append((left, right))
+        return ComparisonCollection(retained, weighting.num_entities)

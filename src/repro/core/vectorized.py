@@ -1,0 +1,163 @@
+"""Numpy-vectorized edge weighting backend.
+
+A third implementation of the :class:`~repro.core.edge_weighting.EdgeWeighting`
+interface, beyond the paper's Algorithm 2 (original) and Algorithm 3
+(optimized): the per-node ScanCount is replaced by array operations —
+concatenate the co-occurrence arrays of the node's blocks, ``bincount`` the
+shared-block counts (and ARCS sums) in C, and evaluate the weighting scheme
+as a numpy expression (:meth:`WeightingScheme.weight_array`).
+
+It computes exactly the same weighted graph as the other two backends (the
+test suite asserts element-wise agreement). The win over Algorithm 3 is
+moderate when edges are consumed one by one through the shared iterator
+interface (the per-edge Python step then dominates); the array statistics
+shine for dense hub nodes and for bulk consumers that keep the data in
+numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.edge_weighting import Edge, EdgeWeighting, Neighborhood
+from repro.core.weights import WeightingScheme
+from repro.datamodel.blocks import BlockCollection
+
+
+class VectorizedEdgeWeighting(EdgeWeighting):
+    """Array-based neighbourhood scans over the implicit blocking graph."""
+
+    def __init__(
+        self, blocks: BlockCollection, scheme: "str | WeightingScheme"
+    ) -> None:
+        super().__init__(blocks, scheme)
+        # Per block: the member array(s) used for co-occurrence lookups.
+        self._side1_arrays: list[np.ndarray] = []
+        self._side2_arrays: list[np.ndarray] = []
+        self._bilateral = blocks.is_bilateral
+        for block in blocks:
+            self._side1_arrays.append(np.asarray(block.entities1, dtype=np.int64))
+            self._side2_arrays.append(
+                np.asarray(block.entities2, dtype=np.int64)
+                if block.entities2 is not None
+                else self._side1_arrays[-1]
+            )
+        self._inverse_cardinalities = np.asarray(
+            self.index.inverse_cardinalities, dtype=np.float64
+        )
+        self._block_counts = np.zeros(self.num_entities, dtype=np.int64)
+        for entity in range(self.num_entities):
+            self._block_counts[entity] = len(self.index.block_list(entity))
+
+    # -- core scan ----------------------------------------------------------
+
+    def _cooccurrence_arrays(self, entity: int) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated co-occurring ids and the matching block positions."""
+        block_list = self.index.block_list(entity)
+        if not block_list:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        second_side = self._bilateral and self.index.in_second_collection(entity)
+        pieces = []
+        positions = []
+        for position in block_list:
+            members = (
+                self._side1_arrays[position]
+                if second_side
+                else self._side2_arrays[position]
+            )
+            pieces.append(members)
+            positions.append(np.full(len(members), position, dtype=np.int64))
+        ids = np.concatenate(pieces)
+        blocks = np.concatenate(positions)
+        if not self._bilateral:
+            keep = ids != entity
+            ids, blocks = ids[keep], blocks[keep]
+        return ids, blocks
+
+    def _neighborhood_stats(
+        self, entity: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Distinct ``(neighbors, common_counts, arcs_sums)`` arrays."""
+        ids, block_positions = self._cooccurrence_arrays(entity)
+        if ids.size == 0:
+            empty_float = np.empty(0, dtype=np.float64)
+            return ids, np.empty(0, dtype=np.int64), empty_float
+        neighbors, inverse, counts = np.unique(
+            ids, return_inverse=True, return_counts=True
+        )
+        if self.scheme.uses_arcs_sum:
+            arcs = np.bincount(
+                inverse,
+                weights=self._inverse_cardinalities[block_positions],
+                minlength=len(neighbors),
+            )
+        else:
+            arcs = np.zeros(len(neighbors), dtype=np.float64)
+        return neighbors, counts, arcs
+
+    def _weights_for(
+        self, entity: int, neighbors: np.ndarray, counts: np.ndarray, arcs: np.ndarray
+    ) -> np.ndarray:
+        degrees = self._degrees
+        if degrees is not None:
+            degrees_array = np.asarray(degrees)
+            degree_i = np.full(len(neighbors), degrees_array[entity])
+            degree_j = degrees_array[neighbors]
+        else:
+            degree_i = np.zeros(len(neighbors), dtype=np.int64)
+            degree_j = degree_i
+        return self.scheme.weight_array(
+            counts,
+            arcs,
+            np.full(len(neighbors), self._block_counts[entity]),
+            self._block_counts[neighbors],
+            degree_i,
+            degree_j,
+            self.total_blocks,
+            self._total_edges if self._total_edges is not None else 0,
+        )
+
+    # -- EdgeWeighting interface ---------------------------------------------
+
+    def neighborhood(self, entity: int) -> Neighborhood:
+        self._prepare_scheme_inputs()
+        neighbors, counts, arcs = self._neighborhood_stats(entity)
+        if neighbors.size == 0:
+            return []
+        weights = self._weights_for(entity, neighbors, counts, arcs)
+        return list(zip(neighbors.tolist(), weights.tolist()))
+
+    def iter_edges(self) -> Iterator[Edge]:
+        self._prepare_scheme_inputs()
+        for entity in self.nodes():
+            if self._bilateral:
+                if self.index.in_second_collection(entity):
+                    continue
+            neighbors, counts, arcs = self._neighborhood_stats(entity)
+            if neighbors.size == 0:
+                continue
+            if not self._bilateral:
+                keep = neighbors > entity
+                neighbors, counts, arcs = neighbors[keep], counts[keep], arcs[keep]
+                if neighbors.size == 0:
+                    continue
+            weights = self._weights_for(entity, neighbors, counts, arcs)
+            for other, weight in zip(neighbors.tolist(), weights.tolist()):
+                if entity < other:
+                    yield entity, other, weight
+                else:
+                    yield other, entity, weight
+
+    def _compute_degrees(self) -> None:
+        degrees = np.zeros(self.num_entities, dtype=np.int64)
+        total = 0
+        for entity in self.nodes():
+            ids, _ = self._cooccurrence_arrays(entity)
+            degree = len(np.unique(ids)) if ids.size else 0
+            degrees[entity] = degree
+            total += degree
+        self._degrees = degrees.tolist()
+        self._total_edges = total // 2

@@ -1,0 +1,37 @@
+"""Core data model: entity profiles, blocks, comparisons and ER tasks.
+
+This package defines the vocabulary of the whole library, following the
+paper's Section 3 (Preliminaries):
+
+* :class:`~repro.datamodel.profiles.EntityProfile` — a uniquely identified
+  collection of name-value pairs describing a real-world object.
+* :class:`~repro.datamodel.profiles.EntityCollection` — an ordered set of
+  profiles; entity *ids* are positions in this order.
+* :class:`~repro.datamodel.blocks.Block` /
+  :class:`~repro.datamodel.blocks.BlockCollection` — the output of blocking;
+  blocks are unilateral for Dirty ER and bilateral for Clean-Clean ER.
+* :class:`~repro.datamodel.blocks.ComparisonCollection` — an explicit list of
+  pairwise comparisons, the output of meta-blocking's pruning phase.
+* :class:`~repro.datamodel.groundtruth.DuplicateSet` — the gold matches used
+  by the evaluation measures.
+* :class:`~repro.datamodel.dataset.DirtyERDataset` /
+  :class:`~repro.datamodel.dataset.CleanCleanERDataset` — the two ER tasks.
+"""
+
+from repro.datamodel.blocks import Block, BlockCollection, ComparisonCollection
+from repro.datamodel.dataset import CleanCleanERDataset, DirtyERDataset, ERDataset
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.datamodel.profiles import Attribute, EntityCollection, EntityProfile
+
+__all__ = [
+    "Attribute",
+    "Block",
+    "BlockCollection",
+    "CleanCleanERDataset",
+    "ComparisonCollection",
+    "DirtyERDataset",
+    "DuplicateSet",
+    "ERDataset",
+    "EntityCollection",
+    "EntityProfile",
+]

@@ -1,0 +1,186 @@
+"""ER task descriptors: Dirty ER and Clean-Clean ER datasets.
+
+The paper (Section 3) distinguishes two ER tasks:
+
+* **Dirty ER** (Deduplication): one entity collection that contains
+  duplicates; the output is a set of equivalence clusters.
+* **Clean-Clean ER** (Record Linkage): two individually duplicate-free but
+  overlapping collections; the output is the set of cross-collection matches.
+
+Both are represented here by dataset objects that bundle the profiles, the
+gold duplicate pairs, and the *unified id space* convention: for Clean-Clean
+ER, entity ids ``0 .. |E1|-1`` address the first collection and
+``|E1| .. |E1|+|E2|-1`` the second. Every downstream algorithm works on
+unified ids only.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.datamodel.profiles import EntityCollection, EntityProfile
+
+
+class ERDataset(ABC):
+    """Common interface of the two ER tasks."""
+
+    name: str
+    ground_truth: DuplicateSet
+
+    @property
+    @abstractmethod
+    def num_entities(self) -> int:
+        """``|E|`` — size of the unified id space."""
+
+    @property
+    @abstractmethod
+    def is_clean_clean(self) -> bool:
+        """True for Clean-Clean ER (bilateral blocks), False for Dirty ER."""
+
+    @property
+    @abstractmethod
+    def brute_force_comparisons(self) -> int:
+        """``||E||`` — comparisons executed by the brute-force approach."""
+
+    @abstractmethod
+    def profile(self, entity_id: int) -> EntityProfile:
+        """Return the profile addressed by a unified entity id."""
+
+    @abstractmethod
+    def iter_profiles(self) -> Iterator[tuple[int, EntityProfile]]:
+        """Yield ``(unified_id, profile)`` for every entity."""
+
+
+class DirtyERDataset(ERDataset):
+    """A single entity collection containing duplicates."""
+
+    def __init__(
+        self,
+        collection: EntityCollection,
+        ground_truth: DuplicateSet,
+        name: str = "",
+    ) -> None:
+        self.collection = collection
+        self.ground_truth = ground_truth
+        self.name = name or collection.name
+        _validate_ids(ground_truth, len(collection))
+
+    def __repr__(self) -> str:
+        return (
+            f"DirtyERDataset({self.name!r}, |E|={self.num_entities}, "
+            f"|D(E)|={len(self.ground_truth)})"
+        )
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.collection)
+
+    @property
+    def is_clean_clean(self) -> bool:
+        return False
+
+    @property
+    def brute_force_comparisons(self) -> int:
+        n = len(self.collection)
+        return n * (n - 1) // 2
+
+    def profile(self, entity_id: int) -> EntityProfile:
+        return self.collection[entity_id]
+
+    def iter_profiles(self) -> Iterator[tuple[int, EntityProfile]]:
+        yield from enumerate(self.collection)
+
+
+class CleanCleanERDataset(ERDataset):
+    """Two duplicate-free, overlapping entity collections.
+
+    Ground-truth pairs are expressed in unified ids, i.e. each pair links an
+    id below ``|E1|`` to one at or above it.
+    """
+
+    def __init__(
+        self,
+        collection1: EntityCollection,
+        collection2: EntityCollection,
+        ground_truth: DuplicateSet,
+        name: str = "",
+    ) -> None:
+        self.collection1 = collection1
+        self.collection2 = collection2
+        self.ground_truth = ground_truth
+        self.name = name or f"{collection1.name}-{collection2.name}"
+        _validate_ids(ground_truth, len(collection1) + len(collection2))
+        for left, right in ground_truth:
+            if not (left < len(collection1) <= right):
+                raise ValueError(
+                    f"ground-truth pair ({left}, {right}) does not link the "
+                    f"two collections (|E1|={len(collection1)})"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"CleanCleanERDataset({self.name!r}, "
+            f"|E1|={len(self.collection1)}, |E2|={len(self.collection2)}, "
+            f"|D(E)|={len(self.ground_truth)})"
+        )
+
+    @property
+    def split(self) -> int:
+        """First unified id of the second collection (= ``|E1|``)."""
+        return len(self.collection1)
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.collection1) + len(self.collection2)
+
+    @property
+    def is_clean_clean(self) -> bool:
+        return True
+
+    @property
+    def brute_force_comparisons(self) -> int:
+        return len(self.collection1) * len(self.collection2)
+
+    def profile(self, entity_id: int) -> EntityProfile:
+        if entity_id < self.split:
+            return self.collection1[entity_id]
+        return self.collection2[entity_id - self.split]
+
+    def iter_profiles(self) -> Iterator[tuple[int, EntityProfile]]:
+        for position, profile in enumerate(self.collection1):
+            yield position, profile
+        for position, profile in enumerate(self.collection2):
+            yield self.split + position, profile
+
+    def source_of(self, entity_id: int) -> int:
+        """Return 0 or 1 depending on which collection the id belongs to."""
+        return 0 if entity_id < self.split else 1
+
+    def to_dirty(self, name: str = "") -> DirtyERDataset:
+        """Merge the two clean collections into one Dirty ER dataset.
+
+        This is exactly the paper's construction of the DxD datasets from the
+        DxC ones: concatenate the profiles (unified ids are preserved) and
+        keep the same duplicate pairs.
+        """
+        profiles: list[EntityProfile] = []
+        for source_tag, collection in (("s1", self.collection1), ("s2", self.collection2)):
+            for profile in collection:
+                profiles.append(
+                    EntityProfile(
+                        f"{source_tag}/{profile.identifier}", profile.attributes
+                    )
+                )
+        merged = EntityCollection(profiles, name=name or f"{self.name}-dirty")
+        return DirtyERDataset(merged, self.ground_truth, name=name or f"{self.name}-dirty")
+
+
+def _validate_ids(ground_truth: DuplicateSet, num_entities: int) -> None:
+    for left, right in ground_truth:
+        if not (0 <= left < num_entities and 0 <= right < num_entities):
+            raise ValueError(
+                f"ground-truth pair ({left}, {right}) outside id space "
+                f"[0, {num_entities})"
+            )

@@ -1,0 +1,73 @@
+"""Gold-standard duplicate sets used by the evaluation measures."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+Comparison = tuple[int, int]
+
+
+class DuplicateSet:
+    """The set ``D(E)`` of true duplicate pairs over the unified id space.
+
+    Pairs are stored canonically as ``(smaller_id, larger_id)``. For Dirty ER
+    with clusters of more than two duplicates, the set contains every pair of
+    the cluster (the transitive closure), matching how ``|D(E)|`` is counted
+    in the paper's Table 2.
+    """
+
+    def __init__(self, pairs: Iterable[Comparison]) -> None:
+        self._pairs: frozenset[Comparison] = frozenset(
+            (left, right) if left < right else (right, left) for left, right in pairs
+        )
+        for left, right in self._pairs:
+            if left == right:
+                raise ValueError(f"self-pair ({left}, {right}) in ground truth")
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[Comparison]:
+        return iter(self._pairs)
+
+    def __contains__(self, pair: Comparison) -> bool:
+        left, right = pair
+        if left > right:
+            left, right = right, left
+        return (left, right) in self._pairs
+
+    def __repr__(self) -> str:
+        return f"DuplicateSet(|D(E)|={len(self._pairs)})"
+
+    @property
+    def pairs(self) -> frozenset[Comparison]:
+        return self._pairs
+
+    def is_match(self, left: int, right: int) -> bool:
+        """Return whether the two entity ids are gold duplicates."""
+        return (left, right) in self
+
+    def detected_in(self, comparisons: Iterable[Comparison]) -> set[Comparison]:
+        """Return ``D(B)``: the gold pairs covered by the given comparisons.
+
+        A duplicate pair counts as detected if it appears at least once; the
+        result is a set, so redundant comparisons do not inflate it.
+        """
+        detected: set[Comparison] = set()
+        for left, right in comparisons:
+            if left > right:
+                left, right = right, left
+            if (left, right) in self._pairs:
+                detected.add((left, right))
+        return detected
+
+    @classmethod
+    def from_clusters(cls, clusters: Iterable[Iterable[int]]) -> "DuplicateSet":
+        """Build the transitive closure of equivalence clusters."""
+        pairs: list[Comparison] = []
+        for cluster in clusters:
+            members = sorted(set(cluster))
+            for first_pos in range(len(members)):
+                for second_pos in range(first_pos + 1, len(members)):
+                    pairs.append((members[first_pos], members[second_pos]))
+        return cls(pairs)

@@ -1,0 +1,163 @@
+"""Entity profiles and entity collections.
+
+An *entity profile* is "a uniquely identified collection of name-value pairs
+that describe a real-world object" (paper, Section 3). Profiles are
+schema-free: two profiles of the same collection may use entirely different
+attribute names, and one attribute name may appear several times.
+
+Entity *ids* used throughout the library are integer positions inside an
+:class:`EntityCollection` (or inside the unified id space of a Clean-Clean
+dataset — see :mod:`repro.datamodel.dataset`). Algorithms never touch the
+string identifiers; those exist for provenance and I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single name-value pair of an entity profile."""
+
+    name: str
+    value: str
+
+
+@dataclass(frozen=True)
+class EntityProfile:
+    """An immutable, uniquely identified set of name-value pairs.
+
+    Parameters
+    ----------
+    identifier:
+        External identifier (URL, DBLP key, ...). Must be unique within a
+        collection; enforced by :class:`EntityCollection`.
+    attributes:
+        The name-value pairs. Order is preserved but carries no meaning.
+    """
+
+    identifier: str
+    attributes: tuple[Attribute, ...] = ()
+
+    @classmethod
+    def from_dict(cls, identifier: str, data: dict[str, object]) -> "EntityProfile":
+        """Build a profile from ``{name: value_or_list_of_values}``.
+
+        ``None`` and empty-string values are skipped, list values are
+        expanded into one attribute per element.
+        """
+        attributes: list[Attribute] = []
+        for name, raw in data.items():
+            values = raw if isinstance(raw, (list, tuple)) else [raw]
+            for value in values:
+                if value is None:
+                    continue
+                text = str(value)
+                if text:
+                    attributes.append(Attribute(name, text))
+        return cls(identifier, tuple(attributes))
+
+    def values(self, name: str | None = None) -> list[str]:
+        """Return attribute values, optionally restricted to ``name``."""
+        if name is None:
+            return [attribute.value for attribute in self.attributes]
+        return [
+            attribute.value for attribute in self.attributes if attribute.name == name
+        ]
+
+    @property
+    def attribute_names(self) -> set[str]:
+        """The distinct attribute names of this profile."""
+        return {attribute.name for attribute in self.attributes}
+
+    def merged_with(self, other: "EntityProfile") -> "EntityProfile":
+        """Return a new profile unioning this profile's attributes and
+        ``other``'s (duplicates removed, order preserved).
+
+        Iterative Blocking uses this to propagate detected matches: once two
+        profiles are found to match, their merged representation replaces
+        both in subsequently processed blocks.
+        """
+        merged: list[Attribute] = []
+        seen: set[Attribute] = set()
+        for attribute in self.attributes + other.attributes:
+            if attribute not in seen:
+                seen.add(attribute)
+                merged.append(attribute)
+        return EntityProfile(f"{self.identifier}+{other.identifier}", tuple(merged))
+
+
+class EntityCollection(Sequence[EntityProfile]):
+    """An ordered, duplicate-identifier-free sequence of entity profiles.
+
+    The position of a profile in the collection is its entity id; all
+    blocking and meta-blocking structures are built over these integer ids.
+    """
+
+    def __init__(self, profiles: Iterable[EntityProfile], name: str = "") -> None:
+        self.name = name
+        self._profiles: list[EntityProfile] = list(profiles)
+        self._index: dict[str, int] = {}
+        for position, profile in enumerate(self._profiles):
+            if profile.identifier in self._index:
+                raise ValueError(
+                    f"duplicate profile identifier {profile.identifier!r} "
+                    f"at positions {self._index[profile.identifier]} and {position}"
+                )
+            self._index[profile.identifier] = position
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self._profiles[index]
+
+    def __iter__(self) -> Iterator[EntityProfile]:
+        return iter(self._profiles)
+
+    def index_of(self, identifier: str) -> int:
+        """Return the entity id of the profile with the given identifier."""
+        return self._index[identifier]
+
+    @property
+    def attribute_names(self) -> set[str]:
+        """All distinct attribute names appearing in the collection (|N|)."""
+        names: set[str] = set()
+        for profile in self._profiles:
+            names.update(profile.attribute_names)
+        return names
+
+    @property
+    def total_name_value_pairs(self) -> int:
+        """Total number of name-value pairs in the collection (|P|)."""
+        return sum(len(profile.attributes) for profile in self._profiles)
+
+    @property
+    def mean_name_value_pairs(self) -> float:
+        """Mean name-value pairs per profile (p-bar in Table 2)."""
+        if not self._profiles:
+            return 0.0
+        return self.total_name_value_pairs / len(self._profiles)
+
+
+@dataclass(frozen=True)
+class CollectionStatistics:
+    """Descriptive statistics of an entity collection, as in Table 2."""
+
+    name: str
+    num_profiles: int
+    num_attribute_names: int
+    num_name_value_pairs: int
+    mean_name_value_pairs: float = field(default=0.0)
+
+    @classmethod
+    def of(cls, collection: EntityCollection) -> "CollectionStatistics":
+        return cls(
+            name=collection.name,
+            num_profiles=len(collection),
+            num_attribute_names=len(collection.attribute_names),
+            num_name_value_pairs=collection.total_name_value_pairs,
+            mean_name_value_pairs=collection.mean_name_value_pairs,
+        )

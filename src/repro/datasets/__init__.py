@@ -1,0 +1,55 @@
+"""Datasets: the paper's worked example, synthetic benchmarks, and I/O.
+
+The paper evaluates on three real Clean-Clean benchmarks (DBLP-Scholar,
+IMDB-DBPedia movies, Wikipedia infobox snapshots) plus their Dirty ER
+unions. Those corpora are not redistributable here, so
+:mod:`repro.datasets.synthetic` generates collections with the same
+*distributional* drivers — Zipfian token frequencies, schema heterogeneity,
+token-level noise between the duplicate representations, size skew — at
+laptop scale (see DESIGN.md §4 for the substitution argument).
+"""
+
+from repro.datasets.examples import paper_example_dataset, paper_example_blocks
+from repro.datasets.blocks_io import (
+    load_blocks_json,
+    load_comparisons_json,
+    save_blocks_json,
+    save_comparisons_json,
+    write_comparisons_csv,
+)
+from repro.datasets.io import (
+    load_clean_clean_json,
+    load_dirty_json,
+    read_profiles_csv,
+    save_dataset_json,
+)
+from repro.datasets.synthetic import (
+    DatasetScale,
+    bibliographic_dataset,
+    infobox_dataset,
+    movies_dataset,
+    paper_benchmark_suite,
+    products_dataset,
+    random_dataset,
+)
+
+__all__ = [
+    "DatasetScale",
+    "bibliographic_dataset",
+    "infobox_dataset",
+    "load_blocks_json",
+    "load_clean_clean_json",
+    "load_comparisons_json",
+    "load_dirty_json",
+    "save_blocks_json",
+    "save_comparisons_json",
+    "write_comparisons_csv",
+    "movies_dataset",
+    "paper_benchmark_suite",
+    "paper_example_blocks",
+    "products_dataset",
+    "paper_example_dataset",
+    "random_dataset",
+    "read_profiles_csv",
+    "save_dataset_json",
+]

@@ -1,0 +1,101 @@
+"""Serialization of block and comparison collections.
+
+Blocking is often the expensive, rarely-changing stage of an ER pipeline;
+persisting its output lets meta-blocking experiments iterate without
+re-blocking. JSON carries the full structure (keys, bilateral sides);
+comparisons additionally export to two-column CSV for downstream matchers.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.datamodel.blocks import Block, BlockCollection, ComparisonCollection
+
+_FORMAT_VERSION = 1
+
+
+def save_blocks_json(blocks: BlockCollection, path: "str | Path") -> None:
+    """Write a block collection (order preserved) to one JSON file."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "blocks",
+        "num_entities": blocks.num_entities,
+        "blocks": [
+            {
+                "key": block.key,
+                "entities1": list(block.entities1),
+                **(
+                    {"entities2": list(block.entities2)}
+                    if block.entities2 is not None
+                    else {}
+                ),
+            }
+            for block in blocks
+        ],
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_blocks_json(path: "str | Path") -> BlockCollection:
+    """Load a block collection saved by :func:`save_blocks_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported format_version")
+    if payload.get("kind") != "blocks":
+        raise ValueError(f"{path}: not a block collection file")
+    blocks = [
+        Block(
+            entry["key"],
+            entry["entities1"],
+            entry.get("entities2"),
+        )
+        for entry in payload["blocks"]
+    ]
+    return BlockCollection(blocks, payload["num_entities"])
+
+
+def save_comparisons_json(
+    comparisons: ComparisonCollection, path: "str | Path"
+) -> None:
+    """Write a comparison collection (repeats preserved) to JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "comparisons",
+        "num_entities": comparisons.num_entities,
+        "pairs": [list(pair) for pair in comparisons.pairs],
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_comparisons_json(path: "str | Path") -> ComparisonCollection:
+    """Load a comparison collection saved by :func:`save_comparisons_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported format_version")
+    if payload.get("kind") != "comparisons":
+        raise ValueError(f"{path}: not a comparison collection file")
+    return ComparisonCollection(
+        (tuple(pair) for pair in payload["pairs"]), payload["num_entities"]
+    )
+
+
+def write_comparisons_csv(
+    comparisons: ComparisonCollection,
+    path: "str | Path",
+    identifier_of=None,
+) -> None:
+    """Export comparisons as a two-column CSV.
+
+    ``identifier_of`` optionally maps entity ids to external identifiers
+    (e.g. ``dataset.profile(i).identifier``); by default the integer ids
+    are written.
+    """
+    resolve = identifier_of if identifier_of is not None else str
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["left", "right"])
+        for left, right in comparisons:
+            writer.writerow([resolve(left), resolve(right)])

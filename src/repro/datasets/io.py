@@ -1,0 +1,123 @@
+"""Dataset serialization: JSON round-trip and CSV ingestion.
+
+JSON is the canonical on-disk format (it preserves multi-valued attributes
+and the ground truth); CSV ingestion covers the common case of flat,
+single-valued records exported from a database.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.datamodel.dataset import CleanCleanERDataset, DirtyERDataset, ERDataset
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.datamodel.profiles import Attribute, EntityCollection, EntityProfile
+
+_FORMAT_VERSION = 1
+
+
+def _profile_to_json(profile: EntityProfile) -> dict:
+    return {
+        "id": profile.identifier,
+        "attributes": [[a.name, a.value] for a in profile.attributes],
+    }
+
+
+def _profile_from_json(data: dict) -> EntityProfile:
+    return EntityProfile(
+        data["id"],
+        tuple(Attribute(name, value) for name, value in data["attributes"]),
+    )
+
+
+def save_dataset_json(dataset: ERDataset, path: "str | Path") -> None:
+    """Serialise a Dirty or Clean-Clean dataset to one JSON file."""
+    payload: dict = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "task": "clean-clean" if dataset.is_clean_clean else "dirty",
+        "matches": sorted(dataset.ground_truth.pairs),
+    }
+    if isinstance(dataset, CleanCleanERDataset):
+        payload["collection1"] = {
+            "name": dataset.collection1.name,
+            "profiles": [_profile_to_json(p) for p in dataset.collection1],
+        }
+        payload["collection2"] = {
+            "name": dataset.collection2.name,
+            "profiles": [_profile_to_json(p) for p in dataset.collection2],
+        }
+    else:
+        assert isinstance(dataset, DirtyERDataset)
+        payload["collection"] = {
+            "name": dataset.collection.name,
+            "profiles": [_profile_to_json(p) for p in dataset.collection],
+        }
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def _check_header(payload: dict, expected_task: str, path: "str | Path") -> None:
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported format_version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    task = payload.get("task")
+    if task != expected_task:
+        raise ValueError(f"{path}: task is {task!r}, expected {expected_task!r}")
+
+
+def load_dirty_json(path: "str | Path") -> DirtyERDataset:
+    """Load a Dirty ER dataset saved by :func:`save_dataset_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    _check_header(payload, "dirty", path)
+    collection = EntityCollection(
+        (_profile_from_json(p) for p in payload["collection"]["profiles"]),
+        name=payload["collection"]["name"],
+    )
+    ground_truth = DuplicateSet(tuple(pair) for pair in payload["matches"])
+    return DirtyERDataset(collection, ground_truth, name=payload["name"])
+
+
+def load_clean_clean_json(path: "str | Path") -> CleanCleanERDataset:
+    """Load a Clean-Clean ER dataset saved by :func:`save_dataset_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    _check_header(payload, "clean-clean", path)
+    collection1 = EntityCollection(
+        (_profile_from_json(p) for p in payload["collection1"]["profiles"]),
+        name=payload["collection1"]["name"],
+    )
+    collection2 = EntityCollection(
+        (_profile_from_json(p) for p in payload["collection2"]["profiles"]),
+        name=payload["collection2"]["name"],
+    )
+    ground_truth = DuplicateSet(tuple(pair) for pair in payload["matches"])
+    return CleanCleanERDataset(collection1, collection2, ground_truth, payload["name"])
+
+
+def read_profiles_csv(
+    path: "str | Path",
+    id_column: str,
+    name: str = "",
+    delimiter: str = ",",
+) -> EntityCollection:
+    """Read flat records from a CSV file into an entity collection.
+
+    Every non-id column becomes an attribute; empty cells are skipped.
+    """
+    profiles: list[EntityProfile] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None or id_column not in reader.fieldnames:
+            raise ValueError(f"{path}: id column {id_column!r} not found")
+        for row in reader:
+            attributes = {
+                column: value
+                for column, value in row.items()
+                if column != id_column and value
+            }
+            profiles.append(EntityProfile.from_dict(row[id_column], attributes))
+    return EntityCollection(profiles, name=name or str(path))

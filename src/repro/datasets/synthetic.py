@@ -1,0 +1,580 @@
+"""Synthetic benchmark generators standing in for the paper's datasets.
+
+The paper's three Clean-Clean benchmarks cannot be redistributed, so these
+generators reproduce the *distributional properties* that drive every
+meta-blocking statistic (see DESIGN.md §4):
+
+* ``D1``-like (:func:`bibliographic_dataset`): small, fairly clean
+  bibliographic profiles with few attributes and a strong size skew between
+  the two sources (DBLP vs Google Scholar);
+* ``D2``-like (:func:`movies_dataset`): rich movie profiles with long value
+  lists (casts, plot keywords) — the high-BPE, noisy regime where the second
+  source is far more verbose than the first (IMDB vs DBPedia);
+* ``D3``-like (:func:`infobox_dataset`): profiles with an exploding
+  attribute-name space and a long-tail token vocabulary (Wikipedia
+  infoboxes).
+
+Every generator returns a :class:`~repro.datamodel.dataset.CleanCleanERDataset`;
+the Dirty ER variants are obtained with ``dataset.to_dirty()`` — exactly the
+paper's construction of DxD from DxC. All generation is deterministic given
+the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datamodel.dataset import CleanCleanERDataset, DirtyERDataset
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.datamodel.profiles import EntityCollection, EntityProfile
+from repro.utils.text import ZipfVocabulary, perturb_value
+
+
+@dataclass(frozen=True)
+class DatasetScale:
+    """Sizes of a generated Clean-Clean dataset.
+
+    ``num_duplicates`` profiles exist in both sources; the remainder of each
+    source is filled with distinct entities drawn from the same
+    vocabularies (so that non-matching profiles still co-occur in blocks,
+    as in real data).
+    """
+
+    size1: int
+    size2: int
+    num_duplicates: int
+
+    def __post_init__(self) -> None:
+        if self.num_duplicates > min(self.size1, self.size2):
+            raise ValueError(
+                f"num_duplicates={self.num_duplicates} exceeds the smaller "
+                f"collection (sizes {self.size1}, {self.size2})"
+            )
+        if min(self.size1, self.size2) < 1:
+            raise ValueError("both collections must be non-empty")
+
+    def scaled(self, factor: float) -> "DatasetScale":
+        """Proportionally resize (used to grow/shrink benchmark datasets)."""
+        return DatasetScale(
+            size1=max(2, int(self.size1 * factor)),
+            size2=max(2, int(self.size2 * factor)),
+            num_duplicates=max(1, int(self.num_duplicates * factor)),
+        )
+
+
+#: Default scales: same *relative* shape as the paper's Table 2 (size skew,
+#: duplicate fraction), reduced to laptop-Python scale.
+DEFAULT_SCALES: dict[str, DatasetScale] = {
+    "D1": DatasetScale(size1=500, size2=1800, num_duplicates=460),
+    "D2": DatasetScale(size1=1300, size2=1100, num_duplicates=1050),
+    "D3": DatasetScale(size1=2200, size2=3200, num_duplicates=1800),
+}
+
+
+@dataclass(frozen=True)
+class NoiseProfile:
+    """Token-level noise between the two representations of a duplicate."""
+
+    typo_probability: float = 0.08
+    drop_probability: float = 0.08
+    abbreviate_probability: float = 0.05
+    missing_attribute_probability: float = 0.05
+
+
+def _person_name(first: ZipfVocabulary, last: ZipfVocabulary, rng: random.Random) -> str:
+    return f"{first.sample(rng)} {last.sample(rng)}"
+
+
+def _join(words: list[str]) -> str:
+    return " ".join(words)
+
+
+def bibliographic_dataset(
+    scale: DatasetScale | None = None,
+    seed: int = 42,
+    noise: NoiseProfile | None = None,
+) -> CleanCleanERDataset:
+    """D1-like: bibliographic records across two differently-sized sources.
+
+    Source 1 ("dblp") uses the schema ``title/authors/venue/year``; source 2
+    ("scholar") uses ``name/authorlist/booktitle/date`` — no attribute name
+    is shared, so only schema-agnostic methods can block this data.
+    """
+    scale = scale or DEFAULT_SCALES["D1"]
+    noise = noise or NoiseProfile(
+        typo_probability=0.12,
+        drop_probability=0.15,
+        abbreviate_probability=0.08,
+        missing_attribute_probability=0.08,
+    )
+    rng = random.Random(seed)
+    # The vocabulary scales with the collection so that the block-size
+    # distribution (and hence the graph's edges-per-assignment ratio) stays
+    # comparable to the paper's datasets at any generation scale.
+    total_entities = scale.size1 + scale.size2
+    title_vocab = ZipfVocabulary(max(2000, 3 * total_entities), rng, exponent=0.8)
+    first_names = ZipfVocabulary(300, rng, exponent=0.7, min_word_length=3, max_word_length=7)
+    last_names = ZipfVocabulary(1200, rng, exponent=0.6)
+    venues = [
+        _join(title_vocab.sample_many(rng.randint(1, 3), rng)) for _ in range(120)
+    ]
+
+    history: list[dict[str, str]] = []
+
+    def make_record() -> dict[str, str]:
+        # Web-data profiles are wildly heterogeneous in verbosity: many are
+        # terse (a bare citation string), a few are rich. The rich profiles
+        # become graph hubs with many low-weight edges — the shape that
+        # makes WEP's mean threshold shallow, as on the paper's datasets.
+        verbosity = rng.random()
+        if verbosity < 0.45:  # terse
+            title_words, num_authors = rng.randint(2, 4), rng.randint(0, 1)
+        elif verbosity < 0.85:  # medium
+            title_words, num_authors = rng.randint(4, 9), rng.randint(1, 3)
+        else:  # rich
+            title_words, num_authors = rng.randint(9, 18), rng.randint(3, 8)
+        record = {
+            "title": _join(title_vocab.sample_many(title_words, rng)),
+            "authors": ", ".join(
+                _person_name(first_names, last_names, rng)
+                for _ in range(num_authors)
+            ),
+            "venue": rng.choice(venues),
+            "year": str(rng.randint(1985, 2015)),
+        }
+        if not record["authors"]:
+            del record["authors"]
+        if verbosity < 0.45 and rng.random() < 0.5:
+            del record["venue"]
+        # Correlated non-duplicates: ~30% of papers come from the same
+        # research group as an earlier one (same authors/venue, a couple of
+        # shared title words) — the medium-weight superfluous edges that
+        # make real bibliographic blocking graphs hard to prune.
+        if history and rng.random() < 0.3:
+            earlier = rng.choice(history)
+            if "authors" in earlier:
+                record["authors"] = earlier["authors"]
+            if "venue" in earlier:
+                record["venue"] = earlier["venue"]
+            shared_words = earlier["title"].split()[: rng.randint(1, 2)]
+            record["title"] = _join(shared_words + record["title"].split()[2:])
+        history.append(record)
+        return record
+
+    schema2 = {"title": "name", "authors": "authorlist", "venue": "booktitle", "year": "date"}
+    return _assemble_clean_clean(
+        name="D1-bibliographic",
+        scale=scale,
+        rng=rng,
+        make_record=make_record,
+        schema2=schema2,
+        noise=noise,
+        source_names=("dblp", "scholar"),
+    )
+
+
+def movies_dataset(
+    scale: DatasetScale | None = None,
+    seed: int = 43,
+    noise: NoiseProfile | None = None,
+) -> CleanCleanERDataset:
+    """D2-like: rich movie profiles, second source much more verbose.
+
+    The second source ("dbpedia") adds a long keyword "abstract" per record,
+    reproducing the paper's D2 asymmetry (35 name-value pairs per DBPedia
+    profile vs 5.6 per IMDB profile) that drives BPE — and therefore the
+    meta-blocking overhead — far above the bibliographic dataset's.
+    """
+    scale = scale or DEFAULT_SCALES["D2"]
+    noise = noise or NoiseProfile(
+        typo_probability=0.15,
+        drop_probability=0.2,
+        missing_attribute_probability=0.08,
+    )
+    rng = random.Random(seed)
+    total_entities = scale.size1 + scale.size2
+    word_vocab = ZipfVocabulary(max(2000, 3 * total_entities), rng, exponent=0.8)
+    first_names = ZipfVocabulary(400, rng, exponent=0.7, min_word_length=3, max_word_length=7)
+    last_names = ZipfVocabulary(1500, rng, exponent=0.6)
+    genres = [
+        "drama", "comedy", "thriller", "romance", "horror", "documentary",
+        "action", "animation", "crime", "fantasy", "western", "musical",
+    ]
+
+    history: list[dict[str, object]] = []
+
+    def make_record() -> dict[str, object]:
+        # Same verbosity-heterogeneity rationale as the bibliographic
+        # generator: terse stubs next to rich hub profiles.
+        verbosity = rng.random()
+        if verbosity < 0.4:  # terse stub
+            cast_size, abstract_words = rng.randint(0, 2), rng.randint(0, 4)
+        elif verbosity < 0.85:  # medium
+            cast_size, abstract_words = rng.randint(2, 6), rng.randint(6, 18)
+        else:  # rich
+            cast_size, abstract_words = rng.randint(6, 12), rng.randint(18, 40)
+        cast = [
+            _person_name(first_names, last_names, rng) for _ in range(cast_size)
+        ]
+        record: dict[str, object] = {
+            "title": _join(word_vocab.sample_many(rng.randint(1, 6), rng)),
+            "cast": cast,
+            "director": _person_name(first_names, last_names, rng),
+            "year": str(rng.randint(1950, 2015)),
+            "genre": rng.choice(genres),
+            # Multi-valued keyword list: one name-value pair per keyword,
+            # reproducing DBPedia's 35-pairs-per-profile verbosity.
+            "abstract": word_vocab.sample_many(abstract_words, rng),
+        }
+        if not cast:
+            del record["cast"]
+        if not record["abstract"]:
+            del record["abstract"]
+        # Correlated non-duplicates: sequels and recurring collaborations.
+        # ~35% of movies share their director and part of the cast (and
+        # sometimes a title word) with an earlier movie, yielding the
+        # medium-weight superfluous edges of real movie data.
+        if history and rng.random() < 0.35:
+            earlier = rng.choice(history)
+            record["director"] = earlier["director"]
+            shared_cast = list(earlier.get("cast", ()))[: rng.randint(1, 3)]
+            if shared_cast:
+                record["cast"] = shared_cast + cast[len(shared_cast) :]
+            if rng.random() < 0.5:
+                first_word = str(earlier["title"]).split()[0]
+                record["title"] = f"{first_word} {record['title']}"
+        history.append(record)
+        return record
+
+    schema2 = {
+        "title": "name",
+        "cast": "starring",
+        "director": "filmmaker",
+        "year": "released",
+        "genre": "category",
+        "abstract": "description",
+    }
+    # The first source is terse: it omits the long abstract entirely.
+    return _assemble_clean_clean(
+        name="D2-movies",
+        scale=scale,
+        rng=rng,
+        make_record=make_record,
+        schema2=schema2,
+        noise=noise,
+        source_names=("imdb", "dbpedia"),
+        drop_in_source1=("abstract",),
+    )
+
+
+def infobox_dataset(
+    scale: DatasetScale | None = None,
+    seed: int = 44,
+    noise: NoiseProfile | None = None,
+    num_attribute_names: int = 600,
+) -> CleanCleanERDataset:
+    """D3-like: schema explosion — hundreds of distinct attribute names.
+
+    Every record samples a handful of attributes from a large attribute
+    vocabulary, as two snapshots of Wikipedia infoboxes do; the second
+    snapshot renames attributes with a prefix, so the name spaces are
+    disjoint (maximum schema heterogeneity).
+    """
+    scale = scale or DEFAULT_SCALES["D3"]
+    noise = noise or NoiseProfile(
+        typo_probability=0.1,
+        drop_probability=0.15,
+        missing_attribute_probability=0.1,
+    )
+    rng = random.Random(seed)
+    total_entities = scale.size1 + scale.size2
+    # Infobox profiles draw ~3x more tokens than the other domains, so the
+    # vocabulary is proportionally larger to keep block sizes in range.
+    word_vocab = ZipfVocabulary(max(2000, 8 * total_entities), rng, exponent=0.55)
+    attribute_vocab = ZipfVocabulary(
+        num_attribute_names, rng, exponent=0.8, min_word_length=4, max_word_length=12
+    )
+
+    history: list[dict[str, str]] = []
+
+    def make_record() -> dict[str, str]:
+        record = {
+            "label": _join(word_vocab.sample_many(rng.randint(1, 4), rng)),
+        }
+        # Infobox sizes follow the same skew: most are small templates,
+        # a few are sprawling.
+        verbosity = rng.random()
+        if verbosity < 0.45:
+            num_attributes = rng.randint(1, 4)
+        elif verbosity < 0.85:
+            num_attributes = rng.randint(4, 10)
+        else:
+            num_attributes = rng.randint(10, 24)
+        for _ in range(num_attributes):
+            name = attribute_vocab.sample(rng)
+            record[name] = _join(word_vocab.sample_many(rng.randint(1, 6), rng))
+        # Correlated non-duplicates: entities of the same infobox template
+        # repeat categorical values (nationality, type, ...) of earlier
+        # entities, producing medium-weight superfluous edges.
+        if history and rng.random() < 0.3:
+            earlier = rng.choice(history)
+            reusable = [name for name in earlier if name != "label"]
+            for name in reusable[: rng.randint(1, 3)]:
+                record[name] = earlier[name]
+        history.append(record)
+        return record
+
+    # Renaming map is built lazily per attribute name (the attribute space
+    # is open-ended).
+    schema2 = _PrefixRenamer("ib_")
+    return _assemble_clean_clean(
+        name="D3-infoboxes",
+        scale=scale,
+        rng=rng,
+        make_record=make_record,
+        schema2=schema2,
+        noise=noise,
+        source_names=("snapshot-a", "snapshot-b"),
+    )
+
+
+def products_dataset(
+    scale: DatasetScale | None = None,
+    seed: int = 45,
+    noise: NoiseProfile | None = None,
+) -> CleanCleanERDataset:
+    """E-commerce products across two retailers (Abt-Buy-like).
+
+    A fourth domain beyond the paper's three: product titles mixing brand
+    names, model numbers and marketing words, where model numbers are the
+    discriminative tokens and brand/category words form the hub blocks. The
+    second retailer abbreviates aggressively and often drops the structured
+    fields — the classic hard case for product matching.
+    """
+    scale = scale or DatasetScale(size1=600, size2=700, num_duplicates=500)
+    noise = noise or NoiseProfile(
+        typo_probability=0.1,
+        drop_probability=0.18,
+        abbreviate_probability=0.06,
+        missing_attribute_probability=0.15,
+    )
+    rng = random.Random(seed)
+    total_entities = scale.size1 + scale.size2
+    word_vocab = ZipfVocabulary(max(2000, 3 * total_entities), rng, exponent=0.8)
+    brands = [
+        _join(word_vocab.sample_many(1, rng)).capitalize() for _ in range(60)
+    ]
+    categories = [
+        "laptop", "monitor", "printer", "camera", "speaker", "router",
+        "keyboard", "headset", "tablet", "projector",
+    ]
+
+    def model_number() -> str:
+        letters = "".join(
+            rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(2)
+        ).upper()
+        return f"{letters}{rng.randint(100, 9999)}"
+
+    def make_record() -> dict[str, str]:
+        brand = rng.choice(brands)
+        category = rng.choice(categories)
+        model = model_number()
+        verbosity = rng.random()
+        if verbosity < 0.4:
+            marketing = word_vocab.sample_many(rng.randint(0, 2), rng)
+        elif verbosity < 0.85:
+            marketing = word_vocab.sample_many(rng.randint(2, 6), rng)
+        else:
+            marketing = word_vocab.sample_many(rng.randint(6, 14), rng)
+        record = {
+            "title": _join([brand, category, model] + marketing),
+            "brand": brand,
+            "category": category,
+            "model": model,
+            "price": f"{rng.randint(30, 2500)}.{rng.randint(0, 99):02d}",
+        }
+        if verbosity < 0.4:
+            del record["price"]
+        return record
+
+    schema2 = {
+        "title": "name",
+        "brand": "manufacturer",
+        "category": "type",
+        "model": "mpn",
+        "price": "listprice",
+    }
+    return _assemble_clean_clean(
+        name="products",
+        scale=scale,
+        rng=rng,
+        make_record=make_record,
+        schema2=schema2,
+        noise=noise,
+        source_names=("shop-a", "shop-b"),
+    )
+
+
+def random_dataset(
+    num_entities: int = 60,
+    num_duplicates: int = 15,
+    tokens_per_profile: int = 6,
+    vocabulary_size: int = 120,
+    seed: int = 0,
+) -> DirtyERDataset:
+    """Small uniform-random Dirty ER dataset for tests and property checks.
+
+    Duplicate pairs share most of their tokens; everything else is drawn
+    uniformly, so block structure is unremarkable by construction — which is
+    what property-based tests want.
+    """
+    if num_entities < 2 * num_duplicates:
+        raise ValueError(
+            f"need at least {2 * num_duplicates} entities for "
+            f"{num_duplicates} duplicate pairs"
+        )
+    rng = random.Random(seed)
+    vocabulary = [f"tok{index}" for index in range(vocabulary_size)]
+
+    def random_tokens(count: int) -> list[str]:
+        return [rng.choice(vocabulary) for _ in range(count)]
+
+    profiles: list[EntityProfile] = []
+    pairs: list[tuple[int, int]] = []
+    for index in range(num_duplicates):
+        base = random_tokens(tokens_per_profile)
+        copy = list(base)
+        # Perturb one token so duplicates are similar but not identical.
+        if copy:
+            copy[rng.randrange(len(copy))] = rng.choice(vocabulary)
+        left_id, right_id = len(profiles), len(profiles) + 1
+        profiles.append(
+            EntityProfile.from_dict(f"dup-{index}-a", {"text": _join(base)})
+        )
+        profiles.append(
+            EntityProfile.from_dict(f"dup-{index}-b", {"text": _join(copy)})
+        )
+        pairs.append((left_id, right_id))
+    while len(profiles) < num_entities:
+        profiles.append(
+            EntityProfile.from_dict(
+                f"single-{len(profiles)}",
+                {"text": _join(random_tokens(tokens_per_profile))},
+            )
+        )
+    collection = EntityCollection(profiles, name=f"random-{seed}")
+    return DirtyERDataset(collection, DuplicateSet(pairs), name=f"random-{seed}")
+
+
+def paper_benchmark_suite(
+    scale_factor: float = 1.0, seed: int = 42
+) -> dict[str, CleanCleanERDataset | DirtyERDataset]:
+    """The six evaluation datasets: D1C-D3C and their Dirty unions D1D-D3D.
+
+    ``scale_factor`` proportionally resizes all collections (1.0 is the
+    laptop-scale default; raise it on bigger machines).
+    """
+    d1 = bibliographic_dataset(DEFAULT_SCALES["D1"].scaled(scale_factor), seed=seed)
+    d2 = movies_dataset(DEFAULT_SCALES["D2"].scaled(scale_factor), seed=seed + 1)
+    d3 = infobox_dataset(DEFAULT_SCALES["D3"].scaled(scale_factor), seed=seed + 2)
+    return {
+        "D1C": d1,
+        "D2C": d2,
+        "D3C": d3,
+        "D1D": d1.to_dirty("D1D"),
+        "D2D": d2.to_dirty("D2D"),
+        "D3D": d3.to_dirty("D3D"),
+    }
+
+
+class _PrefixRenamer:
+    """Open-ended attribute renaming for the second source (infoboxes)."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+
+    def get(self, name: str, default: str | None = None) -> str:
+        return self.prefix + name
+
+
+def _assemble_clean_clean(
+    name: str,
+    scale: DatasetScale,
+    rng: random.Random,
+    make_record,
+    schema2,
+    noise: NoiseProfile,
+    source_names: tuple[str, str],
+    drop_in_source1: tuple[str, ...] = (),
+) -> CleanCleanERDataset:
+    """Shared generator skeleton.
+
+    ``num_duplicates`` canonical records are rendered into both sources
+    (clean into source 1, renamed + perturbed into source 2); each source is
+    then topped up with its own distinct records.
+    """
+    profiles1: list[EntityProfile] = []
+    profiles2: list[EntityProfile] = []
+    pairs: list[tuple[int, int]] = []
+
+    def render_source1(record: dict, identifier: str) -> EntityProfile:
+        data = {
+            key: value
+            for key, value in record.items()
+            if key not in drop_in_source1
+        }
+        return EntityProfile.from_dict(identifier, data)
+
+    def render_source2(record: dict, identifier: str) -> EntityProfile:
+        data: dict[str, object] = {}
+        for key, value in record.items():
+            if rng.random() < noise.missing_attribute_probability:
+                continue
+            new_key = schema2.get(key, key)
+            values = value if isinstance(value, list) else [value]
+            noisy_values = []
+            for item in values:
+                noisy = perturb_value(
+                    str(item),
+                    rng,
+                    typo_probability=noise.typo_probability,
+                    drop_probability=noise.drop_probability,
+                    abbreviate_probability=noise.abbreviate_probability,
+                )
+                if noisy:
+                    noisy_values.append(noisy)
+            if noisy_values:
+                data[new_key] = noisy_values
+        if not data:
+            # A duplicate must keep at least one attribute or it can never
+            # be blocked; fall back to the unperturbed first attribute.
+            first_key, first_value = next(iter(record.items()))
+            value = first_value if not isinstance(first_value, list) else first_value[0]
+            data[schema2.get(first_key, first_key)] = str(value)
+        return EntityProfile.from_dict(identifier, data)
+
+    for index in range(scale.num_duplicates):
+        record = make_record()
+        pairs.append((len(profiles1), len(profiles2)))
+        profiles1.append(render_source1(record, f"{source_names[0]}/{index}"))
+        profiles2.append(render_source2(record, f"{source_names[1]}/{index}"))
+    while len(profiles1) < scale.size1:
+        record = make_record()
+        profiles1.append(
+            render_source1(record, f"{source_names[0]}/only-{len(profiles1)}")
+        )
+    while len(profiles2) < scale.size2:
+        record = make_record()
+        profiles2.append(
+            render_source2(record, f"{source_names[1]}/only-{len(profiles2)}")
+        )
+
+    collection1 = EntityCollection(profiles1, name=source_names[0])
+    collection2 = EntityCollection(profiles2, name=source_names[1])
+    unified_pairs = [
+        (left, len(collection1) + right) for left, right in pairs
+    ]
+    return CleanCleanERDataset(
+        collection1, collection2, DuplicateSet(unified_pairs), name=name
+    )

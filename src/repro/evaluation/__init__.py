@@ -1,0 +1,43 @@
+"""Evaluation measures for block and comparison collections.
+
+Implements the paper's measures (Sections 3 and 6.1):
+
+* **PC** (Pairs Completeness) — recall: detected / existing duplicates;
+* **PQ** (Pairs Quality) — precision: detected duplicates / comparisons,
+  counting redundant comparisons as false positives (the paper's
+  pessimistic convention);
+* **RR** (Reduction Ratio) — relative decrease in cardinality against a
+  reference (brute force, or the original blocks);
+* **OTime / RTime** — overhead and resolution wall-clock times.
+"""
+
+from repro.evaluation.metrics import (
+    BlockingQualityReport,
+    evaluate,
+    pairs_completeness,
+    pairs_quality,
+    reduction_ratio,
+)
+from repro.evaluation.profile import BlockCollectionProfile, profile_blocks
+from repro.evaluation.reports import (
+    RECALL_FLOORS,
+    ConfigurationResult,
+    best_for_application,
+    render_markdown,
+    sweep_configurations,
+)
+
+__all__ = [
+    "RECALL_FLOORS",
+    "BlockCollectionProfile",
+    "BlockingQualityReport",
+    "ConfigurationResult",
+    "best_for_application",
+    "evaluate",
+    "pairs_completeness",
+    "pairs_quality",
+    "profile_blocks",
+    "reduction_ratio",
+    "render_markdown",
+    "sweep_configurations",
+]

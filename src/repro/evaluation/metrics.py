@@ -1,0 +1,107 @@
+"""PC, PQ and RR — the paper's blocking effectiveness measures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.datamodel.groundtruth import DuplicateSet
+
+Comparison = tuple[int, int]
+
+
+class ComparisonSource(Protocol):
+    """Anything with a cardinality that can enumerate its comparisons.
+
+    Satisfied by both :class:`~repro.datamodel.blocks.BlockCollection`
+    (cardinality counts every comparison, redundant included) and
+    :class:`~repro.datamodel.blocks.ComparisonCollection`.
+    """
+
+    @property
+    def cardinality(self) -> int: ...
+
+    def iter_comparisons(self) -> Iterable[Comparison]: ...
+
+
+@dataclass(frozen=True)
+class BlockingQualityReport:
+    """Effectiveness of one (restructured) block collection."""
+
+    cardinality: int
+    detected_duplicates: int
+    existing_duplicates: int
+    reference_cardinality: int | None = None
+
+    @property
+    def pc(self) -> float:
+        """Pairs Completeness (recall): ``|D(B)| / |D(E)|``."""
+        if self.existing_duplicates == 0:
+            return 0.0
+        return self.detected_duplicates / self.existing_duplicates
+
+    @property
+    def pq(self) -> float:
+        """Pairs Quality (precision): ``|D(B)| / ||B||``.
+
+        Redundant comparisons inflate the denominator but never the
+        numerator — the paper's pessimistic precision estimate.
+        """
+        if self.cardinality == 0:
+            return 0.0
+        return self.detected_duplicates / self.cardinality
+
+    @property
+    def rr(self) -> float | None:
+        """Reduction Ratio vs the reference: ``1 - ||B'|| / ||B||``."""
+        if self.reference_cardinality is None or self.reference_cardinality == 0:
+            return None
+        return 1.0 - self.cardinality / self.reference_cardinality
+
+    def __str__(self) -> str:
+        rr = f", RR={self.rr:.3f}" if self.rr is not None else ""
+        return (
+            f"||B||={self.cardinality}, PC={self.pc:.3f}, PQ={self.pq:.5f}{rr}"
+        )
+
+
+def evaluate(
+    source: ComparisonSource,
+    ground_truth: DuplicateSet,
+    reference_cardinality: int | None = None,
+) -> BlockingQualityReport:
+    """Measure a comparison source against the gold standard.
+
+    ``reference_cardinality`` is the ``||B||`` the Reduction Ratio is
+    computed against — the brute-force comparison count when evaluating
+    blocking itself, or the original collection's cardinality when
+    evaluating a restructured collection.
+    """
+    detected = ground_truth.detected_in(source.iter_comparisons())
+    return BlockingQualityReport(
+        cardinality=source.cardinality,
+        detected_duplicates=len(detected),
+        existing_duplicates=len(ground_truth),
+        reference_cardinality=reference_cardinality,
+    )
+
+
+def pairs_completeness(
+    source: ComparisonSource, ground_truth: DuplicateSet
+) -> float:
+    """Standalone PC of a comparison source."""
+    return evaluate(source, ground_truth).pc
+
+
+def pairs_quality(source: ComparisonSource, ground_truth: DuplicateSet) -> float:
+    """Standalone PQ of a comparison source."""
+    return evaluate(source, ground_truth).pq
+
+
+def reduction_ratio(cardinality: int, reference_cardinality: int) -> float:
+    """``RR = 1 - ||B'|| / ||B||`` for explicit cardinalities."""
+    if reference_cardinality <= 0:
+        raise ValueError(
+            f"reference cardinality must be positive, got {reference_cardinality}"
+        )
+    return 1.0 - cardinality / reference_cardinality

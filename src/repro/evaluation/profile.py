@@ -1,0 +1,62 @@
+"""Descriptive profiles of block collections — the rows of Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import blocking_graph_stats
+from repro.datamodel.blocks import BlockCollection
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.evaluation.metrics import evaluate
+
+
+@dataclass(frozen=True)
+class BlockCollectionProfile:
+    """The technical characteristics reported in the paper's Table 1."""
+
+    num_blocks: int
+    cardinality: int
+    bpe: float
+    pc: float
+    pq: float
+    rr: float | None
+    graph_order: int
+    graph_size: int
+
+    def row(self) -> dict[str, float]:
+        """The profile as a flat dict (benchmark table output)."""
+        return {
+            "|B|": self.num_blocks,
+            "||B||": self.cardinality,
+            "BPE": round(self.bpe, 2),
+            "PC": round(self.pc, 3),
+            "PQ": self.pq,
+            "RR": round(self.rr, 3) if self.rr is not None else float("nan"),
+            "|V_B|": self.graph_order,
+            "|E_B|": self.graph_size,
+        }
+
+
+def profile_blocks(
+    blocks: BlockCollection,
+    ground_truth: DuplicateSet,
+    reference_cardinality: int | None = None,
+) -> BlockCollectionProfile:
+    """Compute the full Table-1 profile of a block collection.
+
+    ``reference_cardinality`` follows the paper's conventions: the
+    brute-force ``||E||`` for original blocks, the original ``||B||`` for
+    filtered ones.
+    """
+    quality = evaluate(blocks, ground_truth, reference_cardinality)
+    graph = blocking_graph_stats(blocks)
+    return BlockCollectionProfile(
+        num_blocks=len(blocks),
+        cardinality=quality.cardinality,
+        bpe=blocks.bpe,
+        pc=quality.pc,
+        pq=quality.pq,
+        rr=quality.rr,
+        graph_order=graph.order,
+        graph_size=graph.size,
+    )

@@ -1,0 +1,128 @@
+"""Configuration sweeps and application-driven recommendation.
+
+The paper's Section 6.4 procedure — run every pruning algorithm x weighting
+scheme, then pick the most precise configuration whose recall clears the
+application's floor (0.8 for efficiency-intensive, 0.95 for
+effectiveness-intensive) — as a reusable API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.pipeline import meta_block
+from repro.core.pruning import PRUNING_ALGORITHMS
+from repro.core.weights import WEIGHTING_SCHEMES
+from repro.datamodel.blocks import BlockCollection
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.evaluation.metrics import BlockingQualityReport, evaluate
+
+#: The paper's recall floors per application class (Section 3).
+RECALL_FLOORS = {
+    "efficiency-intensive": 0.80,
+    "effectiveness-intensive": 0.95,
+}
+
+
+@dataclass(frozen=True)
+class ConfigurationResult:
+    """One point of a configuration sweep."""
+
+    algorithm: str
+    scheme: str
+    report: BlockingQualityReport
+    overhead_seconds: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.algorithm}/{self.scheme}"
+
+
+def sweep_configurations(
+    blocks: BlockCollection,
+    ground_truth: DuplicateSet,
+    algorithms: Sequence[str] | None = None,
+    schemes: Sequence[str] | None = None,
+    block_filtering_ratio: float | None = 0.8,
+    backend: str = "optimized",
+) -> list[ConfigurationResult]:
+    """Evaluate every (algorithm, scheme) combination on ``blocks``.
+
+    Defaults to the full 8 x 5 grid. Results come back in grid order; use
+    :func:`best_for_application` or sort by the measure you care about.
+    """
+    algorithms = list(algorithms) if algorithms else list(PRUNING_ALGORITHMS)
+    schemes = list(schemes) if schemes else list(WEIGHTING_SCHEMES)
+    results: list[ConfigurationResult] = []
+    for algorithm in algorithms:
+        for scheme in schemes:
+            outcome = meta_block(
+                blocks,
+                scheme=scheme,
+                algorithm=algorithm,
+                block_filtering_ratio=block_filtering_ratio,
+                backend=backend,
+            )
+            report = evaluate(
+                outcome.comparisons,
+                ground_truth,
+                reference_cardinality=blocks.cardinality,
+            )
+            results.append(
+                ConfigurationResult(
+                    algorithm=algorithm,
+                    scheme=scheme,
+                    report=report,
+                    overhead_seconds=outcome.overhead_seconds,
+                )
+            )
+    return results
+
+
+def best_for_application(
+    results: Iterable[ConfigurationResult],
+    application: str = "effectiveness-intensive",
+    recall_floor: float | None = None,
+) -> ConfigurationResult | None:
+    """The most precise configuration meeting the application's recall floor.
+
+    ``application`` selects a floor from :data:`RECALL_FLOORS`;
+    ``recall_floor`` overrides it. Returns ``None`` when nothing qualifies.
+    Ties on PQ break towards fewer retained comparisons, then by label.
+    """
+    if recall_floor is None:
+        try:
+            recall_floor = RECALL_FLOORS[application]
+        except KeyError:
+            known = ", ".join(sorted(RECALL_FLOORS))
+            raise ValueError(
+                f"unknown application {application!r}; known: {known} "
+                "(or pass recall_floor)"
+            )
+    qualifying = [
+        result for result in results if result.report.pc >= recall_floor
+    ]
+    if not qualifying:
+        return None
+    return min(
+        qualifying,
+        key=lambda r: (-r.report.pq, r.report.cardinality, r.label),
+    )
+
+
+def render_markdown(results: Iterable[ConfigurationResult]) -> str:
+    """A GitHub-markdown table of a sweep, best PQ first."""
+    ordered = sorted(results, key=lambda r: -r.report.pq)
+    lines = [
+        "| configuration | PC | PQ | comparisons | RR | OTime (s) |",
+        "|---|---|---|---|---|---|",
+    ]
+    for result in ordered:
+        report = result.report
+        rr = f"{report.rr:.3f}" if report.rr is not None else "-"
+        lines.append(
+            f"| {result.label} | {report.pc:.3f} | {report.pq:.5f} | "
+            f"{report.cardinality:,} | {rr} | {result.overhead_seconds:.2f} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Incremental Meta-blocking — the paper's stated future-work direction.
+
+The paper closes with: "In the future, we plan to adapt our techniques for
+Enhanced Meta-blocking to Incremental Entity Resolution." This package is
+that adaptation: a streaming resolver that maintains the blocking state
+(inverted key index, per-entity block lists) online and, for every arriving
+profile, derives its blocking-graph neighbourhood, weights it with the
+paper's schemes, and prunes it node-centrically — including the reciprocal
+test — without ever rebuilding the graph.
+"""
+
+from repro.incremental.resolver import Candidate, IncrementalMetaBlocking
+
+__all__ = ["Candidate", "IncrementalMetaBlocking"]

@@ -1,0 +1,245 @@
+"""Streaming meta-blocking over an online entity collection.
+
+Batch meta-blocking (``repro.core``) assumes the full block collection is
+available; incremental ER receives profiles one at a time and must surface
+each new profile's most likely matches *now*. The adaptation keeps the
+paper's machinery but reorients it around a single node:
+
+* the Entity Index becomes a live inverted index ``key -> member ids``,
+  updated per insertion;
+* Block Filtering becomes an insertion-time cap: a new profile only joins
+  its ``r``-fraction smallest existing blocks (importance = current block
+  size, the streaming analogue of Algorithm 1's cardinality ordering);
+* Block Purging becomes a size guard: keys whose member list exceeds
+  ``max_block_size`` stop contributing co-occurrences (they are kept in the
+  index so that their sizes keep informing filtering);
+* pruning is node-centric on the *new* node: its top-``k`` weighted
+  neighbours are retained (CNP-style), optionally validated by the
+  reciprocal test — the neighbour must also rank the new profile among its
+  own top-``k`` (Reciprocal CNP's conjunction, evaluated lazily on the
+  neighbour's current neighbourhood).
+
+Weights use the paper's schemes over the *current* state, so early weights
+drift as the collection grows — the standard incremental-ER trade-off. EJS
+is rejected: node degrees cannot be maintained under O(degree) updates and
+its graph-level statistics are exactly what a stream lacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.weights import WeightingScheme, get_scheme
+from repro.datamodel.profiles import EntityProfile
+from repro.utils.topk import TopKHeap
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One retained comparison for a newly added profile."""
+
+    entity_id: int
+    weight: float
+    common_blocks: int
+
+
+@dataclass
+class _EntityState:
+    profile: EntityProfile
+    keys: tuple[str, ...] = ()
+    source: int = 0
+
+
+class IncrementalMetaBlocking:
+    """Online meta-blocking: add profiles, get pruned candidates back.
+
+    Parameters
+    ----------
+    keys_for:
+        Callable mapping a profile to its blocking keys (e.g.
+        ``TokenBlocking().keys_for``). Must be redundancy-positive for the
+        weights to be meaningful.
+    scheme:
+        Weighting scheme name or instance; all of ARCS/CBS/ECBS/JS are
+        supported (EJS is not — see module docstring).
+    k:
+        Node-centric cardinality threshold: at most ``k`` candidates are
+        returned per insertion.
+    reciprocal:
+        When True, a candidate is kept only if the new profile would also
+        rank among the candidate's own top-``k`` neighbours (Reciprocal
+        CNP's conjunctive test).
+    filtering_ratio:
+        Insertion-time Block Filtering: the profile joins only the
+        ``ratio``-fraction smallest of its matching existing blocks (at
+        least one). 1.0 disables filtering.
+    max_block_size:
+        Keys with more members than this stop producing co-occurrences
+        (streaming Block Purging). ``None`` disables the guard.
+    clean_clean:
+        When True, profiles carry a source tag (see :meth:`add`) and only
+        cross-source pairs are candidates (Clean-Clean ER).
+    """
+
+    def __init__(
+        self,
+        keys_for,
+        scheme: "str | WeightingScheme" = "JS",
+        k: int = 5,
+        reciprocal: bool = False,
+        filtering_ratio: float = 0.8,
+        max_block_size: int | None = None,
+        clean_clean: bool = False,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        if not 0.0 < filtering_ratio <= 1.0:
+            raise ValueError(
+                f"filtering_ratio must be in (0, 1], got {filtering_ratio}"
+            )
+        if max_block_size is not None and max_block_size < 2:
+            raise ValueError(f"max_block_size must be >= 2, got {max_block_size}")
+        self.keys_for = keys_for
+        self.scheme = get_scheme(scheme)
+        if self.scheme.uses_degrees:
+            raise ValueError(
+                f"{self.scheme.name} requires node degrees, which are not "
+                "maintainable incrementally; use ARCS, CBS, ECBS or JS"
+            )
+        self.k = k
+        self.reciprocal = reciprocal
+        self.filtering_ratio = filtering_ratio
+        self.max_block_size = max_block_size
+        self.clean_clean = clean_clean
+        self._members: dict[str, list[int]] = {}
+        self._entities: list[_EntityState] = []
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    @property
+    def num_blocks(self) -> int:
+        """Current number of keys with at least one member."""
+        return len(self._members)
+
+    def profile(self, entity_id: int) -> EntityProfile:
+        return self._entities[entity_id].profile
+
+    def add(self, profile: EntityProfile, source: int = 0) -> list[Candidate]:
+        """Insert ``profile`` and return its pruned candidate matches.
+
+        ``source`` distinguishes the two collections under Clean-Clean ER
+        (0 or 1); it is ignored otherwise. Candidates are sorted by
+        descending weight, deterministic under ties.
+        """
+        if self.clean_clean and source not in (0, 1):
+            raise ValueError(f"source must be 0 or 1, got {source}")
+        entity_id = len(self._entities)
+        keys = sorted(set(map(str, self.keys_for(profile))))
+        keys = self._filter_keys(keys)
+        state = _EntityState(profile=profile, keys=tuple(keys), source=source)
+        self._entities.append(state)
+
+        candidates = self._prune(entity_id, self._neighborhood(entity_id, keys))
+
+        # Register the new entity only after scoring, so it is never its
+        # own neighbour and reciprocal checks see the pre-insertion state
+        # of its neighbours' neighbourhoods plus the new node itself.
+        for key in keys:
+            self._members.setdefault(key, []).append(entity_id)
+        return candidates
+
+    # -- internals ----------------------------------------------------------
+
+    def _filter_keys(self, keys: list[str]) -> list[str]:
+        """Insertion-time Block Filtering: keep the smallest blocks."""
+        if self.filtering_ratio >= 1.0 or not keys:
+            return keys
+        existing = [key for key in keys if key in self._members]
+        fresh = [key for key in keys if key not in self._members]
+        if not existing:
+            return keys
+        limit = max(1, int(self.filtering_ratio * len(existing) + 0.5))
+        existing.sort(key=lambda key: (len(self._members[key]), key))
+        # Fresh keys cost nothing (their blocks have size 1) and are the
+        # entity's rarest, most important keys — always kept.
+        return fresh + existing[:limit]
+
+    def _neighborhood(
+        self, entity_id: int, keys: list[str]
+    ) -> dict[int, tuple[int, float]]:
+        """``other -> (common_blocks, arcs_sum)`` over current blocks."""
+        counts: dict[int, int] = {}
+        arcs: dict[int, float] = {}
+        accumulate_arcs = self.scheme.uses_arcs_sum
+        source = self._entities[entity_id].source
+        for key in keys:
+            members = self._members.get(key)
+            if not members:
+                continue
+            if self.max_block_size is not None and len(members) > self.max_block_size:
+                continue
+            if accumulate_arcs:
+                # The block the new entity joins has len(members)+1 members.
+                size = len(members) + 1
+                inverse = 1.0 / (size * (size - 1) / 2)
+            for other in members:
+                if other == entity_id:
+                    continue
+                if self.clean_clean and self._entities[other].source == source:
+                    continue
+                counts[other] = counts.get(other, 0) + 1
+                if accumulate_arcs:
+                    arcs[other] = arcs.get(other, 0.0) + inverse
+        return {
+            other: (count, arcs.get(other, 0.0))
+            for other, count in counts.items()
+        }
+
+    def _weight(self, left: int, right: int, common: int, arcs_sum: float) -> float:
+        return self.scheme.weight(
+            common,
+            arcs_sum,
+            len(self._entities[left].keys),
+            len(self._entities[right].keys),
+            0,
+            0,
+            max(1, len(self._members)),
+            0,
+        )
+
+    def _prune(
+        self, entity_id: int, neighborhood: dict[int, tuple[int, float]]
+    ) -> list[Candidate]:
+        heap: TopKHeap[int] = TopKHeap(self.k)
+        weights: dict[int, tuple[float, int]] = {}
+        for other, (common, arcs_sum) in neighborhood.items():
+            weight = self._weight(entity_id, other, common, arcs_sum)
+            weights[other] = (weight, common)
+            heap.push(weight, other)
+        retained = []
+        for other in heap.items():
+            weight, common = weights[other]
+            if self.reciprocal and not self._reciprocates(entity_id, other, weight):
+                continue
+            retained.append(Candidate(other, weight, common))
+        retained.sort(key=lambda c: (-c.weight, c.entity_id))
+        return retained
+
+    def _reciprocates(self, entity_id: int, other: int, weight: float) -> bool:
+        """Would ``entity_id`` rank in ``other``'s top-k neighbourhood?
+
+        Evaluated lazily against the current state: the new node beats the
+        k-th best of the neighbour's existing edges (or the neighbourhood
+        has fewer than k edges).
+        """
+        other_keys = list(self._entities[other].keys)
+        neighborhood = self._neighborhood(other, other_keys)
+        heap: TopKHeap[int] = TopKHeap(self.k)
+        for third, (common, arcs_sum) in neighborhood.items():
+            heap.push(self._weight(other, third, common, arcs_sum), third)
+        if len(heap) < self.k:
+            return True
+        weakest = heap.min_entry()
+        assert weakest is not None
+        return (weight, entity_id) > weakest

@@ -1,0 +1,61 @@
+"""Entity matching: deciding whether two profiles are duplicates.
+
+The paper treats matching as an orthogonal task (Section 3): a blocking
+method is evaluated on whether duplicates *co-occur*, assuming any matching
+method can then detect them. Matching still matters in two places:
+
+* the RTime measure applies the Jaccard token similarity of two profiles to
+  every retained comparison (:class:`JaccardMatcher`);
+* Iterative Blocking needs live match decisions to propagate
+  (:class:`OracleMatcher` reproduces the evaluation's assumption that
+  co-occurring duplicates are always detected).
+"""
+
+from repro.matching.clustering import connected_components, matched_pairs
+from repro.matching.er_clustering import (
+    center_clustering,
+    merge_center_clustering,
+    unique_mapping_clustering,
+)
+from repro.matching.matchers import (
+    JaccardMatcher,
+    Matcher,
+    OracleMatcher,
+    ThresholdMatcher,
+)
+from repro.matching.resolution import (
+    ResolutionResult,
+    estimate_resolution_seconds,
+    resolve,
+)
+from repro.matching.similarity import (
+    TfIdfCosineMatcher,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    overlap_coefficient,
+    token_cosine,
+)
+
+__all__ = [
+    "JaccardMatcher",
+    "Matcher",
+    "OracleMatcher",
+    "ResolutionResult",
+    "TfIdfCosineMatcher",
+    "ThresholdMatcher",
+    "center_clustering",
+    "connected_components",
+    "estimate_resolution_seconds",
+    "merge_center_clustering",
+    "unique_mapping_clustering",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "levenshtein_similarity",
+    "matched_pairs",
+    "overlap_coefficient",
+    "resolve",
+    "token_cosine",
+]

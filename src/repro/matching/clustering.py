@@ -1,0 +1,52 @@
+"""Turn matched pairs into ER outputs.
+
+Dirty ER produces equivalence clusters (the transitive closure of the
+matches); Clean-Clean ER produces a set of cross-collection matched pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.utils.unionfind import UnionFind
+
+Comparison = tuple[int, int]
+
+
+def connected_components(
+    matches: Iterable[Comparison], num_entities: int
+) -> list[list[int]]:
+    """Equivalence clusters (size >= 2) from matched pairs.
+
+    Singleton entities are omitted: a cluster only exists where at least one
+    match was found. Clusters and their members are sorted for determinism.
+    """
+    union = UnionFind()
+    for left, right in matches:
+        if not (0 <= left < num_entities and 0 <= right < num_entities):
+            raise ValueError(f"match ({left}, {right}) outside id space")
+        union.union(left, right)
+    clusters = [sorted(component) for component in union.components()]
+    clusters = [cluster for cluster in clusters if len(cluster) > 1]
+    clusters.sort()
+    return clusters
+
+
+def matched_pairs(
+    matches: Iterable[Comparison], split: int
+) -> set[Comparison]:
+    """Clean-Clean ER output: cross-collection pairs only, canonicalised.
+
+    ``split`` is the first unified id of the second collection; same-side
+    pairs (which cannot be legal Clean-Clean matches) are rejected.
+    """
+    result: set[Comparison] = set()
+    for left, right in matches:
+        if left > right:
+            left, right = right, left
+        if not (left < split <= right):
+            raise ValueError(
+                f"match ({left}, {right}) does not link the two collections"
+            )
+        result.add((left, right))
+    return result

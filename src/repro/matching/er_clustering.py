@@ -1,0 +1,137 @@
+"""Entity clustering: turn scored matches into final ER decisions.
+
+After matching scores candidate pairs, an ER system must commit to a
+consistent output — equivalence clusters for Dirty ER, a (partial) 1-1
+mapping for Clean-Clean ER. Transitive closure
+(:func:`repro.matching.clustering.connected_components`) is the baseline;
+this module adds the standard refinements from the ER literature:
+
+* :func:`center_clustering` — [Haveliwala et al.] greedy star clustering:
+  processing edges best-first, unassigned entities become cluster *centers*
+  and their partners *members*; members never recruit further members, so
+  low-score chains cannot glue unrelated entities together.
+* :func:`merge_center_clustering` — variant that merges two clusters when
+  an edge connects their centers' orbits, a middle ground between center
+  clustering and transitive closure.
+* :func:`unique_mapping_clustering` — for Clean-Clean ER: each entity may
+  match at most one entity of the other collection; edges are accepted
+  best-first while both endpoints are free (greedy bipartite matching).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.utils.unionfind import UnionFind
+
+ScoredPair = tuple[int, int, float]
+Comparison = tuple[int, int]
+
+
+def _best_first(scored: Iterable[ScoredPair]) -> list[ScoredPair]:
+    """Deterministic descending-score order (ties by the pair ids)."""
+    ordered = [
+        (left, right, score) if left < right else (right, left, score)
+        for left, right, score in scored
+    ]
+    ordered.sort(key=lambda entry: (-entry[2], entry[0], entry[1]))
+    return ordered
+
+
+def center_clustering(
+    scored: Iterable[ScoredPair], num_entities: int
+) -> list[list[int]]:
+    """Greedy star clustering; returns sorted clusters of size >= 2."""
+    NONE, CENTER, MEMBER = 0, 1, 2
+    role = [NONE] * num_entities
+    cluster_of = [-1] * num_entities
+    clusters: list[list[int]] = []
+    for left, right, _ in _best_first(scored):
+        _check(left, right, num_entities)
+        if role[left] == NONE and role[right] == NONE:
+            role[left], role[right] = CENTER, MEMBER
+            cluster_of[left] = cluster_of[right] = len(clusters)
+            clusters.append([left, right])
+        elif role[left] == CENTER and role[right] == NONE:
+            role[right] = MEMBER
+            cluster_of[right] = cluster_of[left]
+            clusters[cluster_of[left]].append(right)
+        elif role[right] == CENTER and role[left] == NONE:
+            role[left] = MEMBER
+            cluster_of[left] = cluster_of[right]
+            clusters[cluster_of[right]].append(left)
+        # members do not recruit; center-center and assigned pairs skipped
+    result = [sorted(cluster) for cluster in clusters if len(cluster) > 1]
+    result.sort()
+    return result
+
+
+def merge_center_clustering(
+    scored: Iterable[ScoredPair], num_entities: int
+) -> list[list[int]]:
+    """Center clustering that merges clusters joined through their members.
+
+    An edge between a member of one cluster and the center of another (or
+    between two centers) unions the clusters; edges between two members
+    are still ignored, which keeps the chains shorter than transitive
+    closure's.
+    """
+    NONE, CENTER, MEMBER = 0, 1, 2
+    role = [NONE] * num_entities
+    union = UnionFind()
+    for left, right, _ in _best_first(scored):
+        _check(left, right, num_entities)
+        roles = (role[left], role[right])
+        if roles == (NONE, NONE):
+            role[left], role[right] = CENTER, MEMBER
+            union.union(left, right)
+        elif NONE in roles:
+            # An unassigned entity joins the other's cluster as a member,
+            # whether the other is a center or a member (the merge effect).
+            if role[left] == NONE:
+                role[left] = MEMBER
+            else:
+                role[right] = MEMBER
+            union.union(left, right)
+        elif CENTER in roles:
+            # center-center or center-member across clusters: merge stars.
+            union.union(left, right)
+        # member-member edges are ignored, keeping chains short.
+    clusters = [
+        sorted(component)
+        for component in union.components()
+        if len(component) > 1
+    ]
+    clusters.sort()
+    return clusters
+
+
+def unique_mapping_clustering(
+    scored: Iterable[ScoredPair], split: int
+) -> set[Comparison]:
+    """Greedy 1-1 matching for Clean-Clean ER.
+
+    ``split`` is the first unified id of the second collection; same-side
+    pairs are rejected. Pairs are accepted in descending score while both
+    endpoints are still free — the standard Unique Mapping Clustering.
+    """
+    matched: set[int] = set()
+    result: set[Comparison] = set()
+    for left, right, _ in _best_first(scored):
+        if not (left < split <= right):
+            raise ValueError(
+                f"pair ({left}, {right}) does not link the two collections"
+            )
+        if left in matched or right in matched:
+            continue
+        matched.add(left)
+        matched.add(right)
+        result.add((left, right))
+    return result
+
+
+def _check(left: int, right: int, num_entities: int) -> None:
+    if not (0 <= left < num_entities and 0 <= right < num_entities):
+        raise ValueError(f"pair ({left}, {right}) outside id space")
+    if left == right:
+        raise ValueError(f"self-pair ({left}, {right})")

@@ -1,0 +1,21 @@
+"""Progressive (pay-as-you-go) Entity Resolution.
+
+The paper motivates its efficiency-intensive application class with
+pay-as-you-go ER [Whang et al., TKDE 2013]: applications that can stop
+resolving at any time and want the duplicates found *early*. Meta-blocking's
+weighted edges give exactly the required ordering — emit comparisons in
+descending weight and most duplicates surface within the first few percent
+of the workload.
+"""
+
+from repro.progressive.scheduler import (
+    ProgressiveMetaBlocking,
+    ProgressivePoint,
+    progressive_recall_curve,
+)
+
+__all__ = [
+    "ProgressiveMetaBlocking",
+    "ProgressivePoint",
+    "progressive_recall_curve",
+]

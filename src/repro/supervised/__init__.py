@@ -1,0 +1,35 @@
+"""Supervised Meta-blocking [Papadakis, Papastefanatos & Koutrika, PVLDB 2014].
+
+The paper's Related Work (Section 2) describes the supervised variant of
+meta-blocking: instead of a single weighting scheme, every blocking-graph
+edge is represented by a small feature vector of co-occurrence evidence and
+a binary classifier — trained on a set of labelled edges — decides which
+edges to retain. It achieves higher accuracy than unsupervised pruning but
+needs labelled data, which is why the paper evaluates only the unsupervised
+family; this package provides the supervised variant as an extension for
+users who *do* have labels.
+
+Pipeline::
+
+    extractor = EdgeFeatureExtractor(blocks)
+    X, y = training_edges(extractor, labelled_pairs)
+    model = LogisticRegressionClassifier().fit(X, y)
+    comparisons = SupervisedMetaBlocking(model, mode="wep").prune(extractor)
+"""
+
+from repro.supervised.classifier import LogisticRegressionClassifier
+from repro.supervised.features import FEATURE_NAMES, EdgeFeatureExtractor
+from repro.supervised.pruning import (
+    SupervisedMetaBlocking,
+    training_edges,
+    train_from_ground_truth,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "EdgeFeatureExtractor",
+    "LogisticRegressionClassifier",
+    "SupervisedMetaBlocking",
+    "train_from_ground_truth",
+    "training_edges",
+]

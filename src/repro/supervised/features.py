@@ -1,0 +1,130 @@
+"""Per-edge feature vectors for supervised meta-blocking.
+
+The feature set follows the PVLDB 2014 paper's design goal — generic
+features with low extraction cost and high discriminatory power, all
+derivable from the co-occurrence statistics one ScanCount pass produces:
+
+``CFIBF``  (index 0)
+    Common blocks count (CBS), the raw co-occurrence frequency.
+``RACCB``  (index 1)
+    Reciprocal aggregate cardinality of common blocks (the ARCS sum):
+    small shared blocks are strong evidence.
+``JS``     (index 2)
+    Jaccard overlap of the two block lists.
+``ECBS``   (index 3)
+    CBS discounted by the profiles' block-list sizes (the IDF factor).
+``RS``     (index 4)
+    Relative support: ``|B_ij| / min(|B_i|, |B_j|)`` — how much of the
+    rarer profile's evidence the pair covers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.blockprocessing.entity_index import EntityIndex
+from repro.datamodel.blocks import BlockCollection
+
+FEATURE_NAMES = ("CFIBF", "RACCB", "JS", "ECBS", "RS")
+NUM_FEATURES = len(FEATURE_NAMES)
+
+Comparison = tuple[int, int]
+
+
+class EdgeFeatureExtractor:
+    """Compute the feature vector of any blocking-graph edge.
+
+    One ScanCount pass per node (exactly Algorithm 3's loop) yields the
+    shared-block counts and ARCS sums of all its neighbours; the remaining
+    features are arithmetic on the block-list sizes.
+    """
+
+    def __init__(self, blocks: BlockCollection) -> None:
+        self.blocks = blocks
+        self.index = EntityIndex(blocks)
+        self.num_entities = blocks.num_entities
+        self.total_blocks = max(1, len(blocks))
+        self._flags = [-1] * self.num_entities
+        self._common = [0] * self.num_entities
+        self._arcs = [0.0] * self.num_entities
+        self._stamp = 0
+
+    def _scan(self, entity: int) -> list[int]:
+        flags, common, arcs = self._flags, self._common, self._arcs
+        self._stamp += 1
+        stamp = self._stamp
+        index = self.index
+        inverse_cardinalities = index.inverse_cardinalities
+        neighbors: list[int] = []
+        for position in index.block_list(entity):
+            inverse = inverse_cardinalities[position]
+            for other in index.cooccurring(entity, position):
+                if other == entity:
+                    continue
+                if flags[other] != stamp:
+                    flags[other] = stamp
+                    common[other] = 0
+                    arcs[other] = 0.0
+                    neighbors.append(other)
+                common[other] += 1
+                arcs[other] += inverse
+        return neighbors
+
+    def _vector(
+        self, left: int, right: int, common: int, arcs_sum: float
+    ) -> np.ndarray:
+        blocks_left = len(self.index.block_list(left))
+        blocks_right = len(self.index.block_list(right))
+        denominator = blocks_left + blocks_right - common
+        jaccard = common / denominator if denominator else 0.0
+        ecbs = (
+            common
+            * math.log10(self.total_blocks / blocks_left)
+            * math.log10(self.total_blocks / blocks_right)
+            if blocks_left and blocks_right
+            else 0.0
+        )
+        support = common / min(blocks_left, blocks_right) if common else 0.0
+        return np.array(
+            [float(common), arcs_sum, jaccard, ecbs, support], dtype=np.float64
+        )
+
+    def features_for(self, left: int, right: int) -> np.ndarray:
+        """Feature vector of one (possibly non-)edge."""
+        common_blocks = self.index.common_blocks(left, right)
+        arcs_sum = sum(
+            self.index.inverse_cardinalities[position]
+            for position in common_blocks
+        )
+        return self._vector(left, right, len(common_blocks), arcs_sum)
+
+    def iter_edge_features(
+        self,
+    ) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Every distinct edge with its feature vector (canonical order)."""
+        bilateral = self.index.is_bilateral
+        common, arcs = self._common, self._arcs
+        for entity in range(self.num_entities):
+            if not self.index.block_list(entity):
+                continue
+            if bilateral and self.index.in_second_collection(entity):
+                continue
+            for other in self._scan(entity):
+                if not bilateral and other <= entity:
+                    continue
+                vector = self._vector(entity, other, common[other], arcs[other])
+                if entity < other:
+                    yield entity, other, vector
+                else:
+                    yield other, entity, vector
+
+    def iter_neighborhood_features(
+        self, entity: int
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Feature vectors of all edges incident to one node."""
+        common, arcs = self._common, self._arcs
+        for other in self._scan(entity):
+            yield other, self._vector(entity, other, common[other], arcs[other])

@@ -1,0 +1,173 @@
+"""Supervised pruning: classify edges, retain the likely matches.
+
+Mirrors the unsupervised pruning families with classifier probabilities in
+place of weights:
+
+* ``mode="wep"`` — edge-centric, weight criterion: retain edges whose match
+  probability reaches ``probability_threshold`` (composite decision
+  boundary instead of WEP's mean weight);
+* ``mode="cep"`` — edge-centric, cardinality criterion: the top-K most
+  probable edges, ``K = floor(sum(|b|)/2)`` as in CEP;
+* ``mode="cnp"`` — node-centric, cardinality criterion: the top-k most
+  probable edges per node neighbourhood, retained at most once
+  (the redefined, redundancy-free formulation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.pruning.base import (
+    cardinality_edge_threshold,
+    cardinality_node_threshold,
+)
+from repro.datamodel.blocks import ComparisonCollection
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.supervised.classifier import LogisticRegressionClassifier
+from repro.supervised.features import EdgeFeatureExtractor
+from repro.utils.topk import TopKHeap
+
+Comparison = tuple[int, int]
+LabelledEdge = tuple[int, int, bool]
+
+
+def training_edges(
+    extractor: EdgeFeatureExtractor, labelled: Iterable[LabelledEdge]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build (X, y) from labelled entity pairs.
+
+    Pairs need not be graph edges — disjoint pairs simply get zero
+    co-occurrence features, which is itself informative.
+    """
+    rows = []
+    labels = []
+    for left, right, is_match in labelled:
+        rows.append(extractor.features_for(left, right))
+        labels.append(1.0 if is_match else 0.0)
+    if not rows:
+        raise ValueError("no labelled edges supplied")
+    return np.vstack(rows), np.asarray(labels)
+
+
+def train_from_ground_truth(
+    extractor: EdgeFeatureExtractor,
+    ground_truth: DuplicateSet,
+    num_negative: int | None = None,
+    seed: int = 0,
+) -> LogisticRegressionClassifier:
+    """Benchmark helper: label edges with the gold standard and train.
+
+    Positives are the gold pairs; negatives are a random sample of the
+    graph's non-matching edges (default: as many as the positives). In a
+    real deployment the labels come from manual review — this helper
+    exists so benchmarks and examples can demonstrate the ceiling.
+    """
+    positives = [(left, right, True) for left, right in ground_truth]
+    if not positives:
+        raise ValueError("ground truth is empty")
+    wanted = num_negative if num_negative is not None else len(positives)
+    rng = random.Random(seed)
+    reservoir: list[LabelledEdge] = []
+    seen = 0
+    for left, right, _ in extractor.iter_edge_features():
+        if ground_truth.is_match(left, right):
+            continue
+        seen += 1
+        if len(reservoir) < wanted:
+            reservoir.append((left, right, False))
+        else:
+            slot = rng.randrange(seen)
+            if slot < wanted:
+                reservoir[slot] = (left, right, False)
+    if not reservoir:
+        raise ValueError("the blocking graph has no negative edges to sample")
+    X, y = training_edges(extractor, positives + reservoir)
+    return LogisticRegressionClassifier().fit(X, y)
+
+
+class SupervisedMetaBlocking:
+    """Prune a blocking graph with a trained edge classifier."""
+
+    MODES = ("wep", "cep", "cnp")
+
+    def __init__(
+        self,
+        model: LogisticRegressionClassifier,
+        mode: str = "wep",
+        probability_threshold: float = 0.5,
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown mode {mode!r}; known: {self.MODES}")
+        if not 0.0 < probability_threshold < 1.0:
+            raise ValueError(
+                f"probability_threshold must be in (0, 1), got "
+                f"{probability_threshold}"
+            )
+        if not model.is_fitted:
+            raise ValueError("model must be fitted before pruning")
+        self.model = model
+        self.mode = mode
+        self.probability_threshold = probability_threshold
+
+    def prune(self, extractor: EdgeFeatureExtractor) -> ComparisonCollection:
+        if self.mode == "wep":
+            return self._prune_wep(extractor)
+        if self.mode == "cep":
+            return self._prune_cep(extractor)
+        return self._prune_cnp(extractor)
+
+    def _scored_edges(self, extractor: EdgeFeatureExtractor):
+        batch: list[Comparison] = []
+        vectors: list[np.ndarray] = []
+        for left, right, vector in extractor.iter_edge_features():
+            batch.append((left, right))
+            vectors.append(vector)
+            if len(batch) == 4096:
+                yield from zip(batch, self.model.predict_proba(np.vstack(vectors)))
+                batch, vectors = [], []
+        if batch:
+            yield from zip(batch, self.model.predict_proba(np.vstack(vectors)))
+
+    def _prune_wep(self, extractor: EdgeFeatureExtractor) -> ComparisonCollection:
+        retained = [
+            pair
+            for pair, probability in self._scored_edges(extractor)
+            if probability >= self.probability_threshold
+        ]
+        return ComparisonCollection(retained, extractor.num_entities)
+
+    def _prune_cep(self, extractor: EdgeFeatureExtractor) -> ComparisonCollection:
+        k = cardinality_edge_threshold(extractor.blocks)
+        heap: TopKHeap[Comparison] = TopKHeap(k)
+        for pair, probability in self._scored_edges(extractor):
+            heap.push(float(probability), pair)
+        return ComparisonCollection(sorted(heap.items()), extractor.num_entities)
+
+    def _prune_cnp(self, extractor: EdgeFeatureExtractor) -> ComparisonCollection:
+        k = cardinality_node_threshold(extractor.blocks)
+        nearest: dict[int, set[int]] = {}
+        for entity in range(extractor.num_entities):
+            if not extractor.index.block_list(entity):
+                continue
+            heap: TopKHeap[int] = TopKHeap(k)
+            others = []
+            vectors = []
+            for other, vector in extractor.iter_neighborhood_features(entity):
+                others.append(other)
+                vectors.append(vector)
+            if not others:
+                continue
+            probabilities = self.model.predict_proba(np.vstack(vectors))
+            for other, probability in zip(others, probabilities):
+                heap.push(float(probability), other)
+            nearest[entity] = heap.items()
+        empty: set[int] = set()
+        retained = [
+            (left, right)
+            for left, right, _ in extractor.iter_edge_features()
+            if right in nearest.get(left, empty) or left in nearest.get(right, empty)
+        ]
+        return ComparisonCollection(retained, extractor.num_entities)

@@ -1,0 +1,27 @@
+"""Shared low-level utilities used across the library.
+
+Nothing in this package knows about entity resolution; the modules here are
+generic building blocks (tokenizers, disjoint sets, bounded heaps, timers and
+synthetic-text helpers) that the blocking, meta-blocking and dataset layers
+are built on.
+"""
+
+from repro.utils.timer import Timer
+from repro.utils.tokenize import (
+    attribute_value_tokens,
+    character_qgrams,
+    profile_tokens,
+    tokenize,
+)
+from repro.utils.topk import TopKHeap
+from repro.utils.unionfind import UnionFind
+
+__all__ = [
+    "Timer",
+    "TopKHeap",
+    "UnionFind",
+    "attribute_value_tokens",
+    "character_qgrams",
+    "profile_tokens",
+    "tokenize",
+]

@@ -1,0 +1,154 @@
+"""Synthetic-text building blocks: Zipfian vocabularies and noise operators.
+
+The paper evaluates on real Web data (DBLP/Scholar, IMDB/DBPedia, Wikipedia
+infoboxes). Those corpora are not shipped here, so the dataset generators in
+:mod:`repro.datasets` synthesize profiles whose *token statistics* mimic the
+real ones: Zipf-distributed token frequencies (a handful of stop-word-like
+tokens shared by huge numbers of profiles, a long tail of rare tokens) and
+realistic value noise (typos, abbreviations, token drops, case changes).
+This module provides those two ingredients.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+_ALPHABET = string.ascii_lowercase
+
+
+class ZipfVocabulary:
+    """A fixed vocabulary whose words are sampled with Zipfian frequencies.
+
+    Word ``i`` (0-based rank) is drawn with probability proportional to
+    ``1 / (i + 1) ** exponent``. Sampling uses inverse-CDF lookup over the
+    cumulative weights, so it is O(log V) per draw and fully deterministic
+    given the :class:`random.Random` instance.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        rng: random.Random,
+        exponent: float = 1.0,
+        min_word_length: int = 3,
+        max_word_length: int = 10,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"vocabulary size must be positive, got {size}")
+        if exponent <= 0:
+            raise ValueError(f"exponent must be positive, got {exponent}")
+        self.exponent = exponent
+        self.words = _distinct_words(size, rng, min_word_length, max_word_length)
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(size)]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf: list[float] = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+        # Guard against floating point drift on the last bucket.
+        self._cdf[-1] = 1.0
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def sample(self, rng: random.Random) -> str:
+        """Draw one word according to the Zipfian distribution."""
+        return self.words[self._rank(rng.random())]
+
+    def sample_many(self, count: int, rng: random.Random) -> list[str]:
+        """Draw ``count`` words (with replacement)."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def _rank(self, point: float) -> int:
+        low, high = 0, len(self._cdf) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cdf[mid] < point:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+
+def _distinct_words(
+    count: int, rng: random.Random, min_length: int, max_length: int
+) -> list[str]:
+    """Generate ``count`` distinct pronounceable-ish lowercase words."""
+    words: list[str] = []
+    seen: set[str] = set()
+    while len(words) < count:
+        length = rng.randint(min_length, max_length)
+        word = "".join(rng.choice(_ALPHABET) for _ in range(length))
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+def typo(word: str, rng: random.Random) -> str:
+    """Introduce a single character-level typo into ``word``.
+
+    One of four edit operations is applied uniformly at random:
+    substitution, deletion, insertion, or adjacent transposition. Words of
+    length 1 only ever get substitutions or insertions.
+    """
+    if not word:
+        return word
+    operations = ["substitute", "insert"]
+    if len(word) > 1:
+        operations += ["delete", "transpose"]
+    operation = rng.choice(operations)
+    position = rng.randrange(len(word))
+    if operation == "substitute":
+        replacement = rng.choice(_ALPHABET)
+        return word[:position] + replacement + word[position + 1 :]
+    if operation == "insert":
+        insertion = rng.choice(_ALPHABET)
+        return word[:position] + insertion + word[position:]
+    if operation == "delete":
+        return word[:position] + word[position + 1 :]
+    # transpose
+    if position == len(word) - 1:
+        position -= 1
+    return (
+        word[:position] + word[position + 1] + word[position] + word[position + 2 :]
+    )
+
+
+def abbreviate(word: str) -> str:
+    """Abbreviate ``word`` to its initial (as in "Jack" -> "j").
+
+    Mirrors the first-name abbreviations that plague bibliographic data.
+    """
+    return word[:1]
+
+
+def perturb_value(
+    value: str,
+    rng: random.Random,
+    typo_probability: float = 0.1,
+    drop_probability: float = 0.1,
+    abbreviate_probability: float = 0.0,
+) -> str:
+    """Apply token-level noise to an attribute value.
+
+    Each whitespace token independently may be dropped, abbreviated or
+    typo-ed. The surviving tokens are re-joined with single spaces. An empty
+    result is possible when every token is dropped — callers treat that as a
+    missing value.
+    """
+    noisy_tokens: list[str] = []
+    for token in value.split():
+        roll = rng.random()
+        if roll < drop_probability:
+            continue
+        if roll < drop_probability + abbreviate_probability:
+            noisy_tokens.append(abbreviate(token))
+            continue
+        if rng.random() < typo_probability:
+            noisy_tokens.append(typo(token, rng))
+        else:
+            noisy_tokens.append(token)
+    return " ".join(noisy_tokens)

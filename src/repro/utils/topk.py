@@ -1,0 +1,72 @@
+"""Bounded top-k heap with deterministic tie-breaking.
+
+The cardinality-based pruning algorithms (CEP, CNP and the redefined /
+reciprocal variants) all need "the k highest-weighted edges" either globally
+or per node neighbourhood. This module provides a small min-heap that keeps
+exactly the top-k items and breaks weight ties deterministically by the
+item's natural ordering, so that repeated runs produce identical blocks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, Iterable, TypeVar
+
+ItemT = TypeVar("ItemT")
+
+
+class TopKHeap(Generic[ItemT]):
+    """Keep the ``k`` highest-scored items pushed so far.
+
+    Ties on score are resolved by comparing the items themselves: for equal
+    scores the *larger* item wins (matching a descending sort of
+    ``(score, item)`` tuples). Items must therefore be mutually comparable —
+    in this library they are ``(entity_id, entity_id)`` tuples.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.k = k
+        self._heap: list[tuple[float, ItemT]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, item: ItemT) -> bool:
+        return any(entry == item for _, entry in self._heap)
+
+    def push(self, score: float, item: ItemT) -> bool:
+        """Offer ``item`` with ``score``; return True if it was retained."""
+        if self.k == 0:
+            return False
+        entry = (score, item)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def min_entry(self) -> tuple[float, ItemT] | None:
+        """Return the current weakest retained ``(score, item)``, if any."""
+        return self._heap[0] if self._heap else None
+
+    def items(self) -> set[ItemT]:
+        """Return the retained items as a set (order-free)."""
+        return {item for _, item in self._heap}
+
+    def sorted_items(self) -> list[tuple[float, ItemT]]:
+        """Return retained ``(score, item)`` pairs, best first."""
+        return sorted(self._heap, reverse=True)
+
+    @classmethod
+    def from_scored(
+        cls, k: int, scored: Iterable[tuple[float, ItemT]]
+    ) -> "TopKHeap[ItemT]":
+        """Build a heap holding the top ``k`` of ``scored`` pairs."""
+        heap: TopKHeap[ItemT] = cls(k)
+        for score, item in scored:
+            heap.push(score, item)
+        return heap

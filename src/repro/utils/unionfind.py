@@ -1,0 +1,77 @@
+"""Disjoint-set (union-find) structure with path compression and union by size.
+
+Used by Iterative Blocking (merging matched profiles), by Attribute
+Clustering Blocking (clustering attribute names) and by the equivalence
+clustering that turns matched pairs into entity clusters for Dirty ER.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+
+class UnionFind:
+    """Union-find over arbitrary hashable items.
+
+    Items are registered lazily: ``find`` and ``union`` accept items that were
+    never seen before and treat them as singleton sets.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton set if not already present."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of ``item``'s set."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point every node on the path directly at the root.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left: Hashable, right: Hashable) -> bool:
+        """Merge the sets of ``left`` and ``right``.
+
+        Returns ``True`` if a merge happened, ``False`` if the two items were
+        already in the same set.
+        """
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return False
+        if self._size[root_left] < self._size[root_right]:
+            root_left, root_right = root_right, root_left
+        self._parent[root_right] = root_left
+        self._size[root_left] += self._size[root_right]
+        return True
+
+    def connected(self, left: Hashable, right: Hashable) -> bool:
+        """Return whether the two items currently share a set."""
+        return self.find(left) == self.find(right)
+
+    def component_size(self, item: Hashable) -> int:
+        """Return the size of the set containing ``item``."""
+        return self._size[self.find(item)]
+
+    def components(self) -> Iterator[list[Hashable]]:
+        """Yield every set as a list of its members (arbitrary order)."""
+        groups: dict[Hashable, list[Hashable]] = {}
+        for item in self._parent:
+            groups.setdefault(self.find(item), []).append(item)
+        yield from groups.values()

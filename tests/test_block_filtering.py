@@ -1,0 +1,105 @@
+"""Unit tests for Block Filtering (Algorithm 1)."""
+
+import pytest
+
+from repro.core.block_filtering import BlockFiltering
+from repro.datamodel.blocks import Block, BlockCollection
+from repro.evaluation import evaluate
+
+
+class TestBlockFiltering:
+    def test_ratio_validated(self):
+        with pytest.raises(ValueError):
+            BlockFiltering(0.0)
+        with pytest.raises(ValueError):
+            BlockFiltering(1.2)
+
+    def test_ratio_one_keeps_every_assignment(self, example_blocks):
+        filtered = BlockFiltering(1.0).process(example_blocks)
+        assert filtered.cardinality == example_blocks.cardinality
+        assert filtered.aggregate_size == example_blocks.aggregate_size
+
+    def test_output_sorted_by_cardinality(self, example_blocks):
+        filtered = BlockFiltering(0.8).process(example_blocks)
+        cardinalities = [block.cardinality for block in filtered]
+        assert cardinalities == sorted(cardinalities)
+
+    def test_every_entity_keeps_at_least_one_block(self, example_blocks):
+        filtered = BlockFiltering(0.05).process(example_blocks)
+        # The floor of one assignment means entities can only vanish if
+        # their last block shrank below two members.
+        limits_respected = filtered.block_assignments()
+        assert all(count >= 1 for count in limits_respected.values())
+
+    def test_smaller_ratio_never_increases_cardinality(self, small_dirty_blocks):
+        cardinalities = [
+            BlockFiltering(ratio).process(small_dirty_blocks).cardinality
+            for ratio in (0.2, 0.5, 0.8, 1.0)
+        ]
+        assert cardinalities == sorted(cardinalities)
+
+    def test_monotone_recall(self, small_dirty, small_dirty_blocks):
+        # More aggressive filtering can only lose recall.
+        recalls = [
+            evaluate(
+                BlockFiltering(ratio).process(small_dirty_blocks),
+                small_dirty.ground_truth,
+            ).pc
+            for ratio in (0.1, 0.5, 1.0)
+        ]
+        assert recalls[0] <= recalls[1] <= recalls[2]
+
+    def test_assignment_limit_rounding(self):
+        # 3 blocks at r=0.5 -> round(1.5) = 2 retained.
+        blocks = BlockCollection(
+            [
+                Block("a", (0, 1)),
+                Block("b", (0, 1)),
+                Block("c", (0, 1)),
+            ],
+            num_entities=2,
+        )
+        filtered = BlockFiltering(0.5).process(blocks)
+        assert len(filtered) == 2
+
+    def test_blocks_shrunk_below_two_members_dropped(self):
+        blocks = BlockCollection(
+            [
+                Block("small", (0, 1)),
+                Block("large", (0, 1, 2, 3)),
+            ],
+            num_entities=4,
+        )
+        # r=0.5: entities 0 and 1 have 2 blocks -> limit 1 -> they stay only
+        # in "small"; "large" keeps {2,3} and survives.
+        filtered = BlockFiltering(0.5).process(blocks)
+        by_key = {block.key: set(block.entities1) for block in filtered}
+        assert by_key == {"small": {0, 1}, "large": {2, 3}}
+
+    def test_bilateral_blocks_filtered_per_side(self, small_clean_blocks):
+        filtered = BlockFiltering(0.5).process(small_clean_blocks)
+        assert filtered.is_bilateral
+        assert filtered.cardinality < small_clean_blocks.cardinality
+        assert all(block.is_valid for block in filtered)
+
+    def test_reduces_graph_against_paper_expectation(
+        self, small_dirty, small_dirty_blocks
+    ):
+        # r=0.8 should cut a large share of comparisons at <2% recall cost
+        # (paper Table 1: 64-75% cardinality drop, <0.5% PC drop).
+        before = evaluate(small_dirty_blocks, small_dirty.ground_truth)
+        filtered = BlockFiltering(0.8).process(small_dirty_blocks)
+        after = evaluate(filtered, small_dirty.ground_truth)
+        assert filtered.cardinality < 0.75 * small_dirty_blocks.cardinality
+        assert after.pc >= 0.95 * before.pc
+
+    def test_bpe_reduced_by_roughly_one_minus_r(self, small_dirty_blocks):
+        filtered = BlockFiltering(0.8).process(small_dirty_blocks)
+        # BPE drops by about (1-r) = 20% (paper Section 6.2); allow slack
+        # for rounding and dropped blocks.
+        ratio = filtered.bpe / small_dirty_blocks.bpe
+        assert 0.6 <= ratio <= 0.95
+
+    def test_empty_collection(self):
+        filtered = BlockFiltering(0.5).process(BlockCollection([], 0))
+        assert len(filtered) == 0

@@ -1,0 +1,87 @@
+"""Unit tests for Block Purging."""
+
+import pytest
+
+from repro.blockprocessing.block_purging import (
+    BlockPurging,
+    automatic_cardinality_threshold,
+)
+from repro.datamodel.blocks import Block, BlockCollection
+
+
+def _collection_with_huge_block(num_entities=10) -> BlockCollection:
+    huge = Block("huge", tuple(range(num_entities)))
+    small = Block("small", (0, 1))
+    return BlockCollection([huge, small], num_entities=num_entities)
+
+
+class TestSizeBasedPurging:
+    def test_purges_blocks_above_half_the_profiles(self):
+        purged = BlockPurging(size_fraction=0.5).process(
+            _collection_with_huge_block()
+        )
+        assert [block.key for block in purged] == ["small"]
+
+    def test_threshold_is_inclusive(self):
+        blocks = BlockCollection(
+            [Block("exact-half", (0, 1, 2, 3, 4))], num_entities=10
+        )
+        purged = BlockPurging(size_fraction=0.5).process(blocks)
+        assert len(purged) == 1
+
+    def test_disabled_size_rule(self):
+        purged = BlockPurging(size_fraction=None).process(
+            _collection_with_huge_block()
+        )
+        assert len(purged) == 2
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            BlockPurging(size_fraction=0.0)
+        with pytest.raises(ValueError):
+            BlockPurging(size_fraction=1.5)
+
+    def test_num_entities_preserved(self):
+        purged = BlockPurging().process(_collection_with_huge_block())
+        assert purged.num_entities == 10
+
+
+class TestAutomaticCardinalityThreshold:
+    def test_uniform_blocks_keep_everything(self):
+        blocks = BlockCollection(
+            [Block(f"b{i}", (2 * i, 2 * i + 1)) for i in range(5)],
+            num_entities=10,
+        )
+        threshold = automatic_cardinality_threshold(blocks)
+        assert threshold >= 1
+        purged = BlockPurging(size_fraction=None, auto_cardinality=True).process(
+            blocks
+        )
+        assert len(purged) == 5
+
+    def test_outlier_block_purged(self):
+        # Many small blocks plus one block dominated by comparisons.
+        small = [Block(f"b{i}", (i, i + 1, i + 2)) for i in range(30)]
+        outlier = Block("outlier", tuple(range(33)))
+        blocks = BlockCollection(small + [outlier], num_entities=33)
+        threshold = automatic_cardinality_threshold(blocks)
+        assert threshold < outlier.cardinality
+        purged = BlockPurging(size_fraction=None, auto_cardinality=True).process(
+            blocks
+        )
+        assert "outlier" not in {block.key for block in purged}
+
+    def test_empty_collection(self):
+        assert automatic_cardinality_threshold(BlockCollection([], 0)) == 0
+
+    def test_smoothing_factor_validated(self):
+        with pytest.raises(ValueError):
+            BlockPurging(smoothing_factor=0.5)
+
+    def test_larger_smoothing_purges_no_more(self):
+        small = [Block(f"b{i}", (i, i + 1)) for i in range(20)]
+        big = Block("big", tuple(range(15)))
+        blocks = BlockCollection(small + [big], num_entities=25)
+        strict = automatic_cardinality_threshold(blocks, smoothing_factor=1.0)
+        lenient = automatic_cardinality_threshold(blocks, smoothing_factor=2.0)
+        assert lenient >= strict

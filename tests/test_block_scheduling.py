@@ -1,0 +1,110 @@
+"""Unit tests for Block Scheduling and Block Pruning."""
+
+import pytest
+
+from repro.blockprocessing.block_scheduling import (
+    BlockPruning,
+    BlockScheduling,
+)
+from repro.datamodel.blocks import Block, BlockCollection
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.matching import OracleMatcher
+
+
+class TestBlockScheduling:
+    def test_orders_by_ascending_cardinality(self):
+        blocks = BlockCollection(
+            [Block("big", (0, 1, 2, 3)), Block("small", (0, 1)),
+             Block("mid", (2, 3, 4))],
+            num_entities=5,
+        )
+        scheduled = BlockScheduling().process(blocks)
+        assert [b.key for b in scheduled] == ["small", "mid", "big"]
+
+    def test_utility_measure(self):
+        assert BlockScheduling.utility(1) == 1.0
+        assert BlockScheduling.utility(4) == 0.25
+        assert BlockScheduling.utility(0) == 0.0
+
+    def test_deterministic_tie_break(self):
+        blocks = BlockCollection(
+            [Block("b", (0, 1)), Block("a", (2, 3))], num_entities=4
+        )
+        scheduled = BlockScheduling().process(blocks)
+        assert [b.key for b in scheduled] == ["a", "b"]
+
+
+class TestBlockPruning:
+    def _blocks(self):
+        # Duplicates live in small blocks; two large useless blocks follow
+        # in the schedule.
+        return BlockCollection(
+            [
+                Block("dup1", (0, 1)),
+                Block("dup2", (2, 3)),
+                Block("noise1", tuple(range(4, 24))),
+                Block("noise2", tuple(range(24, 44))),
+            ],
+            num_entities=44,
+        )
+
+    def test_parameter_validated(self):
+        with pytest.raises(ValueError):
+            BlockPruning(OracleMatcher(DuplicateSet([])), 0)
+
+    def test_early_termination_saves_comparisons(self):
+        truth = DuplicateSet([(0, 1), (2, 3)])
+        pruning = BlockPruning(
+            OracleMatcher(truth), max_comparisons_per_duplicate=10
+        )
+        result = pruning.process(self._blocks())
+        # Both duplicates are found in the two unit blocks; the first noise
+        # block blows the overhead budget at its boundary, so the second is
+        # never processed.
+        assert result.recall(truth) == 1.0
+        assert result.processed_blocks == 3
+        assert result.total_blocks == 4
+        assert result.executed_comparisons < self._blocks().cardinality
+
+    def test_no_termination_with_large_budget(self):
+        truth = DuplicateSet([(0, 1), (2, 3)])
+        pruning = BlockPruning(
+            OracleMatcher(truth), max_comparisons_per_duplicate=10_000
+        )
+        result = pruning.process(self._blocks())
+        assert result.executed_comparisons == self._blocks().cardinality
+
+    def test_redundant_comparisons_propagated(self):
+        blocks = BlockCollection(
+            [Block("a", (0, 1)), Block("b", (0, 1))], num_entities=2
+        )
+        truth = DuplicateSet([(0, 1)])
+        result = BlockPruning(OracleMatcher(truth)).process(blocks)
+        assert result.executed_comparisons == 1  # LeCoBI skips the repeat
+
+    def test_precision_property(self):
+        truth = DuplicateSet([(0, 1)])
+        blocks = BlockCollection([Block("a", (0, 1, 2))], num_entities=3)
+        result = BlockPruning(OracleMatcher(truth)).process(blocks)
+        assert result.precision == pytest.approx(1 / 3)
+
+    def test_stops_between_blocks_not_mid_run(self):
+        # The overhead check happens at block boundaries: a block that
+        # starts under budget is fully processed.
+        truth = DuplicateSet([(0, 1)])
+        blocks = BlockCollection(
+            [Block("dup", (0, 1)), Block("noise", tuple(range(2, 12)))],
+            num_entities=12,
+        )
+        result = BlockPruning(
+            OracleMatcher(truth), max_comparisons_per_duplicate=5
+        ).process(blocks)
+        assert result.processed_blocks == 2
+        assert result.executed_comparisons == 1 + 45
+
+    def test_empty_collection(self):
+        result = BlockPruning(OracleMatcher(DuplicateSet([]))).process(
+            BlockCollection([], 0)
+        )
+        assert result.executed_comparisons == 0
+        assert result.total_blocks == 0

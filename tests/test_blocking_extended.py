@@ -1,0 +1,145 @@
+"""Unit tests for the extended blocking methods."""
+
+import pytest
+
+from repro.blocking import (
+    ExtendedCanopyClustering,
+    ExtendedQGramsBlocking,
+    MinHashBlocking,
+)
+from repro.datamodel.dataset import DirtyERDataset
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.datamodel.profiles import EntityCollection, EntityProfile
+from repro.evaluation import evaluate
+
+
+def _dirty(values, ground_truth=((0, 1),)):
+    collection = EntityCollection(
+        [
+            EntityProfile.from_dict(f"p{i}", {"text": value})
+            for i, value in enumerate(values)
+        ]
+    )
+    return DirtyERDataset(collection, DuplicateSet(ground_truth))
+
+
+class TestExtendedQGrams:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            ExtendedQGramsBlocking(q=0)
+        with pytest.raises(ValueError):
+            ExtendedQGramsBlocking(threshold=0.0)
+        with pytest.raises(ValueError):
+            ExtendedQGramsBlocking(max_qgrams=0)
+
+    def test_redundancy_positive(self):
+        assert ExtendedQGramsBlocking.redundancy_positive is True
+
+    def test_robust_to_single_typo(self):
+        # A one-character edit destroys about q of the token's q-grams, so
+        # a sub-0.6 threshold is needed for combination keys to overlap.
+        dataset = _dirty(["johnathan", "jonnathan"])
+        blocks = ExtendedQGramsBlocking(q=3, threshold=0.5).build(dataset)
+        assert evaluate(blocks, dataset.ground_truth).pc == 1.0
+
+    def test_more_discriminative_than_plain_qgrams(self):
+        # Keys are concatenated combinations: sharing a single q-gram is
+        # no longer enough to co-occur.
+        from repro.blocking import QGramsBlocking
+
+        dataset = _dirty(["abcdef", "xxxdef zzz"])
+        plain = QGramsBlocking(q=3).build(dataset)
+        extended = ExtendedQGramsBlocking(q=3, threshold=0.9).build(dataset)
+        assert plain.cardinality >= extended.cardinality
+
+    def test_short_tokens_whole(self):
+        dataset = _dirty(["ab", "ab"])
+        blocks = ExtendedQGramsBlocking(q=3).build(dataset)
+        assert {block.key for block in blocks} == {"ab"}
+
+    def test_max_qgrams_caps_key_explosion(self):
+        long_token = "abcdefghijklmnopqrstuvwxyz"
+        method = ExtendedQGramsBlocking(q=3, threshold=0.5, max_qgrams=6)
+        profile = EntityProfile.from_dict("p", {"t": long_token})
+        keys = list(method.keys_for(profile))
+        # 6 capped q-grams, combinations of size >= 3: C(6,3..6) = 42.
+        assert len(keys) <= 42
+
+
+class TestMinHash:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            MinHashBlocking(bands=0)
+        with pytest.raises(ValueError):
+            MinHashBlocking(rows=0)
+
+    def test_redundancy_positive(self):
+        assert MinHashBlocking.redundancy_positive is True
+
+    def test_similarity_threshold_formula(self):
+        method = MinHashBlocking(bands=16, rows=4)
+        assert method.similarity_threshold == pytest.approx((1 / 16) ** 0.25)
+
+    def test_identical_profiles_share_all_bands(self):
+        method = MinHashBlocking(bands=6, rows=3)
+        profile = EntityProfile.from_dict("p", {"t": "alpha beta gamma"})
+        assert set(method.keys_for(profile)) == set(method.keys_for(profile))
+        dataset = _dirty(["alpha beta gamma", "alpha beta gamma"])
+        blocks = method.build(dataset)
+        assert len(blocks) == 6  # every band collides
+
+    def test_similar_profiles_usually_collide(self):
+        dataset = _dirty(
+            ["alpha beta gamma delta epsilon zeta",
+             "alpha beta gamma delta epsilon eta",
+             "completely different tokens here now"],
+        )
+        blocks = MinHashBlocking(bands=8, rows=2, seed=3).build(dataset)
+        assert evaluate(blocks, dataset.ground_truth).pc == 1.0
+
+    def test_deterministic_across_instances(self):
+        dataset = _dirty(["alpha beta", "alpha beta gamma", "beta delta"])
+        first = [(b.key, b.entities1) for b in MinHashBlocking(seed=7).build(dataset)]
+        second = [(b.key, b.entities1) for b in MinHashBlocking(seed=7).build(dataset)]
+        assert first == second
+
+    def test_empty_profile_produces_no_keys(self):
+        method = MinHashBlocking()
+        assert list(method.keys_for(EntityProfile.from_dict("p", {}))) == []
+
+    def test_keys_per_profile_equals_bands(self):
+        method = MinHashBlocking(bands=5, rows=2)
+        profile = EntityProfile.from_dict("p", {"t": "some tokens here"})
+        assert len(list(method.keys_for(profile))) == 5
+
+
+class TestExtendedCanopy:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            ExtendedCanopyClustering(n1=2, n2=3)
+        with pytest.raises(ValueError):
+            ExtendedCanopyClustering(n1=5, n2=0)
+
+    def test_not_redundancy_positive(self):
+        assert ExtendedCanopyClustering.redundancy_positive is False
+
+    def test_canopy_size_capped(self):
+        values = [f"shared word{i}" for i in range(20)]
+        dataset = _dirty(values)
+        blocks = ExtendedCanopyClustering(n1=4, n2=2, seed=1).build(dataset)
+        assert all(block.size <= 5 for block in blocks)  # seed + n1
+
+    def test_similar_profiles_cooccur(self):
+        dataset = _dirty(
+            ["alpha beta gamma", "alpha beta gamma delta", "zzz yyy"],
+        )
+        blocks = ExtendedCanopyClustering(n1=3, n2=1, seed=2).build(dataset)
+        assert any({0, 1} <= set(block.all_entities) for block in blocks)
+
+    def test_deterministic(self):
+        dataset = _dirty(["a b", "a c", "b c", "a b c"])
+        build = lambda: [  # noqa: E731
+            (b.key, b.entities1)
+            for b in ExtendedCanopyClustering(n1=2, n2=1, seed=5).build(dataset)
+        ]
+        assert build() == build()

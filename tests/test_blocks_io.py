@@ -1,0 +1,122 @@
+"""Tests for block/comparison serialization and workflow configs."""
+
+import csv
+import json
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.core.pipeline import MetaBlockingWorkflow
+from repro.datamodel.blocks import Block, BlockCollection, ComparisonCollection
+from repro.datasets.blocks_io import (
+    load_blocks_json,
+    load_comparisons_json,
+    save_blocks_json,
+    save_comparisons_json,
+    write_comparisons_csv,
+)
+
+
+class TestBlocksJson:
+    def test_unilateral_round_trip(self, example_blocks, tmp_path):
+        path = tmp_path / "blocks.json"
+        save_blocks_json(example_blocks, path)
+        loaded = load_blocks_json(path)
+        assert loaded.num_entities == example_blocks.num_entities
+        assert list(loaded) == list(example_blocks)
+
+    def test_bilateral_round_trip(self, small_clean_blocks, tmp_path):
+        path = tmp_path / "blocks.json"
+        save_blocks_json(small_clean_blocks, path)
+        loaded = load_blocks_json(path)
+        assert loaded.is_bilateral
+        assert list(loaded) == list(small_clean_blocks)
+
+    def test_order_preserved(self, tmp_path):
+        blocks = BlockCollection(
+            [Block("z", (0, 1)), Block("a", (2, 3))], num_entities=4
+        )
+        path = tmp_path / "blocks.json"
+        save_blocks_json(blocks, path)
+        assert [b.key for b in load_blocks_json(path)] == ["z", "a"]
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 1, "kind": "comparisons"}))
+        with pytest.raises(ValueError, match="not a block collection"):
+            load_blocks_json(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "kind": "blocks"}))
+        with pytest.raises(ValueError, match="format_version"):
+            load_blocks_json(path)
+
+
+class TestComparisonsJson:
+    def test_round_trip_preserves_repeats(self, tmp_path):
+        comparisons = ComparisonCollection([(0, 1), (0, 1), (2, 3)], 4)
+        path = tmp_path / "pairs.json"
+        save_comparisons_json(comparisons, path)
+        loaded = load_comparisons_json(path)
+        assert loaded.pairs == comparisons.pairs
+        assert loaded.num_entities == 4
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 1, "kind": "blocks"}))
+        with pytest.raises(ValueError, match="not a comparison"):
+            load_comparisons_json(path)
+
+
+class TestComparisonsCsv:
+    def test_integer_ids(self, tmp_path):
+        comparisons = ComparisonCollection([(0, 1)], 2)
+        path = tmp_path / "pairs.csv"
+        write_comparisons_csv(comparisons, path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["left", "right"], ["0", "1"]]
+
+    def test_identifier_mapping(self, example_dataset, tmp_path):
+        comparisons = ComparisonCollection([(0, 2)], 6)
+        path = tmp_path / "pairs.csv"
+        write_comparisons_csv(
+            comparisons,
+            path,
+            identifier_of=lambda e: example_dataset.profile(e).identifier,
+        )
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[1] == ["p1", "p3"]
+
+
+class TestWorkflowConfig:
+    def test_round_trip(self):
+        workflow = MetaBlockingWorkflow(
+            TokenBlocking(), scheme="ECBS", algorithm="RcCNP",
+            block_filtering_ratio=0.7, backend="vectorized",
+        )
+        config = workflow.to_config()
+        rebuilt = MetaBlockingWorkflow.from_config(config)
+        assert rebuilt.to_config() == config
+
+    def test_config_is_json_serialisable(self):
+        workflow = MetaBlockingWorkflow(TokenBlocking())
+        assert json.loads(json.dumps(workflow.to_config()))
+
+    def test_defaults_filled(self):
+        workflow = MetaBlockingWorkflow.from_config({"blocking": "token"})
+        assert workflow.scheme.name == "JS"
+        assert workflow.algorithm.name == "WEP"
+
+    def test_unknown_blocking_rejected(self):
+        with pytest.raises(ValueError, match="unknown blocking method"):
+            MetaBlockingWorkflow.from_config({"blocking": "quantum"})
+
+    def test_runs_after_round_trip(self, small_dirty):
+        workflow = MetaBlockingWorkflow.from_config(
+            {"blocking": "token", "algorithm": "RcWNP"}
+        )
+        result = workflow.run(small_dirty)
+        assert result.comparisons.cardinality > 0

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import load_dataset, main
+from repro.datasets import save_dataset_json
+from repro.datasets.examples import paper_example_dataset
+from repro.datasets.synthetic import DatasetScale, bibliographic_dataset
+
+
+@pytest.fixture()
+def dirty_dataset_path(tmp_path):
+    path = tmp_path / "dirty.json"
+    save_dataset_json(paper_example_dataset(), path)
+    return str(path)
+
+
+@pytest.fixture()
+def clean_dataset_path(tmp_path):
+    dataset = bibliographic_dataset(
+        DatasetScale(size1=40, size2=90, num_duplicates=30), seed=4
+    )
+    path = tmp_path / "clean.json"
+    save_dataset_json(dataset, path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_generates_clean_clean(self, tmp_path, capsys):
+        output = tmp_path / "out.json"
+        assert main(["generate", "bibliographic", str(output), "--seed", "1"]) == 0
+        payload = json.loads(output.read_text())
+        assert payload["task"] == "clean-clean"
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generates_dirty(self, tmp_path):
+        output = tmp_path / "out.json"
+        assert main(
+            ["generate", "movies", str(output), "--seed", "1", "--dirty"]
+        ) == 0
+        payload = json.loads(output.read_text())
+        assert payload["task"] == "dirty"
+
+    def test_rejects_unknown_flavor(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", str(tmp_path / "x.json")])
+
+
+class TestLoadDataset:
+    def test_sniffs_task(self, dirty_dataset_path, clean_dataset_path):
+        assert not load_dataset(dirty_dataset_path).is_clean_clean
+        assert load_dataset(clean_dataset_path).is_clean_clean
+
+
+class TestProfile:
+    def test_prints_statistics(self, dirty_dataset_path, capsys):
+        # --no-purging keeps the example's "car" block (4 of 6 profiles,
+        # which default purging would drop on so tiny a collection).
+        assert main(["profile", dirty_dataset_path, "--no-purging"]) == 0
+        out = capsys.readouterr().out
+        assert "||B||  13" in out  # the worked example's 13 comparisons
+
+    def test_purging_applied_by_default(self, dirty_dataset_path, capsys):
+        assert main(["profile", dirty_dataset_path]) == 0
+        out = capsys.readouterr().out
+        assert "||B||  7" in out  # the oversized "car" block is purged
+
+    def test_alternative_blocking(self, dirty_dataset_path, capsys):
+        assert main(
+            ["profile", dirty_dataset_path, "--blocking", "qgrams"]
+        ) == 0
+        assert "||B||" in capsys.readouterr().out
+
+
+class TestMetablock:
+    def test_default_run(self, clean_dataset_path, capsys):
+        assert main(["metablock", clean_dataset_path]) == 0
+        out = capsys.readouterr().out
+        assert "PC=" in out and "overhead" in out
+
+    def test_ratio_zero_disables_filtering(self, dirty_dataset_path, capsys):
+        assert main(
+            ["metablock", dirty_dataset_path, "--ratio", "0",
+             "--algorithm", "WEP", "--scheme", "CBS"]
+        ) == 0
+        assert "r=off" in capsys.readouterr().out
+
+    def test_writes_comparisons_csv(self, dirty_dataset_path, tmp_path, capsys):
+        output = tmp_path / "pairs.csv"
+        assert main(
+            ["metablock", dirty_dataset_path, "--output", str(output),
+             "--algorithm", "RcWNP", "--ratio", "0"]
+        ) == 0
+        with open(output, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["left_id", "right_id"]
+        assert ["p1", "p3"] in rows  # the worked example's first duplicate
+
+    def test_original_backend(self, dirty_dataset_path, capsys):
+        assert main(
+            ["metablock", dirty_dataset_path, "--backend", "original"]
+        ) == 0
+        assert "original weighting" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_prints_full_grid(self, dirty_dataset_path, capsys):
+        assert main(["sweep", dirty_dataset_path, "--ratio", "0"]) == 0
+        out = capsys.readouterr().out
+        # 8 algorithms x 5 schemes = 40 result lines.
+        result_lines = [
+            line for line in out.splitlines()
+            if any(line.startswith(a) for a in ("CEP", "CNP", "WEP", "WNP", "Re", "Rc"))
+        ]
+        assert len(result_lines) == 40
+
+
+class TestGenerateProducts:
+    def test_products_flavor(self, tmp_path):
+        output = tmp_path / "products.json"
+        assert main(["generate", "products", str(output), "--seed", "2"]) == 0
+        payload = json.loads(output.read_text())
+        assert payload["task"] == "clean-clean"
+        assert payload["collection1"]["name"] == "shop-a"

@@ -1,0 +1,62 @@
+"""Unit tests for Comparison Propagation."""
+
+import pytest
+
+from repro.blockprocessing.comparison_propagation import ComparisonPropagation
+from repro.datamodel.blocks import Block, BlockCollection
+from repro.evaluation import evaluate
+
+
+class TestComparisonPropagation:
+    def test_removes_redundant_comparisons(self):
+        blocks = BlockCollection(
+            [Block("a", (0, 1)), Block("b", (0, 1)), Block("c", (0, 1, 2))],
+            num_entities=3,
+        )
+        result = ComparisonPropagation().process(blocks)
+        assert result.cardinality == 3
+        assert result.distinct_comparisons() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_no_redundancy_is_identity(self):
+        blocks = BlockCollection(
+            [Block("a", (0, 1)), Block("b", (2, 3))], num_entities=4
+        )
+        result = ComparisonPropagation().process(blocks)
+        assert result.distinct_comparisons() == {(0, 1), (2, 3)}
+
+    def test_recall_preserved(self, small_dirty, small_dirty_blocks):
+        before = evaluate(small_dirty_blocks, small_dirty.ground_truth)
+        after = evaluate(
+            ComparisonPropagation().process(small_dirty_blocks),
+            small_dirty.ground_truth,
+        )
+        assert after.pc == before.pc
+        assert after.cardinality <= small_dirty_blocks.cardinality
+
+    def test_bilateral_blocks(self):
+        blocks = BlockCollection(
+            [Block("a", (0,), (2, 3)), Block("b", (0, 1), (2,))],
+            num_entities=4,
+        )
+        result = ComparisonPropagation().process(blocks)
+        assert result.distinct_comparisons() == {(0, 2), (0, 3), (1, 2)}
+        assert result.cardinality == 3
+
+    def test_strategies_agree_on_synthetic(self, small_dirty_blocks):
+        scan = ComparisonPropagation("scan").process(small_dirty_blocks)
+        lecobi = ComparisonPropagation("lecobi").process(small_dirty_blocks)
+        assert scan.distinct_comparisons() == lecobi.distinct_comparisons()
+        assert scan.cardinality == lecobi.cardinality
+
+    def test_strategies_agree_on_bilateral(self, small_clean_blocks):
+        scan = ComparisonPropagation("scan").process(small_clean_blocks)
+        lecobi = ComparisonPropagation("lecobi").process(small_clean_blocks)
+        assert scan.distinct_comparisons() == lecobi.distinct_comparisons()
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            ComparisonPropagation("magic")
+
+    def test_empty_collection(self):
+        result = ComparisonPropagation().process(BlockCollection([], 0))
+        assert result.cardinality == 0

@@ -1,0 +1,97 @@
+"""Unit tests for the ER task descriptors."""
+
+import pytest
+
+from repro.datamodel.dataset import CleanCleanERDataset, DirtyERDataset
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.datamodel.profiles import EntityCollection, EntityProfile
+
+
+def _collection(prefix: str, count: int) -> EntityCollection:
+    return EntityCollection(
+        [
+            EntityProfile.from_dict(f"{prefix}{i}", {"value": f"{prefix} {i}"})
+            for i in range(count)
+        ],
+        name=prefix,
+    )
+
+
+class TestDirtyERDataset:
+    def test_basic_properties(self):
+        dataset = DirtyERDataset(_collection("p", 4), DuplicateSet([(0, 1)]))
+        assert dataset.num_entities == 4
+        assert not dataset.is_clean_clean
+        assert dataset.brute_force_comparisons == 6
+
+    def test_profile_lookup(self):
+        dataset = DirtyERDataset(_collection("p", 3), DuplicateSet([(0, 1)]))
+        assert dataset.profile(2).identifier == "p2"
+
+    def test_iter_profiles(self):
+        dataset = DirtyERDataset(_collection("p", 3), DuplicateSet([(0, 1)]))
+        ids = [entity_id for entity_id, _ in dataset.iter_profiles()]
+        assert ids == [0, 1, 2]
+
+    def test_ground_truth_outside_id_space_rejected(self):
+        with pytest.raises(ValueError, match="outside id space"):
+            DirtyERDataset(_collection("p", 3), DuplicateSet([(0, 9)]))
+
+
+class TestCleanCleanERDataset:
+    def _dataset(self) -> CleanCleanERDataset:
+        return CleanCleanERDataset(
+            _collection("a", 3),
+            _collection("b", 4),
+            DuplicateSet([(0, 3), (1, 4)]),
+        )
+
+    def test_unified_id_space(self):
+        dataset = self._dataset()
+        assert dataset.split == 3
+        assert dataset.num_entities == 7
+        assert dataset.profile(0).identifier == "a0"
+        assert dataset.profile(3).identifier == "b0"
+
+    def test_source_of(self):
+        dataset = self._dataset()
+        assert dataset.source_of(2) == 0
+        assert dataset.source_of(3) == 1
+
+    def test_brute_force(self):
+        assert self._dataset().brute_force_comparisons == 12
+
+    def test_iter_profiles_covers_both(self):
+        ids = [entity_id for entity_id, _ in self._dataset().iter_profiles()]
+        assert ids == list(range(7))
+
+    def test_same_side_ground_truth_rejected(self):
+        with pytest.raises(ValueError, match="does not link"):
+            CleanCleanERDataset(
+                _collection("a", 3),
+                _collection("b", 3),
+                DuplicateSet([(0, 1)]),
+            )
+
+    def test_to_dirty_preserves_ground_truth(self):
+        dataset = self._dataset()
+        dirty = dataset.to_dirty()
+        assert dirty.num_entities == 7
+        assert dirty.ground_truth.pairs == dataset.ground_truth.pairs
+        assert not dirty.is_clean_clean
+
+    def test_to_dirty_profiles_order(self):
+        dirty = self._dataset().to_dirty()
+        # Unified ids must keep addressing the same profiles.
+        assert dirty.profile(0).identifier.endswith("a0")
+        assert dirty.profile(3).identifier.endswith("b0")
+
+    def test_to_dirty_identifiers_unique(self):
+        # Identifier collisions across sources must not blow up.
+        left = _collection("x", 2)
+        right = EntityCollection(
+            [EntityProfile.from_dict("x0", {"v": "1"})], name="other"
+        )
+        dataset = CleanCleanERDataset(left, right, DuplicateSet([(0, 2)]))
+        dirty = dataset.to_dirty()
+        assert dirty.num_entities == 3

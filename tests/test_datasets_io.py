@@ -1,0 +1,77 @@
+"""Unit tests for dataset serialization."""
+
+import json
+
+import pytest
+
+from repro.datasets.examples import paper_example_dataset
+from repro.datasets.io import (
+    load_clean_clean_json,
+    load_dirty_json,
+    read_profiles_csv,
+    save_dataset_json,
+)
+from repro.datasets.synthetic import DatasetScale, bibliographic_dataset
+
+
+class TestJsonRoundTrip:
+    def test_dirty(self, tmp_path):
+        dataset = paper_example_dataset()
+        path = tmp_path / "dirty.json"
+        save_dataset_json(dataset, path)
+        loaded = load_dirty_json(path)
+        assert loaded.name == dataset.name
+        assert loaded.num_entities == dataset.num_entities
+        assert loaded.ground_truth.pairs == dataset.ground_truth.pairs
+        assert [p.attributes for p in loaded.collection] == [
+            p.attributes for p in dataset.collection
+        ]
+
+    def test_clean_clean(self, tmp_path):
+        dataset = bibliographic_dataset(
+            DatasetScale(size1=10, size2=20, num_duplicates=8), seed=2
+        )
+        path = tmp_path / "cc.json"
+        save_dataset_json(dataset, path)
+        loaded = load_clean_clean_json(path)
+        assert loaded.split == dataset.split
+        assert loaded.ground_truth.pairs == dataset.ground_truth.pairs
+        assert [p.identifier for p in loaded.collection2] == [
+            p.identifier for p in dataset.collection2
+        ]
+
+    def test_task_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "dirty.json"
+        save_dataset_json(paper_example_dataset(), path)
+        with pytest.raises(ValueError, match="task is"):
+            load_clean_clean_json(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        payload = {"format_version": 99, "task": "dirty"}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format_version"):
+            load_dirty_json(path)
+
+
+class TestCsvIngestion:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "records.csv"
+        path.write_text("id,title,year\nr1,Deep Learning,2016\nr2,Graphs,\n")
+        collection = read_profiles_csv(path, id_column="id", name="demo")
+        assert len(collection) == 2
+        assert collection[0].values("title") == ["Deep Learning"]
+        # Empty cells are skipped.
+        assert collection[1].attribute_names == {"title"}
+
+    def test_missing_id_column(self, tmp_path):
+        path = tmp_path / "records.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="id column"):
+            read_profiles_csv(path, id_column="id")
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "records.tsv"
+        path.write_text("id\tv\nx\thello world\n")
+        collection = read_profiles_csv(path, id_column="id", delimiter="\t")
+        assert collection[0].values("v") == ["hello world"]

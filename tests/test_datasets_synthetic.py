@@ -1,0 +1,197 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro import BlockPurging, TokenBlocking, evaluate
+from repro.datasets.synthetic import (
+    DEFAULT_SCALES,
+    DatasetScale,
+    bibliographic_dataset,
+    infobox_dataset,
+    movies_dataset,
+    paper_benchmark_suite,
+    random_dataset,
+)
+
+SMALL = DatasetScale(size1=80, size2=200, num_duplicates=60)
+
+
+class TestDatasetScale:
+    def test_rejects_too_many_duplicates(self):
+        with pytest.raises(ValueError):
+            DatasetScale(size1=5, size2=100, num_duplicates=10)
+
+    def test_rejects_empty_collections(self):
+        with pytest.raises(ValueError):
+            DatasetScale(size1=0, size2=5, num_duplicates=0)
+
+    def test_scaled(self):
+        scale = DatasetScale(100, 200, 50).scaled(0.5)
+        assert (scale.size1, scale.size2, scale.num_duplicates) == (50, 100, 25)
+
+    def test_scaled_floors(self):
+        scale = DatasetScale(10, 10, 5).scaled(0.01)
+        assert scale.size1 >= 2 and scale.num_duplicates >= 1
+
+
+class TestGeneratorContracts:
+    @pytest.mark.parametrize(
+        "generator", [bibliographic_dataset, movies_dataset, infobox_dataset]
+    )
+    def test_sizes_and_ground_truth(self, generator):
+        dataset = generator(SMALL, seed=5)
+        assert len(dataset.collection1) == SMALL.size1
+        assert len(dataset.collection2) == SMALL.size2
+        assert len(dataset.ground_truth) == SMALL.num_duplicates
+
+    @pytest.mark.parametrize(
+        "generator", [bibliographic_dataset, movies_dataset, infobox_dataset]
+    )
+    def test_deterministic(self, generator):
+        first = generator(SMALL, seed=9)
+        second = generator(SMALL, seed=9)
+        assert first.ground_truth.pairs == second.ground_truth.pairs
+        assert [p.identifier for p in first.collection1] == [
+            p.identifier for p in second.collection1
+        ]
+        assert [p.attributes for p in first.collection2] == [
+            p.attributes for p in second.collection2
+        ]
+
+    @pytest.mark.parametrize(
+        "generator", [bibliographic_dataset, movies_dataset, infobox_dataset]
+    )
+    def test_different_seeds_differ(self, generator):
+        first = generator(SMALL, seed=1)
+        second = generator(SMALL, seed=2)
+        assert [p.attributes for p in first.collection1] != [
+            p.attributes for p in second.collection1
+        ]
+
+    def test_schema_heterogeneity(self):
+        dataset = bibliographic_dataset(SMALL, seed=5)
+        names1 = dataset.collection1.attribute_names
+        names2 = dataset.collection2.attribute_names
+        assert names1.isdisjoint(names2)
+
+    def test_infobox_attribute_explosion(self):
+        dataset = infobox_dataset(SMALL, seed=5)
+        names = dataset.collection1.attribute_names | (
+            dataset.collection2.attribute_names
+        )
+        assert len(names) > 100
+
+    def test_movies_second_source_more_verbose(self):
+        dataset = movies_dataset(SMALL, seed=5)
+        assert (
+            dataset.collection2.mean_name_value_pairs
+            > dataset.collection1.mean_name_value_pairs
+        )
+
+
+class TestBlockingQualityOfGenerated:
+    @pytest.mark.parametrize(
+        "generator", [bibliographic_dataset, movies_dataset, infobox_dataset]
+    )
+    def test_token_blocking_has_high_recall(self, generator):
+        dataset = generator(SMALL, seed=13)
+        blocks = BlockPurging().process(TokenBlocking().build(dataset))
+        report = evaluate(blocks, dataset.ground_truth)
+        # The paper's datasets all exceed PC 0.98 under Token Blocking;
+        # small samples wobble a bit more.
+        assert report.pc > 0.9
+
+    def test_duplicates_not_trivially_identical(self):
+        dataset = bibliographic_dataset(SMALL, seed=13)
+        identical = 0
+        for left, right in dataset.ground_truth:
+            values1 = set(dataset.profile(left).values())
+            values2 = set(dataset.profile(right).values())
+            if values1 == values2:
+                identical += 1
+        assert identical < len(dataset.ground_truth) / 2
+
+
+class TestRandomDataset:
+    def test_shape(self):
+        dataset = random_dataset(num_entities=40, num_duplicates=10, seed=1)
+        assert dataset.num_entities == 40
+        assert len(dataset.ground_truth) == 10
+
+    def test_validates_capacity(self):
+        with pytest.raises(ValueError):
+            random_dataset(num_entities=10, num_duplicates=8)
+
+    def test_deterministic(self):
+        first = random_dataset(seed=4)
+        second = random_dataset(seed=4)
+        assert [p.attributes for p in first.collection] == [
+            p.attributes for p in second.collection
+        ]
+
+
+class TestBenchmarkSuite:
+    def test_six_datasets(self):
+        suite = paper_benchmark_suite(scale_factor=0.05)
+        assert set(suite) == {"D1C", "D2C", "D3C", "D1D", "D2D", "D3D"}
+
+    def test_dirty_versions_are_unions(self):
+        suite = paper_benchmark_suite(scale_factor=0.05)
+        for index in "123":
+            clean = suite[f"D{index}C"]
+            dirty = suite[f"D{index}D"]
+            assert dirty.num_entities == clean.num_entities
+            assert dirty.ground_truth.pairs == clean.ground_truth.pairs
+            assert not dirty.is_clean_clean
+
+    def test_default_scales_relative_shape(self):
+        # D1 is skewed (|E2| >> |E1|), D2 nearly balanced, D3 the largest.
+        d1, d2, d3 = (DEFAULT_SCALES[k] for k in ("D1", "D2", "D3"))
+        assert d1.size2 > 2 * d1.size1
+        assert d3.size1 + d3.size2 > d2.size1 + d2.size2
+
+
+class TestProductsDataset:
+    def test_sizes_and_ground_truth(self):
+        from repro.datasets.synthetic import products_dataset
+
+        dataset = products_dataset(SMALL, seed=5)
+        assert len(dataset.collection1) == SMALL.size1
+        assert len(dataset.collection2) == SMALL.size2
+        assert len(dataset.ground_truth) == SMALL.num_duplicates
+
+    def test_schema_heterogeneity(self):
+        from repro.datasets.synthetic import products_dataset
+
+        dataset = products_dataset(SMALL, seed=5)
+        names1 = dataset.collection1.attribute_names
+        names2 = dataset.collection2.attribute_names
+        assert names1.isdisjoint(names2)
+
+    def test_deterministic(self):
+        from repro.datasets.synthetic import products_dataset
+
+        first = products_dataset(SMALL, seed=9)
+        second = products_dataset(SMALL, seed=9)
+        assert [p.attributes for p in first.collection2] == [
+            p.attributes for p in second.collection2
+        ]
+
+    def test_token_blocking_recall(self):
+        from repro.datasets.synthetic import products_dataset
+
+        dataset = products_dataset(SMALL, seed=13)
+        blocks = BlockPurging().process(TokenBlocking().build(dataset))
+        assert evaluate(blocks, dataset.ground_truth).pc > 0.9
+
+    def test_model_numbers_present(self):
+        from repro.datasets.synthetic import products_dataset
+
+        dataset = products_dataset(SMALL, seed=5)
+        models = [
+            value
+            for profile in dataset.collection1
+            for value in profile.values("model")
+        ]
+        assert models
+        assert all(any(ch.isdigit() for ch in model) for model in models)

@@ -1,0 +1,179 @@
+"""Edge-case and failure-injection tests across the library."""
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.blockprocessing import BlockPurging, ComparisonPropagation, EntityIndex
+from repro.core import (
+    BlockFiltering,
+    GraphFreeMetaBlocking,
+    OptimizedEdgeWeighting,
+    meta_block,
+)
+from repro.core.pruning import PRUNING_ALGORITHMS
+from repro.datamodel.blocks import Block, BlockCollection, ComparisonCollection
+from repro.datamodel.dataset import CleanCleanERDataset, DirtyERDataset
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.datamodel.profiles import EntityCollection, EntityProfile
+from repro.evaluation import evaluate, profile_blocks
+from repro.utils.tokenize import tokenize
+
+
+class TestUnicodeAndOddText:
+    def test_tokenize_unicode(self):
+        assert tokenize("Ünïcode-Tëst") == ["ünïcode", "tëst"]
+
+    def test_tokenize_emoji_and_symbols(self):
+        assert tokenize("hello 🙂 world") == ["hello", "world"]
+
+    def test_blocking_with_unicode_values(self):
+        collection = EntityCollection(
+            [
+                EntityProfile.from_dict("a", {"name": "José García"}),
+                EntityProfile.from_dict("b", {"nom": "José Garcìa"}),
+            ]
+        )
+        dataset = DirtyERDataset(collection, DuplicateSet([(0, 1)]))
+        blocks = TokenBlocking().build(dataset)
+        assert evaluate(blocks, dataset.ground_truth).pc == 1.0
+
+
+class TestDegeneratePipelines:
+    def _empty_dirty(self):
+        return DirtyERDataset(EntityCollection([]), DuplicateSet([]))
+
+    def test_empty_dataset_through_pipeline(self):
+        dataset = self._empty_dirty()
+        blocks = TokenBlocking().build(dataset)
+        result = meta_block(blocks, algorithm="RcWNP")
+        assert result.comparisons.cardinality == 0
+
+    def test_single_entity_dataset(self):
+        collection = EntityCollection(
+            [EntityProfile.from_dict("only", {"t": "alone here"})]
+        )
+        dataset = DirtyERDataset(collection, DuplicateSet([]))
+        blocks = TokenBlocking().build(dataset)
+        assert len(blocks) == 0
+        assert dataset.brute_force_comparisons == 0
+
+    def test_all_identical_profiles(self):
+        collection = EntityCollection(
+            [
+                EntityProfile.from_dict(f"p{i}", {"t": "same text everywhere"})
+                for i in range(5)
+            ]
+        )
+        dataset = DirtyERDataset(
+            collection, DuplicateSet.from_clusters([range(5)])
+        )
+        blocks = TokenBlocking().build(dataset)
+        # Every pair co-occurs in every block: the graph is complete with
+        # uniform weights, and every algorithm must still terminate.
+        for name in PRUNING_ALGORITHMS:
+            result = meta_block(blocks, algorithm=name, block_filtering_ratio=None)
+            report = evaluate(result.comparisons, dataset.ground_truth)
+            assert 0.0 <= report.pc <= 1.0
+
+    def test_profiles_with_no_tokens(self):
+        collection = EntityCollection(
+            [
+                EntityProfile.from_dict("a", {"t": "---"}),
+                EntityProfile.from_dict("b", {"t": "..."}),
+            ]
+        )
+        dataset = DirtyERDataset(collection, DuplicateSet([(0, 1)]))
+        blocks = TokenBlocking().build(dataset)
+        assert len(blocks) == 0
+        report = evaluate(blocks, dataset.ground_truth)
+        assert report.pc == 0.0
+
+    def test_clean_clean_with_single_profile_sides(self):
+        left = EntityCollection([EntityProfile.from_dict("a", {"t": "x y"})])
+        right = EntityCollection([EntityProfile.from_dict("b", {"t": "x z"})])
+        dataset = CleanCleanERDataset(left, right, DuplicateSet([(0, 1)]))
+        blocks = TokenBlocking().build(dataset)
+        result = meta_block(blocks, algorithm="RcWNP", block_filtering_ratio=None)
+        assert result.comparisons.distinct_comparisons() == {(0, 1)}
+
+
+class TestGraphFreeDegenerate:
+    def test_on_empty_blocks(self):
+        result = GraphFreeMetaBlocking(0.5).process(BlockCollection([], 0))
+        assert result.cardinality == 0
+
+    def test_on_single_block(self):
+        blocks = BlockCollection([Block("only", (0, 1))], num_entities=2)
+        result = GraphFreeMetaBlocking(0.5).process(blocks)
+        assert result.distinct_comparisons() == {(0, 1)}
+
+
+class TestSelfConsistency:
+    def test_purging_then_filtering_commutes_on_small_blocks(self):
+        # When no block is oversized, purging is the identity and any
+        # composition with filtering gives filtering alone.
+        blocks = BlockCollection(
+            [Block("a", (0, 1)), Block("b", (1, 2)), Block("c", (0, 2))],
+            num_entities=10,
+        )
+        filtered = BlockFiltering(0.5).process(blocks)
+        purged_then_filtered = BlockFiltering(0.5).process(
+            BlockPurging().process(blocks)
+        )
+        assert list(filtered) == list(purged_then_filtered)
+
+    def test_propagation_idempotent(self, small_dirty_blocks):
+        once = ComparisonPropagation().process(small_dirty_blocks)
+        twice = ComparisonPropagation().process(once.to_blocks())
+        assert once.distinct_comparisons() == twice.distinct_comparisons()
+
+    def test_entity_index_matches_block_assignments(self, small_dirty_blocks):
+        index = EntityIndex(small_dirty_blocks)
+        assignments = small_dirty_blocks.block_assignments()
+        for entity, count in assignments.items():
+            assert index.num_blocks_of(entity) == count
+
+    def test_profile_blocks_consistent_with_evaluate(
+        self, small_dirty, small_dirty_blocks
+    ):
+        profile = profile_blocks(small_dirty_blocks, small_dirty.ground_truth)
+        report = evaluate(small_dirty_blocks, small_dirty.ground_truth)
+        assert profile.pc == report.pc
+        assert profile.pq == report.pq
+        assert profile.cardinality == report.cardinality
+
+
+class TestComparisonCollectionEdgeCases:
+    def test_self_pairs_preserved_as_given(self):
+        # ComparisonCollection canonicalises order but does not validate
+        # self-pairs (that is the ground truth's job); evaluation treats
+        # them as non-matching comparisons.
+        collection = ComparisonCollection([(1, 0)], 2)
+        assert collection.pairs == [(0, 1)]
+
+    def test_evaluation_with_zero_reference(self):
+        truth = DuplicateSet([(0, 1)])
+        report = evaluate(
+            ComparisonCollection([(0, 1)], 2), truth, reference_cardinality=0
+        )
+        assert report.rr is None
+
+
+class TestWeightingDegenerate:
+    def test_blocks_with_zero_cardinality_members(self):
+        # An invalid (singleton) block contributes no comparisons and no
+        # crash, even if a caller forgot only_valid().
+        blocks = BlockCollection(
+            [Block("singleton", (0,)), Block("pair", (0, 1))], num_entities=2
+        )
+        weighting = OptimizedEdgeWeighting(blocks, "ARCS")
+        edges = list(weighting.iter_edges())
+        assert len(edges) == 1
+        assert edges[0][2] > 0
+
+    def test_ejs_on_single_edge_graph(self):
+        blocks = BlockCollection([Block("only", (0, 1))], num_entities=2)
+        weighting = OptimizedEdgeWeighting(blocks, "EJS")
+        ((left, right, weight),) = list(weighting.iter_edges())
+        # |E_B| = 1 and both degrees are 1: log10(1/1) = 0.
+        assert weight == 0.0

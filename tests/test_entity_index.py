@@ -1,0 +1,88 @@
+"""Unit tests for the Entity Index and the LeCoBI condition."""
+
+from repro.blockprocessing.entity_index import EntityIndex
+from repro.datamodel.blocks import Block, BlockCollection
+
+
+def _collection() -> BlockCollection:
+    return BlockCollection(
+        [
+            Block("b0", (0, 1)),
+            Block("b1", (1, 2)),
+            Block("b2", (0, 1, 2)),
+        ],
+        num_entities=4,
+    )
+
+
+class TestEntityIndex:
+    def test_block_lists_sorted_ascending(self):
+        index = EntityIndex(_collection())
+        assert index.block_list(0) == [0, 2]
+        assert index.block_list(1) == [0, 1, 2]
+        assert index.block_list(2) == [1, 2]
+        assert index.block_list(3) == []
+
+    def test_num_blocks_of(self):
+        index = EntityIndex(_collection())
+        assert index.num_blocks_of(1) == 3
+        assert index.num_blocks_of(3) == 0
+
+    def test_placed_entities(self):
+        index = EntityIndex(_collection())
+        assert index.placed_entities() == [0, 1, 2]
+
+    def test_common_blocks(self):
+        index = EntityIndex(_collection())
+        assert index.common_blocks(0, 1) == [0, 2]
+        assert index.common_blocks(0, 2) == [2]
+        assert index.common_blocks(0, 3) == []
+
+    def test_least_common_block(self):
+        index = EntityIndex(_collection())
+        assert index.least_common_block(0, 1) == 0
+        assert index.least_common_block(1, 2) == 1
+        assert index.least_common_block(0, 3) is None
+
+    def test_lecobi(self):
+        index = EntityIndex(_collection())
+        # (0,1) co-occur in blocks 0 and 2; only block 0 passes LeCoBI.
+        assert index.satisfies_lecobi(0, 1, 0)
+        assert not index.satisfies_lecobi(0, 1, 2)
+
+    def test_inverse_cardinalities(self):
+        index = EntityIndex(_collection())
+        assert index.inverse_cardinalities == [1.0, 1.0, 1.0 / 3.0]
+
+    def test_unilateral_has_no_second_side(self):
+        index = EntityIndex(_collection())
+        assert not index.is_bilateral
+        assert not index.in_second_collection(0)
+
+
+class TestEntityIndexBilateral:
+    def _bilateral(self) -> BlockCollection:
+        return BlockCollection(
+            [
+                Block("b0", (0, 1), (2, 3)),
+                Block("b1", (0,), (3,)),
+            ],
+            num_entities=4,
+        )
+
+    def test_second_side_detection(self):
+        index = EntityIndex(self._bilateral())
+        assert index.is_bilateral
+        assert not index.in_second_collection(0)
+        assert index.in_second_collection(2)
+        assert index.in_second_collection(3)
+
+    def test_cooccurring_picks_opposite_side(self):
+        index = EntityIndex(self._bilateral())
+        assert index.cooccurring(0, 0) == (2, 3)
+        assert index.cooccurring(3, 0) == (0, 1)
+
+    def test_lecobi_bilateral(self):
+        index = EntityIndex(self._bilateral())
+        assert index.satisfies_lecobi(0, 3, 0)
+        assert not index.satisfies_lecobi(0, 3, 1)

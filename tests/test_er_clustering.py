@@ -1,0 +1,137 @@
+"""Unit tests for the ER output clustering algorithms."""
+
+import pytest
+
+from repro.matching.clustering import connected_components
+from repro.matching.er_clustering import (
+    center_clustering,
+    merge_center_clustering,
+    unique_mapping_clustering,
+)
+
+
+class TestCenterClustering:
+    def test_simple_star(self):
+        scored = [(0, 1, 0.9), (0, 2, 0.8)]
+        assert center_clustering(scored, 3) == [[0, 1, 2]]
+
+    def test_members_do_not_recruit(self):
+        # 1 becomes member of 0's cluster; the 1-2 edge is ignored, so 2
+        # stays out (unlike transitive closure).
+        scored = [(0, 1, 0.9), (1, 2, 0.8)]
+        assert center_clustering(scored, 3) == [[0, 1]]
+        assert connected_components([(0, 1), (1, 2)], 3) == [[0, 1, 2]]
+
+    def test_best_first_decides_centers(self):
+        # The strongest edge is processed first: 1 becomes center with
+        # member 2; the weaker 0-2 edge then hits a member and is ignored.
+        scored = [(0, 2, 0.5), (1, 2, 0.9)]
+        assert center_clustering(scored, 3) == [[1, 2]]
+
+    def test_center_recruits_via_weaker_edge(self):
+        # 1 is the center of {1,2}; the weaker 0-1 edge attaches 0.
+        scored = [(0, 1, 0.5), (1, 2, 0.9)]
+        assert center_clustering(scored, 3) == [[0, 1, 2]]
+
+    def test_two_separate_clusters(self):
+        scored = [(0, 1, 0.9), (2, 3, 0.8)]
+        assert center_clustering(scored, 4) == [[0, 1], [2, 3]]
+
+    def test_deterministic_tie_break(self):
+        scored = [(2, 3, 0.5), (0, 1, 0.5)]
+        first = center_clustering(scored, 4)
+        second = center_clustering(list(reversed(scored)), 4)
+        assert first == second == [[0, 1], [2, 3]]
+
+    def test_validates_pairs(self):
+        with pytest.raises(ValueError):
+            center_clustering([(0, 9, 1.0)], 3)
+        with pytest.raises(ValueError):
+            center_clustering([(1, 1, 1.0)], 3)
+
+    def test_empty(self):
+        assert center_clustering([], 5) == []
+
+
+class TestMergeCenterClustering:
+    def test_merges_through_members(self):
+        # 0-1 cluster, 2-3 cluster, then the 1-2 member-member edge is
+        # ignored, but a center-member edge 0-3 merges the stars.
+        scored = [(0, 1, 0.9), (2, 3, 0.8), (0, 3, 0.7)]
+        assert merge_center_clustering(scored, 4) == [[0, 1, 2, 3]]
+
+    def test_member_member_edges_ignored(self):
+        scored = [(0, 1, 0.9), (2, 3, 0.8), (1, 3, 0.7)]
+        assert merge_center_clustering(scored, 4) == [[0, 1], [2, 3]]
+
+    def test_unassigned_joins_member(self):
+        # 4 attaches to member 1 (the merge-center extension over center).
+        scored = [(0, 1, 0.9), (1, 4, 0.8)]
+        assert merge_center_clustering(scored, 5) == [[0, 1, 4]]
+
+    def test_at_least_as_coarse_as_center(self):
+        scored = [(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (0, 3, 0.6)]
+        center = center_clustering(scored, 4)
+        merged = merge_center_clustering(scored, 4)
+        center_entities = {e for cluster in center for e in cluster}
+        merged_entities = {e for cluster in merged for e in cluster}
+        assert center_entities <= merged_entities
+
+    def test_empty(self):
+        assert merge_center_clustering([], 5) == []
+
+
+class TestUniqueMappingClustering:
+    def test_greedy_one_to_one(self):
+        # Entity 0 prefers 3 (0.9); entity 1 then cannot take 3.
+        scored = [(0, 3, 0.9), (1, 3, 0.8), (1, 4, 0.7)]
+        assert unique_mapping_clustering(scored, split=3) == {(0, 3), (1, 4)}
+
+    def test_rejects_same_side_pairs(self):
+        with pytest.raises(ValueError, match="does not link"):
+            unique_mapping_clustering([(0, 1, 0.9)], split=3)
+
+    def test_each_entity_matched_once(self):
+        scored = [
+            (0, 3, 0.9),
+            (0, 4, 0.85),
+            (1, 3, 0.8),
+            (1, 4, 0.75),
+            (2, 5, 0.7),
+        ]
+        result = unique_mapping_clustering(scored, split=3)
+        lefts = [left for left, _ in result]
+        rights = [right for _, right in result]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+        assert (0, 3) in result and (1, 4) in result and (2, 5) in result
+
+    def test_deterministic_under_ties(self):
+        scored = [(0, 3, 0.5), (1, 3, 0.5)]
+        assert unique_mapping_clustering(scored, split=2) == {(0, 3)}
+
+    def test_empty(self):
+        assert unique_mapping_clustering([], split=3) == set()
+
+    def test_improves_precision_on_clean_clean(
+        self, small_clean_clean, small_clean_blocks
+    ):
+        # Score every distinct comparison with Jaccard; 1-1 mapping beats
+        # thresholding on precision at similar recall.
+        from repro.matching import JaccardMatcher
+
+        matcher = JaccardMatcher(small_clean_clean)
+        scored = [
+            (left, right, matcher.similarity(left, right))
+            for left, right in small_clean_blocks.distinct_comparisons()
+        ]
+        scored = [entry for entry in scored if entry[2] >= 0.2]
+        mapping = unique_mapping_clustering(scored, small_clean_clean.split)
+        detected = small_clean_clean.ground_truth.detected_in(mapping)
+        threshold_pairs = {(l, r) for l, r, _ in scored}
+        detected_threshold = small_clean_clean.ground_truth.detected_in(
+            threshold_pairs
+        )
+        precision_mapping = len(detected) / len(mapping)
+        precision_threshold = len(detected_threshold) / len(threshold_pairs)
+        assert precision_mapping > precision_threshold

@@ -1,0 +1,117 @@
+"""Unit tests for the evaluation measures."""
+
+import math
+
+import pytest
+
+from repro.datamodel.blocks import Block, BlockCollection, ComparisonCollection
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.evaluation import (
+    evaluate,
+    pairs_completeness,
+    pairs_quality,
+    profile_blocks,
+    reduction_ratio,
+)
+
+
+class TestEvaluate:
+    def test_pc_pq(self):
+        truth = DuplicateSet([(0, 1), (2, 3)])
+        source = ComparisonCollection([(0, 1), (0, 2), (1, 3)], num_entities=4)
+        report = evaluate(source, truth)
+        assert report.pc == 0.5
+        assert report.pq == pytest.approx(1 / 3)
+
+    def test_redundant_comparisons_hurt_pq_not_pc(self):
+        truth = DuplicateSet([(0, 1)])
+        once = ComparisonCollection([(0, 1)], num_entities=2)
+        twice = ComparisonCollection([(0, 1), (0, 1)], num_entities=2)
+        assert evaluate(once, truth).pc == evaluate(twice, truth).pc == 1.0
+        assert evaluate(twice, truth).pq == 0.5
+
+    def test_rr(self):
+        truth = DuplicateSet([(0, 1)])
+        source = ComparisonCollection([(0, 1)], num_entities=2)
+        report = evaluate(source, truth, reference_cardinality=10)
+        assert report.rr == pytest.approx(0.9)
+
+    def test_rr_none_without_reference(self):
+        report = evaluate(
+            ComparisonCollection([(0, 1)], 2), DuplicateSet([(0, 1)])
+        )
+        assert report.rr is None
+
+    def test_block_collection_source(self):
+        truth = DuplicateSet([(0, 1)])
+        blocks = BlockCollection(
+            [Block("a", (0, 1)), Block("b", (0, 1, 2))], num_entities=3
+        )
+        report = evaluate(blocks, truth)
+        assert report.cardinality == 4  # 1 + 3, redundancy included
+        assert report.pc == 1.0
+        assert report.pq == 0.25
+
+    def test_empty_truth(self):
+        report = evaluate(
+            ComparisonCollection([(0, 1)], 2), DuplicateSet([])
+        )
+        assert report.pc == 0.0
+        assert report.pq == 0.0
+
+    def test_empty_source(self):
+        report = evaluate(ComparisonCollection([], 2), DuplicateSet([(0, 1)]))
+        assert report.pc == 0.0
+        assert report.pq == 0.0
+
+    def test_str_rendering(self):
+        report = evaluate(
+            ComparisonCollection([(0, 1)], 2),
+            DuplicateSet([(0, 1)]),
+            reference_cardinality=4,
+        )
+        text = str(report)
+        assert "PC=1.000" in text and "RR=0.750" in text
+
+
+class TestStandaloneHelpers:
+    def test_pairs_completeness(self):
+        truth = DuplicateSet([(0, 1), (2, 3)])
+        source = ComparisonCollection([(0, 1)], 4)
+        assert pairs_completeness(source, truth) == 0.5
+
+    def test_pairs_quality(self):
+        truth = DuplicateSet([(0, 1)])
+        source = ComparisonCollection([(0, 1), (1, 2)], 3)
+        assert pairs_quality(source, truth) == 0.5
+
+    def test_reduction_ratio(self):
+        assert reduction_ratio(25, 100) == 0.75
+
+    def test_reduction_ratio_invalid_reference(self):
+        with pytest.raises(ValueError):
+            reduction_ratio(5, 0)
+
+
+class TestProfileBlocks:
+    def test_paper_example_profile(self, example_blocks, example_dataset):
+        profile = profile_blocks(
+            example_blocks,
+            example_dataset.ground_truth,
+            reference_cardinality=example_dataset.brute_force_comparisons,
+        )
+        assert profile.num_blocks == 8
+        assert profile.cardinality == 13
+        assert profile.graph_order == 6
+        assert profile.graph_size == 10
+        assert profile.pc == 1.0
+        assert profile.pq == pytest.approx(2 / 13)
+        assert profile.rr == pytest.approx(1 - 13 / 15)
+        assert profile.bpe == pytest.approx(18 / 6)
+
+    def test_row_serialisation(self, example_blocks, example_dataset):
+        profile = profile_blocks(example_blocks, example_dataset.ground_truth)
+        row = profile.row()
+        assert row["|B|"] == 8
+        assert row["||B||"] == 13
+        assert math.isnan(row["RR"])

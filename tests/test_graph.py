@@ -1,0 +1,68 @@
+"""Unit tests for blocking graph statistics and materialisation."""
+
+import pytest
+
+from repro.core.graph import MaterializedBlockingGraph, blocking_graph_stats
+from repro.datamodel.blocks import Block, BlockCollection
+
+
+class TestBlockingGraphStats:
+    def test_paper_example(self, example_blocks):
+        stats = blocking_graph_stats(example_blocks)
+        assert stats.order == 6
+        assert stats.size == 10
+
+    def test_counts_only_placed_entities(self):
+        blocks = BlockCollection([Block("a", (0, 1))], num_entities=10)
+        stats = blocking_graph_stats(blocks)
+        assert stats.order == 2
+        assert stats.size == 1
+
+    def test_redundant_blocks_do_not_inflate_size(self):
+        blocks = BlockCollection(
+            [Block("a", (0, 1)), Block("b", (0, 1))], num_entities=2
+        )
+        assert blocking_graph_stats(blocks).size == 1
+
+    def test_bilateral(self, small_clean_blocks):
+        stats = blocking_graph_stats(small_clean_blocks)
+        distinct = len(small_clean_blocks.distinct_comparisons())
+        assert stats.size == distinct
+
+    def test_matches_distinct_comparisons(self, small_dirty_blocks):
+        stats = blocking_graph_stats(small_dirty_blocks)
+        assert stats.size == len(small_dirty_blocks.distinct_comparisons())
+
+    def test_empty(self):
+        stats = blocking_graph_stats(BlockCollection([], 0))
+        assert (stats.order, stats.size) == (0, 0)
+
+
+class TestMaterializedBlockingGraph:
+    def test_edges_sorted_and_canonical(self, example_blocks):
+        graph = MaterializedBlockingGraph(example_blocks, "JS")
+        edges = graph.edges()
+        assert edges == sorted(edges)
+        assert all(left < right for left, right, _ in edges)
+
+    def test_mean_weight_matches_pruning_threshold(self, example_blocks):
+        from repro.core.edge_weighting import OptimizedEdgeWeighting
+        from repro.core.pruning.base import mean_edge_weight
+
+        graph = MaterializedBlockingGraph(example_blocks, "JS")
+        weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+        assert graph.mean_weight() == pytest.approx(mean_edge_weight(weighting))
+
+    def test_node_limit_guard(self, example_blocks):
+        with pytest.raises(ValueError, match="refusing to materialise"):
+            MaterializedBlockingGraph(example_blocks, "JS", max_nodes=2)
+
+    def test_missing_edge_raises(self, example_blocks):
+        graph = MaterializedBlockingGraph(example_blocks, "JS")
+        with pytest.raises(KeyError):
+            graph.weight(0, 1)  # p1 and p2 never co-occur
+
+    def test_empty_graph_mean(self):
+        graph = MaterializedBlockingGraph(BlockCollection([], 0), "JS")
+        assert graph.mean_weight() == 0.0
+        assert graph.order == 0

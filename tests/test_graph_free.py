@@ -1,0 +1,58 @@
+"""Unit tests for Graph-free Meta-blocking."""
+
+from repro.blockprocessing.comparison_propagation import ComparisonPropagation
+from repro.core.block_filtering import BlockFiltering
+from repro.core.graph_free import (
+    EFFECTIVENESS_RATIO,
+    EFFICIENCY_RATIO,
+    GraphFreeMetaBlocking,
+)
+from repro.evaluation import evaluate
+
+
+class TestGraphFreeMetaBlocking:
+    def test_factory_ratios(self):
+        assert GraphFreeMetaBlocking.for_efficiency().ratio == EFFICIENCY_RATIO
+        assert (
+            GraphFreeMetaBlocking.for_effectiveness().ratio == EFFECTIVENESS_RATIO
+        )
+
+    def test_equals_filter_then_propagate(self, small_dirty_blocks):
+        method = GraphFreeMetaBlocking(0.4)
+        combined = method.process(small_dirty_blocks)
+        manual = ComparisonPropagation().process(
+            BlockFiltering(0.4).process(small_dirty_blocks)
+        )
+        assert combined.distinct_comparisons() == manual.distinct_comparisons()
+
+    def test_output_has_no_redundancy(self, small_dirty_blocks):
+        result = GraphFreeMetaBlocking(0.5).process(small_dirty_blocks)
+        assert result.cardinality == len(result.distinct_comparisons())
+
+    def test_efficiency_prunes_more_than_effectiveness(self, small_dirty_blocks):
+        efficiency = GraphFreeMetaBlocking.for_efficiency().process(
+            small_dirty_blocks
+        )
+        effectiveness = GraphFreeMetaBlocking.for_effectiveness().process(
+            small_dirty_blocks
+        )
+        assert efficiency.cardinality <= effectiveness.cardinality
+
+    def test_effectiveness_recall_dominates(self, small_dirty, small_dirty_blocks):
+        efficiency = GraphFreeMetaBlocking.for_efficiency().process(
+            small_dirty_blocks
+        )
+        effectiveness = GraphFreeMetaBlocking.for_effectiveness().process(
+            small_dirty_blocks
+        )
+        pc_efficiency = evaluate(efficiency, small_dirty.ground_truth).pc
+        pc_effectiveness = evaluate(effectiveness, small_dirty.ground_truth).pc
+        assert pc_effectiveness >= pc_efficiency
+
+    def test_clean_clean(self, small_clean_clean, small_clean_blocks):
+        result = GraphFreeMetaBlocking.for_effectiveness().process(
+            small_clean_blocks
+        )
+        report = evaluate(result, small_clean_clean.ground_truth)
+        assert report.pc > 0.5
+        assert result.cardinality < small_clean_blocks.cardinality

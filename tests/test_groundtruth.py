@@ -1,0 +1,42 @@
+"""Unit tests for the gold-standard duplicate set."""
+
+import pytest
+
+from repro.datamodel.groundtruth import DuplicateSet
+
+
+class TestDuplicateSet:
+    def test_canonical_storage(self):
+        dups = DuplicateSet([(5, 1)])
+        assert (1, 5) in dups
+        assert (5, 1) in dups
+        assert len(dups) == 1
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            DuplicateSet([(2, 2)])
+
+    def test_is_match(self):
+        dups = DuplicateSet([(0, 1)])
+        assert dups.is_match(1, 0)
+        assert not dups.is_match(0, 2)
+
+    def test_detected_in_deduplicates(self):
+        dups = DuplicateSet([(0, 1), (2, 3)])
+        detected = dups.detected_in([(1, 0), (0, 1), (4, 5)])
+        assert detected == {(0, 1)}
+
+    def test_detected_in_empty(self):
+        assert DuplicateSet([(0, 1)]).detected_in([]) == set()
+
+    def test_from_clusters_transitive_closure(self):
+        dups = DuplicateSet.from_clusters([[1, 2, 3], [7, 8]])
+        assert dups.pairs == frozenset({(1, 2), (1, 3), (2, 3), (7, 8)})
+
+    def test_from_clusters_ignores_duplicate_members(self):
+        dups = DuplicateSet.from_clusters([[1, 1, 2]])
+        assert dups.pairs == frozenset({(1, 2)})
+
+    def test_iteration(self):
+        dups = DuplicateSet([(3, 0), (1, 2)])
+        assert sorted(dups) == [(0, 3), (1, 2)]

@@ -1,0 +1,198 @@
+"""Unit and behaviour tests for Incremental Meta-blocking."""
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.datamodel.profiles import EntityProfile
+from repro.datasets import paper_example_dataset
+from repro.datasets.synthetic import DatasetScale, bibliographic_dataset
+from repro.incremental import Candidate, IncrementalMetaBlocking
+
+
+def _profile(identifier: str, text: str) -> EntityProfile:
+    return EntityProfile.from_dict(identifier, {"text": text})
+
+
+def _resolver(**kwargs) -> IncrementalMetaBlocking:
+    defaults = dict(keys_for=TokenBlocking().keys_for, scheme="JS", k=3)
+    defaults.update(kwargs)
+    return IncrementalMetaBlocking(**defaults)
+
+
+class TestConstruction:
+    def test_rejects_ejs(self):
+        with pytest.raises(ValueError, match="degrees"):
+            _resolver(scheme="EJS")
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            _resolver(k=0)
+        with pytest.raises(ValueError):
+            _resolver(filtering_ratio=0.0)
+        with pytest.raises(ValueError):
+            _resolver(max_block_size=1)
+
+    @pytest.mark.parametrize("scheme", ["ARCS", "CBS", "ECBS", "JS"])
+    def test_supported_schemes(self, scheme):
+        resolver = _resolver(scheme=scheme, k=1)
+        # The unrelated profile enlarges |B| so ECBS's IDF factor is > 0.
+        resolver.add(_profile("other", "unrelated words here"))
+        resolver.add(_profile("a", "alpha beta"))
+        (candidate,) = resolver.add(_profile("b", "alpha beta"))
+        assert candidate.entity_id == 1
+        assert candidate.weight > 0
+        assert candidate.common_blocks == 2
+
+
+class TestStreaming:
+    def test_first_profile_has_no_candidates(self):
+        resolver = _resolver()
+        assert resolver.add(_profile("a", "alpha")) == []
+        assert len(resolver) == 1
+
+    def test_candidates_reference_earlier_profiles(self):
+        resolver = _resolver()
+        resolver.add(_profile("a", "alpha beta"))
+        resolver.add(_profile("b", "gamma delta"))
+        candidates = resolver.add(_profile("c", "alpha beta"))
+        assert [c.entity_id for c in candidates] == [0]
+
+    def test_common_blocks_counted(self):
+        resolver = _resolver(filtering_ratio=1.0)
+        resolver.add(_profile("a", "alpha beta gamma"))
+        (candidate,) = resolver.add(_profile("b", "alpha beta zeta"))
+        assert candidate.common_blocks == 2
+
+    def test_top_k_cap(self):
+        resolver = _resolver(k=2)
+        for index in range(5):
+            resolver.add(_profile(f"p{index}", "shared token"))
+        candidates = resolver.add(_profile("new", "shared token"))
+        assert len(candidates) == 2
+
+    def test_candidates_sorted_by_weight(self):
+        resolver = _resolver(filtering_ratio=1.0)
+        resolver.add(_profile("close", "alpha beta gamma"))
+        resolver.add(_profile("far", "alpha zzz yyy xxx www vvv"))
+        candidates = resolver.add(_profile("new", "alpha beta gamma"))
+        assert [c.entity_id for c in candidates] == [0, 1]
+        assert candidates[0].weight > candidates[1].weight
+
+    def test_profile_lookup(self):
+        resolver = _resolver()
+        resolver.add(_profile("a", "alpha"))
+        assert resolver.profile(0).identifier == "a"
+
+
+class TestFilteringAndPurging:
+    def test_max_block_size_blocks_cooccurrence(self):
+        resolver = _resolver(max_block_size=3, filtering_ratio=1.0)
+        for index in range(5):
+            resolver.add(_profile(f"p{index}", "common"))
+        # "common" now has 5 members > 3: it yields no candidates.
+        assert resolver.add(_profile("new", "common")) == []
+
+    def test_filtering_keeps_rarest_blocks(self):
+        resolver = _resolver(filtering_ratio=0.5, k=5)
+        # Build a popular block and a rare one.
+        for index in range(6):
+            resolver.add(_profile(f"pop{index}", "popular"))
+        resolver.add(_profile("rare1", "rareword"))
+        # New profile has both keys; filtering (0.5 of 2 existing = 1 block)
+        # keeps only the rare one.
+        candidates = resolver.add(_profile("new", "popular rareword"))
+        assert [c.entity_id for c in candidates] == [6]
+
+    def test_fresh_keys_always_kept(self):
+        resolver = _resolver(filtering_ratio=0.5)
+        resolver.add(_profile("a", "seen"))
+        resolver.add(_profile("b", "unseen seen"))
+        # "unseen" was fresh for b; c can now match b through it.
+        candidates = resolver.add(_profile("c", "unseen"))
+        assert [c.entity_id for c in candidates] == [1]
+
+
+class TestReciprocal:
+    def test_reciprocal_prunes_one_sided_edges(self):
+        # "hub" shares one token with the new profile but has k stronger
+        # neighbours of its own, so the reciprocal test fails.
+        plain = _resolver(k=1, filtering_ratio=1.0)
+        reciprocal = _resolver(k=1, reciprocal=True, filtering_ratio=1.0)
+        for resolver in (plain, reciprocal):
+            resolver.add(_profile("twin1", "alpha beta gamma delta"))
+            resolver.add(_profile("hub", "alpha beta gamma delta zeta"))
+        assert [c.entity_id for c in plain.add(_profile("new", "zeta"))] == [1]
+        assert reciprocal.add(_profile("new", "zeta")) == []
+
+    def test_reciprocal_keeps_mutual_best(self):
+        resolver = _resolver(k=2, reciprocal=True, filtering_ratio=1.0)
+        resolver.add(_profile("a", "alpha beta gamma"))
+        candidates = resolver.add(_profile("b", "alpha beta gamma"))
+        assert [c.entity_id for c in candidates] == [0]
+
+    def test_reciprocal_subset_of_plain(self):
+        dataset = paper_example_dataset()
+        plain = _resolver(k=2, filtering_ratio=1.0)
+        reciprocal = _resolver(k=2, reciprocal=True, filtering_ratio=1.0)
+        for _, profile in dataset.iter_profiles():
+            plain_candidates = {c.entity_id for c in plain.add(profile)}
+            reciprocal_candidates = {
+                c.entity_id for c in reciprocal.add(profile)
+            }
+            assert reciprocal_candidates <= plain_candidates
+
+
+class TestCleanClean:
+    def test_same_source_pairs_excluded(self):
+        resolver = _resolver(clean_clean=True, filtering_ratio=1.0)
+        resolver.add(_profile("a1", "alpha beta"), source=0)
+        resolver.add(_profile("a2", "alpha beta"), source=0)
+        candidates = resolver.add(_profile("b1", "alpha beta"), source=1)
+        assert {c.entity_id for c in candidates} == {0, 1}
+        same_side = resolver.add(_profile("a3", "alpha beta"), source=0)
+        assert {c.entity_id for c in same_side} == {2}
+
+    def test_source_validated(self):
+        resolver = _resolver(clean_clean=True)
+        with pytest.raises(ValueError, match="source"):
+            resolver.add(_profile("x", "alpha"), source=2)
+
+
+class TestStreamQuality:
+    def test_recovers_most_duplicates_on_synthetic_stream(self):
+        dataset = bibliographic_dataset(
+            DatasetScale(size1=80, size2=200, num_duplicates=60), seed=17
+        )
+        resolver = _resolver(
+            k=5, clean_clean=True, max_block_size=60, filtering_ratio=0.8
+        )
+        matches = set()
+        for entity_id, profile in dataset.iter_profiles():
+            source = dataset.source_of(entity_id)
+            for candidate in resolver.add(profile, source=source):
+                pair = tuple(sorted((entity_id, candidate.entity_id)))
+                matches.add(pair)
+        detected = dataset.ground_truth.detected_in(matches)
+        recall = len(detected) / len(dataset.ground_truth)
+        precision = len(detected) / len(matches)
+        assert recall > 0.8
+        # Top-k candidates are vastly better than random pairs: a random
+        # cross-source pair is a duplicate with probability ~0.4%.
+        assert precision > 0.03
+
+    def test_deterministic(self):
+        dataset = paper_example_dataset()
+
+        def run():
+            resolver = _resolver(k=2)
+            out = []
+            for _, profile in dataset.iter_profiles():
+                out.append(tuple(c.entity_id for c in resolver.add(profile)))
+            return out
+
+        assert run() == run()
+
+    def test_candidate_is_frozen(self):
+        candidate = Candidate(entity_id=1, weight=0.5, common_blocks=2)
+        with pytest.raises(AttributeError):
+            candidate.weight = 0.9  # type: ignore[misc]

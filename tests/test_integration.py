@@ -1,0 +1,162 @@
+"""Integration tests: the paper's qualitative findings on synthetic data.
+
+These run the full pipeline (Token Blocking -> Block Purging -> Block
+Filtering -> weighting -> pruning) on a mid-sized synthetic dataset and
+assert the *relative* behaviour the paper reports: who prunes deeper, who
+keeps recall, how the families order on precision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BlockPurging, TokenBlocking, evaluate
+from repro.blockprocessing.iterative_blocking import IterativeBlocking
+from repro.core import GraphFreeMetaBlocking, meta_block
+from repro.core.edge_weighting import OptimizedEdgeWeighting
+from repro.datasets.synthetic import DatasetScale, movies_dataset
+from repro.matching import JaccardMatcher, OracleMatcher, connected_components, resolve
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return movies_dataset(
+        DatasetScale(size1=350, size2=300, num_duplicates=270), seed=21
+    )
+
+
+@pytest.fixture(scope="module")
+def blocks(dataset):
+    return BlockPurging().process(TokenBlocking().build(dataset))
+
+
+@pytest.fixture(scope="module")
+def reports(dataset, blocks):
+    """Quality report of every pruning algorithm at JS weighting."""
+    out = {}
+    for name in ("CEP", "CNP", "WEP", "WNP", "ReCNP", "ReWNP", "RcCNP", "RcWNP"):
+        result = meta_block(blocks, scheme="JS", algorithm=name)
+        out[name] = evaluate(
+            result.comparisons,
+            dataset.ground_truth,
+            reference_cardinality=blocks.cardinality,
+        )
+    return out
+
+
+class TestPaperFindings:
+    def test_input_blocks_are_high_recall_low_precision(self, dataset, blocks):
+        report = evaluate(
+            blocks,
+            dataset.ground_truth,
+            reference_cardinality=dataset.brute_force_comparisons,
+        )
+        assert report.pc > 0.95
+        assert report.pq < 0.05
+
+    def test_every_algorithm_boosts_precision(self, dataset, blocks, reports):
+        baseline = evaluate(blocks, dataset.ground_truth).pq
+        for name, report in reports.items():
+            assert report.pq > baseline, name
+
+    def test_weight_based_schemes_keep_high_recall(self, reports):
+        # Effectiveness-intensive family: PC >= 0.95 (paper Section 6.3).
+        for name in ("WEP", "WNP", "ReWNP"):
+            assert reports[name].pc >= 0.9, name
+
+    def test_node_centric_retains_more_than_edge_centric(self, reports):
+        # Within each family, node-centric pruning trades more retained
+        # comparisons for recall robustness (paper Section 6.3).
+        assert reports["CNP"].cardinality > reports["CEP"].cardinality
+        assert reports["WNP"].cardinality > reports["WEP"].cardinality
+
+    def test_redefined_improves_precision_at_same_recall(self, reports):
+        assert reports["ReCNP"].pc == pytest.approx(reports["CNP"].pc, abs=1e-9)
+        assert reports["ReCNP"].cardinality <= reports["CNP"].cardinality
+        assert reports["ReWNP"].pc == pytest.approx(reports["WNP"].pc, abs=1e-9)
+        assert reports["ReWNP"].cardinality <= reports["WNP"].cardinality
+
+    def test_reciprocal_has_best_precision_of_family(self, reports):
+        assert reports["RcCNP"].pq >= reports["ReCNP"].pq >= reports["CNP"].pq
+        assert reports["RcWNP"].pq >= reports["ReWNP"].pq >= reports["WNP"].pq
+
+    def test_node_centric_more_robust_than_edge_centric(self, reports):
+        # CNP retains more comparisons than CEP for higher/equal recall.
+        assert reports["CNP"].pc >= reports["CEP"].pc
+
+
+class TestBlockFilteringIntegration:
+    def test_filtering_shrinks_graph_cheaply(self, dataset, blocks):
+        unfiltered = meta_block(
+            blocks, scheme="JS", algorithm="WEP", block_filtering_ratio=None
+        )
+        filtered = meta_block(
+            blocks, scheme="JS", algorithm="WEP", block_filtering_ratio=0.8
+        )
+        quality_unfiltered = evaluate(
+            unfiltered.comparisons, dataset.ground_truth
+        )
+        quality_filtered = evaluate(filtered.comparisons, dataset.ground_truth)
+        # Paper Table 3: WEP's retained comparisons drop by >60% under
+        # filtering while recall drops by <3%.
+        assert (
+            quality_filtered.cardinality < 0.7 * quality_unfiltered.cardinality
+        )
+        assert quality_filtered.pc > 0.93 * quality_unfiltered.pc
+
+
+class TestBaselinesIntegration:
+    def test_graph_free_ratios_meet_their_recall_targets(self, dataset, blocks):
+        # The two tuned ratios exist to serve the two application types:
+        # PC >= 0.8 for r=0.25 and PC >= 0.95 for r=0.55 (paper Section 6.4).
+        efficiency = GraphFreeMetaBlocking.for_efficiency().process(blocks)
+        effectiveness = GraphFreeMetaBlocking.for_effectiveness().process(blocks)
+        assert evaluate(efficiency, dataset.ground_truth).pc >= 0.8
+        assert evaluate(effectiveness, dataset.ground_truth).pc >= 0.95
+        # Both vastly out-precision the raw blocks.
+        baseline = evaluate(blocks, dataset.ground_truth).pq
+        assert evaluate(efficiency, dataset.ground_truth).pq > 10 * baseline
+
+    def test_iterative_blocking_keeps_recall_with_more_comparisons(
+        self, dataset, blocks
+    ):
+        iterative = IterativeBlocking(OracleMatcher(dataset.ground_truth)).process(
+            blocks, dataset.ground_truth
+        )
+        reciprocal = meta_block(blocks, scheme="JS", algorithm="RcWNP").comparisons
+        rc_quality = evaluate(reciprocal, dataset.ground_truth)
+        # Iterative Blocking only saves the comparisons resolved by match
+        # propagation: near-perfect recall, but an order of magnitude more
+        # executed comparisons than Reciprocal WNP (paper Section 6.4).
+        assert iterative.recall(dataset.ground_truth) >= rc_quality.pc - 0.05
+        assert iterative.executed_comparisons > 5 * rc_quality.cardinality
+
+    def test_clean_clean_ideal_saves_comparisons(self, dataset, blocks):
+        matcher = OracleMatcher(dataset.ground_truth)
+        plain = IterativeBlocking(matcher).process(blocks, dataset.ground_truth)
+        ideal = IterativeBlocking(matcher, clean_clean_ideal=True).process(
+            blocks, dataset.ground_truth
+        )
+        assert ideal.executed_comparisons < plain.executed_comparisons
+        assert ideal.recall(dataset.ground_truth) > 0.9
+
+
+class TestMatchingIntegration:
+    def test_jaccard_matcher_resolves_restructured_blocks(self, dataset, blocks):
+        result = meta_block(blocks, scheme="JS", algorithm="RcWNP")
+        resolution = resolve(
+            result.comparisons, JaccardMatcher(dataset, threshold=0.25)
+        )
+        detected = dataset.ground_truth.detected_in(resolution.matches)
+        # Real matching is imperfect, but the pipeline should surface a
+        # sizable share of the duplicates.
+        assert len(detected) > 0.5 * len(dataset.ground_truth)
+
+    def test_dirty_er_clustering(self, dataset):
+        dirty = dataset.to_dirty()
+        dirty_blocks = BlockPurging().process(TokenBlocking().build(dirty))
+        result = meta_block(dirty_blocks, scheme="JS", algorithm="RcWNP")
+        resolution = resolve(result.comparisons, OracleMatcher(dirty.ground_truth))
+        clusters = connected_components(resolution.matches, dirty.num_entities)
+        assert clusters
+        assert all(len(cluster) >= 2 for cluster in clusters)

@@ -1,0 +1,87 @@
+"""Unit tests for the Iterative Blocking baseline."""
+
+from repro.blockprocessing.iterative_blocking import IterativeBlocking
+from repro.datamodel.blocks import Block, BlockCollection
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.matching import OracleMatcher
+
+
+class TestIterativeBlocking:
+    def test_skips_repeated_matched_pairs(self):
+        # (0,1) are duplicates co-occurring in two blocks: the second
+        # encounter must be skipped (match propagation).
+        blocks = BlockCollection(
+            [Block("a", (0, 1)), Block("b", (0, 1))], num_entities=2
+        )
+        truth = DuplicateSet([(0, 1)])
+        result = IterativeBlocking(OracleMatcher(truth)).process(blocks, truth)
+        assert result.executed_comparisons == 1
+        assert result.detected_duplicates == {(0, 1)}
+
+    def test_transitive_propagation(self):
+        # After 0~1 and 1~2 merge, the 0-2 comparison is already resolved.
+        blocks = BlockCollection(
+            [Block("a", (0, 1)), Block("b", (1, 2)), Block("c", (0, 2))],
+            num_entities=3,
+        )
+        truth = DuplicateSet.from_clusters([[0, 1, 2]])
+        result = IterativeBlocking(OracleMatcher(truth)).process(blocks, truth)
+        assert result.executed_comparisons == 2
+        # The third pair is *detected* via the transitive merge even though
+        # its comparison was never executed.
+        assert result.matches == {(0, 1), (1, 2)}
+
+    def test_non_matches_always_executed(self):
+        blocks = BlockCollection(
+            [Block("a", (0, 1)), Block("b", (0, 1))], num_entities=2
+        )
+        truth = DuplicateSet([(0, 1)])
+        # Empty oracle: nothing matches, both comparisons run.
+        result = IterativeBlocking(OracleMatcher(DuplicateSet([]))).process(
+            blocks, truth
+        )
+        assert result.executed_comparisons == 2
+        assert result.detected_duplicates == set()
+
+    def test_processing_order_smallest_first(self):
+        # The big block is processed after the small one, so the duplicate
+        # is found cheaply in the small block first.
+        blocks = BlockCollection(
+            [Block("big", (0, 1, 2, 3, 4)), Block("small", (0, 1))],
+            num_entities=5,
+        )
+        truth = DuplicateSet([(0, 1)])
+        result = IterativeBlocking(OracleMatcher(truth)).process(blocks, truth)
+        # 1 comparison in "small" + the 9 non-duplicate pairs of "big".
+        assert result.executed_comparisons == 10
+
+    def test_clean_clean_ideal_skips_resolved_entities(self):
+        blocks = BlockCollection(
+            [Block("a", (0,), (2,)), Block("b", (0, 1), (2, 3))],
+            num_entities=4,
+        )
+        truth = DuplicateSet([(0, 2), (1, 3)])
+        result = IterativeBlocking(
+            OracleMatcher(truth), clean_clean_ideal=True
+        ).process(blocks, truth)
+        # (0,2) matched in block a; in block b only (1,3) is attempted
+        # because 0 and 2 are already resolved.
+        assert result.executed_comparisons == 2
+        assert result.detected_duplicates == {(0, 2), (1, 3)}
+
+    def test_precision_and_recall_properties(self):
+        blocks = BlockCollection(
+            [Block("a", (0, 1, 2))], num_entities=3
+        )
+        truth = DuplicateSet([(0, 1)])
+        result = IterativeBlocking(OracleMatcher(truth)).process(blocks, truth)
+        assert result.recall(truth) == 1.0
+        assert result.precision == 1 / 3
+
+    def test_empty_blocks(self):
+        truth = DuplicateSet([(0, 1)])
+        result = IterativeBlocking(OracleMatcher(truth)).process(
+            BlockCollection([], num_entities=2), truth
+        )
+        assert result.executed_comparisons == 0
+        assert result.recall(truth) == 0.0

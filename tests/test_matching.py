@@ -1,0 +1,148 @@
+"""Unit tests for matchers, resolution and clustering."""
+
+import pytest
+
+from repro.datamodel.blocks import ComparisonCollection
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.datamodel.profiles import EntityCollection, EntityProfile
+from repro.datamodel.dataset import DirtyERDataset
+from repro.matching import (
+    JaccardMatcher,
+    OracleMatcher,
+    ThresholdMatcher,
+    connected_components,
+    matched_pairs,
+    resolve,
+)
+
+
+def _dataset():
+    collection = EntityCollection(
+        [
+            EntityProfile.from_dict("a", {"t": "alpha beta gamma"}),
+            EntityProfile.from_dict("b", {"t": "alpha beta gamma"}),
+            EntityProfile.from_dict("c", {"t": "alpha delta"}),
+            EntityProfile.from_dict("d", {"t": "omega psi"}),
+        ]
+    )
+    return DirtyERDataset(collection, DuplicateSet([(0, 1)]))
+
+
+class TestOracleMatcher:
+    def test_follows_ground_truth(self):
+        matcher = OracleMatcher(DuplicateSet([(0, 1)]))
+        assert matcher.matches(1, 0)
+        assert not matcher.matches(0, 2)
+
+    def test_similarity_binary(self):
+        matcher = OracleMatcher(DuplicateSet([(0, 1)]))
+        assert matcher.similarity(0, 1) == 1.0
+        assert matcher.similarity(0, 2) == 0.0
+
+
+class TestJaccardMatcher:
+    def test_identical_profiles(self):
+        matcher = JaccardMatcher(_dataset(), threshold=0.99)
+        assert matcher.similarity(0, 1) == pytest.approx(1.0)
+        assert matcher.matches(0, 1)
+
+    def test_partial_overlap(self):
+        matcher = JaccardMatcher(_dataset())
+        assert matcher.similarity(0, 2) == pytest.approx(1 / 4)
+
+    def test_disjoint_profiles(self):
+        matcher = JaccardMatcher(_dataset())
+        assert matcher.similarity(0, 3) == 0.0
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            JaccardMatcher(_dataset(), threshold=1.5)
+
+    def test_token_cache_consistency(self):
+        matcher = JaccardMatcher(_dataset())
+        first = matcher.similarity(0, 2)
+        second = matcher.similarity(0, 2)
+        assert first == second
+
+
+class TestThresholdMatcher:
+    def test_wraps_similarity_function(self):
+        matcher = ThresholdMatcher(lambda i, j: abs(i - j) / 10, threshold=0.3)
+        assert matcher.matches(0, 5)
+        assert not matcher.matches(0, 2)
+
+
+class TestResolve:
+    def test_counts_executed_comparisons(self):
+        source = ComparisonCollection([(0, 1), (0, 1), (0, 2)], num_entities=3)
+        result = resolve(source, OracleMatcher(DuplicateSet([(0, 1)])))
+        # Redundant comparisons are executed again.
+        assert result.executed_comparisons == 3
+        assert result.matches == {(0, 1)}
+        assert result.elapsed_seconds >= 0.0
+
+    def test_match_rate(self):
+        source = ComparisonCollection([(0, 1), (0, 2)], num_entities=3)
+        result = resolve(source, OracleMatcher(DuplicateSet([(0, 1)])))
+        assert result.match_rate == 0.5
+
+    def test_empty_source(self):
+        result = resolve(
+            ComparisonCollection([], 0), OracleMatcher(DuplicateSet([]))
+        )
+        assert result.executed_comparisons == 0
+        assert result.match_rate == 0.0
+
+
+class TestClustering:
+    def test_connected_components(self):
+        clusters = connected_components([(0, 1), (1, 2), (4, 5)], num_entities=6)
+        assert clusters == [[0, 1, 2], [4, 5]]
+
+    def test_singletons_omitted(self):
+        clusters = connected_components([(0, 1)], num_entities=5)
+        assert clusters == [[0, 1]]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            connected_components([(0, 9)], num_entities=3)
+
+    def test_matched_pairs_canonicalises(self):
+        pairs = matched_pairs([(4, 0)], split=3)
+        assert pairs == {(0, 4)}
+
+    def test_matched_pairs_rejects_same_side(self):
+        with pytest.raises(ValueError, match="does not link"):
+            matched_pairs([(0, 1)], split=3)
+
+
+class TestEstimateResolutionSeconds:
+    def test_extrapolates_from_sample(self):
+        from repro.datamodel.blocks import ComparisonCollection
+        from repro.matching.resolution import estimate_resolution_seconds
+
+        source = ComparisonCollection([(0, 1)] * 100, num_entities=2)
+        matcher = OracleMatcher(DuplicateSet([(0, 1)]))
+        estimate = estimate_resolution_seconds(
+            1_000_000, source, matcher, sample_size=50
+        )
+        small = estimate_resolution_seconds(100, source, matcher, sample_size=50)
+        assert estimate > small > 0.0
+
+    def test_empty_source(self):
+        from repro.datamodel.blocks import ComparisonCollection
+        from repro.matching.resolution import estimate_resolution_seconds
+
+        source = ComparisonCollection([], num_entities=0)
+        matcher = OracleMatcher(DuplicateSet([]))
+        assert estimate_resolution_seconds(100, source, matcher) == 0.0
+
+    def test_sample_size_validated(self):
+        import pytest as _pytest
+        from repro.datamodel.blocks import ComparisonCollection
+        from repro.matching.resolution import estimate_resolution_seconds
+
+        source = ComparisonCollection([(0, 1)], num_entities=2)
+        matcher = OracleMatcher(DuplicateSet([]))
+        with _pytest.raises(ValueError):
+            estimate_resolution_seconds(10, source, matcher, sample_size=0)

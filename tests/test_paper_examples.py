@@ -1,0 +1,323 @@
+"""End-to-end assertions of the paper's worked example (Figures 1-9).
+
+Every intermediate artefact of the running example — the blocks, the JS
+blocking graph, the node-centric pruned graphs, Block Filtering's output and
+the reciprocal blocks — is checked against the figures. This pins down the
+exact semantics of each algorithm far more tightly than statistical tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockprocessing.comparison_propagation import ComparisonPropagation
+from repro.core import (
+    BlockFiltering,
+    MaterializedBlockingGraph,
+    OptimizedEdgeWeighting,
+    meta_block,
+)
+from repro.core.pruning import (
+    ReciprocalWeightedNodePruning,
+    RedefinedWeightedNodePruning,
+    WeightedEdgePruning,
+    WeightedNodePruning,
+)
+from tests.conftest import PAPER_JS_WEIGHTS
+
+# Entity ids: p1..p6 -> 0..5.
+P1, P2, P3, P4, P5, P6 = range(6)
+
+
+class TestFigure1:
+    """Token Blocking on the six profiles of Figure 1(a)."""
+
+    def test_eight_blocks(self, example_blocks):
+        assert len(example_blocks) == 8
+
+    def test_block_contents(self, example_blocks):
+        by_key = {block.key: set(block.entities1) for block in example_blocks}
+        assert by_key == {
+            "jack": {P1, P3},
+            "miller": {P1, P3},
+            "erick": {P2, P4},
+            "green": {P2, P4},
+            "vendor": {P2, P3},
+            "seller": {P3, P5},
+            "lloyd": {P1, P4},
+            "car": {P3, P4, P5, P6},
+        }
+
+    def test_thirteen_comparisons(self, example_blocks):
+        assert example_blocks.cardinality == 13
+
+    def test_three_redundant_comparisons(self, example_blocks):
+        distinct = example_blocks.distinct_comparisons()
+        assert example_blocks.cardinality - len(distinct) == 3
+
+    def test_eight_superfluous_comparisons(self, example_blocks, example_dataset):
+        distinct = example_blocks.distinct_comparisons()
+        superfluous = {
+            pair for pair in distinct if pair not in example_dataset.ground_truth
+        }
+        assert len(superfluous) == 8
+
+    def test_brute_force_is_fifteen(self, example_dataset):
+        assert example_dataset.brute_force_comparisons == 15
+
+
+class TestFigure2:
+    """The JS blocking graph and the threshold-1/4 edge-centric pruning."""
+
+    def test_graph_order_and_size(self, example_blocks):
+        graph = MaterializedBlockingGraph(example_blocks, "JS")
+        assert graph.order == 6
+        assert graph.size == 10
+
+    def test_all_js_weights(self, example_blocks):
+        graph = MaterializedBlockingGraph(example_blocks, "JS")
+        for (left, right), expected in PAPER_JS_WEIGHTS.items():
+            assert graph.weight(left, right) == pytest.approx(expected)
+
+    def test_wep_with_quarter_threshold_retains_figure_2b(self, example_blocks):
+        # The paper prunes with an illustrative threshold of 1/4 and keeps
+        # the five edges of Figure 2(b).
+        weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+        pruned = WeightedEdgePruning(threshold=0.25).prune(weighting)
+        assert pruned.distinct_comparisons() == {
+            (P1, P3),
+            (P2, P4),
+            (P3, P5),
+            (P4, P6),
+            (P5, P6),
+        }
+
+    def test_superfluous_edge_outweighs_matching_ones(self, example_blocks):
+        # e(5,6) > e(1,3) and e(2,4): the paper's argument for why
+        # edge-centric threshold tuning cannot remove all superfluous edges.
+        graph = MaterializedBlockingGraph(example_blocks, "JS")
+        assert graph.weight(P5, P6) > graph.weight(P1, P3)
+        assert graph.weight(P5, P6) > graph.weight(P2, P4)
+
+
+def _directed_wnp_edges(example_blocks):
+    """The directed retained edges of the original WNP (Figure 5a)."""
+    weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+    retained: set[tuple[int, int]] = set()
+    for entity, neighborhood in weighting.iter_neighborhoods():
+        threshold = sum(w for _, w in neighborhood) / len(neighborhood)
+        for other, weight in neighborhood:
+            if weight >= threshold:
+                retained.add((entity, other))
+    return retained
+
+
+class TestFigure5:
+    """Original node-centric pruning: 9 directed edges, 9 blocks."""
+
+    EXPECTED_DIRECTED = {
+        (P1, P3),
+        (P2, P4),
+        (P3, P1),
+        (P3, P5),
+        (P4, P2),
+        (P4, P6),
+        (P5, P3),
+        (P5, P6),
+        (P6, P5),
+    }
+
+    def test_directed_pruned_graph(self, example_blocks):
+        assert _directed_wnp_edges(example_blocks) == self.EXPECTED_DIRECTED
+
+    def test_original_wnp_retains_nine_comparisons(self, example_blocks):
+        weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+        pruned = WeightedNodePruning().prune(weighting)
+        assert pruned.cardinality == 9
+
+    def test_original_wnp_contains_redundant_pairs(self, example_blocks):
+        weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+        pruned = WeightedNodePruning().prune(weighting)
+        assert len(pruned.distinct_comparisons()) == 5
+
+
+class TestFigure8:
+    """Redefined WNP: the undirected graph keeps 5 comparisons, same recall."""
+
+    def test_redefined_wnp(self, example_blocks, example_dataset):
+        weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+        pruned = RedefinedWeightedNodePruning().prune(weighting)
+        assert pruned.cardinality == 5
+        assert pruned.distinct_comparisons() == {
+            (P1, P3),
+            (P2, P4),
+            (P3, P5),
+            (P4, P6),
+            (P5, P6),
+        }
+        detected = example_dataset.ground_truth.detected_in(pruned)
+        assert len(detected) == 2  # both duplicate pairs survive
+
+
+class TestFigure9:
+    """Reciprocal WNP: only reciprocally-linked pairs — 4 comparisons."""
+
+    def test_reciprocal_wnp(self, example_blocks, example_dataset):
+        weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+        pruned = ReciprocalWeightedNodePruning().prune(weighting)
+        assert pruned.distinct_comparisons() == {
+            (P1, P3),
+            (P2, P4),
+            (P3, P5),
+            (P5, P6),
+        }
+        detected = example_dataset.ground_truth.detected_in(pruned)
+        assert len(detected) == 2
+
+    def test_reciprocal_subset_of_redefined(self, example_blocks):
+        weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+        redefined = RedefinedWeightedNodePruning().prune(weighting)
+        reciprocal = ReciprocalWeightedNodePruning().prune(weighting)
+        assert reciprocal.distinct_comparisons() <= redefined.distinct_comparisons()
+
+
+class TestFigure6:
+    """Block Filtering on the example, then WEP on the filtered graph."""
+
+    def test_remove_largest_block_per_entity(self, example_blocks):
+        # With cardinality-based importance, "car" (6 comparisons) is the
+        # least important block of every member. At r=0.75, p3 (5 blocks,
+        # limit 4) and p4 (4 blocks, limit 3) are removed from it, while p5
+        # (2 blocks, limit 2) and p6 (1 block, limit 1) stay.
+        filtered = BlockFiltering(ratio=0.75).process(example_blocks)
+        by_key = {block.key: set(block.entities1) for block in filtered}
+        assert by_key["car"] == {P5, P6}
+        # p1 (3 blocks, limit 2) keeps alphabetically-first unit blocks jack
+        # and lloyd; "miller" shrinks to {p3} and is dropped as invalid.
+        # Likewise p2 keeps erick/green and "vendor" is dropped.
+        assert set(by_key) == {"jack", "lloyd", "erick", "green", "seller", "car"}
+        assert by_key["jack"] == {P1, P3}
+        assert by_key["seller"] == {P3, P5}
+
+    def test_filtered_graph_weights(self, example_blocks):
+        # Figure 6(b): after dropping the "car" block and one unit block for
+        # p1/p2, the graph has edges 2/3 (p1,p3), 1 (p2,p4), 1/3 (p3,p5).
+        # Reproduce that exact collection directly.
+        from repro.datamodel.blocks import Block, BlockCollection
+
+        filtered = BlockCollection(
+            [
+                Block("jack", (P1, P3)),
+                Block("miller", (P1, P3)),
+                Block("erick", (P2, P4)),
+                Block("green", (P2, P4)),
+                Block("seller", (P3, P5)),
+            ],
+            num_entities=6,
+        )
+        graph = MaterializedBlockingGraph(filtered, "JS")
+        assert graph.weight(P1, P3) == pytest.approx(2 / 3)
+        assert graph.weight(P2, P4) == pytest.approx(1.0)
+        assert graph.weight(P3, P5) == pytest.approx(1 / 3)
+        # WEP on this graph keeps only the two matching edges (Figure 6c-d).
+        weighting = OptimizedEdgeWeighting(filtered, "JS")
+        pruned = WeightedEdgePruning().prune(weighting)
+        assert pruned.distinct_comparisons() == {(P1, P3), (P2, P4)}
+
+
+class TestComparisonPropagationExample:
+    """Comparison Propagation keeps the 10 distinct pairs of the example."""
+
+    def test_distinct_pairs(self, example_blocks):
+        propagated = ComparisonPropagation().process(example_blocks)
+        assert propagated.cardinality == 10
+        assert propagated.distinct_comparisons() == set(PAPER_JS_WEIGHTS)
+
+    def test_lecobi_strategy_agrees(self, example_blocks):
+        scan = ComparisonPropagation(strategy="scan").process(example_blocks)
+        lecobi = ComparisonPropagation(strategy="lecobi").process(example_blocks)
+        assert scan.distinct_comparisons() == lecobi.distinct_comparisons()
+        assert scan.cardinality == lecobi.cardinality == 10
+
+
+class TestMetaBlockEndToEnd:
+    """meta_block() on the example reproduces the figures' pipeline."""
+
+    def test_wnp_reciprocal_via_pipeline(self, example_dataset, example_blocks):
+        result = meta_block(
+            example_blocks,
+            scheme="JS",
+            algorithm="RcWNP",
+            block_filtering_ratio=None,
+        )
+        assert result.comparisons.distinct_comparisons() == {
+            (P1, P3),
+            (P2, P4),
+            (P3, P5),
+            (P5, P6),
+        }
+        assert result.overhead_seconds > 0.0
+
+
+class TestMoreWorkedExampleExactness:
+    """Additional exact values derivable from the Figure 1 blocks."""
+
+    def test_cnp_default_k_is_two(self, example_blocks):
+        from repro.core.pruning.base import cardinality_node_threshold
+
+        assert cardinality_node_threshold(example_blocks) == 2
+
+    def test_cnp_top1_per_node(self, example_blocks):
+        # With k=1 every node keeps its single best neighbour:
+        # p1->p3, p2->p4, p3->p5 (2/5 beats 1/3), p4->p2, p5->p6, p6->p5.
+        from repro.core.pruning import CardinalityNodePruning
+
+        weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+        pruned = CardinalityNodePruning(k=1).prune(weighting)
+        assert sorted(pruned.pairs) == [
+            (0, 2),
+            (1, 3),
+            (1, 3),
+            (2, 4),
+            (4, 5),
+            (4, 5),
+        ]
+
+    def test_cep_default_retains_nine_of_ten(self, example_blocks):
+        from repro.core.pruning import CardinalityEdgePruning
+
+        weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+        pruned = CardinalityEdgePruning().prune(weighting)
+        # K = floor(18/2) = 9: everything but the weakest edge p3-p4 (1/8).
+        assert pruned.cardinality == 9
+        assert (2, 3) not in pruned.distinct_comparisons()
+
+    def test_cbs_weights_on_example(self, example_blocks):
+        graph = MaterializedBlockingGraph(example_blocks, "CBS")
+        assert graph.weight(P1, P3) == 2.0  # jack + miller
+        assert graph.weight(P2, P4) == 2.0  # erick + green
+        assert graph.weight(P3, P5) == 2.0  # seller + car
+        assert graph.weight(P5, P6) == 1.0  # car only
+
+    def test_arcs_weights_on_example(self, example_blocks):
+        import pytest as _pytest
+
+        graph = MaterializedBlockingGraph(example_blocks, "ARCS")
+        # p3-p5 share "seller" (1 comparison) and "car" (6 comparisons).
+        assert graph.weight(P3, P5) == _pytest.approx(1.0 + 1 / 6)
+        # p5-p6 share only "car".
+        assert graph.weight(P5, P6) == _pytest.approx(1 / 6)
+
+    def test_graph_free_on_example(self, example_blocks, example_dataset):
+        from repro.core.graph_free import GraphFreeMetaBlocking
+
+        result = GraphFreeMetaBlocking(0.55).process(example_blocks)
+        detected = example_dataset.ground_truth.detected_in(result)
+        assert len(detected) == 2  # both duplicates survive r=0.55
+
+    def test_block_purging_drops_car_on_tiny_collection(self, example_blocks):
+        from repro.blockprocessing import BlockPurging
+
+        purged = BlockPurging(size_fraction=0.5).process(example_blocks)
+        assert "car" not in {block.key for block in purged}
+        assert len(purged) == 7

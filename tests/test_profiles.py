@@ -1,0 +1,109 @@
+"""Unit tests for entity profiles and collections."""
+
+import pytest
+
+from repro.datamodel.profiles import (
+    Attribute,
+    CollectionStatistics,
+    EntityCollection,
+    EntityProfile,
+)
+
+
+class TestEntityProfile:
+    def test_from_dict_scalar(self):
+        profile = EntityProfile.from_dict("p", {"name": "Alice"})
+        assert profile.attributes == (Attribute("name", "Alice"),)
+
+    def test_from_dict_list_values(self):
+        profile = EntityProfile.from_dict("p", {"actors": ["A", "B"]})
+        assert profile.values("actors") == ["A", "B"]
+
+    def test_from_dict_skips_none_and_empty(self):
+        profile = EntityProfile.from_dict("p", {"a": None, "b": "", "c": "x"})
+        assert profile.attribute_names == {"c"}
+
+    def test_from_dict_coerces_non_strings(self):
+        profile = EntityProfile.from_dict("p", {"year": 2016})
+        assert profile.values("year") == ["2016"]
+
+    def test_values_without_name(self):
+        profile = EntityProfile.from_dict("p", {"a": "1", "b": "2"})
+        assert sorted(profile.values()) == ["1", "2"]
+
+    def test_values_missing_attribute(self):
+        profile = EntityProfile.from_dict("p", {"a": "1"})
+        assert profile.values("missing") == []
+
+    def test_repeated_attribute_names_allowed(self):
+        profile = EntityProfile(
+            "p", (Attribute("tag", "x"), Attribute("tag", "y"))
+        )
+        assert profile.values("tag") == ["x", "y"]
+
+    def test_merged_with_unions_attributes(self):
+        left = EntityProfile.from_dict("a", {"x": "1"})
+        right = EntityProfile.from_dict("b", {"x": "1", "y": "2"})
+        merged = left.merged_with(right)
+        assert merged.identifier == "a+b"
+        assert set(merged.attributes) == {Attribute("x", "1"), Attribute("y", "2")}
+        # Shared attribute is not duplicated.
+        assert len(merged.attributes) == 2
+
+    def test_immutability(self):
+        profile = EntityProfile.from_dict("p", {"a": "1"})
+        with pytest.raises(AttributeError):
+            profile.identifier = "q"  # type: ignore[misc]
+
+
+class TestEntityCollection:
+    def test_positions_are_ids(self):
+        profiles = [EntityProfile.from_dict(f"p{i}", {"a": str(i)}) for i in range(3)]
+        collection = EntityCollection(profiles)
+        assert collection.index_of("p1") == 1
+        assert collection[2].identifier == "p2"
+
+    def test_duplicate_identifier_rejected(self):
+        profiles = [
+            EntityProfile.from_dict("same", {"a": "1"}),
+            EntityProfile.from_dict("same", {"a": "2"}),
+        ]
+        with pytest.raises(ValueError, match="duplicate profile identifier"):
+            EntityCollection(profiles)
+
+    def test_attribute_names(self):
+        collection = EntityCollection(
+            [
+                EntityProfile.from_dict("a", {"x": "1"}),
+                EntityProfile.from_dict("b", {"y": "2"}),
+            ]
+        )
+        assert collection.attribute_names == {"x", "y"}
+
+    def test_name_value_pair_counts(self):
+        collection = EntityCollection(
+            [
+                EntityProfile.from_dict("a", {"x": "1", "y": "2"}),
+                EntityProfile.from_dict("b", {"x": "3"}),
+            ]
+        )
+        assert collection.total_name_value_pairs == 3
+        assert collection.mean_name_value_pairs == pytest.approx(1.5)
+
+    def test_empty_collection(self):
+        collection = EntityCollection([])
+        assert len(collection) == 0
+        assert collection.mean_name_value_pairs == 0.0
+
+
+class TestCollectionStatistics:
+    def test_of(self):
+        collection = EntityCollection(
+            [EntityProfile.from_dict("a", {"x": "1", "y": "2"})], name="demo"
+        )
+        stats = CollectionStatistics.of(collection)
+        assert stats.name == "demo"
+        assert stats.num_profiles == 1
+        assert stats.num_attribute_names == 2
+        assert stats.num_name_value_pairs == 2
+        assert stats.mean_name_value_pairs == 2.0

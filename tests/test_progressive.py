@@ -1,0 +1,116 @@
+"""Tests for progressive (pay-as-you-go) meta-blocking."""
+
+import pytest
+
+from repro.datamodel.blocks import Block, BlockCollection
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.matching import OracleMatcher
+from repro.progressive import (
+    ProgressiveMetaBlocking,
+    ProgressivePoint,
+    progressive_recall_curve,
+)
+
+
+class TestScheduler:
+    def test_descending_weight_order(self, example_blocks):
+        scheduler = ProgressiveMetaBlocking(
+            example_blocks, scheme="JS", block_filtering_ratio=None
+        )
+        weights = [weight for _, _, weight in scheduler.stream()]
+        assert weights == sorted(weights, reverse=True)
+        assert len(weights) == 10
+
+    def test_best_edge_first_on_example(self, example_blocks):
+        scheduler = ProgressiveMetaBlocking(
+            example_blocks, scheme="JS", block_filtering_ratio=None
+        )
+        first = next(scheduler.stream())
+        assert first[:2] == (4, 5)  # the 1/2-weight edge p5-p6
+
+    def test_budget(self, example_blocks):
+        scheduler = ProgressiveMetaBlocking(
+            example_blocks, block_filtering_ratio=None
+        )
+        assert len(scheduler.comparisons(budget=3)) == 3
+        assert len(scheduler.comparisons()) == 10
+
+    def test_deterministic(self, example_blocks):
+        build = lambda: ProgressiveMetaBlocking(  # noqa: E731
+            example_blocks, block_filtering_ratio=None
+        ).comparisons()
+        assert build() == build()
+
+    def test_filtering_shrinks_stream(self, small_dirty_blocks):
+        full = ProgressiveMetaBlocking(
+            small_dirty_blocks, block_filtering_ratio=None
+        )
+        filtered = ProgressiveMetaBlocking(
+            small_dirty_blocks, block_filtering_ratio=0.5
+        )
+        assert len(filtered) <= len(full)
+
+    def test_empty_blocks(self):
+        scheduler = ProgressiveMetaBlocking(
+            BlockCollection([], 0), block_filtering_ratio=None
+        )
+        assert list(scheduler.stream()) == []
+
+
+class TestRecallCurve:
+    def test_monotone_and_complete(self, small_dirty, small_dirty_blocks):
+        scheduler = ProgressiveMetaBlocking(small_dirty_blocks)
+        curve = progressive_recall_curve(
+            scheduler,
+            OracleMatcher(small_dirty.ground_truth),
+            small_dirty.ground_truth,
+            checkpoints=10,
+        )
+        recalls = [point.recall for point in curve]
+        assert recalls == sorted(recalls)
+        assert curve[-1].comparisons == len(scheduler)
+
+    def test_front_loading(self, small_dirty, small_dirty_blocks):
+        # The pay-as-you-go property: most duplicates within the first
+        # fraction of comparisons — recall at 20% effort beats 20% of
+        # final recall by a wide margin.
+        scheduler = ProgressiveMetaBlocking(small_dirty_blocks)
+        curve = progressive_recall_curve(
+            scheduler,
+            OracleMatcher(small_dirty.ground_truth),
+            small_dirty.ground_truth,
+            checkpoints=10,
+        )
+        total = curve[-1]
+        early = next(
+            point for point in curve if point.comparisons >= 0.2 * total.comparisons
+        )
+        assert early.recall > 0.6 * total.recall
+
+    def test_checkpoints_validated(self, small_dirty, small_dirty_blocks):
+        scheduler = ProgressiveMetaBlocking(small_dirty_blocks)
+        with pytest.raises(ValueError):
+            progressive_recall_curve(
+                scheduler,
+                OracleMatcher(small_dirty.ground_truth),
+                small_dirty.ground_truth,
+                checkpoints=0,
+            )
+
+    def test_empty_stream(self):
+        scheduler = ProgressiveMetaBlocking(
+            BlockCollection([], 0), block_filtering_ratio=None
+        )
+        curve = progressive_recall_curve(
+            scheduler, OracleMatcher(DuplicateSet([(0, 1)])), DuplicateSet([(0, 1)])
+        )
+        assert curve == [ProgressivePoint(0, 0.0)]
+
+    def test_single_block(self):
+        blocks = BlockCollection([Block("a", (0, 1, 2))], num_entities=3)
+        truth = DuplicateSet([(0, 1)])
+        scheduler = ProgressiveMetaBlocking(blocks, block_filtering_ratio=None)
+        curve = progressive_recall_curve(
+            scheduler, OracleMatcher(truth), truth, checkpoints=3
+        )
+        assert curve[-1].recall == 1.0

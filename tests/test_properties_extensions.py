@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for the extension modules."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import TokenBlocking
+from repro.datamodel.profiles import EntityProfile
+from repro.incremental import IncrementalMetaBlocking
+from repro.matching.er_clustering import (
+    center_clustering,
+    merge_center_clustering,
+    unique_mapping_clustering,
+)
+from repro.matching.similarity import (
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+)
+from repro.supervised.classifier import LogisticRegressionClassifier
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=0, max_size=12)
+short_words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+class TestStringSimilarityProperties:
+    @given(left=words, right=words)
+    @settings(max_examples=150, deadline=None)
+    def test_levenshtein_metric_axioms(self, left, right):
+        distance = levenshtein(left, right)
+        assert distance >= 0
+        assert (distance == 0) == (left == right)
+        assert distance == levenshtein(right, left)
+        assert distance <= max(len(left), len(right))
+
+    @given(left=words, mid=words, right=words)
+    @settings(max_examples=100, deadline=None)
+    def test_levenshtein_triangle_inequality(self, left, mid, right):
+        assert levenshtein(left, right) <= (
+            levenshtein(left, mid) + levenshtein(mid, right)
+        )
+
+    @given(left=words, right=words)
+    @settings(max_examples=150, deadline=None)
+    def test_similarities_bounded(self, left, right):
+        for function in (levenshtein_similarity, jaro, jaro_winkler):
+            value = function(left, right)
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(left=words, right=words)
+    @settings(max_examples=100, deadline=None)
+    def test_jaro_winkler_dominates_jaro(self, left, right):
+        assert jaro_winkler(left, right) >= jaro(left, right) - 1e-12
+
+    @given(word=words)
+    @settings(max_examples=60, deadline=None)
+    def test_identity_scores_one(self, word):
+        assert levenshtein_similarity(word, word) == 1.0
+        assert jaro(word, word) == 1.0
+
+
+scored_pairs = st.lists(
+    st.tuples(
+        st.integers(0, 9),
+        st.integers(0, 9),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ).filter(lambda t: t[0] != t[1]),
+    max_size=30,
+)
+
+
+class TestClusteringProperties:
+    @given(scored=scored_pairs)
+    @settings(max_examples=80, deadline=None)
+    def test_center_clusters_are_disjoint(self, scored):
+        clusters = center_clustering(scored, 10)
+        seen: set[int] = set()
+        for cluster in clusters:
+            assert len(cluster) > 1
+            assert not (set(cluster) & seen)
+            seen |= set(cluster)
+
+    @given(scored=scored_pairs)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_center_coarsens_center(self, scored):
+        center = center_clustering(scored, 10)
+        merged = merge_center_clustering(scored, 10)
+        center_entities = {e for cluster in center for e in cluster}
+        merged_entities = {e for cluster in merged for e in cluster}
+        assert center_entities <= merged_entities
+
+    @given(scored=scored_pairs)
+    @settings(max_examples=80, deadline=None)
+    def test_unique_mapping_is_one_to_one(self, scored):
+        cross = [
+            (left, right, score)
+            for left, right, score in (
+                (min(l, r), max(l, r), s) for l, r, s in scored
+            )
+            if left < 5 <= right
+        ]
+        mapping = unique_mapping_clustering(cross, split=5)
+        lefts = [left for left, _ in mapping]
+        rights = [right for _, right in mapping]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+
+class TestIncrementalProperties:
+    @given(
+        texts=st.lists(
+            st.lists(short_words, min_size=1, max_size=5).map(" ".join),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_candidates_always_older_and_capped(self, texts):
+        resolver = IncrementalMetaBlocking(
+            keys_for=TokenBlocking().keys_for, k=3, filtering_ratio=1.0
+        )
+        for position, text in enumerate(texts):
+            profile = EntityProfile.from_dict(f"p{position}", {"t": text})
+            candidates = resolver.add(profile)
+            assert len(candidates) <= 3
+            for candidate in candidates:
+                assert candidate.entity_id < position
+                assert candidate.weight >= 0.0
+                assert candidate.common_blocks >= 1
+
+    @given(
+        texts=st.lists(
+            st.lists(short_words, min_size=1, max_size=4).map(" ".join),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reciprocal_subset_of_plain(self, texts):
+        plain = IncrementalMetaBlocking(
+            keys_for=TokenBlocking().keys_for, k=2, filtering_ratio=1.0
+        )
+        reciprocal = IncrementalMetaBlocking(
+            keys_for=TokenBlocking().keys_for,
+            k=2,
+            reciprocal=True,
+            filtering_ratio=1.0,
+        )
+        for position, text in enumerate(texts):
+            profile = EntityProfile.from_dict(f"p{position}", {"t": text})
+            plain_ids = {c.entity_id for c in plain.add(profile)}
+            reciprocal_ids = {c.entity_id for c in reciprocal.add(profile)}
+            assert reciprocal_ids <= plain_ids
+
+
+class TestClassifierProperties:
+    @given(
+        offset=st.floats(min_value=1.5, max_value=5.0),
+        count=st.integers(min_value=10, max_value=40),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_separable_data_is_learned(self, offset, count):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        negatives = rng.normal(0.0, 0.3, size=(count, 2))
+        positives = rng.normal(offset, 0.3, size=(count, 2))
+        X = np.vstack([negatives, positives])
+        y = np.array([0.0] * count + [1.0] * count)
+        model = LogisticRegressionClassifier(iterations=250).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9

@@ -1,0 +1,92 @@
+"""Tests for configuration sweeps and recommendations."""
+
+import pytest
+
+from repro.evaluation.reports import (
+    RECALL_FLOORS,
+    best_for_application,
+    render_markdown,
+    sweep_configurations,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(request):
+    small_dirty = request.getfixturevalue("small_dirty")
+    small_dirty_blocks = request.getfixturevalue("small_dirty_blocks")
+    return (
+        small_dirty,
+        sweep_configurations(
+            small_dirty_blocks,
+            small_dirty.ground_truth,
+            algorithms=("WEP", "RcWNP", "RcCNP"),
+            schemes=("JS", "CBS"),
+        ),
+    )
+
+
+class TestSweep:
+    def test_grid_size(self, sweep):
+        _, results = sweep
+        assert len(results) == 6
+        labels = {result.label for result in results}
+        assert "RcWNP/JS" in labels
+
+    def test_reports_have_reference(self, sweep):
+        _, results = sweep
+        assert all(result.report.rr is not None for result in results)
+
+    def test_subset_of_grid(self, small_dirty, small_dirty_blocks):
+        results = sweep_configurations(
+            small_dirty_blocks,
+            small_dirty.ground_truth,
+            algorithms=("WEP",),
+            schemes=("JS",),
+        )
+        assert len(results) == 1
+        assert results[0].label == "WEP/JS"
+
+
+class TestBestForApplication:
+    def test_picks_highest_pq_above_floor(self, sweep):
+        _, results = sweep
+        best = best_for_application(results, "efficiency-intensive")
+        assert best is not None
+        assert best.report.pc >= RECALL_FLOORS["efficiency-intensive"]
+        for other in results:
+            if other.report.pc >= RECALL_FLOORS["efficiency-intensive"]:
+                assert best.report.pq >= other.report.pq
+
+    def test_effectiveness_floor_stricter(self, sweep):
+        _, results = sweep
+        efficiency = best_for_application(results, "efficiency-intensive")
+        effectiveness = best_for_application(results, "effectiveness-intensive")
+        if effectiveness is not None and efficiency is not None:
+            assert effectiveness.report.pc >= efficiency.report.pc - 1e-9 or (
+                effectiveness.report.pc >= 0.95
+            )
+
+    def test_explicit_floor_overrides(self, sweep):
+        _, results = sweep
+        none_qualify = best_for_application(results, recall_floor=1.01)
+        assert none_qualify is None
+
+    def test_unknown_application(self, sweep):
+        _, results = sweep
+        with pytest.raises(ValueError, match="unknown application"):
+            best_for_application(results, "quantum")
+
+
+class TestRenderMarkdown:
+    def test_table_structure(self, sweep):
+        _, results = sweep
+        table = render_markdown(results)
+        lines = table.splitlines()
+        assert lines[0].startswith("| configuration ")
+        assert len(lines) == 2 + len(results)
+
+    def test_sorted_by_pq(self, sweep):
+        _, results = sweep
+        table = render_markdown(results)
+        best = max(results, key=lambda r: r.report.pq)
+        assert best.label in table.splitlines()[2]

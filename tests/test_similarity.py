@@ -1,0 +1,174 @@
+"""Unit tests for the similarity functions and the TF-IDF matcher."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datamodel.dataset import DirtyERDataset
+from repro.datamodel.groundtruth import DuplicateSet
+from repro.datamodel.profiles import EntityCollection, EntityProfile
+from repro.matching.similarity import (
+    TfIdfCosineMatcher,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    overlap_coefficient,
+    token_cosine,
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("kitten", "kitten") == 0
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_empty_strings(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("", "") == 0
+
+    def test_symmetry(self):
+        assert levenshtein("abcdef", "azced") == levenshtein("azced", "abcdef")
+
+    def test_single_substitution(self):
+        assert levenshtein("cat", "car") == 1
+
+    def test_similarity_normalisation(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+        assert levenshtein_similarity("cat", "car") == pytest.approx(2 / 3)
+
+    def test_triangle_inequality(self):
+        a, b, c = "martha", "marhta", "martian"
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_classic_martha_marhta(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-4)
+
+    def test_classic_dixon_dicksonx(self):
+        assert jaro("dixon", "dicksonx") == pytest.approx(0.7667, abs=1e-4)
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+        assert jaro("", "") == 1.0
+
+    def test_symmetry(self):
+        assert jaro("dwayne", "duane") == pytest.approx(jaro("duane", "dwayne"))
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        assert jaro_winkler("martha", "marhta") > jaro("martha", "marhta")
+
+    def test_classic_value(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.9611, abs=1e-4)
+
+    def test_no_boost_without_common_prefix(self):
+        assert jaro_winkler("xmartha", "martha") == pytest.approx(
+            jaro("xmartha", "martha")
+        )
+
+    def test_prefix_scale_validated(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    def test_bounded_by_one(self):
+        assert jaro_winkler("aaaa", "aaaa") == 1.0
+
+
+class TestTokenCosine:
+    def test_identical_vectors(self):
+        counts = Counter({"a": 2, "b": 1})
+        assert token_cosine(counts, counts) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert token_cosine(Counter({"a": 1}), Counter({"b": 1})) == 0.0
+
+    def test_empty(self):
+        assert token_cosine(Counter(), Counter({"a": 1})) == 0.0
+
+    def test_known_value(self):
+        left = Counter({"a": 1, "b": 1})
+        right = Counter({"a": 1})
+        assert token_cosine(left, right) == pytest.approx(1 / 2**0.5)
+
+    def test_symmetry(self):
+        left = Counter({"a": 3, "b": 1})
+        right = Counter({"a": 1, "c": 2})
+        assert token_cosine(left, right) == pytest.approx(
+            token_cosine(right, left)
+        )
+
+
+class TestOverlapCoefficient:
+    def test_subset_is_one(self):
+        assert overlap_coefficient({"a", "b"}, {"a", "b", "c"}) == 1.0
+
+    def test_disjoint(self):
+        assert overlap_coefficient({"a"}, {"b"}) == 0.0
+
+    def test_empty(self):
+        assert overlap_coefficient(set(), {"a"}) == 0.0
+
+
+class TestTfIdfCosineMatcher:
+    def _dataset(self):
+        collection = EntityCollection(
+            [
+                # "common" appears everywhere -> near-zero IDF.
+                EntityProfile.from_dict("a", {"t": "common rareone rretwo"}),
+                EntityProfile.from_dict("b", {"t": "common rareone rretwo"}),
+                EntityProfile.from_dict("c", {"t": "common otherx othery"}),
+                EntityProfile.from_dict("d", {"t": "common thingp thingq"}),
+            ]
+        )
+        return DirtyERDataset(collection, DuplicateSet([(0, 1)]))
+
+    def test_duplicates_score_high(self):
+        matcher = TfIdfCosineMatcher(self._dataset())
+        assert matcher.similarity(0, 1) > 0.9
+        assert matcher.matches(0, 1)
+
+    def test_stop_word_overlap_scores_low(self):
+        matcher = TfIdfCosineMatcher(self._dataset())
+        # (0, 2) share only the ubiquitous "common" token.
+        assert matcher.similarity(0, 2) < 0.2
+
+    def test_beats_plain_jaccard_on_stop_words(self):
+        from repro.matching import JaccardMatcher
+
+        dataset = self._dataset()
+        tfidf = TfIdfCosineMatcher(dataset)
+        jaccard = JaccardMatcher(dataset)
+        # Relative separation between true pair and stop-word pair is
+        # larger under TF-IDF.
+        tfidf_gap = tfidf.similarity(0, 1) - tfidf.similarity(0, 2)
+        jaccard_gap = jaccard.similarity(0, 1) - jaccard.similarity(0, 2)
+        assert tfidf_gap > jaccard_gap
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            TfIdfCosineMatcher(self._dataset(), threshold=2.0)
+
+    def test_empty_profile(self):
+        collection = EntityCollection(
+            [
+                EntityProfile.from_dict("a", {}),
+                EntityProfile.from_dict("b", {"t": "word"}),
+            ]
+        )
+        dataset = DirtyERDataset(collection, DuplicateSet([(0, 1)]))
+        matcher = TfIdfCosineMatcher(dataset)
+        assert matcher.similarity(0, 1) == 0.0

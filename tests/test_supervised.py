@@ -1,0 +1,174 @@
+"""Tests for the supervised meta-blocking extension."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import evaluate
+from repro.supervised import (
+    FEATURE_NAMES,
+    EdgeFeatureExtractor,
+    LogisticRegressionClassifier,
+    SupervisedMetaBlocking,
+    train_from_ground_truth,
+    training_edges,
+)
+
+
+class TestEdgeFeatureExtractor:
+    def test_feature_vector_shape(self, example_blocks):
+        extractor = EdgeFeatureExtractor(example_blocks)
+        vector = extractor.features_for(0, 2)
+        assert vector.shape == (len(FEATURE_NAMES),)
+
+    def test_known_values_on_paper_example(self, example_blocks):
+        extractor = EdgeFeatureExtractor(example_blocks)
+        # p1-p3 share jack+miller: CBS=2, JS=2/6, RS=2/min(3,5)=2/3,
+        # ARCS=1/1+1/1=2 (both unit blocks).
+        vector = extractor.features_for(0, 2)
+        assert vector[0] == 2.0
+        assert vector[1] == pytest.approx(2.0)
+        assert vector[2] == pytest.approx(2 / 6)
+        assert vector[4] == pytest.approx(2 / 3)
+
+    def test_disjoint_pair_all_zero_cooccurrence(self, example_blocks):
+        extractor = EdgeFeatureExtractor(example_blocks)
+        vector = extractor.features_for(0, 1)  # p1, p2 never co-occur
+        assert vector[0] == 0.0
+        assert vector[2] == 0.0
+
+    def test_edge_iteration_matches_graph(self, example_blocks):
+        extractor = EdgeFeatureExtractor(example_blocks)
+        edges = {(l, r) for l, r, _ in extractor.iter_edge_features()}
+        assert edges == example_blocks.distinct_comparisons()
+
+    def test_neighborhood_features(self, example_blocks):
+        extractor = EdgeFeatureExtractor(example_blocks)
+        neighbors = dict(extractor.iter_neighborhood_features(2))
+        assert set(neighbors) == {0, 1, 3, 4, 5}
+
+    def test_iteration_is_repeatable(self, example_blocks):
+        extractor = EdgeFeatureExtractor(example_blocks)
+        first = [(l, r) for l, r, _ in extractor.iter_edge_features()]
+        second = [(l, r) for l, r, _ in extractor.iter_edge_features()]
+        assert first == second
+
+
+class TestLogisticRegression:
+    def _separable_data(self):
+        rng = np.random.default_rng(0)
+        negatives = rng.normal(0.0, 0.5, size=(100, 3))
+        positives = rng.normal(3.0, 0.5, size=(100, 3))
+        X = np.vstack([negatives, positives])
+        y = np.array([0.0] * 100 + [1.0] * 100)
+        return X, y
+
+    def test_learns_separable_data(self):
+        X, y = self._separable_data()
+        model = LogisticRegressionClassifier().fit(X, y)
+        accuracy = (model.predict(X) == y).mean()
+        assert accuracy > 0.97
+
+    def test_probabilities_in_range(self):
+        X, y = self._separable_data()
+        model = LogisticRegressionClassifier().fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegressionClassifier().predict_proba([[1, 2, 3]])
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both classes"):
+            LogisticRegressionClassifier().fit([[1.0], [2.0]], [1.0, 1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier().fit([[1.0]], [1.0, 0.0])
+
+    def test_constant_feature_does_not_crash(self):
+        X = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0], [4.0, 5.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        model = LogisticRegressionClassifier(iterations=200).fit(X, y)
+        assert model.is_fitted
+
+    def test_class_balancing_helps_imbalanced_recall(self):
+        rng = np.random.default_rng(1)
+        negatives = rng.normal(0.0, 1.0, size=(500, 2))
+        positives = rng.normal(2.0, 1.0, size=(20, 2))
+        X = np.vstack([negatives, positives])
+        y = np.array([0.0] * 500 + [1.0] * 20)
+        balanced = LogisticRegressionClassifier(balance_classes=True).fit(X, y)
+        unbalanced = LogisticRegressionClassifier(balance_classes=False).fit(X, y)
+        recall_balanced = balanced.predict(X[y == 1]).mean()
+        recall_unbalanced = unbalanced.predict(X[y == 1]).mean()
+        assert recall_balanced >= recall_unbalanced
+
+
+class TestSupervisedMetaBlocking:
+    def test_mode_validated(self, example_blocks):
+        model = _trained_on_example(example_blocks)
+        with pytest.raises(ValueError, match="unknown mode"):
+            SupervisedMetaBlocking(model, mode="xxx")
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValueError, match="fitted"):
+            SupervisedMetaBlocking(LogisticRegressionClassifier())
+
+    def test_threshold_validated(self, example_blocks):
+        model = _trained_on_example(example_blocks)
+        with pytest.raises(ValueError):
+            SupervisedMetaBlocking(model, probability_threshold=0.0)
+
+    @pytest.mark.parametrize("mode", SupervisedMetaBlocking.MODES)
+    def test_output_edges_subset_of_graph(self, example_blocks, mode):
+        extractor = EdgeFeatureExtractor(example_blocks)
+        model = _trained_on_example(example_blocks)
+        pruned = SupervisedMetaBlocking(model, mode=mode).prune(extractor)
+        assert pruned.distinct_comparisons() <= (
+            example_blocks.distinct_comparisons()
+        )
+
+    def test_training_edges_requires_data(self, example_blocks):
+        extractor = EdgeFeatureExtractor(example_blocks)
+        with pytest.raises(ValueError):
+            training_edges(extractor, [])
+
+    def test_beats_recall_of_random_on_synthetic(
+        self, small_dirty, small_dirty_blocks
+    ):
+        extractor = EdgeFeatureExtractor(small_dirty_blocks)
+        model = train_from_ground_truth(
+            extractor, small_dirty.ground_truth, seed=2
+        )
+        pruned = SupervisedMetaBlocking(model, mode="wep").prune(extractor)
+        report = evaluate(
+            pruned, small_dirty.ground_truth, small_dirty_blocks.cardinality
+        )
+        baseline = evaluate(small_dirty_blocks, small_dirty.ground_truth)
+        assert report.pc > 0.8
+        assert report.pq > 5 * baseline.pq
+
+    def test_cnp_mode_redundancy_free(self, small_dirty, small_dirty_blocks):
+        extractor = EdgeFeatureExtractor(small_dirty_blocks)
+        model = train_from_ground_truth(
+            extractor, small_dirty.ground_truth, seed=2
+        )
+        pruned = SupervisedMetaBlocking(model, mode="cnp").prune(extractor)
+        assert pruned.cardinality == len(pruned.distinct_comparisons())
+
+
+def _trained_on_example(blocks):
+    from repro.datamodel.groundtruth import DuplicateSet
+
+    extractor = EdgeFeatureExtractor(blocks)
+    labelled = [
+        (0, 2, True),
+        (1, 3, True),
+        (2, 3, False),
+        (3, 4, False),
+        (4, 5, False),
+        (2, 5, False),
+    ]
+    X, y = training_edges(extractor, labelled)
+    return LogisticRegressionClassifier(iterations=300).fit(X, y)

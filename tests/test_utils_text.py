@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic-text helpers (Zipf vocabulary, noise ops)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.utils.text import (
+    ZipfVocabulary,
+    abbreviate,
+    perturb_value,
+    typo,
+)
+
+
+class TestZipfVocabulary:
+    def test_distinct_words(self):
+        vocab = ZipfVocabulary(500, random.Random(1))
+        assert len(set(vocab.words)) == 500
+
+    def test_word_lengths(self):
+        vocab = ZipfVocabulary(
+            100, random.Random(2), min_word_length=4, max_word_length=6
+        )
+        assert all(4 <= len(word) <= 6 for word in vocab.words)
+
+    def test_rank_frequencies_decrease(self):
+        rng = random.Random(3)
+        vocab = ZipfVocabulary(50, rng, exponent=1.2)
+        counts = Counter(vocab.sample(rng) for _ in range(30_000))
+        rank0 = counts[vocab.words[0]]
+        rank10 = counts[vocab.words[10]]
+        rank40 = counts[vocab.words[40]]
+        assert rank0 > rank10 > rank40 > 0
+
+    def test_deterministic_given_seed(self):
+        vocab_a = ZipfVocabulary(100, random.Random(7))
+        vocab_b = ZipfVocabulary(100, random.Random(7))
+        assert vocab_a.words == vocab_b.words
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        assert vocab_a.sample_many(20, rng_a) == vocab_b.sample_many(20, rng_b)
+
+    def test_sample_always_in_vocabulary(self):
+        rng = random.Random(4)
+        vocab = ZipfVocabulary(10, rng)
+        words = set(vocab.words)
+        assert all(vocab.sample(rng) in words for _ in range(200))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfVocabulary(0, random.Random(0))
+        with pytest.raises(ValueError):
+            ZipfVocabulary(10, random.Random(0), exponent=0.0)
+
+
+class TestTypo:
+    def test_changes_or_preserves_length_by_one(self):
+        rng = random.Random(5)
+        for _ in range(100):
+            word = "example"
+            result = typo(word, rng)
+            assert abs(len(result) - len(word)) <= 1
+
+    def test_single_character_word(self):
+        rng = random.Random(6)
+        for _ in range(50):
+            result = typo("a", rng)
+            assert len(result) in (1, 2)
+
+    def test_empty_word_unchanged(self):
+        assert typo("", random.Random(0)) == ""
+
+    def test_usually_differs(self):
+        rng = random.Random(8)
+        differing = sum(typo("research", rng) != "research" for _ in range(100))
+        # A substitution may pick the same letter; most edits differ.
+        assert differing > 80
+
+
+class TestAbbreviate:
+    def test_initial(self):
+        assert abbreviate("jack") == "j"
+
+    def test_empty(self):
+        assert abbreviate("") == ""
+
+
+class TestPerturbValue:
+    def test_no_noise_is_identity_modulo_whitespace(self):
+        rng = random.Random(1)
+        value = "alpha  beta\tgamma"
+        result = perturb_value(value, rng, typo_probability=0, drop_probability=0)
+        assert result == "alpha beta gamma"
+
+    def test_full_drop_gives_empty(self):
+        rng = random.Random(2)
+        assert perturb_value("a b c", rng, drop_probability=1.0) == ""
+
+    def test_abbreviation(self):
+        rng = random.Random(3)
+        result = perturb_value(
+            "jack miller",
+            rng,
+            typo_probability=0,
+            drop_probability=0,
+            abbreviate_probability=1.0,
+        )
+        assert result == "j m"
+
+    def test_deterministic(self):
+        a = perturb_value("one two three four", random.Random(11))
+        b = perturb_value("one two three four", random.Random(11))
+        assert a == b

@@ -1,0 +1,42 @@
+"""Unit tests for the wall-clock timer."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import Timer
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_running_flag(self):
+        timer = Timer()
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
+
+    def test_stop_returns_elapsed(self):
+        timer = Timer()
+        timer.start()
+        elapsed = timer.stop()
+        assert elapsed == timer.elapsed >= 0.0
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.005)
+        assert timer.elapsed >= 0.005
+        assert timer.elapsed != first or timer.elapsed > 0

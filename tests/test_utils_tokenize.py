@@ -1,0 +1,99 @@
+"""Unit tests for the schema-agnostic tokenizer."""
+
+import pytest
+
+from repro.datamodel.profiles import EntityProfile
+from repro.utils.tokenize import (
+    attribute_value_tokens,
+    character_qgrams,
+    profile_tokens,
+    token_suffixes,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_whitespace_split(self):
+        assert tokenize("Jack Lloyd Miller") == ["jack", "lloyd", "miller"]
+
+    def test_hyphen_splits(self):
+        # The paper's "car vendor-seller" example relies on this.
+        assert tokenize("car vendor-seller") == ["car", "vendor", "seller"]
+
+    def test_punctuation_splits(self):
+        assert tokenize("Smith, J.; Doe, A.") == ["smith", "j", "doe", "a"]
+
+    def test_lowercases(self):
+        assert tokenize("ABC Def") == ["abc", "def"]
+
+    def test_numbers_kept(self):
+        assert tokenize("year 2016") == ["year", "2016"]
+
+    def test_underscore_splits(self):
+        assert tokenize("foo_bar") == ["foo", "bar"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_only_punctuation(self):
+        assert tokenize("--- ,,, !!!") == []
+
+    def test_min_length_filters(self):
+        assert tokenize("a bb ccc", min_length=2) == ["bb", "ccc"]
+
+    def test_repeated_tokens_preserved(self):
+        assert tokenize("la la land") == ["la", "la", "land"]
+
+
+class TestAttributeValueTokens:
+    def test_union_over_values(self):
+        tokens = attribute_value_tokens(["alpha beta", "beta gamma"])
+        assert tokens == {"alpha", "beta", "gamma"}
+
+    def test_empty_iterable(self):
+        assert attribute_value_tokens([]) == set()
+
+
+class TestProfileTokens:
+    def test_ignores_attribute_names(self):
+        profile = EntityProfile.from_dict(
+            "x", {"uniquename": "alpha", "othername": "beta"}
+        )
+        tokens = profile_tokens(profile)
+        assert tokens == {"alpha", "beta"}
+        assert "uniquename" not in tokens
+
+    def test_distinct(self):
+        profile = EntityProfile.from_dict("x", {"a": "w w w", "b": "w"})
+        assert profile_tokens(profile) == {"w"}
+
+
+class TestCharacterQgrams:
+    def test_trigrams(self):
+        assert character_qgrams("abcd", q=3) == {"abc", "bcd"}
+
+    def test_short_token_kept_whole(self):
+        assert character_qgrams("ab", q=3) == {"ab"}
+
+    def test_multiple_tokens(self):
+        grams = character_qgrams("ab cd", q=2)
+        assert grams == {"ab", "cd"}
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            character_qgrams("abc", q=0)
+
+
+class TestTokenSuffixes:
+    def test_all_suffixes(self):
+        assert token_suffixes("abcde", 3) == {"abcde", "bcde", "cde"}
+
+    def test_too_short_token(self):
+        assert token_suffixes("ab", 3) == set()
+
+    def test_exact_length(self):
+        assert token_suffixes("abc", 3) == {"abc"}
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            token_suffixes("abc", 0)

@@ -1,0 +1,68 @@
+"""Unit tests for the bounded top-k heap."""
+
+import pytest
+
+from repro.utils.topk import TopKHeap
+
+
+class TestTopKHeap:
+    def test_keeps_best_k(self):
+        heap = TopKHeap(2)
+        for score, item in [(0.1, "a"), (0.9, "b"), (0.5, "c")]:
+            heap.push(score, item)
+        assert heap.items() == {"b", "c"}
+
+    def test_under_capacity(self):
+        heap = TopKHeap(10)
+        heap.push(1.0, "x")
+        assert heap.items() == {"x"}
+        assert len(heap) == 1
+
+    def test_zero_k_retains_nothing(self):
+        heap = TopKHeap(0)
+        assert heap.push(1.0, "x") is False
+        assert heap.items() == set()
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            TopKHeap(-1)
+
+    def test_push_reports_retention(self):
+        heap = TopKHeap(1)
+        assert heap.push(0.5, "a") is True
+        assert heap.push(0.9, "b") is True  # evicts a
+        assert heap.push(0.1, "c") is False
+
+    def test_deterministic_tie_break_larger_item_wins(self):
+        heap = TopKHeap(1)
+        heap.push(0.5, (1, 2))
+        heap.push(0.5, (3, 4))
+        assert heap.items() == {(3, 4)}
+        # Order of insertion must not matter.
+        heap2 = TopKHeap(1)
+        heap2.push(0.5, (3, 4))
+        heap2.push(0.5, (1, 2))
+        assert heap2.items() == {(3, 4)}
+
+    def test_sorted_items_best_first(self):
+        heap = TopKHeap(3)
+        for score, item in [(0.2, "a"), (0.8, "b"), (0.5, "c")]:
+            heap.push(score, item)
+        assert [item for _, item in heap.sorted_items()] == ["b", "c", "a"]
+
+    def test_min_entry(self):
+        heap = TopKHeap(2)
+        assert heap.min_entry() is None
+        heap.push(0.3, "a")
+        heap.push(0.7, "b")
+        assert heap.min_entry() == (0.3, "a")
+
+    def test_contains(self):
+        heap = TopKHeap(2)
+        heap.push(0.5, "a")
+        assert "a" in heap
+        assert "b" not in heap
+
+    def test_from_scored(self):
+        heap = TopKHeap.from_scored(2, [(0.1, 10), (0.3, 30), (0.2, 20)])
+        assert heap.items() == {30, 20}

@@ -1,0 +1,57 @@
+"""Unit tests for the disjoint-set structure."""
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons_initially_disjoint(self):
+        union = UnionFind([1, 2, 3])
+        assert not union.connected(1, 2)
+        assert union.component_size(1) == 1
+
+    def test_union_connects(self):
+        union = UnionFind()
+        assert union.union(1, 2) is True
+        assert union.connected(1, 2)
+
+    def test_union_idempotent(self):
+        union = UnionFind()
+        union.union(1, 2)
+        assert union.union(1, 2) is False
+        assert union.union(2, 1) is False
+
+    def test_transitivity(self):
+        union = UnionFind()
+        union.union(1, 2)
+        union.union(2, 3)
+        assert union.connected(1, 3)
+        assert union.component_size(3) == 3
+
+    def test_lazy_registration(self):
+        union = UnionFind()
+        assert union.find("never seen") == "never seen"
+        assert "never seen" in union
+
+    def test_components(self):
+        union = UnionFind(range(5))
+        union.union(0, 1)
+        union.union(2, 3)
+        components = sorted(sorted(c) for c in union.components())
+        assert components == [[0, 1], [2, 3], [4]]
+
+    def test_len(self):
+        union = UnionFind([1, 2])
+        union.union(5, 6)
+        assert len(union) == 4
+
+    def test_mixed_types(self):
+        union = UnionFind()
+        union.union("a", 1)
+        assert union.connected(1, "a")
+
+    def test_large_chain_path_compression(self):
+        union = UnionFind()
+        for index in range(1000):
+            union.union(index, index + 1)
+        assert union.connected(0, 1000)
+        assert union.component_size(500) == 1001

@@ -1,0 +1,183 @@
+"""Unit tests for the five weighting schemes (paper Figure 4)."""
+
+import math
+
+import pytest
+
+from repro.core.weights import (
+    ARCS,
+    CBS,
+    ECBS,
+    EJS,
+    JS,
+    WEIGHTING_SCHEMES,
+    get_scheme,
+)
+
+
+def _weight(scheme, **kwargs):
+    defaults = dict(
+        common_blocks=2,
+        arcs_sum=0.0,
+        blocks_i=3,
+        blocks_j=5,
+        degree_i=4,
+        degree_j=2,
+        total_blocks=100,
+        total_edges=50,
+    )
+    defaults.update(kwargs)
+    return scheme.weight(**defaults)
+
+
+class TestCBS:
+    def test_counts_common_blocks(self):
+        assert _weight(CBS(), common_blocks=7) == 7.0
+
+    def test_zero(self):
+        assert _weight(CBS(), common_blocks=0) == 0.0
+
+
+class TestJS:
+    def test_jaccard_formula(self):
+        assert _weight(JS(), common_blocks=2, blocks_i=3, blocks_j=5) == (
+            pytest.approx(2 / 6)
+        )
+
+    def test_identical_block_lists(self):
+        assert _weight(JS(), common_blocks=4, blocks_i=4, blocks_j=4) == 1.0
+
+    def test_zero_denominator(self):
+        assert _weight(JS(), common_blocks=0, blocks_i=0, blocks_j=0) == 0.0
+
+    def test_range(self):
+        for common in range(1, 4):
+            value = _weight(JS(), common_blocks=common, blocks_i=4, blocks_j=5)
+            assert 0.0 < value <= 1.0
+
+
+class TestECBS:
+    def test_formula(self):
+        expected = 2 * math.log10(100 / 3) * math.log10(100 / 5)
+        assert _weight(ECBS(), common_blocks=2) == pytest.approx(expected)
+
+    def test_discounts_prolific_profiles(self):
+        few_blocks = _weight(ECBS(), blocks_i=2, blocks_j=2)
+        many_blocks = _weight(ECBS(), blocks_i=50, blocks_j=50)
+        assert few_blocks > many_blocks
+
+    def test_zero_common(self):
+        assert _weight(ECBS(), common_blocks=0) == 0.0
+
+
+class TestEJS:
+    def test_formula(self):
+        jaccard = 2 / 6
+        expected = jaccard * math.log10(50 / 4) * math.log10(50 / 2)
+        assert _weight(EJS(), common_blocks=2) == pytest.approx(expected)
+
+    def test_discounts_high_degree(self):
+        low_degree = _weight(EJS(), degree_i=2, degree_j=2)
+        high_degree = _weight(EJS(), degree_i=40, degree_j=40)
+        assert low_degree > high_degree
+
+    def test_requires_degrees_flag(self):
+        assert EJS.uses_degrees is True
+        assert JS.uses_degrees is False
+
+    def test_zero_guards(self):
+        assert _weight(EJS(), degree_i=0) == 0.0
+        assert _weight(EJS(), total_edges=0) == 0.0
+
+
+class TestARCS:
+    def test_returns_accumulated_sum(self):
+        assert _weight(ARCS(), arcs_sum=0.75) == 0.75
+
+    def test_uses_arcs_flag(self):
+        assert ARCS.uses_arcs_sum is True
+        assert CBS.uses_arcs_sum is False
+
+    def test_smaller_blocks_weigh_more(self):
+        # Sharing two small blocks beats sharing two huge ones.
+        small = _weight(ARCS(), arcs_sum=1.0 + 1.0)
+        huge = _weight(ARCS(), arcs_sum=1e-3 + 1e-3)
+        assert small > huge
+
+
+class TestRegistry:
+    def test_all_five_schemes(self):
+        assert set(WEIGHTING_SCHEMES) == {"ARCS", "CBS", "ECBS", "JS", "EJS"}
+
+    def test_get_scheme_by_name(self):
+        assert isinstance(get_scheme("js"), JS)
+        assert isinstance(get_scheme("ARCS"), ARCS)
+
+    def test_get_scheme_passthrough(self):
+        scheme = CBS()
+        assert get_scheme(scheme) is scheme
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown weighting scheme"):
+            get_scheme("nope")
+
+
+class TestX2:
+    def _x2(self, **kwargs):
+        from repro.core.weights import X2
+
+        return _weight(X2(), **kwargs)
+
+    def test_independence_scores_zero_ish(self):
+        # When observed co-occurrence equals the expectation, chi2 = 0.
+        # |Bi|=10, |Bj|=10, |B|=100 -> expected common = 1.
+        value = self._x2(
+            common_blocks=1, blocks_i=10, blocks_j=10, total_blocks=100
+        )
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_strong_cooccurrence_scores_high(self):
+        dependent = self._x2(
+            common_blocks=10, blocks_i=10, blocks_j=10, total_blocks=100
+        )
+        independent = self._x2(
+            common_blocks=2, blocks_i=10, blocks_j=10, total_blocks=100
+        )
+        assert dependent > independent > 0
+
+    def test_degenerate_table(self):
+        # All blocks contain both entities: denominator collapses to 0.
+        assert self._x2(
+            common_blocks=5, blocks_i=5, blocks_j=5, total_blocks=5
+        ) == 0.0
+
+    def test_resolved_by_get_scheme_but_not_in_core_registry(self):
+        from repro.core.weights import (
+            EXTRA_WEIGHTING_SCHEMES,
+            WEIGHTING_SCHEMES,
+            X2,
+            get_scheme,
+        )
+
+        assert isinstance(get_scheme("x2"), X2)
+        assert "X2" not in WEIGHTING_SCHEMES
+        assert "X2" in EXTRA_WEIGHTING_SCHEMES
+
+    def test_usable_end_to_end(self, example_blocks):
+        from repro.core import meta_block
+
+        result = meta_block(
+            example_blocks, scheme="X2", algorithm="RcWNP",
+            block_filtering_ratio=None,
+        )
+        assert result.comparisons.cardinality > 0
+
+    def test_backends_agree_on_x2(self, example_blocks):
+        from repro.core.edge_weighting import (
+            OptimizedEdgeWeighting,
+            OriginalEdgeWeighting,
+        )
+
+        optimized = sorted(OptimizedEdgeWeighting(example_blocks, "X2").iter_edges())
+        original = sorted(OriginalEdgeWeighting(example_blocks, "X2").iter_edges())
+        assert optimized == pytest.approx(original)
