@@ -1,0 +1,105 @@
+"""Parallel executor scaling — speedup vs. worker count (extra).
+
+The parallel node-partitioned executor promises the serial algorithms'
+exact output at a fraction of the wall clock. This bench builds a synthetic
+redundancy-positive block collection of >= 50k entities directly (no
+dataset/blocking stage — the subject here is weighting + pruning), runs the
+redefined-WNP configuration at increasing worker counts, records the
+speedup curve, and asserts that every run retains the identical comparison
+set.
+
+The speedup assertion (>= 2x at 4 workers) only fires on machines with at
+least 4 CPU cores and a working ``fork`` start method; the exactness
+assertions always run. Scale with ``REPRO_BENCH_SCALE`` as usual.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+
+from benchmarks._recorder import RECORDER
+from benchmarks.conftest import bench_scale
+from repro.core.edge_weighting import OptimizedEdgeWeighting
+from repro.core.parallel import ParallelNodeCentricExecutor
+from repro.core.pruning import RedefinedWeightedNodePruning
+from repro.datamodel.blocks import Block, BlockCollection
+from repro.utils.timer import Timer
+
+NUM_ENTITIES = 50_000
+BLOCKS_PER_ENTITY = 4
+BLOCK_SIZE = 10
+WORKER_COUNTS = (1, 2, 4)
+SPEEDUP_FLOOR = 2.0  # required at 4 workers when the hardware has them
+
+
+def synthetic_collection(
+    num_entities: int, blocks_per_entity: int, block_size: int, seed: int = 42
+) -> BlockCollection:
+    """A random unilateral, redundancy-positive collection of given shape."""
+    rng = np.random.default_rng(seed)
+    assignments = num_entities * blocks_per_entity
+    num_blocks = assignments // block_size
+    membership = rng.integers(0, num_entities, size=assignments, dtype=np.int64)
+    blocks = []
+    for position in range(num_blocks):
+        members = np.unique(
+            membership[position * block_size : (position + 1) * block_size]
+        )
+        if members.size >= 2:
+            blocks.append(Block(f"s{position}", members.tolist()))
+    return BlockCollection(blocks, num_entities).sorted_by_cardinality()
+
+
+def test_parallel_scaling(benchmark):
+    blocks = synthetic_collection(
+        max(1000, int(NUM_ENTITIES * bench_scale())),
+        BLOCKS_PER_ENTITY,
+        BLOCK_SIZE,
+    )
+    algorithm = RedefinedWeightedNodePruning()
+    timings: dict[int, float] = {}
+    outputs: dict[int, list] = {}
+
+    def run_all():
+        for workers in WORKER_COUNTS:
+            with Timer() as timer:
+                weighting = OptimizedEdgeWeighting(blocks, "JS")
+                if workers == 1:
+                    comparisons = algorithm.prune(weighting)
+                else:
+                    executor = ParallelNodeCentricExecutor(
+                        weighting, workers=workers
+                    )
+                    comparisons = executor.prune(algorithm)
+            timings[workers] = timer.elapsed
+            outputs[workers] = comparisons.pairs
+        return timings
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    serial_pairs = sorted(outputs[1])
+    for workers in WORKER_COUNTS:
+        RECORDER.record(
+            "parallel_scaling",
+            {
+                "|E|": blocks.num_entities,
+                "||B||": blocks.cardinality,
+                "workers": workers,
+                "seconds": round(timings[workers], 3),
+                "speedup": round(timings[1] / max(timings[workers], 1e-9), 2),
+                "||B'||": len(outputs[workers]),
+            },
+        )
+        # Exactness: every worker count retains the identical comparison set.
+        assert sorted(outputs[workers]) == serial_pairs
+
+    cores = os.cpu_count() or 1
+    has_fork = "fork" in multiprocessing.get_all_start_methods()
+    if cores >= 4 and has_fork:
+        speedup = timings[1] / max(timings[4], 1e-9)
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"expected >= {SPEEDUP_FLOOR}x at 4 workers, got {speedup:.2f}x"
+        )

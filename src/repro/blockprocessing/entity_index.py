@@ -6,15 +6,33 @@ instead, every method works through this index. For an entity ``i``,
 the blocks that contain ``i`` — positions within the block collection's
 *processing order*, so the Least Common Block Index condition (LeCoBI) is a
 simple comparison of the smallest shared id.
+
+Storage is compressed sparse row (CSR): two int64 numpy arrays per
+direction —
+
+* entity → blocks: ``indptr`` / ``block_indices``; ``block_list(i)`` is the
+  slice ``block_indices[indptr[i]:indptr[i+1]]`` (ascending);
+* block → members: ``member_indptr1`` / ``members1`` (and ``member_indptr2``
+  / ``members2`` for the second side of bilateral collections; for
+  unilateral collections the side-2 arrays alias side 1).
+
+Per-entity block counts (``block_counts``) and per-block inverse
+cardinalities (``inverse_cardinality_array``) are precomputed, so the
+vectorized weighting backend and the parallel executor slice plain arrays
+without touching Python objects. The list-returning accessors
+(`block_list`, `placed_entities`, `inverse_cardinalities`) are thin views
+over the CSR kept for the scalar backends and existing callers.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.datamodel.blocks import BlockCollection
 
 
 class EntityIndex:
-    """Inverted index over a block collection.
+    """Inverted index over a block collection, CSR-backed.
 
     The collection's current order defines the block ids; callers that rely
     on LeCoBI semantics (Comparison Propagation, Meta-blocking) should index
@@ -25,30 +43,98 @@ class EntityIndex:
     def __init__(self, blocks: BlockCollection) -> None:
         self.blocks = blocks
         self.num_entities = blocks.num_entities
-        self._block_lists: list[list[int]] = [[] for _ in range(self.num_entities)]
-        for position, block in enumerate(blocks):
-            for entity in block.all_entities:
-                self._block_lists[entity].append(position)
-        # Entity iteration order inside blocks follows ascending entity id,
-        # but be defensive: LeCoBI requires sorted block lists.
-        for block_list in self._block_lists:
-            block_list.sort()
-        self.inverse_cardinalities: list[float] = [
-            1.0 / block.cardinality if block.cardinality else 0.0 for block in blocks
+        self.is_bilateral = blocks.is_bilateral
+        num_blocks = len(blocks)
+
+        # -- block -> members CSR (one per side) ---------------------------
+        side1 = [
+            np.asarray(block.entities1, dtype=np.int64) for block in blocks
         ]
+        sizes1 = np.fromiter(
+            (piece.size for piece in side1), dtype=np.int64, count=num_blocks
+        )
+        self.member_indptr1 = np.zeros(num_blocks + 1, dtype=np.int64)
+        np.cumsum(sizes1, out=self.member_indptr1[1:])
+        self.members1 = (
+            np.concatenate(side1) if side1 else np.empty(0, dtype=np.int64)
+        )
+        if self.is_bilateral:
+            side2 = [
+                np.asarray(
+                    block.entities2 if block.entities2 is not None else (),
+                    dtype=np.int64,
+                )
+                for block in blocks
+            ]
+            sizes2 = np.fromiter(
+                (piece.size for piece in side2), dtype=np.int64, count=num_blocks
+            )
+            self.member_indptr2 = np.zeros(num_blocks + 1, dtype=np.int64)
+            np.cumsum(sizes2, out=self.member_indptr2[1:])
+            self.members2 = (
+                np.concatenate(side2) if side2 else np.empty(0, dtype=np.int64)
+            )
+        else:
+            self.member_indptr2 = self.member_indptr1
+            self.members2 = self.members1
+
+        # -- entity -> blocks CSR ------------------------------------------
+        if self.is_bilateral:
+            entities = np.concatenate((self.members1, self.members2))
+            positions = np.concatenate(
+                (
+                    np.repeat(np.arange(num_blocks, dtype=np.int64), sizes1),
+                    np.repeat(np.arange(num_blocks, dtype=np.int64), sizes2),
+                )
+            )
+        else:
+            entities = self.members1
+            positions = np.repeat(np.arange(num_blocks, dtype=np.int64), sizes1)
+        # Sort assignments by (entity, position) so every entity's block
+        # list comes out ascending — the LeCoBI requirement.
+        order = np.lexsort((positions, entities))
+        self.block_indices = positions[order]
+        self.block_counts = np.bincount(
+            entities, minlength=self.num_entities
+        ).astype(np.int64, copy=False)
+        self.indptr = np.zeros(self.num_entities + 1, dtype=np.int64)
+        np.cumsum(self.block_counts, out=self.indptr[1:])
+        # Lazily materialised list-of-lists view for the scalar backends.
+        self._block_lists_cache: list[list[int]] | None = None
+
+        # -- per-block / per-entity statistics -----------------------------
+        cardinalities = np.fromiter(
+            (block.cardinality for block in blocks),
+            dtype=np.float64,
+            count=num_blocks,
+        )
+        with np.errstate(divide="ignore"):
+            inverse = np.where(cardinalities > 0, 1.0 / cardinalities, 0.0)
+        self.inverse_cardinality_array = inverse
+        self.inverse_cardinalities: list[float] = inverse.tolist()
+
         # For bilateral (Clean-Clean) collections, record which side of the
         # split every entity lives on; algorithms use it to pick the
         # "other side" of a block in O(1) instead of scanning membership.
-        self.is_bilateral = blocks.is_bilateral
-        self._second_side: list[bool] = [False] * self.num_entities
-        if self.is_bilateral:
-            for block in blocks:
-                if block.entities2 is not None:
-                    for entity in block.entities2:
-                        self._second_side[entity] = True
+        self.second_side_mask = np.zeros(self.num_entities, dtype=bool)
+        if self.is_bilateral and self.members2.size:
+            self.second_side_mask[self.members2] = True
+        self._second_side: list[bool] = self.second_side_mask.tolist()
 
     def __repr__(self) -> str:
         return f"EntityIndex(|B|={len(self.blocks)}, |E|={self.num_entities})"
+
+    @property
+    def _block_lists(self) -> list[list[int]]:
+        """List-of-lists view of the entity → blocks CSR (built on demand)."""
+        if self._block_lists_cache is None:
+            flat = self.block_indices.tolist()
+            indptr = self.indptr.tolist()
+            self._block_lists_cache = [
+                flat[indptr[entity] : indptr[entity + 1]]
+                for entity in range(self.num_entities)
+            ]
+        return self._block_lists_cache
 
     def in_second_collection(self, entity: int) -> bool:
         """True iff the entity appears on the second side of bilateral blocks."""
@@ -72,17 +158,17 @@ class EntityIndex:
         """``B_i`` — ascending block positions containing ``entity``."""
         return self._block_lists[entity]
 
+    def block_slice(self, entity: int) -> np.ndarray:
+        """``B_i`` as a zero-copy int64 view into the CSR."""
+        return self.block_indices[self.indptr[entity] : self.indptr[entity + 1]]
+
     def num_blocks_of(self, entity: int) -> int:
         """``|B_i|`` — how many blocks contain ``entity``."""
-        return len(self._block_lists[entity])
+        return int(self.block_counts[entity])
 
     def placed_entities(self) -> list[int]:
         """Entity ids that participate in at least one block (``V_B``)."""
-        return [
-            entity
-            for entity in range(self.num_entities)
-            if self._block_lists[entity]
-        ]
+        return np.flatnonzero(self.block_counts).tolist()
 
     def common_blocks(self, left: int, right: int) -> list[int]:
         """The ascending positions of blocks shared by both entities."""

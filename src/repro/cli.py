@@ -100,6 +100,7 @@ def cmd_metablock(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         block_filtering_ratio=None if args.ratio == 0 else args.ratio,
         backend=args.backend,
+        parallel=args.workers,
     )
     report = evaluate(
         result.comparisons,
@@ -110,7 +111,7 @@ def cmd_metablock(args: argparse.Namespace) -> int:
     print(f"blocks:    ||B||={blocks.cardinality:,} "
           f"({blocking_timer.elapsed:.2f}s)")
     print(f"config:    {args.algorithm}/{args.scheme}, r={args.ratio or 'off'}, "
-          f"{args.backend} weighting")
+          f"{args.backend} weighting, workers={args.workers}")
     print(f"result:    {report}")
     print(f"overhead:  {result.overhead_seconds:.2f}s")
     if args.output:
@@ -211,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=("optimized", "original", "vectorized"),
         default="optimized",
+    )
+    metablock.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for node-centric pruning "
+             "(1 = serial, 0 = one per CPU core)",
     )
     metablock.add_argument(
         "--output", help="write retained comparisons to this CSV file"

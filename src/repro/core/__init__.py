@@ -25,6 +25,12 @@ from repro.core.edge_weighting import (
     OriginalEdgeWeighting,
 )
 from repro.core.graph import MaterializedBlockingGraph, blocking_graph_stats
+from repro.core.parallel import (
+    PARALLEL_ALGORITHMS,
+    ParallelNodeCentricExecutor,
+    parallel_prune,
+    supports_parallel,
+)
 from repro.core.vectorized import VectorizedEdgeWeighting
 from repro.core.graph_free import GraphFreeMetaBlocking
 from repro.core.pipeline import MetaBlockingResult, MetaBlockingWorkflow, meta_block
@@ -68,7 +74,11 @@ __all__ = [
     "MetaBlockingWorkflow",
     "OptimizedEdgeWeighting",
     "OriginalEdgeWeighting",
+    "PARALLEL_ALGORITHMS",
+    "ParallelNodeCentricExecutor",
     "PruningAlgorithm",
+    "parallel_prune",
+    "supports_parallel",
     "VectorizedEdgeWeighting",
     "ReciprocalCardinalityNodePruning",
     "ReciprocalWeightedNodePruning",

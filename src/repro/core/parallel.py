@@ -1,0 +1,374 @@
+"""Parallel node-partitioned meta-blocking executor.
+
+The node-centric half of meta-blocking — ``neighborhood()`` scans plus the
+CNP/WNP family of pruning algorithms — is embarrassingly parallel over the
+blocking graph's nodes: every node's neighbourhood is derived independently
+from the Entity Index, and the (redefined/reciprocal) phase-2 edge stream
+can equally be partitioned by its emitting endpoint. This module fans those
+scans across a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* the graph's placed nodes are split into ``chunks`` contiguous ranges
+  (default ``4 × workers``, for load balancing across skewed neighbourhood
+  sizes);
+* worker processes are forked, so the weighting backend — and with it the
+  Entity Index's CSR arrays — is shared copy-on-write with the parent; the
+  only pickled traffic is the ``(start, stop)`` range per task and the
+  per-chunk results;
+* chunk results are merged in submission order, which makes the output a
+  deterministic, exact reproduction of the serial algorithms: the retained
+  comparison *set* is always identical, and with the default (optimized or
+  vectorized) backends the pair ordering matches the serial output too.
+
+Supported pruning algorithms are the four node-centric schemes and their
+variants: CNP, WNP, ReCNP, ReWNP, RcCNP, RcWNP. Edge-centric schemes
+(CEP, WEP) stream one global edge pass and fall back to serial execution;
+:func:`supports_parallel` lets callers check.
+
+On platforms without the ``fork`` start method (or with ``workers=1``) the
+same chunked code paths run in-process, preserving behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.core.edge_weighting import EdgeWeighting
+from repro.core.pruning import (
+    CardinalityNodePruning,
+    PruningAlgorithm,
+    RedefinedCardinalityNodePruning,
+    RedefinedWeightedNodePruning,
+    WeightedNodePruning,
+)
+from repro.core.pruning.base import cardinality_node_threshold
+from repro.datamodel.blocks import ComparisonCollection
+from repro.utils.topk import TopKHeap
+
+Comparison = tuple[int, int]
+Range = tuple[int, int]
+
+#: Pruning acronyms the executor can partition across workers.
+PARALLEL_ALGORITHMS = frozenset({"CNP", "WNP", "ReCNP", "ReWNP", "RcCNP", "RcWNP"})
+
+
+def supports_parallel(algorithm: PruningAlgorithm) -> bool:
+    """True iff the executor can run this pruning algorithm node-partitioned."""
+    return isinstance(
+        algorithm,
+        (
+            CardinalityNodePruning,
+            WeightedNodePruning,
+            RedefinedCardinalityNodePruning,
+            RedefinedWeightedNodePruning,
+        ),
+    )
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count knob (None/0 → all cores)."""
+    if workers is None or workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def partition_ranges(count: int, chunks: int) -> list[Range]:
+    """Split ``range(count)`` into ``chunks`` contiguous, near-even ranges."""
+    chunks = max(1, min(chunks, count)) if count else 0
+    ranges: list[Range] = []
+    base, extra = divmod(count, chunks) if chunks else (0, 0)
+    start = 0
+    for position in range(chunks):
+        stop = start + base + (1 if position < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+# -- forked worker state ------------------------------------------------------
+#
+# With the fork start method, children inherit this module-level pointer and
+# the entire object graph behind it (weighting backend, CSR arrays, phase-1
+# criteria) copy-on-write. Each phase builds its pool *after* the state is
+# staged, so the snapshot the workers see is exactly the parent's.
+
+_FORK_STATE: "ParallelNodeCentricExecutor | None" = None
+
+
+def _dispatch(payload: tuple[str, Range]):
+    task, bounds = payload
+    assert _FORK_STATE is not None, "worker state missing (fork-only executor)"
+    return getattr(_FORK_STATE, task)(bounds)
+
+
+class ParallelNodeCentricExecutor:
+    """Fan node-centric weighting + pruning across a process pool.
+
+    Parameters
+    ----------
+    weighting:
+        Any :class:`~repro.core.edge_weighting.EdgeWeighting` backend; its
+        Entity Index CSR arrays are fork-shared with the workers.
+    workers:
+        Process count; ``None``/``0`` means one per CPU core, ``1`` runs the
+        chunked code path in-process (no pool).
+    chunks:
+        Number of contiguous node ranges to split the graph into; defaults
+        to ``4 × workers`` so stragglers rebalance.
+    """
+
+    def __init__(
+        self,
+        weighting: EdgeWeighting,
+        workers: int | None = None,
+        chunks: int | None = None,
+    ) -> None:
+        self.weighting = weighting
+        self.workers = resolve_workers(workers)
+        self.chunks = chunks if chunks and chunks > 0 else 4 * self.workers
+        self._nodes: list[int] = weighting.nodes()
+        # Phase-specific staging, fork-shared with the next pool:
+        self._k: int = 0
+        self._criteria: dict | None = None
+        self._conjunctive: bool = False
+        self._phase2_mode: str = ""  # "topk" | "threshold"
+
+    # -- chunk scheduling ----------------------------------------------------
+
+    def _use_pool(self) -> bool:
+        return (
+            self.workers > 1
+            and len(self._nodes) > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+
+    def _map_chunks(self, task: str, ranges: Sequence[Range]) -> list:
+        """Run ``task`` over every node range; results in submission order."""
+        if not ranges:
+            return []
+        if not self._use_pool():
+            return [getattr(self, task)(bounds) for bounds in ranges]
+        global _FORK_STATE
+        _FORK_STATE = self
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(ranges)), mp_context=context
+            ) as pool:
+                return list(pool.map(_dispatch, [(task, r) for r in ranges]))
+        finally:
+            _FORK_STATE = None
+
+    def _ranges(self) -> list[Range]:
+        return partition_ranges(len(self._nodes), self.chunks)
+
+    # -- worker tasks (run inside forked children) ---------------------------
+
+    def _chunk_nearest(self, bounds: Range) -> dict[int, set[int]]:
+        """Phase 1 of (Re/Rc)CNP for one node range: top-k neighbour sets."""
+        weighting, k = self.weighting, self._k
+        out: dict[int, set[int]] = {}
+        for entity in self._nodes[bounds[0] : bounds[1]]:
+            heap: TopKHeap[int] = TopKHeap(k)
+            for other, weight in weighting.neighborhood(entity):
+                heap.push(weight, other)
+            out[entity] = heap.items()
+        return out
+
+    def _chunk_thresholds(self, bounds: Range) -> dict[int, float]:
+        """Phase 1 of (Re/Rc)WNP for one node range: mean neighbourhood weight."""
+        weighting = self.weighting
+        out: dict[int, float] = {}
+        for entity in self._nodes[bounds[0] : bounds[1]]:
+            neighborhood = weighting.neighborhood(entity)
+            if neighborhood:
+                out[entity] = sum(w for _, w in neighborhood) / len(neighborhood)
+        return out
+
+    def _chunk_original_cnp(self, bounds: Range) -> list[Comparison]:
+        """Original CNP for one node range (directed retention, repeats kept)."""
+        weighting, k = self.weighting, self._k
+        retained: list[Comparison] = []
+        for entity in self._nodes[bounds[0] : bounds[1]]:
+            heap: TopKHeap[int] = TopKHeap(k)
+            for other, weight in weighting.neighborhood(entity):
+                heap.push(weight, other)
+            for other in sorted(heap.items()):
+                retained.append(
+                    (entity, other) if entity < other else (other, entity)
+                )
+        return retained
+
+    def _chunk_original_wnp(self, bounds: Range) -> list[Comparison]:
+        """Original WNP for one node range (directed retention, repeats kept)."""
+        weighting = self.weighting
+        retained: list[Comparison] = []
+        for entity in self._nodes[bounds[0] : bounds[1]]:
+            neighborhood = weighting.neighborhood(entity)
+            if not neighborhood:
+                continue
+            threshold = sum(w for _, w in neighborhood) / len(neighborhood)
+            for other, weight in neighborhood:
+                if weight >= threshold:
+                    retained.append(
+                        (entity, other) if entity < other else (other, entity)
+                    )
+        return retained
+
+    def _chunk_phase2(self, bounds: Range) -> list[Comparison]:
+        """Phase 2 of the redefined/reciprocal algorithms for one node range.
+
+        Streams each distinct edge once from its emitting endpoint (the
+        lower id for unilateral graphs, the first-collection endpoint for
+        bilateral ones) and applies the disjunctive (redefined) or
+        conjunctive (reciprocal) retention condition.
+        """
+        weighting = self.weighting
+        index = weighting.index
+        bilateral = index.is_bilateral
+        criteria = self._criteria
+        conjunctive = self._conjunctive
+        assert criteria is not None
+        retained: list[Comparison] = []
+        if self._phase2_mode == "threshold":
+            # WNP-style: per-node mean-weight thresholds.
+            infinity = float("inf")
+            for entity in self._nodes[bounds[0] : bounds[1]]:
+                if bilateral and index.in_second_collection(entity):
+                    continue
+                for other, weight in weighting.neighborhood(entity):
+                    if not bilateral and other <= entity:
+                        continue
+                    over_left = weight >= criteria.get(entity, infinity)
+                    over_right = weight >= criteria.get(other, infinity)
+                    keep = (
+                        (over_left and over_right)
+                        if conjunctive
+                        else (over_left or over_right)
+                    )
+                    if keep:
+                        retained.append(
+                            (entity, other) if entity < other else (other, entity)
+                        )
+        else:
+            # CNP-style: per-node nearest-neighbour sets.
+            empty: set[int] = set()
+            for entity in self._nodes[bounds[0] : bounds[1]]:
+                if bilateral and index.in_second_collection(entity):
+                    continue
+                for other, _ in weighting.neighborhood(entity):
+                    if not bilateral and other <= entity:
+                        continue
+                    in_left = other in criteria.get(entity, empty)
+                    in_right = entity in criteria.get(other, empty)
+                    keep = (
+                        (in_left and in_right)
+                        if conjunctive
+                        else (in_left or in_right)
+                    )
+                    if keep:
+                        retained.append(
+                            (entity, other) if entity < other else (other, entity)
+                        )
+        return retained
+
+    # -- parallel counterparts of the serial algorithms ----------------------
+
+    def _merge_pairs(self, results: Iterable[list[Comparison]]) -> ComparisonCollection:
+        retained: list[Comparison] = []
+        for chunk in results:
+            retained.extend(chunk)
+        return ComparisonCollection(retained, self.weighting.num_entities)
+
+    def _merge_dicts(self, results: Iterable[dict]) -> dict:
+        merged: dict = {}
+        for chunk in results:
+            merged.update(chunk)
+        return merged
+
+    def nearest_neighbor_sets(self, k: int) -> dict[int, set[int]]:
+        """Parallel :func:`repro.core.pruning.redefined.nearest_neighbor_sets`."""
+        self._k = k
+        return self._merge_dicts(self._map_chunks("_chunk_nearest", self._ranges()))
+
+    def neighborhood_thresholds(self) -> dict[int, float]:
+        """Parallel :func:`repro.core.pruning.redefined.neighborhood_thresholds`."""
+        return self._merge_dicts(
+            self._map_chunks("_chunk_thresholds", self._ranges())
+        )
+
+    def prune(self, algorithm: PruningAlgorithm) -> ComparisonCollection:
+        """Run a node-centric pruning algorithm across the pool.
+
+        The result is pair-for-pair identical to ``algorithm.prune(weighting)``
+        as a comparison set; raises :class:`ValueError` for algorithms the
+        executor cannot partition (check :func:`supports_parallel` first).
+        """
+        self.weighting._prepare_scheme_inputs()  # degrees before forking (EJS)
+        ranges = self._ranges()
+        if isinstance(algorithm, RedefinedCardinalityNodePruning):
+            k = (
+                algorithm.k
+                if algorithm.k is not None
+                else cardinality_node_threshold(self.weighting.blocks)
+            )
+            self._criteria = self.nearest_neighbor_sets(k)
+            self._conjunctive = algorithm.conjunctive
+            self._phase2_mode = "topk"
+            return self._merge_pairs(self._map_chunks("_chunk_phase2", ranges))
+        if isinstance(algorithm, RedefinedWeightedNodePruning):
+            self._criteria = self.neighborhood_thresholds()
+            self._conjunctive = algorithm.conjunctive
+            self._phase2_mode = "threshold"
+            return self._merge_pairs(self._map_chunks("_chunk_phase2", ranges))
+        if isinstance(algorithm, CardinalityNodePruning):
+            self._k = (
+                algorithm.k
+                if algorithm.k is not None
+                else cardinality_node_threshold(self.weighting.blocks)
+            )
+            return self._merge_pairs(
+                self._map_chunks("_chunk_original_cnp", ranges)
+            )
+        if isinstance(algorithm, WeightedNodePruning):
+            return self._merge_pairs(
+                self._map_chunks("_chunk_original_wnp", ranges)
+            )
+        raise ValueError(
+            f"{type(algorithm).__name__} is not node-partitionable; "
+            f"parallel execution supports {sorted(PARALLEL_ALGORITHMS)}"
+        )
+
+    def map_neighborhoods(self) -> "dict[int, list[tuple[int, float]]]":
+        """All node neighbourhoods, computed across the pool.
+
+        A bulk building block for consumers outside the pruning registry
+        (progressive/supervised extensions); equivalent to
+        ``dict(weighting.iter_neighborhoods())``.
+        """
+        self.weighting._prepare_scheme_inputs()
+        return self._merge_dicts(
+            self._map_chunks("_chunk_neighborhoods", self._ranges())
+        )
+
+    def _chunk_neighborhoods(self, bounds: Range):
+        weighting = self.weighting
+        return {
+            entity: weighting.neighborhood(entity)
+            for entity in self._nodes[bounds[0] : bounds[1]]
+        }
+
+
+def parallel_prune(
+    weighting: EdgeWeighting,
+    algorithm: PruningAlgorithm,
+    workers: int | None = None,
+    chunks: int | None = None,
+) -> ComparisonCollection:
+    """One-call parallel pruning; falls back to serial when unsupported."""
+    if not supports_parallel(algorithm) or resolve_workers(workers) == 1:
+        return algorithm.prune(weighting)
+    executor = ParallelNodeCentricExecutor(weighting, workers=workers, chunks=chunks)
+    return executor.prune(algorithm)

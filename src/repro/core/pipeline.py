@@ -22,6 +22,11 @@ from repro.core.edge_weighting import (
     OptimizedEdgeWeighting,
     OriginalEdgeWeighting,
 )
+from repro.core.parallel import (
+    ParallelNodeCentricExecutor,
+    resolve_workers,
+    supports_parallel,
+)
 from repro.core.vectorized import VectorizedEdgeWeighting
 from repro.core.pruning import PRUNING_ALGORITHMS, PruningAlgorithm
 from repro.core.weights import WeightingScheme, get_scheme
@@ -80,6 +85,8 @@ def meta_block(
     algorithm: "str | PruningAlgorithm" = "WEP",
     block_filtering_ratio: float | None = 0.8,
     backend: str = "optimized",
+    parallel: int | None = None,
+    chunks: int | None = None,
 ) -> MetaBlockingResult:
     """Restructure a redundancy-positive block collection.
 
@@ -99,6 +106,15 @@ def meta_block(
     backend:
         ``"optimized"`` (Algorithm 3, default) or ``"original"``
         (Algorithm 2) edge weighting.
+    parallel:
+        Worker-process count for the node-centric pruning algorithms
+        (CNP/WNP and the redefined/reciprocal variants); ``None``/``1``
+        runs serially, ``0`` uses one worker per CPU core. Edge-centric
+        algorithms ignore the knob and run serially. Results are identical
+        to serial execution.
+    chunks:
+        Number of contiguous node partitions for the parallel executor
+        (default ``4 × workers``).
     """
     try:
         backend_class = WEIGHTING_BACKENDS[backend]
@@ -124,14 +140,29 @@ def meta_block(
             filtering_seconds,
         )
 
+    workers = resolve_workers(parallel) if parallel is not None else 1
     with Timer() as timer:
         weighting = backend_class(graph_input, scheme)
-        comparisons = pruning.prune(weighting)
+        if workers > 1 and supports_parallel(pruning):
+            executor = ParallelNodeCentricExecutor(
+                weighting, workers=workers, chunks=chunks
+            )
+            comparisons = executor.prune(pruning)
+        else:
+            if workers > 1:
+                logger.debug(
+                    "%s is edge-centric; ignoring parallel=%d and running "
+                    "serially",
+                    pruning.name,
+                    workers,
+                )
+            comparisons = pruning.prune(weighting)
     logger.debug(
-        "%s/%s (%s backend): retained %d comparisons (%.3fs)",
+        "%s/%s (%s backend, %d worker(s)): retained %d comparisons (%.3fs)",
         pruning.name,
         scheme.name,
         backend,
+        workers,
         comparisons.cardinality,
         timer.elapsed,
     )
@@ -158,8 +189,9 @@ class MetaBlockingWorkflow:
         Optional Block Purging pre-processing (the paper always applies it).
     block_filtering_ratio:
         Block Filtering ratio, or ``None`` to skip filtering.
-    scheme / algorithm / backend:
-        Forwarded to :func:`meta_block`.
+    scheme / algorithm / backend / parallel:
+        Forwarded to :func:`meta_block`; ``parallel`` is the worker-process
+        count for the node-centric pruning stage.
     """
 
     def __init__(
@@ -170,6 +202,7 @@ class MetaBlockingWorkflow:
         purging: BlockPurging | None = None,
         block_filtering_ratio: float | None = 0.8,
         backend: str = "optimized",
+        parallel: int | None = None,
     ) -> None:
         if not blocking.redundancy_positive:
             raise ValueError(
@@ -183,6 +216,7 @@ class MetaBlockingWorkflow:
         self.scheme = get_scheme(scheme)
         self.algorithm = get_pruning(algorithm)
         self.backend = backend
+        self.parallel = parallel
 
     def to_config(self) -> dict:
         """A JSON-serialisable description of this workflow.
@@ -212,6 +246,7 @@ class MetaBlockingWorkflow:
             "algorithm": self.algorithm.name,
             "block_filtering_ratio": self.block_filtering_ratio,
             "backend": self.backend,
+            "parallel": self.parallel,
         }
 
     @classmethod
@@ -233,6 +268,7 @@ class MetaBlockingWorkflow:
             algorithm=config.get("algorithm", "WEP"),
             block_filtering_ratio=config.get("block_filtering_ratio", 0.8),
             backend=config.get("backend", "optimized"),
+            parallel=config.get("parallel"),
         )
 
     def run(self, dataset: ERDataset) -> MetaBlockingResult:
@@ -262,6 +298,7 @@ class MetaBlockingWorkflow:
             algorithm=self.algorithm,
             block_filtering_ratio=self.block_filtering_ratio,
             backend=self.backend,
+            parallel=self.parallel,
         )
         result.stage_seconds["blocking"] = blocking_seconds
         result.stage_seconds["purging"] = purging_seconds

@@ -3,9 +3,17 @@
 A third implementation of the :class:`~repro.core.edge_weighting.EdgeWeighting`
 interface, beyond the paper's Algorithm 2 (original) and Algorithm 3
 (optimized): the per-node ScanCount is replaced by array operations —
-concatenate the co-occurrence arrays of the node's blocks, ``bincount`` the
-shared-block counts (and ARCS sums) in C, and evaluate the weighting scheme
-as a numpy expression (:meth:`WeightingScheme.weight_array`).
+gather the co-occurrence arrays of the node's blocks straight out of the
+Entity Index's block→member CSR, ``bincount`` the shared-block counts (and
+ARCS sums) in C, and evaluate the weighting scheme as a numpy expression
+(:meth:`WeightingScheme.weight_array`).
+
+Initialisation is O(1) beyond the Entity Index build: the per-entity block
+counts are the CSR ``indptr`` diff and the block member arrays are shared
+CSR views, so no per-block or per-entity Python loop runs. The gather in
+:meth:`VectorizedEdgeWeighting._cooccurrence_arrays` is a single fancy-index
+over the flat member array (multi-range gather), replacing the previous
+per-block ``np.concatenate`` loop.
 
 It computes exactly the same weighted graph as the other two backends (the
 test suite asserts element-wise agreement). The win over Algorithm 3 is
@@ -33,45 +41,40 @@ class VectorizedEdgeWeighting(EdgeWeighting):
         self, blocks: BlockCollection, scheme: "str | WeightingScheme"
     ) -> None:
         super().__init__(blocks, scheme)
-        # Per block: the member array(s) used for co-occurrence lookups.
-        self._side1_arrays: list[np.ndarray] = []
-        self._side2_arrays: list[np.ndarray] = []
         self._bilateral = blocks.is_bilateral
-        for block in blocks:
-            self._side1_arrays.append(np.asarray(block.entities1, dtype=np.int64))
-            self._side2_arrays.append(
-                np.asarray(block.entities2, dtype=np.int64)
-                if block.entities2 is not None
-                else self._side1_arrays[-1]
-            )
-        self._inverse_cardinalities = np.asarray(
-            self.index.inverse_cardinalities, dtype=np.float64
-        )
-        self._block_counts = np.zeros(self.num_entities, dtype=np.int64)
-        for entity in range(self.num_entities):
-            self._block_counts[entity] = len(self.index.block_list(entity))
+        index = self.index
+        self._inverse_cardinalities = index.inverse_cardinality_array
+        # |B_i| per entity: the CSR indptr diff, no Python loop.
+        self._block_counts = index.block_counts
+        self._degrees_array: np.ndarray | None = None
 
     # -- core scan ----------------------------------------------------------
 
     def _cooccurrence_arrays(self, entity: int) -> tuple[np.ndarray, np.ndarray]:
         """Concatenated co-occurring ids and the matching block positions."""
-        block_list = self.index.block_list(entity)
-        if not block_list:
+        index = self.index
+        positions = index.block_slice(entity)
+        if positions.size == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        second_side = self._bilateral and self.index.in_second_collection(entity)
-        pieces = []
-        positions = []
-        for position in block_list:
-            members = (
-                self._side1_arrays[position]
-                if second_side
-                else self._side2_arrays[position]
-            )
-            pieces.append(members)
-            positions.append(np.full(len(members), position, dtype=np.int64))
-        ids = np.concatenate(pieces)
-        blocks = np.concatenate(positions)
+        if self._bilateral and index.second_side_mask[entity]:
+            member_indptr, members = index.member_indptr1, index.members1
+        else:
+            member_indptr, members = index.member_indptr2, index.members2
+        starts = member_indptr[positions]
+        lengths = member_indptr[positions + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        # Multi-range gather: addresses of each block's member run laid out
+        # back to back, in one fancy-index over the flat CSR member array.
+        ends = np.cumsum(lengths)
+        gather = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - (ends - lengths), lengths
+        )
+        ids = members[gather]
+        blocks = np.repeat(positions, lengths)
         if not self._bilateral:
             keep = ids != entity
             ids, blocks = ids[keep], blocks[keep]
@@ -101,9 +104,10 @@ class VectorizedEdgeWeighting(EdgeWeighting):
     def _weights_for(
         self, entity: int, neighbors: np.ndarray, counts: np.ndarray, arcs: np.ndarray
     ) -> np.ndarray:
-        degrees = self._degrees
-        if degrees is not None:
-            degrees_array = np.asarray(degrees)
+        if self._degrees is not None:
+            if self._degrees_array is None:
+                self._degrees_array = np.asarray(self._degrees, dtype=np.int64)
+            degrees_array = self._degrees_array
             degree_i = np.full(len(neighbors), degrees_array[entity])
             degree_j = degrees_array[neighbors]
         else:
@@ -159,5 +163,6 @@ class VectorizedEdgeWeighting(EdgeWeighting):
             degree = len(np.unique(ids)) if ids.size else 0
             degrees[entity] = degree
             total += degree
+        self._degrees_array = degrees
         self._degrees = degrees.tolist()
         self._total_edges = total // 2

@@ -105,6 +105,29 @@ class TestMetablock:
         ) == 0
         assert "original weighting" in capsys.readouterr().out
 
+    def test_parallel_workers(self, clean_dataset_path, capsys):
+        assert main(
+            ["metablock", clean_dataset_path, "--workers", "2",
+             "--algorithm", "RcWNP"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out and "PC=" in out
+
+    def test_workers_match_serial_output(
+        self, clean_dataset_path, tmp_path
+    ):
+        serial_csv = tmp_path / "serial.csv"
+        parallel_csv = tmp_path / "parallel.csv"
+        assert main(
+            ["metablock", clean_dataset_path, "--algorithm", "ReWNP",
+             "--output", str(serial_csv)]
+        ) == 0
+        assert main(
+            ["metablock", clean_dataset_path, "--algorithm", "ReWNP",
+             "--workers", "2", "--output", str(parallel_csv)]
+        ) == 0
+        assert serial_csv.read_text() == parallel_csv.read_text()
+
 
 class TestSweep:
     def test_prints_full_grid(self, dirty_dataset_path, capsys):

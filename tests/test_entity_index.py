@@ -60,6 +60,57 @@ class TestEntityIndex:
         assert not index.in_second_collection(0)
 
 
+class TestEntityIndexCSR:
+    """The CSR arrays are consistent with the list-returning accessors."""
+
+    def test_indptr_and_indices_agree_with_block_lists(self):
+        index = EntityIndex(_collection())
+        for entity in range(4):
+            start, stop = index.indptr[entity], index.indptr[entity + 1]
+            assert index.block_indices[start:stop].tolist() == index.block_list(
+                entity
+            )
+            assert index.block_slice(entity).tolist() == index.block_list(entity)
+
+    def test_block_counts_is_indptr_diff(self):
+        import numpy as np
+
+        index = EntityIndex(_collection())
+        assert index.block_counts.tolist() == [2, 3, 2, 0]
+        assert np.array_equal(index.block_counts, np.diff(index.indptr))
+
+    def test_member_csr_round_trips_blocks(self):
+        blocks = _collection()
+        index = EntityIndex(blocks)
+        for position, block in enumerate(blocks):
+            start = index.member_indptr1[position]
+            stop = index.member_indptr1[position + 1]
+            assert index.members1[start:stop].tolist() == list(block.entities1)
+
+    def test_unilateral_side2_aliases_side1(self):
+        index = EntityIndex(_collection())
+        assert index.members2 is index.members1
+        assert index.member_indptr2 is index.member_indptr1
+
+    def test_inverse_cardinality_array_matches_list(self):
+        index = EntityIndex(_collection())
+        assert index.inverse_cardinality_array.tolist() == (
+            index.inverse_cardinalities
+        )
+
+    def test_empty_collection(self):
+        index = EntityIndex(BlockCollection([], 0))
+        assert index.indptr.tolist() == [0]
+        assert index.block_indices.tolist() == []
+        assert index.placed_entities() == []
+
+    def test_entities_without_blocks(self):
+        index = EntityIndex(BlockCollection([Block("a", (1, 3))], 6))
+        assert index.block_list(0) == []
+        assert index.block_list(1) == [0]
+        assert index.placed_entities() == [1, 3]
+
+
 class TestEntityIndexBilateral:
     def _bilateral(self) -> BlockCollection:
         return BlockCollection(

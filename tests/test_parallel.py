@@ -1,0 +1,228 @@
+"""Tests for the parallel node-partitioned meta-blocking executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.edge_weighting import (
+    OptimizedEdgeWeighting,
+    OriginalEdgeWeighting,
+)
+from repro.core.parallel import (
+    PARALLEL_ALGORITHMS,
+    ParallelNodeCentricExecutor,
+    parallel_prune,
+    partition_ranges,
+    resolve_workers,
+    supports_parallel,
+)
+from repro.core.pipeline import meta_block
+from repro.core.pruning import PRUNING_ALGORITHMS
+from repro.core.vectorized import VectorizedEdgeWeighting
+from repro.datamodel.blocks import Block, BlockCollection
+
+NODE_CENTRIC = sorted(PARALLEL_ALGORITHMS)
+
+
+class TestPartitioning:
+    def test_ranges_cover_exactly(self):
+        for count in (0, 1, 5, 16, 17, 100):
+            for chunks in (1, 3, 7, 200):
+                ranges = partition_ranges(count, chunks)
+                covered = [i for start, stop in ranges for i in range(start, stop)]
+                assert covered == list(range(count))
+
+    def test_ranges_are_near_even(self):
+        ranges = partition_ranges(10, 3)
+        sizes = [stop - start for start, stop in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_graph_yields_no_ranges(self):
+        assert partition_ranges(0, 4) == []
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+
+
+class TestSupports:
+    def test_node_centric_supported(self):
+        for name in NODE_CENTRIC:
+            assert supports_parallel(PRUNING_ALGORITHMS[name]())
+
+    def test_edge_centric_unsupported(self):
+        for name in ("CEP", "WEP"):
+            assert not supports_parallel(PRUNING_ALGORITHMS[name]())
+
+    def test_prune_rejects_edge_centric(self, example_blocks):
+        executor = ParallelNodeCentricExecutor(
+            OptimizedEdgeWeighting(example_blocks, "JS"), workers=1
+        )
+        with pytest.raises(ValueError, match="not node-partitionable"):
+            executor.prune(PRUNING_ALGORITHMS["WEP"]())
+
+
+@pytest.mark.parametrize("name", NODE_CENTRIC)
+class TestMatchesSerial:
+    """The executor retains the exact same comparisons as the serial code."""
+
+    def test_paper_example_multiprocess(self, example_blocks, name):
+        algorithm = PRUNING_ALGORITHMS[name]()
+        serial = algorithm.prune(OptimizedEdgeWeighting(example_blocks, "JS"))
+        executor = ParallelNodeCentricExecutor(
+            OptimizedEdgeWeighting(example_blocks, "JS"), workers=2, chunks=3
+        )
+        assert executor.prune(algorithm).pairs == serial.pairs
+
+    def test_dirty_synthetic(self, tiny_dirty_blocks, name):
+        blocks = tiny_dirty_blocks.sorted_by_cardinality()
+        algorithm = PRUNING_ALGORITHMS[name]()
+        serial = algorithm.prune(OptimizedEdgeWeighting(blocks, "JS"))
+        executor = ParallelNodeCentricExecutor(
+            OptimizedEdgeWeighting(blocks, "JS"), workers=2, chunks=7
+        )
+        assert executor.prune(algorithm).pairs == serial.pairs
+
+    def test_clean_clean_synthetic(self, small_clean_blocks, name):
+        blocks = small_clean_blocks.sorted_by_cardinality()
+        algorithm = PRUNING_ALGORITHMS[name]()
+        serial = algorithm.prune(OptimizedEdgeWeighting(blocks, "JS"))
+        executor = ParallelNodeCentricExecutor(
+            OptimizedEdgeWeighting(blocks, "JS"), workers=2, chunks=5
+        )
+        assert executor.prune(algorithm).pairs == serial.pairs
+
+    def test_vectorized_backend(self, example_blocks, name):
+        algorithm = PRUNING_ALGORITHMS[name]()
+        serial = algorithm.prune(VectorizedEdgeWeighting(example_blocks, "JS"))
+        executor = ParallelNodeCentricExecutor(
+            VectorizedEdgeWeighting(example_blocks, "JS"), workers=2
+        )
+        assert executor.prune(algorithm).pairs == serial.pairs
+
+    def test_original_backend_same_set(self, example_blocks, name):
+        # The original backend's per-node neighbourhood ordering differs from
+        # its global iter_edges() ordering, so compare as sets of pairs.
+        algorithm = PRUNING_ALGORITHMS[name]()
+        serial = algorithm.prune(OriginalEdgeWeighting(example_blocks, "JS"))
+        executor = ParallelNodeCentricExecutor(
+            OriginalEdgeWeighting(example_blocks, "JS"), workers=2
+        )
+        assert sorted(executor.prune(algorithm).pairs) == sorted(serial.pairs)
+
+    def test_ejs_degrees_shared_with_workers(self, example_blocks, name):
+        algorithm = PRUNING_ALGORITHMS[name]()
+        serial = algorithm.prune(OptimizedEdgeWeighting(example_blocks, "EJS"))
+        executor = ParallelNodeCentricExecutor(
+            OptimizedEdgeWeighting(example_blocks, "EJS"), workers=2
+        )
+        assert executor.prune(algorithm).pairs == serial.pairs
+
+    def test_in_process_chunked_path(self, example_blocks, name):
+        # workers=1 exercises the same chunked merge without a pool.
+        algorithm = PRUNING_ALGORITHMS[name]()
+        serial = algorithm.prune(OptimizedEdgeWeighting(example_blocks, "JS"))
+        executor = ParallelNodeCentricExecutor(
+            OptimizedEdgeWeighting(example_blocks, "JS"), workers=1, chunks=4
+        )
+        assert executor.prune(algorithm).pairs == serial.pairs
+
+
+class TestPhase1Helpers:
+    def test_nearest_neighbor_sets_match_serial(self, example_blocks):
+        from repro.core.pruning.redefined import nearest_neighbor_sets
+
+        weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+        executor = ParallelNodeCentricExecutor(
+            OptimizedEdgeWeighting(example_blocks, "JS"), workers=2
+        )
+        assert executor.nearest_neighbor_sets(2) == nearest_neighbor_sets(
+            weighting, 2
+        )
+
+    def test_neighborhood_thresholds_match_serial(self, example_blocks):
+        from repro.core.pruning.redefined import neighborhood_thresholds
+
+        weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+        executor = ParallelNodeCentricExecutor(
+            OptimizedEdgeWeighting(example_blocks, "JS"), workers=2
+        )
+        parallel = executor.neighborhood_thresholds()
+        serial = neighborhood_thresholds(weighting)
+        assert parallel.keys() == serial.keys()
+        for entity, threshold in serial.items():
+            assert parallel[entity] == pytest.approx(threshold, abs=1e-12)
+
+    def test_map_neighborhoods_matches_serial(self, example_blocks):
+        weighting = OptimizedEdgeWeighting(example_blocks, "JS")
+        executor = ParallelNodeCentricExecutor(
+            OptimizedEdgeWeighting(example_blocks, "JS"), workers=2
+        )
+        assert executor.map_neighborhoods() == dict(
+            weighting.iter_neighborhoods()
+        )
+
+
+class TestConvenience:
+    def test_parallel_prune_supported(self, example_blocks):
+        algorithm = PRUNING_ALGORITHMS["ReWNP"]()
+        serial = algorithm.prune(OptimizedEdgeWeighting(example_blocks, "JS"))
+        result = parallel_prune(
+            OptimizedEdgeWeighting(example_blocks, "JS"), algorithm, workers=2
+        )
+        assert result.pairs == serial.pairs
+
+    def test_parallel_prune_falls_back_for_edge_centric(self, example_blocks):
+        algorithm = PRUNING_ALGORITHMS["WEP"]()
+        serial = algorithm.prune(OptimizedEdgeWeighting(example_blocks, "JS"))
+        result = parallel_prune(
+            OptimizedEdgeWeighting(example_blocks, "JS"), algorithm, workers=2
+        )
+        assert result.pairs == serial.pairs
+
+    def test_empty_collection(self):
+        blocks = BlockCollection([], 0)
+        executor = ParallelNodeCentricExecutor(
+            OptimizedEdgeWeighting(blocks, "JS"), workers=2
+        )
+        assert executor.prune(PRUNING_ALGORITHMS["ReWNP"]()).pairs == []
+
+    def test_singleton_graph(self):
+        blocks = BlockCollection([Block("a", (0, 1))], num_entities=2)
+        executor = ParallelNodeCentricExecutor(
+            OptimizedEdgeWeighting(blocks, "JS"), workers=2, chunks=8
+        )
+        serial = PRUNING_ALGORITHMS["ReWNP"]().prune(
+            OptimizedEdgeWeighting(blocks, "JS")
+        )
+        assert executor.prune(PRUNING_ALGORITHMS["ReWNP"]()).pairs == serial.pairs
+
+
+class TestPipelineIntegration:
+    def test_meta_block_parallel_matches_serial(self, small_dirty_blocks):
+        serial = meta_block(small_dirty_blocks, scheme="JS", algorithm="RcWNP")
+        parallel = meta_block(
+            small_dirty_blocks, scheme="JS", algorithm="RcWNP", parallel=2
+        )
+        assert parallel.comparisons.pairs == serial.comparisons.pairs
+
+    def test_meta_block_parallel_ignored_for_edge_centric(
+        self, small_dirty_blocks
+    ):
+        serial = meta_block(small_dirty_blocks, scheme="JS", algorithm="WEP")
+        parallel = meta_block(
+            small_dirty_blocks, scheme="JS", algorithm="WEP", parallel=2
+        )
+        assert parallel.comparisons.pairs == serial.comparisons.pairs
+
+    def test_workflow_round_trips_parallel(self):
+        from repro import TokenBlocking
+        from repro.core.pipeline import MetaBlockingWorkflow
+
+        workflow = MetaBlockingWorkflow(
+            TokenBlocking(), algorithm="RcWNP", parallel=2
+        )
+        config = workflow.to_config()
+        assert config["parallel"] == 2
+        assert MetaBlockingWorkflow.from_config(config).parallel == 2

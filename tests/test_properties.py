@@ -12,9 +12,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.blockprocessing.comparison_propagation import ComparisonPropagation
+from repro.blockprocessing.entity_index import EntityIndex
 from repro.core.block_filtering import BlockFiltering
 from repro.core.edge_weighting import OptimizedEdgeWeighting, OriginalEdgeWeighting
 from repro.core.graph import blocking_graph_stats
+from repro.core.parallel import ParallelNodeCentricExecutor
 from repro.core.pruning import (
     CardinalityEdgePruning,
     CardinalityNodePruning,
@@ -198,6 +200,111 @@ class TestPruningInvariants:
             if weighting.neighborhood(entity)
         }
         assert nodes_with_edges <= pruned.entity_ids()
+
+
+class TestParallelExecutorEquivalence:
+    """The node-partitioned executor is an exact drop-in for the serial code.
+
+    The chunked code paths (partitioning, per-chunk phase 1/2, deterministic
+    merge) run in-process here (``workers=1`` with several chunks) so
+    hypothesis can afford many examples; dedicated multi-process tests live
+    in ``tests/test_parallel.py``.
+    """
+
+    NODE_CENTRIC = (
+        CardinalityNodePruning,
+        WeightedNodePruning,
+        RedefinedCardinalityNodePruning,
+        RedefinedWeightedNodePruning,
+        ReciprocalCardinalityNodePruning,
+        ReciprocalWeightedNodePruning,
+    )
+
+    @given(
+        blocks=any_collections,
+        scheme=scheme_names,
+        chunks=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chunked_executor_matches_serial(self, blocks, scheme, chunks):
+        ordered = blocks.sorted_by_cardinality()
+        for algorithm_class in self.NODE_CENTRIC:
+            algorithm = algorithm_class()
+            serial = algorithm.prune(OptimizedEdgeWeighting(ordered, scheme))
+            executor = ParallelNodeCentricExecutor(
+                OptimizedEdgeWeighting(ordered, scheme),
+                workers=1,
+                chunks=chunks,
+            )
+            assert executor.prune(algorithm).pairs == serial.pairs
+
+    @given(blocks=any_collections, scheme=scheme_names)
+    @settings(max_examples=10, deadline=None)
+    def test_multiprocess_executor_matches_serial(self, blocks, scheme):
+        ordered = blocks.sorted_by_cardinality()
+        for algorithm_class in (
+            RedefinedWeightedNodePruning,
+            ReciprocalCardinalityNodePruning,
+        ):
+            algorithm = algorithm_class()
+            serial = algorithm.prune(OptimizedEdgeWeighting(ordered, scheme))
+            executor = ParallelNodeCentricExecutor(
+                OptimizedEdgeWeighting(ordered, scheme), workers=2, chunks=3
+            )
+            assert executor.prune(algorithm).pairs == serial.pairs
+
+
+class TestEntityIndexCSRInvariants:
+    """The CSR arrays agree with a naive list-of-lists construction."""
+
+    @given(blocks=any_collections)
+    @settings(max_examples=60, deadline=None)
+    def test_csr_matches_naive_index(self, blocks):
+        index = EntityIndex(blocks)
+        naive: list[list[int]] = [[] for _ in range(blocks.num_entities)]
+        for position, block in enumerate(blocks):
+            for entity in block.all_entities:
+                naive[entity].append(position)
+        for entity_blocks in naive:
+            entity_blocks.sort()
+        for entity in range(blocks.num_entities):
+            assert index.block_list(entity) == naive[entity]
+            assert index.block_slice(entity).tolist() == naive[entity]
+            assert index.num_blocks_of(entity) == len(naive[entity])
+        assert index.block_counts.tolist() == [len(b) for b in naive]
+        assert index.indptr[0] == 0
+        assert index.indptr[-1] == sum(len(b) for b in naive)
+
+    @given(blocks=any_collections)
+    @settings(max_examples=40, deadline=None)
+    def test_member_csr_matches_blocks(self, blocks):
+        index = EntityIndex(blocks)
+        for position, block in enumerate(blocks):
+            start1 = index.member_indptr1[position]
+            stop1 = index.member_indptr1[position + 1]
+            assert index.members1[start1:stop1].tolist() == list(block.entities1)
+            start2 = index.member_indptr2[position]
+            stop2 = index.member_indptr2[position + 1]
+            expected2 = (
+                block.entities2 if block.entities2 is not None else block.entities1
+            )
+            assert index.members2[start2:stop2].tolist() == list(expected2)
+
+    @given(blocks=any_collections)
+    @settings(max_examples=40, deadline=None)
+    def test_second_side_mask_matches_membership(self, blocks):
+        index = EntityIndex(blocks)
+        on_second_side = set()
+        for block in blocks:
+            if block.entities2 is not None:
+                on_second_side.update(block.entities2)
+        for entity in range(blocks.num_entities):
+            assert index.in_second_collection(entity) == (
+                entity in on_second_side
+            )
+            assert bool(index.second_side_mask[entity]) == (
+                entity in on_second_side
+            )
 
 
 class TestBlockFilteringInvariants:
