@@ -1,0 +1,233 @@
+"""Columnar edge stream — batched vs. per-edge pruning throughput (extra).
+
+The batched ``prune`` path exists to remove the per-edge interpreter
+overhead from the *pruning* layer, so that is what this bench isolates: the
+weighted blocking graph is computed once per backend and cached (per-node
+``neighborhood_arrays`` / ``emitted_arrays``), then a representative pruning
+algorithm from each family (WEP edge-centric, CNP node-centric, RcWNP
+two-phase) consumes the cached stream through both the per-edge shim and the
+batched path. Recorded per configuration: pruning seconds, edges/sec and
+peak RSS. Two assertions ride along:
+
+* exactness — both paths retain the identical comparison list;
+* speed — on the vectorized backend the batched path must deliver >= 2x the
+  aggregate per-edge pruning-phase throughput (the ISSUE's acceptance
+  floor), checked at full scale only (REPRO_BENCH_SCALE >= 1).
+
+Scale with ``REPRO_BENCH_SCALE`` as usual.
+"""
+
+from __future__ import annotations
+
+import gc
+import resource
+
+import numpy as np
+
+from benchmarks._recorder import RECORDER
+from benchmarks.conftest import bench_scale
+from benchmarks.bench_parallel_scaling import synthetic_collection
+from repro.core.edge_weighting import OptimizedEdgeWeighting
+from repro.core.pruning import (
+    CardinalityNodePruning,
+    ReciprocalWeightedNodePruning,
+    WeightedEdgePruning,
+)
+from repro.core.vectorized import VectorizedEdgeWeighting
+from repro.utils.timer import Timer
+
+NUM_ENTITIES = 50_000
+BLOCKS_PER_ENTITY = 4
+BLOCK_SIZE = 10
+SPEEDUP_FLOOR = 2.0  # batched vs per-edge on the vectorized backend
+ROUNDS = 2  # per-path repetitions; the min filters scheduler noise
+
+BACKENDS = {
+    "optimized": OptimizedEdgeWeighting,
+    "vectorized": VectorizedEdgeWeighting,
+}
+ALGORITHMS = {
+    "WEP": WeightedEdgePruning,
+    "CNP": CardinalityNodePruning,
+    "RcWNP": ReciprocalWeightedNodePruning,
+}
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB (Linux ru_maxrss is KiB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+class CachedGraph:
+    """An :class:`EdgeWeighting`-shaped view over a precomputed graph.
+
+    Caches every node's ``neighborhood_arrays`` / ``emitted_arrays`` once so
+    that the timed section measures only the pruning phase — the edge-stream
+    consumption this PR's refactor changed — not the weighting scans, which
+    are identical for both paths.
+    """
+
+    def __init__(self, weighting) -> None:
+        weighting._prepare_scheme_inputs()
+        self.blocks = weighting.blocks
+        self.num_entities = weighting.num_entities
+        self.index = weighting.index
+        self.scheme = weighting.scheme
+        self._nodes = weighting.nodes()
+        self._neighborhoods = {
+            entity: weighting.neighborhood_arrays(entity)
+            for entity in self._nodes
+        }
+        self._emitted = {
+            entity: weighting.emitted_arrays(entity) for entity in self._nodes
+        }
+
+    def nodes(self):
+        return self._nodes
+
+    def _prepare_scheme_inputs(self):
+        pass
+
+    def neighborhood_arrays(self, entity):
+        return self._neighborhoods[entity]
+
+    def emitted_arrays(self, entity):
+        return self._emitted[entity]
+
+    def neighborhood(self, entity):
+        neighbors, weights = self._neighborhoods[entity]
+        return list(zip(neighbors.tolist(), weights.tolist()))
+
+    def iter_neighborhoods(self):
+        for entity in self._nodes:
+            yield entity, self.neighborhood(entity)
+
+    def iter_edges(self):
+        for batch in self.iter_edge_batches():
+            yield from batch.iter_edges()
+
+    def iter_edge_batches(self, chunk_size=None):
+        return VectorizedEdgeWeighting.iter_edge_batches(self, chunk_size)
+
+
+def test_edge_stream_throughput(benchmark):
+    blocks = synthetic_collection(
+        max(1000, int(NUM_ENTITIES * bench_scale())),
+        BLOCKS_PER_ENTITY,
+        BLOCK_SIZE,
+    )
+    graphs = {
+        name: CachedGraph(backend(blocks, "JS"))
+        for name, backend in BACKENDS.items()
+    }
+    num_edges = sum(
+        weights.size for _, weights in graphs["optimized"]._emitted.values()
+    )
+    timings: dict[tuple[str, str, str], float] = {}
+    matches: dict[tuple[str, str], bool] = {}
+
+    def run_all():
+        # Outputs are compared and released per configuration (millions of
+        # retained-pair tuples otherwise pile up and distort GC costs).
+        gc.disable()
+        try:
+            for _ in range(ROUNDS):
+                for backend_name, graph in graphs.items():
+                    for algorithm_name, algorithm_class in ALGORITHMS.items():
+                        algorithm = algorithm_class()
+                        results = {}
+                        for path in ("per_edge", "batched"):
+                            prune = (
+                                algorithm.prune_per_edge
+                                if path == "per_edge"
+                                else algorithm.prune
+                            )
+                            with Timer() as timer:
+                                results[path] = prune(graph).pairs
+                            key = (backend_name, algorithm_name, path)
+                            timings[key] = min(
+                                timer.elapsed, timings.get(key, float("inf"))
+                            )
+                        matches[(backend_name, algorithm_name)] = (
+                            results["batched"] == results["per_edge"]
+                        )
+                        del results
+        finally:
+            gc.enable()
+        return timings
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rss = peak_rss_mb()
+    for backend_name in BACKENDS:
+        for algorithm_name in ALGORITHMS:
+            per_edge = timings[(backend_name, algorithm_name, "per_edge")]
+            batched = timings[(backend_name, algorithm_name, "batched")]
+            RECORDER.record(
+                "edge_stream",
+                {
+                    "backend": backend_name,
+                    "algorithm": algorithm_name,
+                    "|E|": blocks.num_entities,
+                    "|E_B|": num_edges,
+                    "per_edge_s": round(per_edge, 3),
+                    "batched_s": round(batched, 3),
+                    "per_edge_eps": round(num_edges / max(per_edge, 1e-9)),
+                    "batched_eps": round(num_edges / max(batched, 1e-9)),
+                    "speedup": round(per_edge / max(batched, 1e-9), 2),
+                    "peak_rss_mb": round(rss, 1),
+                },
+            )
+            # Exactness: both paths retain the identical comparison list.
+            assert matches[
+                (backend_name, algorithm_name)
+            ], f"{backend_name}/{algorithm_name}: batched != per-edge"
+
+    if bench_scale() >= 1.0:
+        per_edge_total = sum(
+            timings[("vectorized", name, "per_edge")] for name in ALGORITHMS
+        )
+        batched_total = sum(
+            timings[("vectorized", name, "batched")] for name in ALGORITHMS
+        )
+        speedup = per_edge_total / max(batched_total, 1e-9)
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"vectorized: expected >= {SPEEDUP_FLOOR}x aggregate batched "
+            f"pruning speedup, got {speedup:.2f}x"
+        )
+
+
+def test_chunk_size_memory_profile(benchmark):
+    """Chunk size bounds the batched path's working set, never its output."""
+    blocks = synthetic_collection(
+        max(1000, int(NUM_ENTITIES * bench_scale())),
+        BLOCKS_PER_ENTITY,
+        BLOCK_SIZE,
+    )
+    graph = CachedGraph(VectorizedEdgeWeighting(blocks, "JS"))
+    reference = None
+
+    def run_all():
+        nonlocal reference
+        gc.disable()
+        try:
+            for chunk_size in (1024, 32768, 1 << 22):
+                algorithm = WeightedEdgePruning()
+                algorithm.chunk_size = chunk_size
+                with Timer() as timer:
+                    pairs = algorithm.prune(graph).pairs
+                RECORDER.record(
+                    "edge_stream_chunks",
+                    {
+                        "chunk_size": chunk_size,
+                        "seconds": round(timer.elapsed, 3),
+                        "peak_rss_mb": round(peak_rss_mb(), 1),
+                    },
+                )
+                if reference is None:
+                    reference = pairs
+                assert pairs == reference
+        finally:
+            gc.enable()
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)

@@ -101,6 +101,7 @@ def cmd_metablock(args: argparse.Namespace) -> int:
         block_filtering_ratio=None if args.ratio == 0 else args.ratio,
         backend=args.backend,
         parallel=args.workers,
+        chunk_size=args.chunk_size,
     )
     report = evaluate(
         result.comparisons,
@@ -111,7 +112,8 @@ def cmd_metablock(args: argparse.Namespace) -> int:
     print(f"blocks:    ||B||={blocks.cardinality:,} "
           f"({blocking_timer.elapsed:.2f}s)")
     print(f"config:    {args.algorithm}/{args.scheme}, r={args.ratio or 'off'}, "
-          f"{args.backend} weighting, workers={args.workers}")
+          f"{args.backend} weighting, workers={result.effective_workers} "
+          f"({result.parallel_backend})")
     print(f"result:    {report}")
     print(f"overhead:  {result.overhead_seconds:.2f}s")
     if args.output:
@@ -215,8 +217,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metablock.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes for node-centric pruning "
-             "(1 = serial, 0 = one per CPU core)",
+        help="worker processes for the pruning stage, valid for all "
+             "algorithms (1 = serial, 0 = one per CPU core)",
+    )
+    metablock.add_argument(
+        "--chunk-size", type=int, default=None, dest="chunk_size",
+        help="edges per EdgeBatch chunk in the batched pruning paths "
+             "(default 32768; never changes the retained comparisons)",
     )
     metablock.add_argument(
         "--output", help="write retained comparisons to this CSV file"

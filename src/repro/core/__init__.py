@@ -19,6 +19,7 @@ Public entry points:
 """
 
 from repro.core.block_filtering import BlockFiltering
+from repro.core.edge_stream import DEFAULT_CHUNK_SIZE, EdgeBatch
 from repro.core.edge_weighting import (
     EdgeWeighting,
     OptimizedEdgeWeighting,
@@ -27,7 +28,9 @@ from repro.core.edge_weighting import (
 from repro.core.graph import MaterializedBlockingGraph, blocking_graph_stats
 from repro.core.parallel import (
     PARALLEL_ALGORITHMS,
+    ParallelMetaBlockingExecutor,
     ParallelNodeCentricExecutor,
+    fork_available,
     parallel_prune,
     supports_parallel,
 )
@@ -62,10 +65,12 @@ __all__ = [
     "ECBS",
     "EJS",
     "JS",
+    "DEFAULT_CHUNK_SIZE",
     "PRUNING_ALGORITHMS",
     "WEIGHTING_SCHEMES",
     "BlockFiltering",
     "CardinalityEdgePruning",
+    "EdgeBatch",
     "CardinalityNodePruning",
     "EdgeWeighting",
     "GraphFreeMetaBlocking",
@@ -75,8 +80,10 @@ __all__ = [
     "OptimizedEdgeWeighting",
     "OriginalEdgeWeighting",
     "PARALLEL_ALGORITHMS",
+    "ParallelMetaBlockingExecutor",
     "ParallelNodeCentricExecutor",
     "PruningAlgorithm",
+    "fork_available",
     "parallel_prune",
     "supports_parallel",
     "VectorizedEdgeWeighting",

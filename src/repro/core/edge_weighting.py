@@ -25,12 +25,16 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterator
 
+import numpy as np
+
 from repro.blockprocessing.entity_index import EntityIndex
+from repro.core.edge_stream import DEFAULT_CHUNK_SIZE, EdgeBatch
 from repro.core.weights import WeightingScheme, get_scheme
 from repro.datamodel.blocks import BlockCollection
 
 Edge = tuple[int, int, float]
 Neighborhood = list[tuple[int, float]]
+NeighborhoodArrays = tuple[np.ndarray, np.ndarray]
 
 
 class EdgeWeighting(ABC):
@@ -102,6 +106,100 @@ class EdgeWeighting(ABC):
     @abstractmethod
     def _compute_degrees(self) -> None:
         """Populate ``_degrees`` and ``_total_edges``."""
+
+    # -- columnar bulk API ---------------------------------------------------
+    #
+    # The batched counterparts of ``neighborhood`` / ``iter_edges``. The base
+    # implementations below are generic adapters over the per-edge methods,
+    # so every backend supports the bulk contract; the vectorized backend
+    # overrides them with CSR-native array code. Both shapes expose exactly
+    # the same edges, weights and ordering, so batched and per-edge pruning
+    # retain identical comparison sets.
+
+    def neighborhood_arrays(self, entity: int) -> NeighborhoodArrays:
+        """``neighborhood(entity)`` as ``(neighbors, weights)`` arrays.
+
+        Ordering matches :meth:`neighborhood` element-for-element.
+        """
+        neighborhood = self.neighborhood(entity)
+        count = len(neighborhood)
+        if count == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        neighbors = np.fromiter(
+            (other for other, _ in neighborhood), dtype=np.int64, count=count
+        )
+        weights = np.fromiter(
+            (weight for _, weight in neighborhood), dtype=np.float64, count=count
+        )
+        return neighbors, weights
+
+    def emitted_arrays(self, entity: int) -> NeighborhoodArrays:
+        """The distinct edges *emitted* by ``entity``, as arrays.
+
+        Each distinct edge of the graph is emitted by exactly one endpoint:
+        the lower id for unilateral collections, the first-collection
+        endpoint for bilateral ones. This is the node-partitioned view of
+        the distinct-edge stream used by the batched edge-centric pruning
+        paths and the parallel executor.
+        """
+        if self.index.is_bilateral:
+            if self.index.in_second_collection(entity):
+                return (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64),
+                )
+            return self.neighborhood_arrays(entity)
+        neighbors, weights = self.neighborhood_arrays(entity)
+        keep = neighbors > entity
+        if keep.all():
+            return neighbors, weights
+        return neighbors[keep], weights[keep]
+
+    def iter_edge_batches(
+        self, chunk_size: int | None = None
+    ) -> Iterator[EdgeBatch]:
+        """Stream every distinct edge once, in :class:`EdgeBatch` chunks.
+
+        The concatenation of all batches equals :meth:`iter_edges` edge for
+        edge (same canonical ids, same weights, same order); only the
+        chunking is new. ``chunk_size`` defaults to
+        :data:`~repro.core.edge_stream.DEFAULT_CHUNK_SIZE`.
+        """
+        size = chunk_size if chunk_size and chunk_size > 0 else DEFAULT_CHUNK_SIZE
+        sources: list[int] = []
+        targets: list[int] = []
+        weights: list[float] = []
+        for left, right, weight in self.iter_edges():
+            sources.append(left)
+            targets.append(right)
+            weights.append(weight)
+            if len(sources) >= size:
+                yield EdgeBatch(
+                    np.asarray(sources, dtype=np.int64),
+                    np.asarray(targets, dtype=np.int64),
+                    np.asarray(weights, dtype=np.float64),
+                )
+                sources, targets, weights = [], [], []
+        if sources:
+            yield EdgeBatch(
+                np.asarray(sources, dtype=np.int64),
+                np.asarray(targets, dtype=np.int64),
+                np.asarray(weights, dtype=np.float64),
+            )
+
+    def count_neighbors(self, entity: int) -> int:
+        """``|v_entity|`` — distinct co-occurring entities (the node degree).
+
+        A pure graph statistic: unlike :meth:`neighborhood` it never touches
+        weights, so it is safe to call while degrees are still unknown (the
+        EJS bootstrap) and cheap enough for a parallel degree pass.
+        """
+        seen: set[int] = set()
+        index = self.index
+        for position in index.block_list(entity):
+            seen.update(index.cooccurring(entity, position))
+        seen.discard(entity)
+        return len(seen)
 
     # -- shared helpers -----------------------------------------------------
 
@@ -214,6 +312,9 @@ class OptimizedEdgeWeighting(EdgeWeighting):
                     yield entity, other, weight
                 else:
                     yield other, entity, weight
+
+    def count_neighbors(self, entity: int) -> int:
+        return len(self._scan(entity))
 
     def _compute_degrees(self) -> None:
         degrees = [0] * self.num_entities

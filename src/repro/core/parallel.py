@@ -1,11 +1,11 @@
-"""Parallel node-partitioned meta-blocking executor.
+"""Parallel meta-blocking executor (node-partitioned, all pruning families).
 
-The node-centric half of meta-blocking — ``neighborhood()`` scans plus the
-CNP/WNP family of pruning algorithms — is embarrassingly parallel over the
-blocking graph's nodes: every node's neighbourhood is derived independently
-from the Entity Index, and the (redefined/reciprocal) phase-2 edge stream
-can equally be partitioned by its emitting endpoint. This module fans those
-scans across a :class:`~concurrent.futures.ProcessPoolExecutor`:
+Meta-blocking is embarrassingly parallel over the blocking graph's nodes:
+every node's neighbourhood is derived independently from the Entity Index,
+and the distinct-edge stream can be partitioned by its *emitting endpoint*
+(the lower id for unilateral graphs, the first-collection endpoint for
+bilateral ones). This module fans those per-node array scans across a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
 
 * the graph's placed nodes are split into ``chunks`` contiguous ranges
   (default ``4 × workers``, for load balancing across skewed neighbourhood
@@ -19,13 +19,23 @@ scans across a :class:`~concurrent.futures.ProcessPoolExecutor`:
   comparison *set* is always identical, and with the default (optimized or
   vectorized) backends the pair ordering matches the serial output too.
 
-Supported pruning algorithms are the four node-centric schemes and their
-variants: CNP, WNP, ReCNP, ReWNP, RcCNP, RcWNP. Edge-centric schemes
-(CEP, WEP) stream one global edge pass and fall back to serial execution;
-:func:`supports_parallel` lets callers check.
+All eight pruning schemes are covered. The node-centric family (CNP/WNP and
+the redefined/reciprocal variants) partitions both phases by node. The
+edge-centric family partitions the distinct-edge stream by emitting
+endpoint: CEP keeps an exact local top-k per chunk (a superset of the global
+top-k) and merges with one final exact selection; WEP runs two passes —
+per-node weight sums reduced to the global mean, then a parallel retention
+pass. The degree pass that dominates EJS runtime is parallelized the same
+way (:meth:`ParallelMetaBlockingExecutor.compute_degrees`).
+
+Weight thresholds go through the same canonical reductions as the serial
+batched code (per-emitting-node partial sums in node order, reduced with one
+``np.sum``), so they are bit-identical for every worker/chunk count.
 
 On platforms without the ``fork`` start method (or with ``workers=1``) the
-same chunked code paths run in-process, preserving behaviour exactly.
+same chunked code paths run in-process, preserving behaviour exactly;
+:func:`fork_available` and :attr:`ParallelMetaBlockingExecutor.pool_backend`
+let callers observe which backend actually ran.
 """
 
 from __future__ import annotations
@@ -35,15 +45,33 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from repro.core.edge_stream import (
+    EdgeBatch,
+    TopKEdgeBuffer,
+    directed_pair_keys,
+    iter_node_groups,
+    keys_contain,
+    neighborhood_mean,
+    segment_means,
+    topk_per_segment,
+)
 from repro.core.edge_weighting import EdgeWeighting
 from repro.core.pruning import (
+    CardinalityEdgePruning,
     CardinalityNodePruning,
     PruningAlgorithm,
     RedefinedCardinalityNodePruning,
     RedefinedWeightedNodePruning,
+    WeightedEdgePruning,
     WeightedNodePruning,
 )
-from repro.core.pruning.base import cardinality_node_threshold
+from repro.core.pruning.base import (
+    cardinality_edge_threshold,
+    cardinality_node_threshold,
+    node_weight_sums,
+)
 from repro.datamodel.blocks import ComparisonCollection
 from repro.utils.topk import TopKHeap
 
@@ -51,20 +79,29 @@ Comparison = tuple[int, int]
 Range = tuple[int, int]
 
 #: Pruning acronyms the executor can partition across workers.
-PARALLEL_ALGORITHMS = frozenset({"CNP", "WNP", "ReCNP", "ReWNP", "RcCNP", "RcWNP"})
+PARALLEL_ALGORITHMS = frozenset(
+    {"CEP", "WEP", "CNP", "WNP", "ReCNP", "ReWNP", "RcCNP", "RcWNP"}
+)
 
 
 def supports_parallel(algorithm: PruningAlgorithm) -> bool:
-    """True iff the executor can run this pruning algorithm node-partitioned."""
+    """True iff the executor can partition this pruning algorithm."""
     return isinstance(
         algorithm,
         (
+            CardinalityEdgePruning,
+            WeightedEdgePruning,
             CardinalityNodePruning,
             WeightedNodePruning,
             RedefinedCardinalityNodePruning,
             RedefinedWeightedNodePruning,
         ),
     )
+
+
+def fork_available() -> bool:
+    """True iff the platform offers the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -94,7 +131,7 @@ def partition_ranges(count: int, chunks: int) -> list[Range]:
 # criteria) copy-on-write. Each phase builds its pool *after* the state is
 # staged, so the snapshot the workers see is exactly the parent's.
 
-_FORK_STATE: "ParallelNodeCentricExecutor | None" = None
+_FORK_STATE: "ParallelMetaBlockingExecutor | None" = None
 
 
 def _dispatch(payload: tuple[str, Range]):
@@ -103,8 +140,8 @@ def _dispatch(payload: tuple[str, Range]):
     return getattr(_FORK_STATE, task)(bounds)
 
 
-class ParallelNodeCentricExecutor:
-    """Fan node-centric weighting + pruning across a process pool.
+class ParallelMetaBlockingExecutor:
+    """Fan edge weighting + pruning across a process pool.
 
     Parameters
     ----------
@@ -132,17 +169,21 @@ class ParallelNodeCentricExecutor:
         # Phase-specific staging, fork-shared with the next pool:
         self._k: int = 0
         self._criteria: dict | None = None
+        self._keys: np.ndarray | None = None
+        self._threshold_array: np.ndarray | None = None
+        self._wep_threshold: float = 0.0
         self._conjunctive: bool = False
         self._phase2_mode: str = ""  # "topk" | "threshold"
 
     # -- chunk scheduling ----------------------------------------------------
 
     def _use_pool(self) -> bool:
-        return (
-            self.workers > 1
-            and len(self._nodes) > 1
-            and "fork" in multiprocessing.get_all_start_methods()
-        )
+        return self.workers > 1 and len(self._nodes) > 1 and fork_available()
+
+    @property
+    def pool_backend(self) -> str:
+        """``"fork"`` when chunks go to a process pool, else ``"in-process"``."""
+        return "fork" if self._use_pool() else "in-process"
 
     def _map_chunks(self, task: str, ranges: Sequence[Range]) -> list:
         """Run ``task`` over every node range; results in submission order."""
@@ -164,6 +205,17 @@ class ParallelNodeCentricExecutor:
     def _ranges(self) -> list[Range]:
         return partition_ranges(len(self._nodes), self.chunks)
 
+    def _emitted_canonical(
+        self, entity: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Entity's emitted edges as canonical ``(sources, targets, weights)``."""
+        neighbors, weights = self.weighting.emitted_arrays(entity)
+        return (
+            np.minimum(neighbors, entity),
+            np.maximum(neighbors, entity),
+            weights,
+        )
+
     # -- worker tasks (run inside forked children) ---------------------------
 
     def _chunk_nearest(self, bounds: Range) -> dict[int, set[int]]:
@@ -182,97 +234,152 @@ class ParallelNodeCentricExecutor:
         weighting = self.weighting
         out: dict[int, float] = {}
         for entity in self._nodes[bounds[0] : bounds[1]]:
-            neighborhood = weighting.neighborhood(entity)
-            if neighborhood:
-                out[entity] = sum(w for _, w in neighborhood) / len(neighborhood)
+            _, weights = weighting.neighborhood_arrays(entity)
+            if weights.size:
+                out[entity] = neighborhood_mean(weights)
         return out
+
+    def _node_groups(self, bounds: Range):
+        """The range's non-empty neighbourhoods as segment-array groups."""
+        return iter_node_groups(
+            self.weighting.neighborhood_arrays,
+            self._nodes[bounds[0] : bounds[1]],
+        )
+
+    def _chunk_nearest_keys(self, bounds: Range) -> np.ndarray:
+        """Array phase 1 of (Re/Rc)CNP: directed top-k keys for one range."""
+        k = self._k
+        num_entities = self.weighting.num_entities
+        chunks: list[np.ndarray] = []
+        for group in self._node_groups(bounds):
+            selected, segments = topk_per_segment(group, k)
+            if selected.size:
+                chunks.append(
+                    directed_pair_keys(
+                        group.entities[segments],
+                        group.neighbors[selected],
+                        num_entities,
+                    )
+                )
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def _chunk_threshold_array(self, bounds: Range) -> tuple[np.ndarray, np.ndarray]:
+        """Array phase 1 of (Re/Rc)WNP: ``(entities, mean weights)`` arrays."""
+        entities: list[np.ndarray] = []
+        means: list[np.ndarray] = []
+        for group in self._node_groups(bounds):
+            entities.append(group.entities)
+            means.append(segment_means(group))
+        if not entities:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        return np.concatenate(entities), np.concatenate(means)
 
     def _chunk_original_cnp(self, bounds: Range) -> list[Comparison]:
         """Original CNP for one node range (directed retention, repeats kept)."""
-        weighting, k = self.weighting, self._k
+        k = self._k
         retained: list[Comparison] = []
-        for entity in self._nodes[bounds[0] : bounds[1]]:
-            heap: TopKHeap[int] = TopKHeap(k)
-            for other, weight in weighting.neighborhood(entity):
-                heap.push(weight, other)
-            for other in sorted(heap.items()):
-                retained.append(
-                    (entity, other) if entity < other else (other, entity)
+        for group in self._node_groups(bounds):
+            selected, segments = topk_per_segment(group, k)
+            entities = group.entities[segments]
+            neighbors = group.neighbors[selected]
+            retained.extend(
+                zip(
+                    np.minimum(entities, neighbors).tolist(),
+                    np.maximum(entities, neighbors).tolist(),
                 )
+            )
         return retained
 
     def _chunk_original_wnp(self, bounds: Range) -> list[Comparison]:
         """Original WNP for one node range (directed retention, repeats kept)."""
-        weighting = self.weighting
         retained: list[Comparison] = []
-        for entity in self._nodes[bounds[0] : bounds[1]]:
-            neighborhood = weighting.neighborhood(entity)
-            if not neighborhood:
-                continue
-            threshold = sum(w for _, w in neighborhood) / len(neighborhood)
-            for other, weight in neighborhood:
-                if weight >= threshold:
-                    retained.append(
-                        (entity, other) if entity < other else (other, entity)
-                    )
+        for group in self._node_groups(bounds):
+            counts = group.counts
+            keep = group.weights >= np.repeat(segment_means(group), counts)
+            entities = np.repeat(group.entities, counts)[keep]
+            neighbors = group.neighbors[keep]
+            retained.extend(
+                zip(
+                    np.minimum(entities, neighbors).tolist(),
+                    np.maximum(entities, neighbors).tolist(),
+                )
+            )
         return retained
 
     def _chunk_phase2(self, bounds: Range) -> list[Comparison]:
         """Phase 2 of the redefined/reciprocal algorithms for one node range.
 
-        Streams each distinct edge once from its emitting endpoint (the
-        lower id for unilateral graphs, the first-collection endpoint for
-        bilateral ones) and applies the disjunctive (redefined) or
-        conjunctive (reciprocal) retention condition.
+        Streams each distinct edge once from its emitting endpoint and
+        applies the disjunctive (redefined) or conjunctive (reciprocal)
+        retention condition against the staged phase-1 arrays.
         """
-        weighting = self.weighting
-        index = weighting.index
-        bilateral = index.is_bilateral
-        criteria = self._criteria
+        num_entities = self.weighting.num_entities
         conjunctive = self._conjunctive
-        assert criteria is not None
         retained: list[Comparison] = []
-        if self._phase2_mode == "threshold":
-            # WNP-style: per-node mean-weight thresholds.
-            infinity = float("inf")
-            for entity in self._nodes[bounds[0] : bounds[1]]:
-                if bilateral and index.in_second_collection(entity):
-                    continue
-                for other, weight in weighting.neighborhood(entity):
-                    if not bilateral and other <= entity:
-                        continue
-                    over_left = weight >= criteria.get(entity, infinity)
-                    over_right = weight >= criteria.get(other, infinity)
-                    keep = (
-                        (over_left and over_right)
-                        if conjunctive
-                        else (over_left or over_right)
-                    )
-                    if keep:
-                        retained.append(
-                            (entity, other) if entity < other else (other, entity)
-                        )
-        else:
-            # CNP-style: per-node nearest-neighbour sets.
-            empty: set[int] = set()
-            for entity in self._nodes[bounds[0] : bounds[1]]:
-                if bilateral and index.in_second_collection(entity):
-                    continue
-                for other, _ in weighting.neighborhood(entity):
-                    if not bilateral and other <= entity:
-                        continue
-                    in_left = other in criteria.get(entity, empty)
-                    in_right = entity in criteria.get(other, empty)
-                    keep = (
-                        (in_left and in_right)
-                        if conjunctive
-                        else (in_left or in_right)
-                    )
-                    if keep:
-                        retained.append(
-                            (entity, other) if entity < other else (other, entity)
-                        )
+        for entity in self._nodes[bounds[0] : bounds[1]]:
+            sources, targets, weights = self._emitted_canonical(entity)
+            if sources.size == 0:
+                continue
+            if self._phase2_mode == "threshold":
+                thresholds = self._threshold_array
+                assert thresholds is not None
+                left = weights >= thresholds[sources]
+                right = weights >= thresholds[targets]
+            else:
+                keys = self._keys
+                assert keys is not None
+                left = keys_contain(
+                    keys, directed_pair_keys(sources, targets, num_entities)
+                )
+                right = keys_contain(
+                    keys, directed_pair_keys(targets, sources, num_entities)
+                )
+            keep = (left & right) if conjunctive else (left | right)
+            retained.extend(
+                zip(sources[keep].tolist(), targets[keep].tolist())
+            )
         return retained
+
+    def _chunk_cep(self, bounds: Range) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Exact local top-k of one range's emitted edges (a superset of the
+        global top-k's intersection with the range)."""
+        buffer = TopKEdgeBuffer(self._k)
+        for entity in self._nodes[bounds[0] : bounds[1]]:
+            sources, targets, weights = self._emitted_canonical(entity)
+            if sources.size:
+                buffer.push(EdgeBatch(sources, targets, weights))
+        best = buffer.top()
+        return best.sources, best.targets, best.weights
+
+    def _chunk_edge_sums(self, bounds: Range) -> tuple[np.ndarray, int]:
+        """WEP pass 1: per-emitting-node weight sums (node order) + edge count."""
+        return node_weight_sums(
+            self.weighting, self._nodes[bounds[0] : bounds[1]]
+        )
+
+    def _chunk_wep_retain(self, bounds: Range) -> list[Comparison]:
+        """WEP pass 2: retain one range's emitted edges over the staged mean."""
+        threshold = self._wep_threshold
+        retained: list[Comparison] = []
+        for entity in self._nodes[bounds[0] : bounds[1]]:
+            sources, targets, weights = self._emitted_canonical(entity)
+            if sources.size == 0:
+                continue
+            keep = weights >= threshold
+            retained.extend(
+                zip(sources[keep].tolist(), targets[keep].tolist())
+            )
+        return retained
+
+    def _chunk_degrees(self, bounds: Range) -> list[tuple[int, int]]:
+        """Node degrees for one range (pure graph statistic, weight-free)."""
+        weighting = self.weighting
+        return [
+            (entity, weighting.count_neighbors(entity))
+            for entity in self._nodes[bounds[0] : bounds[1]]
+        ]
 
     # -- parallel counterparts of the serial algorithms ----------------------
 
@@ -299,27 +406,103 @@ class ParallelNodeCentricExecutor:
             self._map_chunks("_chunk_thresholds", self._ranges())
         )
 
-    def prune(self, algorithm: PruningAlgorithm) -> ComparisonCollection:
-        """Run a node-centric pruning algorithm across the pool.
+    def compute_degrees(self) -> None:
+        """Parallel degree pass (the EJS bootstrap that dominates its runtime).
 
-        The result is pair-for-pair identical to ``algorithm.prune(weighting)``
-        as a comparison set; raises :class:`ValueError` for algorithms the
-        executor cannot partition (check :func:`supports_parallel` first).
+        Populates the weighting backend's cached degrees exactly as its own
+        serial ``_compute_degrees`` would; a no-op when already computed.
         """
-        self.weighting._prepare_scheme_inputs()  # degrees before forking (EJS)
+        weighting = self.weighting
+        if weighting._degrees is not None:
+            return
+        degrees = [0] * weighting.num_entities
+        total = 0
+        for chunk in self._map_chunks("_chunk_degrees", self._ranges()):
+            for entity, degree in chunk:
+                degrees[entity] = degree
+                total += degree
+        weighting._degrees = degrees
+        # Every edge is discovered from both endpoints.
+        weighting._total_edges = total // 2
+        if hasattr(weighting, "_degrees_array"):
+            weighting._degrees_array = np.asarray(degrees, dtype=np.int64)
+
+    def mean_edge_weight(self) -> float:
+        """Parallel two-pass counterpart of
+        :func:`repro.core.pruning.base.mean_edge_weight` (bit-identical)."""
+        parts = self._map_chunks("_chunk_edge_sums", self._ranges())
+        if not parts:
+            return 0.0
+        sums = np.concatenate([chunk_sums for chunk_sums, _ in parts])
+        count = sum(chunk_count for _, chunk_count in parts)
+        if count == 0:
+            return 0.0
+        return float(np.sum(sums)) / count
+
+    def prune(self, algorithm: PruningAlgorithm) -> ComparisonCollection:
+        """Run a pruning algorithm across the pool.
+
+        The retained comparison set is identical to
+        ``algorithm.prune(weighting)``; raises :class:`ValueError` for
+        algorithms the executor cannot partition (check
+        :func:`supports_parallel` first).
+        """
+        if not supports_parallel(algorithm):
+            raise ValueError(
+                f"{type(algorithm).__name__} is not node-partitionable; "
+                f"parallel execution supports {sorted(PARALLEL_ALGORITHMS)}"
+            )
+        if self.weighting.scheme.uses_degrees:
+            self.compute_degrees()  # parallel pass, before any forking below
+        self.weighting._prepare_scheme_inputs()
         ranges = self._ranges()
+        if isinstance(algorithm, CardinalityEdgePruning):
+            self._k = (
+                algorithm.k
+                if algorithm.k is not None
+                else cardinality_edge_threshold(self.weighting.blocks)
+            )
+            merged = TopKEdgeBuffer(self._k)
+            for sources, targets, weights in self._map_chunks("_chunk_cep", ranges):
+                merged.push(EdgeBatch(sources, targets, weights))
+            return ComparisonCollection(
+                merged.pairs(), self.weighting.num_entities
+            )
+        if isinstance(algorithm, WeightedEdgePruning):
+            self._wep_threshold = (
+                algorithm.threshold
+                if algorithm.threshold is not None
+                else self.mean_edge_weight()
+            )
+            return self._merge_pairs(self._map_chunks("_chunk_wep_retain", ranges))
         if isinstance(algorithm, RedefinedCardinalityNodePruning):
-            k = (
+            self._k = (
                 algorithm.k
                 if algorithm.k is not None
                 else cardinality_node_threshold(self.weighting.blocks)
             )
-            self._criteria = self.nearest_neighbor_sets(k)
+            keys = [
+                chunk
+                for chunk in self._map_chunks("_chunk_nearest_keys", ranges)
+                if chunk.size
+            ]
+            self._keys = (
+                np.sort(np.concatenate(keys))
+                if keys
+                else np.empty(0, dtype=np.int64)
+            )
             self._conjunctive = algorithm.conjunctive
             self._phase2_mode = "topk"
             return self._merge_pairs(self._map_chunks("_chunk_phase2", ranges))
         if isinstance(algorithm, RedefinedWeightedNodePruning):
-            self._criteria = self.neighborhood_thresholds()
+            thresholds = np.full(
+                self.weighting.num_entities, np.inf, dtype=np.float64
+            )
+            for entities, values in self._map_chunks(
+                "_chunk_threshold_array", ranges
+            ):
+                thresholds[entities] = values
+            self._threshold_array = thresholds
             self._conjunctive = algorithm.conjunctive
             self._phase2_mode = "threshold"
             return self._merge_pairs(self._map_chunks("_chunk_phase2", ranges))
@@ -332,13 +515,9 @@ class ParallelNodeCentricExecutor:
             return self._merge_pairs(
                 self._map_chunks("_chunk_original_cnp", ranges)
             )
-        if isinstance(algorithm, WeightedNodePruning):
-            return self._merge_pairs(
-                self._map_chunks("_chunk_original_wnp", ranges)
-            )
-        raise ValueError(
-            f"{type(algorithm).__name__} is not node-partitionable; "
-            f"parallel execution supports {sorted(PARALLEL_ALGORITHMS)}"
+        assert isinstance(algorithm, WeightedNodePruning)
+        return self._merge_pairs(
+            self._map_chunks("_chunk_original_wnp", ranges)
         )
 
     def map_neighborhoods(self) -> "dict[int, list[tuple[int, float]]]":
@@ -361,6 +540,11 @@ class ParallelNodeCentricExecutor:
         }
 
 
+#: Backwards-compatible name from when only the node-centric family was
+#: supported; same class, full coverage.
+ParallelNodeCentricExecutor = ParallelMetaBlockingExecutor
+
+
 def parallel_prune(
     weighting: EdgeWeighting,
     algorithm: PruningAlgorithm,
@@ -370,5 +554,5 @@ def parallel_prune(
     """One-call parallel pruning; falls back to serial when unsupported."""
     if not supports_parallel(algorithm) or resolve_workers(workers) == 1:
         return algorithm.prune(weighting)
-    executor = ParallelNodeCentricExecutor(weighting, workers=workers, chunks=chunks)
+    executor = ParallelMetaBlockingExecutor(weighting, workers=workers, chunks=chunks)
     return executor.prune(algorithm)

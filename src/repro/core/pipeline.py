@@ -12,6 +12,7 @@ Two entry points:
 from __future__ import annotations
 
 import logging
+import warnings
 from dataclasses import dataclass, field
 
 from repro.blocking.base import BlockingMethod
@@ -23,7 +24,8 @@ from repro.core.edge_weighting import (
     OriginalEdgeWeighting,
 )
 from repro.core.parallel import (
-    ParallelNodeCentricExecutor,
+    ParallelMetaBlockingExecutor,
+    fork_available,
     resolve_workers,
     supports_parallel,
 )
@@ -68,6 +70,10 @@ class MetaBlockingResult:
     pruning_seconds: float = 0.0
     #: Extra stages run by the full workflow (blocking, purging).
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Worker processes that actually ran the pruning stage (1 == serial).
+    effective_workers: int = 1
+    #: ``"serial"``, ``"in-process"`` (chunked, no pool) or ``"fork"``.
+    parallel_backend: str = "serial"
 
     @property
     def overhead_seconds(self) -> float:
@@ -87,6 +93,7 @@ def meta_block(
     backend: str = "optimized",
     parallel: int | None = None,
     chunks: int | None = None,
+    chunk_size: int | None = None,
 ) -> MetaBlockingResult:
     """Restructure a redundancy-positive block collection.
 
@@ -107,14 +114,22 @@ def meta_block(
         ``"optimized"`` (Algorithm 3, default) or ``"original"``
         (Algorithm 2) edge weighting.
     parallel:
-        Worker-process count for the node-centric pruning algorithms
-        (CNP/WNP and the redefined/reciprocal variants); ``None``/``1``
-        runs serially, ``0`` uses one worker per CPU core. Edge-centric
-        algorithms ignore the knob and run serially. Results are identical
-        to serial execution.
+        Worker-process count for the pruning stage (all eight algorithms);
+        ``None``/``1`` runs serially, ``0`` uses one worker per CPU core.
+        Results are identical to serial execution. On platforms without the
+        ``fork`` start method a :class:`RuntimeWarning` is emitted and the
+        run falls back to serial; the effective worker count and backend
+        are recorded on the result
+        (:attr:`MetaBlockingResult.effective_workers` /
+        :attr:`MetaBlockingResult.parallel_backend`).
     chunks:
         Number of contiguous node partitions for the parallel executor
         (default ``4 × workers``).
+    chunk_size:
+        Edges per :class:`~repro.core.edge_stream.EdgeBatch` chunk in the
+        batched pruning paths (default
+        :data:`~repro.core.edge_stream.DEFAULT_CHUNK_SIZE`); never affects
+        the retained comparisons, only peak memory.
     """
     try:
         backend_class = WEIGHTING_BACKENDS[backend]
@@ -123,6 +138,10 @@ def meta_block(
         raise ValueError(f"unknown weighting backend {backend!r}; known: {known}")
     scheme = get_scheme(scheme)
     pruning = get_pruning(algorithm)
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        pruning.chunk_size = chunk_size
 
     filtered: BlockCollection | None = None
     filtering_seconds = 0.0
@@ -141,28 +160,41 @@ def meta_block(
         )
 
     workers = resolve_workers(parallel) if parallel is not None else 1
+    if workers > 1 and not supports_parallel(pruning):
+        warnings.warn(
+            f"{pruning.name or type(pruning).__name__} does not support "
+            f"parallel execution; ignoring parallel={parallel!r} and running "
+            "serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        workers = 1
+    if workers > 1 and not fork_available():
+        warnings.warn(
+            "the 'fork' start method is unavailable on this platform; "
+            f"ignoring parallel={parallel!r} and running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        workers = 1
+    parallel_backend = "serial"
     with Timer() as timer:
         weighting = backend_class(graph_input, scheme)
-        if workers > 1 and supports_parallel(pruning):
-            executor = ParallelNodeCentricExecutor(
+        if workers > 1:
+            executor = ParallelMetaBlockingExecutor(
                 weighting, workers=workers, chunks=chunks
             )
             comparisons = executor.prune(pruning)
+            parallel_backend = executor.pool_backend
         else:
-            if workers > 1:
-                logger.debug(
-                    "%s is edge-centric; ignoring parallel=%d and running "
-                    "serially",
-                    pruning.name,
-                    workers,
-                )
             comparisons = pruning.prune(weighting)
     logger.debug(
-        "%s/%s (%s backend, %d worker(s)): retained %d comparisons (%.3fs)",
+        "%s/%s (%s backend, %d worker(s), %s): retained %d comparisons (%.3fs)",
         pruning.name,
         scheme.name,
         backend,
         workers,
+        parallel_backend,
         comparisons.cardinality,
         timer.elapsed,
     )
@@ -174,6 +206,8 @@ def meta_block(
         algorithm=pruning,
         filtering_seconds=filtering_seconds,
         pruning_seconds=timer.elapsed,
+        effective_workers=workers,
+        parallel_backend=parallel_backend,
     )
 
 
@@ -189,9 +223,10 @@ class MetaBlockingWorkflow:
         Optional Block Purging pre-processing (the paper always applies it).
     block_filtering_ratio:
         Block Filtering ratio, or ``None`` to skip filtering.
-    scheme / algorithm / backend / parallel:
+    scheme / algorithm / backend / parallel / chunk_size:
         Forwarded to :func:`meta_block`; ``parallel`` is the worker-process
-        count for the node-centric pruning stage.
+        count for the pruning stage, ``chunk_size`` the edges per
+        :class:`~repro.core.edge_stream.EdgeBatch` chunk.
     """
 
     def __init__(
@@ -203,6 +238,7 @@ class MetaBlockingWorkflow:
         block_filtering_ratio: float | None = 0.8,
         backend: str = "optimized",
         parallel: int | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         if not blocking.redundancy_positive:
             raise ValueError(
@@ -217,6 +253,7 @@ class MetaBlockingWorkflow:
         self.algorithm = get_pruning(algorithm)
         self.backend = backend
         self.parallel = parallel
+        self.chunk_size = chunk_size
 
     def to_config(self) -> dict:
         """A JSON-serialisable description of this workflow.
@@ -247,6 +284,7 @@ class MetaBlockingWorkflow:
             "block_filtering_ratio": self.block_filtering_ratio,
             "backend": self.backend,
             "parallel": self.parallel,
+            "chunk_size": self.chunk_size,
         }
 
     @classmethod
@@ -269,6 +307,7 @@ class MetaBlockingWorkflow:
             block_filtering_ratio=config.get("block_filtering_ratio", 0.8),
             backend=config.get("backend", "optimized"),
             parallel=config.get("parallel"),
+            chunk_size=config.get("chunk_size"),
         )
 
     def run(self, dataset: ERDataset) -> MetaBlockingResult:
@@ -299,6 +338,7 @@ class MetaBlockingWorkflow:
             block_filtering_ratio=self.block_filtering_ratio,
             backend=self.backend,
             parallel=self.parallel,
+            chunk_size=self.chunk_size,
         )
         result.stage_seconds["blocking"] = blocking_seconds
         result.stage_seconds["purging"] = purging_seconds

@@ -4,6 +4,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
+from repro.core.edge_stream import iter_node_groups, neighborhood_mean
 from repro.core.edge_weighting import EdgeWeighting
 from repro.datamodel.blocks import BlockCollection, ComparisonCollection
 
@@ -15,14 +18,29 @@ class PruningAlgorithm(ABC):
     or node-centric) with a pruning *criterion* (weight or cardinality
     threshold, global or local). Instances are stateless across calls;
     :meth:`prune` may be invoked with different weighting backends.
+
+    :meth:`prune` consumes the blocking graph in bulk array form (the
+    :class:`~repro.core.edge_stream.EdgeBatch` stream /
+    ``neighborhood_arrays``); :meth:`prune_per_edge` is the historical
+    tuple-at-a-time path, kept as a compatibility shim. Both retain exactly
+    the same comparison set (asserted by the test suite).
     """
 
     #: Acronym used in the paper and in the registry.
     name: str = ""
 
+    #: Edges per :class:`~repro.core.edge_stream.EdgeBatch` chunk consumed by
+    #: the batched path; ``None`` uses the stream's default. Chunking never
+    #: affects the retained comparisons, only peak memory.
+    chunk_size: int | None = None
+
     @abstractmethod
     def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
         """Return the retained comparisons of the weighted blocking graph."""
+
+    def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
+        """Per-edge compatibility shim; same retained set as :meth:`prune`."""
+        return self.prune(weighting)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -45,10 +63,45 @@ def cardinality_node_threshold(blocks: BlockCollection) -> int:
 
 
 def mean_edge_weight(weighting: EdgeWeighting) -> float:
-    """WEP's global threshold: the average weight over all distinct edges."""
-    total = 0.0
+    """WEP's global threshold: the average weight over all distinct edges.
+
+    Computed from per-emitting-node partial sums in node order, so the
+    result is bit-identical no matter how the edge stream is chunked or
+    how many workers the parallel executor fans it across (the per-node
+    array is the atomic unit of every partitioning).
+    """
+    sums, count = node_weight_sums(weighting, weighting.nodes())
+    if count == 0:
+        return 0.0
+    return float(np.sum(sums)) / count
+
+
+def node_weight_sums(
+    weighting: EdgeWeighting, entities: "list[int]"
+) -> tuple[np.ndarray, int]:
+    """Per-node emitted-weight sums (and total edge count) for ``entities``.
+
+    The building block of :func:`mean_edge_weight` and of the parallel
+    executor's two-pass WEP: partial sums are always taken per emitting
+    node (one segmented ``np.add.reduceat`` per group), then reduced over
+    the node-ordered array — so the result never depends on group or
+    worker boundaries.
+    """
+    sums: list[np.ndarray] = []
     count = 0
-    for _, _, weight in weighting.iter_edges():
-        total += weight
-        count += 1
-    return total / count if count else 0.0
+    for group in iter_node_groups(weighting.emitted_arrays, entities):
+        sums.append(np.add.reduceat(group.weights, group.offsets[:-1]))
+        count += int(group.weights.size)
+    if not sums:
+        return np.empty(0, dtype=np.float64), 0
+    return np.concatenate(sums), count
+
+
+__all__ = [
+    "PruningAlgorithm",
+    "cardinality_edge_threshold",
+    "cardinality_node_threshold",
+    "mean_edge_weight",
+    "neighborhood_mean",
+    "node_weight_sums",
+]

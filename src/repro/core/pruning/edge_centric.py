@@ -5,10 +5,16 @@ keep those passing a *global* criterion, so their output never contains
 redundant comparisons. They cannot, however, guarantee that every entity
 keeps at least one edge — the reason the paper's new algorithms build on the
 node-centric family instead.
+
+The primary :meth:`~repro.core.pruning.base.PruningAlgorithm.prune` path
+consumes the graph in :class:`~repro.core.edge_stream.EdgeBatch` chunks;
+``prune_per_edge`` keeps the historical tuple-at-a-time loop and retains
+exactly the same comparisons.
 """
 
 from __future__ import annotations
 
+from repro.core.edge_stream import TopKEdgeBuffer
 from repro.core.edge_weighting import EdgeWeighting
 from repro.core.pruning.base import (
     PruningAlgorithm,
@@ -34,11 +40,19 @@ class CardinalityEdgePruning(PruningAlgorithm):
             raise ValueError(f"k must be positive, got {k}")
         self.k = k
 
+    def _threshold(self, weighting: EdgeWeighting) -> int:
+        if self.k is not None:
+            return self.k
+        return cardinality_edge_threshold(weighting.blocks)
+
     def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
-        k = self.k if self.k is not None else cardinality_edge_threshold(
-            weighting.blocks
-        )
-        heap: TopKHeap[tuple[int, int]] = TopKHeap(k)
+        buffer = TopKEdgeBuffer(self._threshold(weighting))
+        for batch in weighting.iter_edge_batches(self.chunk_size):
+            buffer.push(batch)
+        return ComparisonCollection(buffer.pairs(), weighting.num_entities)
+
+    def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
+        heap: TopKHeap[tuple[int, int]] = TopKHeap(self._threshold(weighting))
         for left, right, weight in weighting.iter_edges():
             heap.push(weight, (left, right))
         retained = sorted(heap.items())
@@ -58,12 +72,23 @@ class WeightedEdgePruning(PruningAlgorithm):
     def __init__(self, threshold: float | None = None) -> None:
         self.threshold = threshold
 
+    def _resolve_threshold(self, weighting: EdgeWeighting) -> float:
+        if self.threshold is not None:
+            return self.threshold
+        return mean_edge_weight(weighting)
+
     def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
-        threshold = (
-            self.threshold
-            if self.threshold is not None
-            else mean_edge_weight(weighting)
-        )
+        threshold = self._resolve_threshold(weighting)
+        retained: list[tuple[int, int]] = []
+        for batch in weighting.iter_edge_batches(self.chunk_size):
+            keep = batch.weights >= threshold
+            retained.extend(
+                zip(batch.sources[keep].tolist(), batch.targets[keep].tolist())
+            )
+        return ComparisonCollection(retained, weighting.num_entities)
+
+    def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
+        threshold = self._resolve_threshold(weighting)
         retained = [
             (left, right)
             for left, right, weight in weighting.iter_edges()

@@ -7,16 +7,37 @@ redundant comparisons in the restructured blocks — the inefficiency the
 paper's redefined algorithms remove. The outputs here faithfully preserve
 those repeats so that ``||B'||`` and PQ match the original algorithms'
 published behaviour.
+
+The primary ``prune`` path packs whole chunks of node neighbourhoods into
+:class:`~repro.core.edge_stream.NodeGroup` segment arrays and resolves the
+local criteria with a handful of big-array operations per chunk (top-k via
+one lexsort per group, local means via one segmented reduction);
+``prune_per_edge`` keeps the tuple-at-a-time loop with the same retained
+comparisons.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core.edge_stream import (
+    iter_node_groups,
+    neighborhood_mean,
+    segment_means,
+    topk_per_segment,
+)
 from repro.core.edge_weighting import EdgeWeighting
 from repro.core.pruning.base import PruningAlgorithm, cardinality_node_threshold
 from repro.datamodel.blocks import ComparisonCollection
 from repro.utils.topk import TopKHeap
 
 Comparison = tuple[int, int]
+
+
+def _canonical(entity: int, others: "list[int]") -> "list[Comparison]":
+    return [
+        (entity, other) if entity < other else (other, entity) for other in others
+    ]
 
 
 class CardinalityNodePruning(PruningAlgorithm):
@@ -32,17 +53,36 @@ class CardinalityNodePruning(PruningAlgorithm):
             raise ValueError(f"k must be positive, got {k}")
         self.k = k
 
+    def _threshold(self, weighting: EdgeWeighting) -> int:
+        if self.k is not None:
+            return self.k
+        return cardinality_node_threshold(weighting.blocks)
+
     def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
-        k = self.k if self.k is not None else cardinality_node_threshold(
-            weighting.blocks
-        )
+        k = self._threshold(weighting)
+        retained: list[Comparison] = []
+        for group in iter_node_groups(
+            weighting.neighborhood_arrays, weighting.nodes(), self.chunk_size
+        ):
+            selected, segments = topk_per_segment(group, k)
+            entities = group.entities[segments]
+            neighbors = group.neighbors[selected]
+            retained.extend(
+                zip(
+                    np.minimum(entities, neighbors).tolist(),
+                    np.maximum(entities, neighbors).tolist(),
+                )
+            )
+        return ComparisonCollection(retained, weighting.num_entities)
+
+    def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
+        k = self._threshold(weighting)
         retained: list[Comparison] = []
         for entity, neighborhood in weighting.iter_neighborhoods():
             heap: TopKHeap[int] = TopKHeap(k)
             for other, weight in neighborhood:
                 heap.push(weight, other)
-            for other in sorted(heap.items()):
-                retained.append((entity, other) if entity < other else (other, entity))
+            retained.extend(_canonical(entity, sorted(heap.items())))
         return ComparisonCollection(retained, weighting.num_entities)
 
 
@@ -58,13 +98,37 @@ class WeightedNodePruning(PruningAlgorithm):
 
     def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
         retained: list[Comparison] = []
+        for group in iter_node_groups(
+            weighting.neighborhood_arrays, weighting.nodes(), self.chunk_size
+        ):
+            counts = group.counts
+            keep = group.weights >= np.repeat(segment_means(group), counts)
+            entities = np.repeat(group.entities, counts)[keep]
+            neighbors = group.neighbors[keep]
+            retained.extend(
+                zip(
+                    np.minimum(entities, neighbors).tolist(),
+                    np.maximum(entities, neighbors).tolist(),
+                )
+            )
+        return ComparisonCollection(retained, weighting.num_entities)
+
+    def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
+        retained: list[Comparison] = []
         for entity, neighborhood in weighting.iter_neighborhoods():
             if not neighborhood:
                 continue
-            threshold = sum(weight for _, weight in neighborhood) / len(neighborhood)
-            for other, weight in neighborhood:
-                if weight >= threshold:
-                    retained.append(
-                        (entity, other) if entity < other else (other, entity)
-                    )
+            threshold = neighborhood_mean(
+                np.fromiter(
+                    (weight for _, weight in neighborhood),
+                    dtype=np.float64,
+                    count=len(neighborhood),
+                )
+            )
+            retained.extend(
+                _canonical(
+                    entity,
+                    [other for other, weight in neighborhood if weight >= threshold],
+                )
+            )
         return ComparisonCollection(retained, weighting.num_entities)

@@ -14,10 +14,25 @@ algorithms integrate it:
 
 Each edge is thus kept at most once: same recall as the originals, no
 redundant comparisons — on average 30% fewer comparisons for free.
+
+Phase 1 has two equivalent representations: the dict-of-sets / dict-of-floats
+form consumed by the per-edge shims and the parallel executor's chunk tasks,
+and the flat array form (sorted directed-pair keys, per-entity threshold
+array) consumed by the batched phase 2.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core.edge_stream import (
+    directed_pair_keys,
+    iter_node_groups,
+    keys_contain,
+    neighborhood_mean,
+    segment_means,
+    topk_per_segment,
+)
 from repro.core.edge_weighting import EdgeWeighting
 from repro.core.pruning.base import PruningAlgorithm, cardinality_node_threshold
 from repro.datamodel.blocks import ComparisonCollection
@@ -43,14 +58,56 @@ def nearest_neighbor_sets(
     return retained
 
 
+def nearest_neighbor_keys(
+    weighting: EdgeWeighting, k: int, chunk_size: int | None = None
+) -> np.ndarray:
+    """Array form of phase 1 CNP: sorted directed ``entity -> neighbor`` keys.
+
+    Selects exactly the same per-node top-k as :func:`nearest_neighbor_sets`
+    (grouped segment top-k with the heap's tie rule) and encodes each
+    retained directed pair as one sortable int64 key for
+    ``np.searchsorted`` lookups.
+    """
+    num_entities = weighting.num_entities
+    chunks: list[np.ndarray] = []
+    for group in iter_node_groups(
+        weighting.neighborhood_arrays, weighting.nodes(), chunk_size
+    ):
+        selected, segments = topk_per_segment(group, k)
+        if selected.size:
+            chunks.append(
+                directed_pair_keys(
+                    group.entities[segments],
+                    group.neighbors[selected],
+                    num_entities,
+                )
+            )
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(chunks))
+
+
 def neighborhood_thresholds(weighting: EdgeWeighting) -> dict[int, float]:
     """Phase 1 of (redefined/reciprocal) WNP: mean weight per neighbourhood."""
     thresholds: dict[int, float] = {}
-    for entity, neighborhood in weighting.iter_neighborhoods():
-        if neighborhood:
-            thresholds[entity] = sum(
-                weight for _, weight in neighborhood
-            ) / len(neighborhood)
+    for entity in weighting.nodes():
+        _, weights = weighting.neighborhood_arrays(entity)
+        if weights.size:
+            thresholds[entity] = neighborhood_mean(weights)
+    return thresholds
+
+
+def neighborhood_threshold_array(
+    weighting: EdgeWeighting, chunk_size: int | None = None
+) -> np.ndarray:
+    """Array form of phase 1 WNP: per-entity mean weight, ``+inf`` when the
+    entity has no neighbourhood (so the missing-threshold comparison always
+    fails, as with the dict's ``.get(entity, inf)``)."""
+    thresholds = np.full(weighting.num_entities, np.inf, dtype=np.float64)
+    for group in iter_node_groups(
+        weighting.neighborhood_arrays, weighting.nodes(), chunk_size
+    ):
+        thresholds[group.entities] = segment_means(group)
     return thresholds
 
 
@@ -66,11 +123,32 @@ class RedefinedCardinalityNodePruning(PruningAlgorithm):
             raise ValueError(f"k must be positive, got {k}")
         self.k = k
 
+    def _threshold(self, weighting: EdgeWeighting) -> int:
+        if self.k is not None:
+            return self.k
+        return cardinality_node_threshold(weighting.blocks)
+
     def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
-        k = self.k if self.k is not None else cardinality_node_threshold(
-            weighting.blocks
+        keys = nearest_neighbor_keys(
+            weighting, self._threshold(weighting), self.chunk_size
         )
-        nearest = nearest_neighbor_sets(weighting, k)
+        num_entities = weighting.num_entities
+        retained: list[Comparison] = []
+        for batch in weighting.iter_edge_batches(self.chunk_size):
+            in_left = keys_contain(
+                keys, directed_pair_keys(batch.sources, batch.targets, num_entities)
+            )
+            in_right = keys_contain(
+                keys, directed_pair_keys(batch.targets, batch.sources, num_entities)
+            )
+            keep = (in_left & in_right) if self.conjunctive else (in_left | in_right)
+            retained.extend(
+                zip(batch.sources[keep].tolist(), batch.targets[keep].tolist())
+            )
+        return ComparisonCollection(retained, weighting.num_entities)
+
+    def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
+        nearest = nearest_neighbor_sets(weighting, self._threshold(weighting))
         empty: set[int] = set()
         retained: list[Comparison] = []
         for left, right, _ in weighting.iter_edges():
@@ -89,6 +167,22 @@ class RedefinedWeightedNodePruning(PruningAlgorithm):
     conjunctive = False
 
     def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
+        thresholds = neighborhood_threshold_array(weighting, self.chunk_size)
+        retained: list[Comparison] = []
+        for batch in weighting.iter_edge_batches(self.chunk_size):
+            over_left = batch.weights >= thresholds[batch.sources]
+            over_right = batch.weights >= thresholds[batch.targets]
+            keep = (
+                (over_left & over_right)
+                if self.conjunctive
+                else (over_left | over_right)
+            )
+            retained.extend(
+                zip(batch.sources[keep].tolist(), batch.targets[keep].tolist())
+            )
+        return ComparisonCollection(retained, weighting.num_entities)
+
+    def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
         thresholds = neighborhood_thresholds(weighting)
         infinity = float("inf")
         retained: list[Comparison] = []

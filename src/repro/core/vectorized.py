@@ -29,7 +29,13 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.core.edge_weighting import Edge, EdgeWeighting, Neighborhood
+from repro.core.edge_stream import EdgeBatch, iter_node_groups
+from repro.core.edge_weighting import (
+    Edge,
+    EdgeWeighting,
+    Neighborhood,
+    NeighborhoodArrays,
+)
 from repro.core.weights import WeightingScheme
 from repro.datamodel.blocks import BlockCollection
 
@@ -126,41 +132,64 @@ class VectorizedEdgeWeighting(EdgeWeighting):
 
     # -- EdgeWeighting interface ---------------------------------------------
 
-    def neighborhood(self, entity: int) -> Neighborhood:
+    def neighborhood_arrays(self, entity: int) -> NeighborhoodArrays:
+        """CSR-native bulk neighbourhood — no per-edge Python objects."""
         self._prepare_scheme_inputs()
         neighbors, counts, arcs = self._neighborhood_stats(entity)
         if neighbors.size == 0:
+            return neighbors, np.empty(0, dtype=np.float64)
+        return neighbors, self._weights_for(entity, neighbors, counts, arcs)
+
+    def emitted_arrays(self, entity: int) -> NeighborhoodArrays:
+        """Distinct edges emitted by ``entity``; filters before weighting."""
+        self._prepare_scheme_inputs()
+        if self._bilateral and self.index.in_second_collection(entity):
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        neighbors, counts, arcs = self._neighborhood_stats(entity)
+        if not self._bilateral and neighbors.size:
+            keep = neighbors > entity
+            neighbors, counts, arcs = neighbors[keep], counts[keep], arcs[keep]
+        if neighbors.size == 0:
+            return neighbors.astype(np.int64), np.empty(0, dtype=np.float64)
+        return neighbors, self._weights_for(entity, neighbors, counts, arcs)
+
+    def neighborhood(self, entity: int) -> Neighborhood:
+        neighbors, weights = self.neighborhood_arrays(entity)
+        if neighbors.size == 0:
             return []
-        weights = self._weights_for(entity, neighbors, counts, arcs)
         return list(zip(neighbors.tolist(), weights.tolist()))
 
-    def iter_edges(self) -> Iterator[Edge]:
+    def iter_edge_batches(
+        self, chunk_size: int | None = None
+    ) -> Iterator[EdgeBatch]:
+        """CSR-native batches: per-node emitted arrays packed into chunks.
+
+        Edge order equals :meth:`iter_edges` (node order, ascending neighbor
+        ids within each node); only the chunk boundaries depend on
+        ``chunk_size``.
+        """
         self._prepare_scheme_inputs()
-        for entity in self.nodes():
-            if self._bilateral:
-                if self.index.in_second_collection(entity):
-                    continue
-            neighbors, counts, arcs = self._neighborhood_stats(entity)
-            if neighbors.size == 0:
-                continue
-            if not self._bilateral:
-                keep = neighbors > entity
-                neighbors, counts, arcs = neighbors[keep], counts[keep], arcs[keep]
-                if neighbors.size == 0:
-                    continue
-            weights = self._weights_for(entity, neighbors, counts, arcs)
-            for other, weight in zip(neighbors.tolist(), weights.tolist()):
-                if entity < other:
-                    yield entity, other, weight
-                else:
-                    yield other, entity, weight
+        for group in iter_node_groups(self.emitted_arrays, self.nodes(), chunk_size):
+            entities = np.repeat(group.entities, group.counts)
+            yield EdgeBatch(
+                np.minimum(entities, group.neighbors),
+                np.maximum(entities, group.neighbors),
+                group.weights,
+            )
+
+    def iter_edges(self) -> Iterator[Edge]:
+        for batch in self.iter_edge_batches():
+            yield from batch.iter_edges()
+
+    def count_neighbors(self, entity: int) -> int:
+        ids, _ = self._cooccurrence_arrays(entity)
+        return len(np.unique(ids)) if ids.size else 0
 
     def _compute_degrees(self) -> None:
         degrees = np.zeros(self.num_entities, dtype=np.int64)
         total = 0
         for entity in self.nodes():
-            ids, _ = self._cooccurrence_arrays(entity)
-            degree = len(np.unique(ids)) if ids.size else 0
+            degree = self.count_neighbors(entity)
             degrees[entity] = degree
             total += degree
         self._degrees_array = degrees

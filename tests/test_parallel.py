@@ -10,6 +10,7 @@ from repro.core.edge_weighting import (
 )
 from repro.core.parallel import (
     PARALLEL_ALGORITHMS,
+    ParallelMetaBlockingExecutor,
     ParallelNodeCentricExecutor,
     parallel_prune,
     partition_ranges,
@@ -17,11 +18,11 @@ from repro.core.parallel import (
     supports_parallel,
 )
 from repro.core.pipeline import meta_block
-from repro.core.pruning import PRUNING_ALGORITHMS
+from repro.core.pruning import PRUNING_ALGORITHMS, PruningAlgorithm
 from repro.core.vectorized import VectorizedEdgeWeighting
 from repro.datamodel.blocks import Block, BlockCollection
 
-NODE_CENTRIC = sorted(PARALLEL_ALGORITHMS)
+ALL_ALGORITHMS = sorted(PARALLEL_ALGORITHMS)
 
 
 class TestPartitioning:
@@ -47,23 +48,30 @@ class TestPartitioning:
 
 
 class TestSupports:
-    def test_node_centric_supported(self):
-        for name in NODE_CENTRIC:
+    def test_all_registry_algorithms_supported(self):
+        for name in ALL_ALGORITHMS:
             assert supports_parallel(PRUNING_ALGORITHMS[name]())
 
-    def test_edge_centric_unsupported(self):
-        for name in ("CEP", "WEP"):
-            assert not supports_parallel(PRUNING_ALGORITHMS[name]())
+    def test_registry_matches_parallel_acronyms(self):
+        assert PARALLEL_ALGORITHMS == set(PRUNING_ALGORITHMS)
 
-    def test_prune_rejects_edge_centric(self, example_blocks):
-        executor = ParallelNodeCentricExecutor(
+    def test_prune_rejects_unknown_algorithm(self, example_blocks):
+        class CustomPruning(PruningAlgorithm):
+            def prune(self, weighting):
+                raise NotImplementedError
+
+        assert not supports_parallel(CustomPruning())
+        executor = ParallelMetaBlockingExecutor(
             OptimizedEdgeWeighting(example_blocks, "JS"), workers=1
         )
         with pytest.raises(ValueError, match="not node-partitionable"):
-            executor.prune(PRUNING_ALGORITHMS["WEP"]())
+            executor.prune(CustomPruning())
+
+    def test_node_centric_alias_kept(self):
+        assert ParallelNodeCentricExecutor is ParallelMetaBlockingExecutor
 
 
-@pytest.mark.parametrize("name", NODE_CENTRIC)
+@pytest.mark.parametrize("name", ALL_ALGORITHMS)
 class TestMatchesSerial:
     """The executor retains the exact same comparisons as the serial code."""
 
@@ -173,11 +181,31 @@ class TestConvenience:
         )
         assert result.pairs == serial.pairs
 
-    def test_parallel_prune_falls_back_for_edge_centric(self, example_blocks):
-        algorithm = PRUNING_ALGORITHMS["WEP"]()
-        serial = algorithm.prune(OptimizedEdgeWeighting(example_blocks, "JS"))
+    def test_parallel_prune_edge_centric(self, example_blocks):
+        for name in ("CEP", "WEP"):
+            algorithm = PRUNING_ALGORITHMS[name]()
+            serial = algorithm.prune(
+                OptimizedEdgeWeighting(example_blocks, "JS")
+            )
+            result = parallel_prune(
+                OptimizedEdgeWeighting(example_blocks, "JS"),
+                algorithm,
+                workers=2,
+            )
+            assert result.pairs == serial.pairs
+
+    def test_parallel_prune_falls_back_for_unknown(self, example_blocks):
+        class CustomPruning(PruningAlgorithm):
+            def prune(self, weighting):
+                return PRUNING_ALGORITHMS["WEP"]().prune(weighting)
+
+        serial = PRUNING_ALGORITHMS["WEP"]().prune(
+            OptimizedEdgeWeighting(example_blocks, "JS")
+        )
         result = parallel_prune(
-            OptimizedEdgeWeighting(example_blocks, "JS"), algorithm, workers=2
+            OptimizedEdgeWeighting(example_blocks, "JS"),
+            CustomPruning(),
+            workers=2,
         )
         assert result.pairs == serial.pairs
 
@@ -207,22 +235,72 @@ class TestPipelineIntegration:
         )
         assert parallel.comparisons.pairs == serial.comparisons.pairs
 
-    def test_meta_block_parallel_ignored_for_edge_centric(
+    def test_meta_block_parallel_edge_centric_matches_serial(
         self, small_dirty_blocks
     ):
+        for algorithm in ("CEP", "WEP"):
+            serial = meta_block(
+                small_dirty_blocks, scheme="JS", algorithm=algorithm
+            )
+            parallel = meta_block(
+                small_dirty_blocks, scheme="JS", algorithm=algorithm, parallel=2
+            )
+            assert parallel.comparisons.pairs == serial.comparisons.pairs
+
+    def test_meta_block_records_parallel_metadata(self, small_dirty_blocks):
         serial = meta_block(small_dirty_blocks, scheme="JS", algorithm="WEP")
+        assert serial.effective_workers == 1
+        assert serial.parallel_backend == "serial"
         parallel = meta_block(
             small_dirty_blocks, scheme="JS", algorithm="WEP", parallel=2
         )
-        assert parallel.comparisons.pairs == serial.comparisons.pairs
+        assert parallel.effective_workers == 2
+        assert parallel.parallel_backend in ("fork", "in-process")
+
+    def test_meta_block_warns_without_fork(
+        self, small_dirty_blocks, monkeypatch
+    ):
+        import repro.core.pipeline as pipeline_module
+
+        monkeypatch.setattr(pipeline_module, "fork_available", lambda: False)
+        serial = meta_block(small_dirty_blocks, scheme="JS", algorithm="RcWNP")
+        with pytest.warns(RuntimeWarning, match="fork"):
+            result = meta_block(
+                small_dirty_blocks, scheme="JS", algorithm="RcWNP", parallel=2
+            )
+        assert result.effective_workers == 1
+        assert result.parallel_backend == "serial"
+        assert result.comparisons.pairs == serial.comparisons.pairs
+
+    def test_meta_block_warns_for_unsupported_algorithm(
+        self, small_dirty_blocks
+    ):
+        class CustomPruning(PruningAlgorithm):
+            name = "custom"
+
+            def prune(self, weighting):
+                return PRUNING_ALGORITHMS["WEP"]().prune(weighting)
+
+        with pytest.warns(RuntimeWarning, match="does not support parallel"):
+            result = meta_block(
+                small_dirty_blocks,
+                scheme="JS",
+                algorithm=CustomPruning(),
+                parallel=2,
+            )
+        assert result.effective_workers == 1
+        assert result.parallel_backend == "serial"
 
     def test_workflow_round_trips_parallel(self):
         from repro import TokenBlocking
         from repro.core.pipeline import MetaBlockingWorkflow
 
         workflow = MetaBlockingWorkflow(
-            TokenBlocking(), algorithm="RcWNP", parallel=2
+            TokenBlocking(), algorithm="RcWNP", parallel=2, chunk_size=1024
         )
         config = workflow.to_config()
         assert config["parallel"] == 2
-        assert MetaBlockingWorkflow.from_config(config).parallel == 2
+        assert config["chunk_size"] == 1024
+        restored = MetaBlockingWorkflow.from_config(config)
+        assert restored.parallel == 2
+        assert restored.chunk_size == 1024
