@@ -1,38 +1,45 @@
-"""Parallel executor scaling — speedup vs. worker count (extra).
+"""Parallel executor scaling — backends and speedup vs. worker count (extra).
 
 The parallel node-partitioned executor promises the serial algorithms'
 exact output at a fraction of the wall clock. This bench builds a synthetic
 redundancy-positive block collection of >= 50k entities directly (no
 dataset/blocking stage — the subject here is weighting + pruning), runs the
-redefined-WNP configuration at increasing worker counts, records the
+redefined-WNP configuration at increasing worker counts over each execution
+backend (``fork``, ``shm-spawn``, ``in-process``), records the
 speedup curve, and asserts that every run retains the identical comparison
 set.
 
-The speedup assertion (>= 2x at 4 workers) only fires on machines with at
-least 4 CPU cores and a working ``fork`` start method; the exactness
-assertions always run. Scale with ``REPRO_BENCH_SCALE`` as usual.
+The speedup assertions only fire on machines with at least 4 CPU cores and
+the relevant start methods (>= 2x for fork at 4 workers; shm-spawn within
+1.3x of fork at 4 workers); the exactness assertions always run. Scale with
+``REPRO_BENCH_SCALE`` as usual.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 
 import numpy as np
 
 from benchmarks._recorder import RECORDER
 from benchmarks.conftest import bench_scale
-from repro.core.edge_weighting import OptimizedEdgeWeighting
-from repro.core.parallel import ParallelNodeCentricExecutor
+from repro.core.parallel import (
+    ParallelMetaBlockingExecutor,
+    fork_available,
+    spawn_available,
+)
 from repro.core.pruning import RedefinedWeightedNodePruning
+from repro.core.vectorized import VectorizedEdgeWeighting
 from repro.datamodel.blocks import Block, BlockCollection
+from repro.utils.shm import list_segments
 from repro.utils.timer import Timer
 
 NUM_ENTITIES = 50_000
 BLOCKS_PER_ENTITY = 4
 BLOCK_SIZE = 10
-WORKER_COUNTS = (1, 2, 4)
-SPEEDUP_FLOOR = 2.0  # required at 4 workers when the hardware has them
+WORKER_COUNTS = (2, 4, 8)
+SPEEDUP_FLOOR = 2.0  # required of fork at 4 workers when the hardware has them
+SHM_RATIO_CEILING = 1.3  # shm-spawn wall clock vs fork at 4 workers
 
 
 def synthetic_collection(
@@ -53,6 +60,16 @@ def synthetic_collection(
     return BlockCollection(blocks, num_entities).sorted_by_cardinality()
 
 
+def available_backends() -> tuple[str, ...]:
+    legs = []
+    if fork_available():
+        legs.append("fork")
+    if spawn_available():
+        legs.append("shm-spawn")
+    legs.append("in-process")
+    return tuple(legs)
+
+
 def test_parallel_scaling(benchmark):
     blocks = synthetic_collection(
         max(1000, int(NUM_ENTITIES * bench_scale())),
@@ -60,46 +77,70 @@ def test_parallel_scaling(benchmark):
         BLOCK_SIZE,
     )
     algorithm = RedefinedWeightedNodePruning()
-    timings: dict[int, float] = {}
-    outputs: dict[int, list] = {}
+    backends = available_backends()
+    timings: dict[tuple[str, int], float] = {}
+    outputs: dict[tuple[str, int], list] = {}
+    segments_before = list_segments()
 
     def run_all():
-        for workers in WORKER_COUNTS:
-            with Timer() as timer:
-                weighting = OptimizedEdgeWeighting(blocks, "JS")
-                if workers == 1:
-                    comparisons = algorithm.prune(weighting)
-                else:
-                    executor = ParallelNodeCentricExecutor(
-                        weighting, workers=workers
-                    )
-                    comparisons = executor.prune(algorithm)
-            timings[workers] = timer.elapsed
-            outputs[workers] = comparisons.pairs
+        with Timer() as timer:
+            serial = algorithm.prune(VectorizedEdgeWeighting(blocks, "JS"))
+        timings[("serial", 1)] = timer.elapsed
+        outputs[("serial", 1)] = serial.pairs
+        for backend in backends:
+            for workers in WORKER_COUNTS:
+                weighting = VectorizedEdgeWeighting(blocks, "JS")
+                executor = ParallelMetaBlockingExecutor(
+                    weighting, workers=workers, backend=backend
+                )
+                try:
+                    with Timer() as timer:
+                        comparisons = executor.prune(algorithm)
+                finally:
+                    # Unlinks the shared-memory segments even when a leg
+                    # fails mid-run.
+                    executor.close()
+                timings[(backend, workers)] = timer.elapsed
+                outputs[(backend, workers)] = comparisons.pairs
         return timings
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
-    serial_pairs = sorted(outputs[1])
-    for workers in WORKER_COUNTS:
+    serial_pairs = sorted(outputs[("serial", 1)])
+    serial_seconds = timings[("serial", 1)]
+    for (backend, workers), seconds in timings.items():
         RECORDER.record(
             "parallel_scaling",
             {
                 "|E|": blocks.num_entities,
                 "||B||": blocks.cardinality,
+                "backend": backend,
                 "workers": workers,
-                "seconds": round(timings[workers], 3),
-                "speedup": round(timings[1] / max(timings[workers], 1e-9), 2),
-                "||B'||": len(outputs[workers]),
+                "seconds": round(seconds, 3),
+                "speedup": round(serial_seconds / max(seconds, 1e-9), 2),
+                "||B'||": len(outputs[(backend, workers)]),
             },
         )
-        # Exactness: every worker count retains the identical comparison set.
-        assert sorted(outputs[workers]) == serial_pairs
+        # Exactness: every backend and worker count retains the identical
+        # comparison set.
+        assert sorted(outputs[(backend, workers)]) == serial_pairs, (
+            backend,
+            workers,
+        )
+
+    # No leg may leave a shared-memory segment behind.
+    leaked = list_segments() - segments_before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
 
     cores = os.cpu_count() or 1
-    has_fork = "fork" in multiprocessing.get_all_start_methods()
-    if cores >= 4 and has_fork:
-        speedup = timings[1] / max(timings[4], 1e-9)
+    if cores >= 4 and fork_available():
+        speedup = serial_seconds / max(timings[("fork", 4)], 1e-9)
         assert speedup >= SPEEDUP_FLOOR, (
             f"expected >= {SPEEDUP_FLOOR}x at 4 workers, got {speedup:.2f}x"
+        )
+    if cores >= 4 and fork_available() and spawn_available():
+        ratio = timings[("shm-spawn", 4)] / max(timings[("fork", 4)], 1e-9)
+        assert ratio <= SHM_RATIO_CEILING, (
+            f"shm-spawn should stay within {SHM_RATIO_CEILING}x of fork at "
+            f"4 workers, got {ratio:.2f}x"
         )

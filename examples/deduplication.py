@@ -37,6 +37,24 @@ def main() -> None:
     )
     print(f"meta-blocked: {report}")
 
+    # The pruning stage also fans out across worker processes. On platforms
+    # without fork the executor publishes the Entity Index into a named
+    # shared-memory segment instead ("shm-spawn" backend); either way
+    # meta_block unlinks the segments in a try/finally, even when a worker
+    # dies mid-run, and the retained comparisons are identical to serial.
+    parallel = meta_block(
+        blocks,
+        scheme="ECBS",
+        algorithm="RcWNP",
+        block_filtering_ratio=0.8,
+        parallel=2,
+    )
+    assert set(parallel.comparisons.pairs) == set(result.comparisons.pairs)
+    print(
+        f"parallel run ({parallel.effective_workers} workers, "
+        f"'{parallel.parallel_backend}' backend): identical comparisons"
+    )
+
     matcher = JaccardMatcher(dataset, threshold=0.5)
     resolution = resolve(result.comparisons, matcher)
     clusters = connected_components(resolution.matches, dataset.num_entities)

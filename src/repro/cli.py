@@ -27,6 +27,7 @@ from pathlib import Path
 
 from repro.blockprocessing.block_purging import BlockPurging
 from repro.blocking import BLOCKING_METHODS
+from repro.core.parallel import PARALLEL_BACKENDS
 from repro.core.pipeline import meta_block
 from repro.core.pruning import PRUNING_ALGORITHMS
 from repro.core.weights import WEIGHTING_SCHEMES
@@ -101,6 +102,9 @@ def cmd_metablock(args: argparse.Namespace) -> int:
         block_filtering_ratio=None if args.ratio == 0 else args.ratio,
         backend=args.backend,
         parallel=args.workers,
+        parallel_backend=(
+            None if args.parallel_backend == "auto" else args.parallel_backend
+        ),
         chunk_size=args.chunk_size,
     )
     report = evaluate(
@@ -219,6 +223,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes for the pruning stage, valid for all "
              "algorithms (1 = serial, 0 = one per CPU core)",
+    )
+    metablock.add_argument(
+        "--parallel-backend",
+        choices=("auto",) + PARALLEL_BACKENDS,
+        default="auto",
+        dest="parallel_backend",
+        help="execution backend for the worker pool: fork (copy-on-write), "
+             "shm-spawn (shared-memory segments, for spawn-only platforms) "
+             "or in-process; auto picks the best available",
     )
     metablock.add_argument(
         "--chunk-size", type=int, default=None, dest="chunk_size",

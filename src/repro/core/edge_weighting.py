@@ -62,6 +62,36 @@ class EdgeWeighting(ABC):
         self._degrees: list[int] | None = None
         self._total_edges: int | None = None
 
+    @classmethod
+    def _from_shared_index(
+        cls, index: EntityIndex, scheme: "str | WeightingScheme"
+    ) -> "EdgeWeighting":
+        """Reconstruct a backend around an already-built (typically
+        shared-memory attached) Entity Index, without a block collection.
+
+        This is the spawn-worker construction path of the parallel
+        executor: ``index`` is a
+        :class:`~repro.blockprocessing.entity_index.SharedEntityIndex`
+        view over the parent's CSR arrays, and everything the worker tasks
+        touch (neighbourhood scans, emitted-edge streams, degree counts)
+        runs off those arrays alone. ``blocks`` is intentionally absent —
+        threshold resolution and edge-centric full iteration stay on the
+        parent side.
+        """
+        self = cls.__new__(cls)
+        self.blocks = None  # type: ignore[assignment]
+        self.scheme = get_scheme(scheme)
+        self.index = index
+        self.num_entities = index.num_entities
+        self.total_blocks = index.num_blocks
+        self._degrees = None
+        self._total_edges = None
+        self._init_shared_state()
+        return self
+
+    def _init_shared_state(self) -> None:
+        """Backend-specific extras for :meth:`_from_shared_index`."""
+
     # -- graph structure ----------------------------------------------------
 
     def nodes(self) -> list[int]:
@@ -245,6 +275,9 @@ class OptimizedEdgeWeighting(EdgeWeighting):
         self, blocks: BlockCollection, scheme: "str | WeightingScheme"
     ) -> None:
         super().__init__(blocks, scheme)
+        self._init_shared_state()
+
+    def _init_shared_state(self) -> None:
         self._flags = [-1] * self.num_entities
         self._common = [0] * self.num_entities
         self._arcs = [0.0] * self.num_entities

@@ -5,19 +5,44 @@ every node's neighbourhood is derived independently from the Entity Index,
 and the distinct-edge stream can be partitioned by its *emitting endpoint*
 (the lower id for unilateral graphs, the first-collection endpoint for
 bilateral ones). This module fans those per-node array scans across a
-:class:`~concurrent.futures.ProcessPoolExecutor`:
+:class:`~concurrent.futures.ProcessPoolExecutor`, through one of three
+interchangeable execution backends:
 
-* the graph's placed nodes are split into ``chunks`` contiguous ranges
-  (default ``4 × workers``, for load balancing across skewed neighbourhood
-  sizes);
-* worker processes are forked, so the weighting backend — and with it the
-  Entity Index's CSR arrays — is shared copy-on-write with the parent; the
-  only pickled traffic is the ``(start, stop)`` range per task and the
-  per-chunk results;
-* chunk results are merged in submission order, which makes the output a
-  deterministic, exact reproduction of the serial algorithms: the retained
-  comparison *set* is always identical, and with the default (optimized or
-  vectorized) backends the pair ordering matches the serial output too.
+* ``"fork"`` — worker processes are forked, so the weighting backend — and
+  with it the Entity Index's CSR arrays — is shared copy-on-write with the
+  parent; the only pickled traffic is the ``(start, stop)`` range per task
+  and the per-chunk results.
+* ``"shm-spawn"`` — for platforms without ``fork`` (Windows, macOS
+  defaults): the CSR arrays are published once into a named
+  ``multiprocessing.shared_memory`` segment
+  (:meth:`~repro.blockprocessing.entity_index.EntityIndex.to_shared`), and
+  each spawned worker attaches zero-copy ``np.ndarray`` views and rebuilds
+  the *same* weighting backend class around them
+  (``EdgeWeighting._from_shared_index``). Per-phase criteria (top-k keys,
+  node thresholds, EJS degrees) travel through a second, short-lived
+  segment staged per map call. The spawn pool persists for the executor's
+  lifetime, so worker startup is paid once, not per phase.
+* ``"in-process"`` — the same chunked code paths run serially in the
+  parent (``workers=1``, single-node graphs, or by request).
+
+The backend is picked automatically (fork where available, else shm-spawn,
+else in-process) and can be overridden via the ``backend`` argument —
+surfaced as ``meta_block(parallel_backend=)`` and the CLI's
+``--parallel-backend``. Falling back emits a single :class:`RuntimeWarning`
+at executor construction (never per chunk); the resolved choice is readable
+from :attr:`ParallelMetaBlockingExecutor.backend`.
+
+Segment lifecycle: the executor owns its shared segments and guarantees
+unlinking on success, worker crash and ``KeyboardInterrupt`` alike — the
+per-phase stage pack is destroyed in a ``finally`` around each map, and the
+index segment in :meth:`ParallelMetaBlockingExecutor.close` (also wired to
+context-manager exit and a ``__del__`` backstop). Workers only ever attach
+and close; they never take resource-tracker ownership.
+
+Chunk results are merged in submission order, which makes the output a
+deterministic, exact reproduction of the serial algorithms: the retained
+comparison *set* is always identical, and with the default (optimized or
+vectorized) backends the pair ordering matches the serial output too.
 
 All eight pruning schemes are covered. The node-centric family (CNP/WNP and
 the redefined/reciprocal variants) partitions both phases by node. The
@@ -28,25 +53,30 @@ per-node weight sums reduced to the global mean, then a parallel retention
 pass. The degree pass that dominates EJS runtime is parallelized the same
 way (:meth:`ParallelMetaBlockingExecutor.compute_degrees`).
 
-Weight thresholds go through the same canonical reductions as the serial
-batched code (per-emitting-node partial sums in node order, reduced with one
-``np.sum``), so they are bit-identical for every worker/chunk count.
-
-On platforms without the ``fork`` start method (or with ``workers=1``) the
-same chunked code paths run in-process, preserving behaviour exactly;
-:func:`fork_available` and :attr:`ParallelMetaBlockingExecutor.pool_backend`
-let callers observe which backend actually ran.
+Inside the workers, every emitted-edge task (phase 2 of the redefined /
+reciprocal algorithms, CEP's local top-k, WEP's retention pass) packs its
+node range through :func:`~repro.core.edge_stream.iter_node_groups` and the
+grouped segment kernels, amortising numpy dispatch exactly like the serial
+batched path. Weight thresholds go through the same canonical reductions as
+the serial batched code (per-emitting-node partial sums in node order,
+reduced with one ``np.sum``), so they are bit-identical for every
+worker/chunk/backend combination.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.blockprocessing.entity_index import (
+    SharedEntityIndex,
+    SharedIndexSpec,
+)
 from repro.core.edge_stream import (
     EdgeBatch,
     TopKEdgeBuffer,
@@ -73,6 +103,7 @@ from repro.core.pruning.base import (
     node_weight_sums,
 )
 from repro.datamodel.blocks import ComparisonCollection
+from repro.utils.shm import SharedArrayPack, SharedPackSpec
 from repro.utils.topk import TopKHeap
 
 Comparison = tuple[int, int]
@@ -82,6 +113,9 @@ Range = tuple[int, int]
 PARALLEL_ALGORITHMS = frozenset(
     {"CEP", "WEP", "CNP", "WNP", "ReCNP", "ReWNP", "RcCNP", "RcWNP"}
 )
+
+#: Execution backends the executor can resolve to (``"auto"`` picks one).
+PARALLEL_BACKENDS = ("fork", "shm-spawn", "in-process")
 
 
 def supports_parallel(algorithm: PruningAlgorithm) -> bool:
@@ -100,8 +134,20 @@ def supports_parallel(algorithm: PruningAlgorithm) -> bool:
 
 
 def fork_available() -> bool:
-    """True iff the platform offers the ``fork`` start method."""
+    """True iff the platform offers the ``fork`` start method.
+
+    Setting the ``REPRO_FORCE_SPAWN`` environment variable to a non-empty
+    value makes this return False, forcing the spawn-platform code paths on
+    Linux too (used by CI and the regression tests).
+    """
+    if os.environ.get("REPRO_FORCE_SPAWN"):
+        return False
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def spawn_available() -> bool:
+    """True iff the platform offers the ``spawn`` start method."""
+    return "spawn" in multiprocessing.get_all_start_methods()
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -136,8 +182,79 @@ _FORK_STATE: "ParallelMetaBlockingExecutor | None" = None
 
 def _dispatch(payload: tuple[str, Range]):
     task, bounds = payload
-    assert _FORK_STATE is not None, "worker state missing (fork-only executor)"
+    assert _FORK_STATE is not None, "worker state missing (fork executor)"
     return getattr(_FORK_STATE, task)(bounds)
+
+
+# -- spawned worker state -----------------------------------------------------
+#
+# With the spawn start method nothing is inherited; the pool initializer
+# attaches the published Entity Index segment and rebuilds the parent's
+# weighting backend class around the zero-copy views. Per-phase criteria
+# arrive as a ``(scalars, pack spec)`` stage attached lazily per task and
+# cached by segment name across a map call.
+
+
+class _SpawnWorkerState:
+    """Per-process state of a shm-spawn pool worker."""
+
+    __slots__ = ("shell", "pack", "pack_name")
+
+    def __init__(self, shell: "ParallelMetaBlockingExecutor") -> None:
+        self.shell = shell
+        self.pack: SharedArrayPack | None = None
+        self.pack_name: str | None = None
+
+
+_SPAWN_STATE: _SpawnWorkerState | None = None
+
+
+def _spawn_init(
+    index_spec: SharedIndexSpec,
+    weighting_class: type[EdgeWeighting],
+    scheme_name: str,
+) -> None:
+    """Pool initializer: attach the shared index, rebuild the backend."""
+    global _SPAWN_STATE
+    index = SharedEntityIndex.attach(index_spec)
+    weighting = weighting_class._from_shared_index(index, scheme_name)
+    _SPAWN_STATE = _SpawnWorkerState(
+        ParallelMetaBlockingExecutor._worker_shell(weighting)
+    )
+
+
+def _spawn_dispatch(
+    payload: tuple[str, Range, dict, SharedPackSpec | None]
+):
+    """Run one chunk task inside a spawned worker, staging criteria first."""
+    task, bounds, scalars, pack_spec = payload
+    state = _SPAWN_STATE
+    assert state is not None, "worker state missing (shm-spawn executor)"
+    if pack_spec is None:
+        if state.pack is not None:
+            state.pack.close()
+            state.pack, state.pack_name = None, None
+    elif state.pack_name != pack_spec.name:
+        if state.pack is not None:
+            state.pack.close()
+        state.pack = SharedArrayPack.attach(pack_spec)
+        state.pack_name = pack_spec.name
+    shell = state.shell
+    shell._k = scalars["k"]
+    shell._wep_threshold = scalars["wep_threshold"]
+    shell._conjunctive = scalars["conjunctive"]
+    shell._phase2_mode = scalars["phase2_mode"]
+    arrays = state.pack.arrays if state.pack is not None else {}
+    shell._keys = arrays.get("keys")
+    shell._threshold_array = arrays.get("thresholds")
+    degrees = arrays.get("degrees")
+    if degrees is not None:
+        weighting = shell.weighting
+        weighting._degrees = degrees  # type: ignore[assignment]
+        weighting._total_edges = scalars["total_edges"]
+        if hasattr(weighting, "_degrees_array"):
+            weighting._degrees_array = degrees
+    return getattr(shell, task)(bounds)
 
 
 class ParallelMetaBlockingExecutor:
@@ -147,76 +264,248 @@ class ParallelMetaBlockingExecutor:
     ----------
     weighting:
         Any :class:`~repro.core.edge_weighting.EdgeWeighting` backend; its
-        Entity Index CSR arrays are fork-shared with the workers.
+        Entity Index CSR arrays are shared with the workers — copy-on-write
+        under ``fork``, through a named shared-memory segment under
+        ``shm-spawn``.
     workers:
         Process count; ``None``/``0`` means one per CPU core, ``1`` runs the
         chunked code path in-process (no pool).
     chunks:
         Number of contiguous node ranges to split the graph into; defaults
         to ``4 × workers`` so stragglers rebalance.
+    backend:
+        ``None``/``"auto"`` picks the best available backend (``fork`` →
+        ``shm-spawn`` → ``in-process``); any name from
+        :data:`PARALLEL_BACKENDS` forces one, falling back (with a single
+        :class:`RuntimeWarning`) when the platform cannot honour it.
+
+    Executors that resolve to ``shm-spawn`` own shared-memory segments and
+    a persistent worker pool: call :meth:`close` when done, or use the
+    executor as a context manager. The other backends hold no external
+    resources and ``close`` is a no-op.
     """
+
+    _keys: np.ndarray | None
+    _threshold_array: np.ndarray | None
 
     def __init__(
         self,
         weighting: EdgeWeighting,
         workers: int | None = None,
         chunks: int | None = None,
+        backend: str | None = None,
     ) -> None:
         self.weighting = weighting
         self.workers = resolve_workers(workers)
         self.chunks = chunks if chunks and chunks > 0 else 4 * self.workers
         self._nodes: list[int] = weighting.nodes()
-        # Phase-specific staging, fork-shared with the next pool:
-        self._k: int = 0
-        self._criteria: dict | None = None
-        self._keys: np.ndarray | None = None
-        self._threshold_array: np.ndarray | None = None
-        self._wep_threshold: float = 0.0
-        self._conjunctive: bool = False
-        self._phase2_mode: str = ""  # "topk" | "threshold"
+        self._spawn_pool: ProcessPoolExecutor | None = None
+        self._shared_index: SharedEntityIndex | None = None
+        self.backend = self._resolve_backend(backend)
+        self._reset_stage()
 
-    # -- chunk scheduling ----------------------------------------------------
+    # -- backend selection ---------------------------------------------------
 
-    def _use_pool(self) -> bool:
-        return self.workers > 1 and len(self._nodes) > 1 and fork_available()
+    def _resolve_backend(self, requested: str | None) -> str:
+        """Resolve the execution backend, warning once on any fallback."""
+        if requested == "auto":
+            requested = None
+        if requested is not None and requested not in PARALLEL_BACKENDS:
+            known = ", ".join(PARALLEL_BACKENDS)
+            raise ValueError(
+                f"unknown parallel backend {requested!r}; known: {known} (or 'auto')"
+            )
+        if self.workers <= 1 or len(self._nodes) <= 1:
+            return "in-process"
+        if requested is None:
+            if fork_available():
+                return "fork"
+            if spawn_available():
+                warnings.warn(
+                    "the 'fork' start method is unavailable on this "
+                    "platform; using the shared-memory 'shm-spawn' backend",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return "shm-spawn"
+            warnings.warn(
+                "no multiprocessing start method is available; running the "
+                "chunked code path in-process",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return "in-process"
+        if requested == "fork" and not fork_available():
+            if spawn_available():
+                warnings.warn(
+                    "the 'fork' backend was requested but the start method "
+                    "is unavailable; falling back to 'shm-spawn'",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return "shm-spawn"
+            warnings.warn(
+                "the 'fork' backend was requested but no start method is "
+                "available; running in-process",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return "in-process"
+        if requested == "shm-spawn" and not spawn_available():
+            fallback = "fork" if fork_available() else "in-process"
+            warnings.warn(
+                "the 'shm-spawn' backend was requested but the spawn start "
+                f"method is unavailable; falling back to {fallback!r}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return fallback
+        return requested
 
     @property
     def pool_backend(self) -> str:
-        """``"fork"`` when chunks go to a process pool, else ``"in-process"``."""
-        return "fork" if self._use_pool() else "in-process"
+        """The resolved execution backend (see :data:`PARALLEL_BACKENDS`)."""
+        return self.backend
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool and unlink owned shared segments.
+
+        Idempotent; a no-op for the fork and in-process backends. Always
+        reached via ``try/finally`` in :func:`parallel_prune` and
+        :func:`repro.core.pipeline.meta_block`, so segments are reclaimed on
+        success, worker crash and ``KeyboardInterrupt`` alike.
+        """
+        pool, self._spawn_pool = self._spawn_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        shared, self._shared_index = self._shared_index, None
+        if shared is not None:
+            shared.destroy()
+
+    def __enter__(self) -> "ParallelMetaBlockingExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    @classmethod
+    def _worker_shell(
+        cls, weighting: EdgeWeighting
+    ) -> "ParallelMetaBlockingExecutor":
+        """A minimal in-process executor for running chunk tasks in a
+        spawned worker (no pool, no owned segments, staging applied by
+        :func:`_spawn_dispatch`)."""
+        shell = cls.__new__(cls)
+        shell.weighting = weighting
+        shell.workers = 1
+        shell.chunks = 1
+        shell._nodes = weighting.nodes()
+        shell._spawn_pool = None
+        shell._shared_index = None
+        shell.backend = "in-process"
+        shell._reset_stage()
+        return shell
+
+    # -- chunk scheduling ----------------------------------------------------
+
+    def _reset_stage(self) -> None:
+        """Clear the per-phase staging so reused executors never see stale
+        criteria from a previous :meth:`prune` call."""
+        self._k = 0
+        self._keys = None
+        self._threshold_array = None
+        self._wep_threshold = 0.0
+        self._conjunctive = False
+        self._phase2_mode = ""  # "topk" | "threshold"
+
+    def _ensure_spawn_pool(self) -> ProcessPoolExecutor:
+        """The persistent spawn pool (and published index), built lazily."""
+        if self._spawn_pool is None:
+            if self._shared_index is None:
+                self._shared_index = self.weighting.index.to_shared()
+            self._spawn_pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, max(1, len(self._nodes))),
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_spawn_init,
+                initargs=(
+                    self._shared_index.spec,
+                    type(self.weighting),
+                    self.weighting.scheme.name,
+                ),
+            )
+        return self._spawn_pool
+
+    def _stage_payload(self) -> tuple[dict, SharedArrayPack | None]:
+        """Snapshot the staged criteria for one shm-spawn map call.
+
+        Scalars ride in the task payload; arrays (redefined top-k keys,
+        node thresholds, EJS degrees) go through a short-lived shared pack
+        the caller must destroy after the map returns.
+        """
+        weighting = self.weighting
+        scalars = {
+            "k": self._k,
+            "wep_threshold": self._wep_threshold,
+            "conjunctive": self._conjunctive,
+            "phase2_mode": self._phase2_mode,
+            "total_edges": weighting._total_edges,
+        }
+        arrays: dict[str, np.ndarray] = {}
+        if self._keys is not None:
+            arrays["keys"] = self._keys
+        if self._threshold_array is not None:
+            arrays["thresholds"] = self._threshold_array
+        if weighting.scheme.uses_degrees and weighting._degrees is not None:
+            arrays["degrees"] = np.asarray(weighting._degrees, dtype=np.int64)
+        pack = SharedArrayPack.publish(arrays) if arrays else None
+        return scalars, pack
 
     def _map_chunks(self, task: str, ranges: Sequence[Range]) -> list:
         """Run ``task`` over every node range; results in submission order."""
         if not ranges:
             return []
-        if not self._use_pool():
-            return [getattr(self, task)(bounds) for bounds in ranges]
-        global _FORK_STATE
-        _FORK_STATE = self
-        try:
-            context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(ranges)), mp_context=context
-            ) as pool:
-                return list(pool.map(_dispatch, [(task, r) for r in ranges]))
-        finally:
-            _FORK_STATE = None
+        if self.backend == "fork":
+            global _FORK_STATE
+            _FORK_STATE = self
+            try:
+                context = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(ranges)),
+                    mp_context=context,
+                ) as pool:
+                    return list(pool.map(_dispatch, [(task, r) for r in ranges]))
+            finally:
+                _FORK_STATE = None
+        if self.backend == "shm-spawn":
+            scalars, pack = self._stage_payload()
+            spec = pack.spec if pack is not None else None
+            try:
+                pool = self._ensure_spawn_pool()
+                payloads = [(task, r, scalars, spec) for r in ranges]
+                return list(pool.map(_spawn_dispatch, payloads))
+            finally:
+                if pack is not None:
+                    pack.destroy()
+        return [getattr(self, task)(bounds) for bounds in ranges]
 
     def _ranges(self) -> list[Range]:
         return partition_ranges(len(self._nodes), self.chunks)
 
-    def _emitted_canonical(
-        self, entity: int
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Entity's emitted edges as canonical ``(sources, targets, weights)``."""
-        neighbors, weights = self.weighting.emitted_arrays(entity)
-        return (
-            np.minimum(neighbors, entity),
-            np.maximum(neighbors, entity),
-            weights,
-        )
+    def _prepare_weights(self) -> None:
+        """Make the backend scan-ready: parallel degree pass for EJS first."""
+        if self.weighting.scheme.uses_degrees:
+            self.compute_degrees()
+        self.weighting._prepare_scheme_inputs()
 
-    # -- worker tasks (run inside forked children) ---------------------------
+    # -- worker tasks (run inside pool children) -----------------------------
 
     def _chunk_nearest(self, bounds: Range) -> dict[int, set[int]]:
         """Phase 1 of (Re/Rc)CNP for one node range: top-k neighbour sets."""
@@ -243,6 +532,13 @@ class ParallelMetaBlockingExecutor:
         """The range's non-empty neighbourhoods as segment-array groups."""
         return iter_node_groups(
             self.weighting.neighborhood_arrays,
+            self._nodes[bounds[0] : bounds[1]],
+        )
+
+    def _emitted_groups(self, bounds: Range):
+        """The range's emitted distinct edges as segment-array groups."""
+        return iter_node_groups(
+            self.weighting.emitted_arrays,
             self._nodes[bounds[0] : bounds[1]],
         )
 
@@ -311,17 +607,19 @@ class ParallelMetaBlockingExecutor:
     def _chunk_phase2(self, bounds: Range) -> list[Comparison]:
         """Phase 2 of the redefined/reciprocal algorithms for one node range.
 
-        Streams each distinct edge once from its emitting endpoint and
-        applies the disjunctive (redefined) or conjunctive (reciprocal)
-        retention condition against the staged phase-1 arrays.
+        Streams the range's distinct edges in grouped segment form (one
+        canonicalisation and one retention mask per group, not per node)
+        and applies the disjunctive (redefined) or conjunctive (reciprocal)
+        condition against the staged phase-1 arrays.
         """
         num_entities = self.weighting.num_entities
         conjunctive = self._conjunctive
         retained: list[Comparison] = []
-        for entity in self._nodes[bounds[0] : bounds[1]]:
-            sources, targets, weights = self._emitted_canonical(entity)
-            if sources.size == 0:
-                continue
+        for group in self._emitted_groups(bounds):
+            entities = np.repeat(group.entities, group.counts)
+            sources = np.minimum(entities, group.neighbors)
+            targets = np.maximum(entities, group.neighbors)
+            weights = group.weights
             if self._phase2_mode == "threshold":
                 thresholds = self._threshold_array
                 assert thresholds is not None
@@ -344,12 +642,18 @@ class ParallelMetaBlockingExecutor:
 
     def _chunk_cep(self, bounds: Range) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Exact local top-k of one range's emitted edges (a superset of the
-        global top-k's intersection with the range)."""
+        global top-k's intersection with the range), one grouped push per
+        segment chunk."""
         buffer = TopKEdgeBuffer(self._k)
-        for entity in self._nodes[bounds[0] : bounds[1]]:
-            sources, targets, weights = self._emitted_canonical(entity)
-            if sources.size:
-                buffer.push(EdgeBatch(sources, targets, weights))
+        for group in self._emitted_groups(bounds):
+            entities = np.repeat(group.entities, group.counts)
+            buffer.push(
+                EdgeBatch(
+                    np.minimum(entities, group.neighbors),
+                    np.maximum(entities, group.neighbors),
+                    group.weights,
+                )
+            )
         best = buffer.top()
         return best.sources, best.targets, best.weights
 
@@ -360,16 +664,19 @@ class ParallelMetaBlockingExecutor:
         )
 
     def _chunk_wep_retain(self, bounds: Range) -> list[Comparison]:
-        """WEP pass 2: retain one range's emitted edges over the staged mean."""
+        """WEP pass 2: retain one range's emitted edges over the staged mean,
+        one grouped mask per segment chunk."""
         threshold = self._wep_threshold
         retained: list[Comparison] = []
-        for entity in self._nodes[bounds[0] : bounds[1]]:
-            sources, targets, weights = self._emitted_canonical(entity)
-            if sources.size == 0:
-                continue
-            keep = weights >= threshold
+        for group in self._emitted_groups(bounds):
+            keep = group.weights >= threshold
+            entities = np.repeat(group.entities, group.counts)[keep]
+            neighbors = group.neighbors[keep]
             retained.extend(
-                zip(sources[keep].tolist(), targets[keep].tolist())
+                zip(
+                    np.minimum(entities, neighbors).tolist(),
+                    np.maximum(entities, neighbors).tolist(),
+                )
             )
         return retained
 
@@ -397,11 +704,13 @@ class ParallelMetaBlockingExecutor:
 
     def nearest_neighbor_sets(self, k: int) -> dict[int, set[int]]:
         """Parallel :func:`repro.core.pruning.redefined.nearest_neighbor_sets`."""
+        self._prepare_weights()
         self._k = k
         return self._merge_dicts(self._map_chunks("_chunk_nearest", self._ranges()))
 
     def neighborhood_thresholds(self) -> dict[int, float]:
         """Parallel :func:`repro.core.pruning.redefined.neighborhood_thresholds`."""
+        self._prepare_weights()
         return self._merge_dicts(
             self._map_chunks("_chunk_thresholds", self._ranges())
         )
@@ -452,9 +761,8 @@ class ParallelMetaBlockingExecutor:
                 f"{type(algorithm).__name__} is not node-partitionable; "
                 f"parallel execution supports {sorted(PARALLEL_ALGORITHMS)}"
             )
-        if self.weighting.scheme.uses_degrees:
-            self.compute_degrees()  # parallel pass, before any forking below
-        self.weighting._prepare_scheme_inputs()
+        self._reset_stage()
+        self._prepare_weights()
         ranges = self._ranges()
         if isinstance(algorithm, CardinalityEdgePruning):
             self._k = (
@@ -527,7 +835,7 @@ class ParallelMetaBlockingExecutor:
         (progressive/supervised extensions); equivalent to
         ``dict(weighting.iter_neighborhoods())``.
         """
-        self.weighting._prepare_scheme_inputs()
+        self._prepare_weights()
         return self._merge_dicts(
             self._map_chunks("_chunk_neighborhoods", self._ranges())
         )
@@ -550,9 +858,15 @@ def parallel_prune(
     algorithm: PruningAlgorithm,
     workers: int | None = None,
     chunks: int | None = None,
+    backend: str | None = None,
 ) -> ComparisonCollection:
     """One-call parallel pruning; falls back to serial when unsupported."""
     if not supports_parallel(algorithm) or resolve_workers(workers) == 1:
         return algorithm.prune(weighting)
-    executor = ParallelMetaBlockingExecutor(weighting, workers=workers, chunks=chunks)
-    return executor.prune(algorithm)
+    executor = ParallelMetaBlockingExecutor(
+        weighting, workers=workers, chunks=chunks, backend=backend
+    )
+    try:
+        return executor.prune(algorithm)
+    finally:
+        executor.close()

@@ -24,8 +24,8 @@ from repro.core.edge_weighting import (
     OriginalEdgeWeighting,
 )
 from repro.core.parallel import (
+    PARALLEL_BACKENDS,
     ParallelMetaBlockingExecutor,
-    fork_available,
     resolve_workers,
     supports_parallel,
 )
@@ -72,7 +72,8 @@ class MetaBlockingResult:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     #: Worker processes that actually ran the pruning stage (1 == serial).
     effective_workers: int = 1
-    #: ``"serial"``, ``"in-process"`` (chunked, no pool) or ``"fork"``.
+    #: ``"serial"``, ``"in-process"`` (chunked, no pool), ``"fork"`` or
+    #: ``"shm-spawn"`` (shared-memory segments + spawned workers).
     parallel_backend: str = "serial"
 
     @property
@@ -92,6 +93,7 @@ def meta_block(
     block_filtering_ratio: float | None = 0.8,
     backend: str = "optimized",
     parallel: int | None = None,
+    parallel_backend: str | None = None,
     chunks: int | None = None,
     chunk_size: int | None = None,
 ) -> MetaBlockingResult:
@@ -116,10 +118,15 @@ def meta_block(
     parallel:
         Worker-process count for the pruning stage (all eight algorithms);
         ``None``/``1`` runs serially, ``0`` uses one worker per CPU core.
-        Results are identical to serial execution. On platforms without the
-        ``fork`` start method a :class:`RuntimeWarning` is emitted and the
-        run falls back to serial; the effective worker count and backend
-        are recorded on the result
+        Results are identical to serial execution regardless of backend.
+    parallel_backend:
+        Execution backend for the pruning pool: ``None``/``"auto"`` picks
+        the best available (``fork`` where the platform has it, else the
+        shared-memory ``shm-spawn`` backend, else chunked ``in-process``),
+        or force one of
+        :data:`~repro.core.parallel.PARALLEL_BACKENDS`. Any fallback emits
+        exactly one :class:`RuntimeWarning` per call; the effective worker
+        count and backend are recorded on the result
         (:attr:`MetaBlockingResult.effective_workers` /
         :attr:`MetaBlockingResult.parallel_backend`).
     chunks:
@@ -136,6 +143,13 @@ def meta_block(
     except KeyError:
         known = ", ".join(sorted(WEIGHTING_BACKENDS))
         raise ValueError(f"unknown weighting backend {backend!r}; known: {known}")
+    if parallel_backend is not None and parallel_backend not in (
+        ("auto",) + PARALLEL_BACKENDS
+    ):
+        known = ", ".join(("auto",) + PARALLEL_BACKENDS)
+        raise ValueError(
+            f"unknown parallel backend {parallel_backend!r}; known: {known}"
+        )
     scheme = get_scheme(scheme)
     pruning = get_pruning(algorithm)
     if chunk_size is not None:
@@ -169,23 +183,23 @@ def meta_block(
             stacklevel=2,
         )
         workers = 1
-    if workers > 1 and not fork_available():
-        warnings.warn(
-            "the 'fork' start method is unavailable on this platform; "
-            f"ignoring parallel={parallel!r} and running serially",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        workers = 1
-    parallel_backend = "serial"
+    effective_backend = "serial"
     with Timer() as timer:
         weighting = backend_class(graph_input, scheme)
         if workers > 1:
             executor = ParallelMetaBlockingExecutor(
-                weighting, workers=workers, chunks=chunks
+                weighting,
+                workers=workers,
+                chunks=chunks,
+                backend=parallel_backend,
             )
-            comparisons = executor.prune(pruning)
-            parallel_backend = executor.pool_backend
+            try:
+                comparisons = executor.prune(pruning)
+                effective_backend = executor.backend
+            finally:
+                # Releases the shm-spawn pool and unlinks owned segments on
+                # success, worker crash and KeyboardInterrupt alike.
+                executor.close()
         else:
             comparisons = pruning.prune(weighting)
     logger.debug(
@@ -194,7 +208,7 @@ def meta_block(
         scheme.name,
         backend,
         workers,
-        parallel_backend,
+        effective_backend,
         comparisons.cardinality,
         timer.elapsed,
     )
@@ -207,7 +221,7 @@ def meta_block(
         filtering_seconds=filtering_seconds,
         pruning_seconds=timer.elapsed,
         effective_workers=workers,
-        parallel_backend=parallel_backend,
+        parallel_backend=effective_backend,
     )
 
 
@@ -223,9 +237,11 @@ class MetaBlockingWorkflow:
         Optional Block Purging pre-processing (the paper always applies it).
     block_filtering_ratio:
         Block Filtering ratio, or ``None`` to skip filtering.
-    scheme / algorithm / backend / parallel / chunk_size:
+    scheme / algorithm / backend / parallel / parallel_backend / chunk_size:
         Forwarded to :func:`meta_block`; ``parallel`` is the worker-process
-        count for the pruning stage, ``chunk_size`` the edges per
+        count for the pruning stage, ``parallel_backend`` its execution
+        backend (``None``/``"auto"`` picks the best available),
+        ``chunk_size`` the edges per
         :class:`~repro.core.edge_stream.EdgeBatch` chunk.
     """
 
@@ -238,6 +254,7 @@ class MetaBlockingWorkflow:
         block_filtering_ratio: float | None = 0.8,
         backend: str = "optimized",
         parallel: int | None = None,
+        parallel_backend: str | None = None,
         chunk_size: int | None = None,
     ) -> None:
         if not blocking.redundancy_positive:
@@ -253,6 +270,7 @@ class MetaBlockingWorkflow:
         self.algorithm = get_pruning(algorithm)
         self.backend = backend
         self.parallel = parallel
+        self.parallel_backend = parallel_backend
         self.chunk_size = chunk_size
 
     def to_config(self) -> dict:
@@ -284,6 +302,7 @@ class MetaBlockingWorkflow:
             "block_filtering_ratio": self.block_filtering_ratio,
             "backend": self.backend,
             "parallel": self.parallel,
+            "parallel_backend": self.parallel_backend,
             "chunk_size": self.chunk_size,
         }
 
@@ -307,6 +326,7 @@ class MetaBlockingWorkflow:
             block_filtering_ratio=config.get("block_filtering_ratio", 0.8),
             backend=config.get("backend", "optimized"),
             parallel=config.get("parallel"),
+            parallel_backend=config.get("parallel_backend"),
             chunk_size=config.get("chunk_size"),
         )
 
@@ -338,6 +358,7 @@ class MetaBlockingWorkflow:
             block_filtering_ratio=self.block_filtering_ratio,
             backend=self.backend,
             parallel=self.parallel,
+            parallel_backend=self.parallel_backend,
             chunk_size=self.chunk_size,
         )
         result.stage_seconds["blocking"] = blocking_seconds

@@ -47,8 +47,11 @@ class VectorizedEdgeWeighting(EdgeWeighting):
         self, blocks: BlockCollection, scheme: "str | WeightingScheme"
     ) -> None:
         super().__init__(blocks, scheme)
-        self._bilateral = blocks.is_bilateral
+        self._init_shared_state()
+
+    def _init_shared_state(self) -> None:
         index = self.index
+        self._bilateral = index.is_bilateral
         self._inverse_cardinalities = index.inverse_cardinality_array
         # |B_i| per entity: the CSR indptr diff, no Python loop.
         self._block_counts = index.block_counts

@@ -1,0 +1,221 @@
+"""Named shared-memory packs of numpy arrays (zero-copy attach).
+
+The shared-memory parallel backend publishes the Entity Index's CSR arrays
+(and the per-phase staged criteria arrays) through this module: a
+:class:`SharedArrayPack` lays any mapping of named numpy arrays into **one**
+named ``multiprocessing.shared_memory`` segment, and its picklable
+:class:`SharedPackSpec` lets spawn workers re-open zero-copy ``np.ndarray``
+views over the same physical pages — no per-worker copy of the index, no
+pickling of array payloads.
+
+Lifecycle rules:
+
+* the *publishing* process owns the segment: it must call
+  :meth:`SharedArrayPack.destroy` (or use the pack as a context manager) to
+  unlink the name — ``try/finally`` in the executor guarantees this on
+  success, worker crash and ``KeyboardInterrupt`` alike;
+* *attaching* processes only ever :meth:`~SharedArrayPack.close` their
+  mapping; they never take resource-tracker ownership (``track=False`` on
+  Python >= 3.13, a harmless duplicate registration in the shared tracker
+  before that), so a worker exiting cannot tear the segment down under the
+  owner;
+* segment names carry the :data:`SHM_NAME_PREFIX` plus the owner's pid, so
+  leak checks (``tests/conftest.py``) can scan ``/dev/shm`` for anything a
+  test session left behind.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Every segment name starts with this prefix (followed by the owning pid).
+SHM_NAME_PREFIX = "repro-shm-"
+
+#: Byte alignment of each array inside the segment.
+_ALIGNMENT = 64
+
+_COUNTER = itertools.count()
+
+
+def segment_name() -> str:
+    """A fresh segment name: prefix + owner pid + counter + random suffix.
+
+    Short enough for the strictest POSIX limits (macOS caps shared-memory
+    names at 31 characters *including* the leading slash only for
+    ``shm_open`` consumers; Python's own prefix handling keeps us safe) and
+    unique per process.
+    """
+    return f"{SHM_NAME_PREFIX}{os.getpid()}-{next(_COUNTER)}-{secrets.token_hex(2)}"
+
+
+def list_segments() -> set[str]:
+    """Names of live repro shared-memory segments.
+
+    Scans ``/dev/shm`` for the :data:`SHM_NAME_PREFIX`; returns the empty
+    set on platforms without that directory. Used by the test suite's and
+    benchmarks' leak checks.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return set()
+    return {name for name in entries if name.startswith(SHM_NAME_PREFIX)}
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without taking resource-tracker ownership.
+
+    On Python >= 3.13 ``track=False`` expresses this directly. Earlier
+    versions register every attachment with the resource tracker too; the
+    tracker is shared across the whole multiprocessing tree (children
+    inherit its fd) and keeps a *set* of names per resource type, so the
+    worker-side registration is a harmless duplicate of the owner's — it
+    must NOT be unregistered here, or the owner's crash backstop would be
+    removed with it. The owner's ``unlink()`` clears the single entry.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def _aligned(offset: int) -> int:
+    remainder = offset % _ALIGNMENT
+    return offset if remainder == 0 else offset + (_ALIGNMENT - remainder)
+
+
+@dataclass(frozen=True)
+class SharedArrayEntry:
+    """Placement of one array inside a segment."""
+
+    key: str
+    dtype: str  # numpy dtype string, e.g. "<i8"
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SharedPackSpec:
+    """Picklable description of a published pack (ship this to workers)."""
+
+    name: str
+    size: int
+    entries: tuple[SharedArrayEntry, ...]
+
+
+class SharedArrayPack:
+    """A dict of named numpy arrays living in one shared-memory segment.
+
+    Build with :meth:`publish` (owner side, one copy into the segment) or
+    :meth:`attach` (worker side, zero-copy read-only views). ``arrays``
+    maps each key to its ``np.ndarray`` view over the shared pages.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        spec: SharedPackSpec,
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self.spec = spec
+        self.owner = owner
+        self._closed = False
+        self.arrays: dict[str, np.ndarray] = {}
+        for entry in spec.entries:
+            view: np.ndarray = np.ndarray(
+                entry.shape,
+                dtype=np.dtype(entry.dtype),
+                buffer=segment.buf,
+                offset=entry.offset,
+            )
+            if not owner:
+                view.flags.writeable = False
+            self.arrays[entry.key] = view
+
+    @classmethod
+    def publish(cls, arrays: "dict[str, np.ndarray]") -> "SharedArrayPack":
+        """Copy the given arrays into a fresh named segment (owner side)."""
+        entries: list[SharedArrayEntry] = []
+        prepared: dict[str, np.ndarray] = {}
+        offset = 0
+        for key, array in arrays.items():
+            contiguous = np.ascontiguousarray(array)
+            offset = _aligned(offset)
+            entries.append(
+                SharedArrayEntry(
+                    key, contiguous.dtype.str, contiguous.shape, offset
+                )
+            )
+            prepared[key] = contiguous
+            offset += contiguous.nbytes
+        segment = shared_memory.SharedMemory(
+            create=True, name=segment_name(), size=max(offset, 1)
+        )
+        spec = SharedPackSpec(segment.name, max(offset, 1), tuple(entries))
+        pack = cls(segment, spec, owner=True)
+        for key, array in prepared.items():
+            if array.size:
+                np.copyto(pack.arrays[key], array)
+        return pack
+
+    @classmethod
+    def attach(cls, spec: SharedPackSpec) -> "SharedArrayPack":
+        """Map an existing pack read-only, zero-copy (worker side)."""
+        return cls(attach_segment(spec.name), spec, owner=False)
+
+    def close(self) -> None:
+        """Drop the local mapping (both sides; idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays.clear()
+        try:
+            self._segment.close()
+        except BufferError:
+            # Views escaped into longer-lived objects; the OS reclaims the
+            # mapping at process exit and the name is handled by unlink().
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner only; idempotent)."""
+        if not self.owner:
+            return
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:
+            pass
+
+    def destroy(self) -> None:
+        """Owner-side teardown: unlink the name, then drop the mapping."""
+        self.unlink()
+        self.close()
+
+    def __enter__(self) -> "SharedArrayPack":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.destroy() if self.owner else self.close()
+
+    def __del__(self) -> None:  # best-effort safety net
+        try:
+            self.destroy() if self.owner else self.close()
+        except Exception:
+            pass
+
+
+__all__ = [
+    "SHM_NAME_PREFIX",
+    "SharedArrayEntry",
+    "SharedArrayPack",
+    "SharedPackSpec",
+    "attach_segment",
+    "list_segments",
+    "segment_name",
+]

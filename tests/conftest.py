@@ -1,10 +1,24 @@
-"""Shared fixtures: the paper's worked example and small synthetic datasets."""
+"""Shared fixtures: the paper's worked example and small synthetic datasets.
+
+Setting the ``REPRO_FORCE_SPAWN`` environment variable runs the whole suite
+with the ``spawn`` start method forced (and
+:func:`repro.core.parallel.fork_available` returning False), so the
+shared-memory backend is exercised even on Linux — CI has a dedicated leg
+for this.
+"""
 
 from __future__ import annotations
+
+import multiprocessing
+import os
 
 import pytest
 
 from repro import BlockPurging, TokenBlocking
+from repro.utils.shm import list_segments
+
+if os.environ.get("REPRO_FORCE_SPAWN"):
+    multiprocessing.set_start_method("spawn", force=True)
 from repro.datasets import (
     bibliographic_dataset,
     paper_example_blocks,
@@ -65,6 +79,20 @@ def small_clean_blocks(small_clean_clean):
 def small_dirty_blocks(small_dirty):
     """Purged Token Blocking blocks of the small Dirty dataset."""
     return BlockPurging().process(TokenBlocking().build(small_dirty))
+
+
+@pytest.fixture
+def shm_leak_check():
+    """Assert the test leaks no repro shared-memory segments.
+
+    Compares ``/dev/shm`` snapshots before and after the test body (set
+    difference, so segments owned by longer-lived module/session fixtures
+    don't false-positive). A no-op on platforms without ``/dev/shm``.
+    """
+    before = list_segments()
+    yield
+    leaked = list_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
 
 
 @pytest.fixture(scope="session")

@@ -16,6 +16,11 @@ from repro.core.edge_weighting import (
     OptimizedEdgeWeighting,
     OriginalEdgeWeighting,
 )
+from repro.core.parallel import (
+    ParallelMetaBlockingExecutor,
+    fork_available,
+    spawn_available,
+)
 from repro.core.pruning import PRUNING_ALGORITHMS
 from repro.core.vectorized import VectorizedEdgeWeighting
 from repro.core.weights import WEIGHTING_SCHEMES
@@ -77,6 +82,67 @@ class TestPrunedOutputAgreement:
         for cls in BACKENDS.values():
             shim = pruning.prune_per_edge(cls(bilateral_blocks, scheme))
             assert sorted(shim.pairs) == reference
+
+
+@pytest.fixture(scope="module")
+def parallel_executors(bilateral_blocks):
+    """Cache of two-worker executors keyed by (weighting name, pool backend).
+
+    One persistent executor per cell keeps the spawn-pool startup cost to a
+    single pool per weighting backend instead of one per test.
+    """
+    cache: dict[tuple[str, str], ParallelMetaBlockingExecutor] = {}
+
+    def get(name: str, pool_backend: str) -> ParallelMetaBlockingExecutor:
+        key = (name, pool_backend)
+        if key not in cache:
+            cache[key] = ParallelMetaBlockingExecutor(
+                BACKENDS[name](bilateral_blocks, "JS"),
+                workers=2,
+                chunks=3,
+                backend=pool_backend,
+            )
+        return cache[key]
+
+    yield get
+    for executor in cache.values():
+        executor.close()
+
+
+@pytest.mark.parametrize(
+    "pool_backend",
+    [
+        pytest.param(
+            "fork",
+            marks=pytest.mark.skipif(
+                not fork_available(), reason="fork start method unavailable"
+            ),
+        ),
+        pytest.param(
+            "shm-spawn",
+            marks=pytest.mark.skipif(
+                not spawn_available(), reason="spawn start method unavailable"
+            ),
+        ),
+    ],
+)
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+@pytest.mark.parametrize("algorithm", sorted(PRUNING_ALGORITHMS))
+class TestParallelBackendsAgree:
+    """Every weighting backend × algorithm cell, two workers, both pools."""
+
+    def test_two_workers_match_serial(
+        self, parallel_executors, bilateral_blocks, backend, algorithm, pool_backend
+    ):
+        serial = sorted(
+            PRUNING_ALGORITHMS[algorithm]()
+            .prune(BACKENDS[backend](bilateral_blocks, "JS"))
+            .pairs
+        )
+        executor = parallel_executors(backend, pool_backend)
+        assert executor.backend == pool_backend
+        parallel = executor.prune(PRUNING_ALGORITHMS[algorithm]())
+        assert sorted(parallel.pairs) == serial
 
 
 @pytest.mark.parametrize("scheme", sorted(WEIGHTING_SCHEMES))

@@ -1,0 +1,169 @@
+"""Tests for the shared-memory Entity Index and the array-pack layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blockprocessing.entity_index import EntityIndex, SharedEntityIndex
+from repro.core.edge_weighting import (
+    OptimizedEdgeWeighting,
+    OriginalEdgeWeighting,
+)
+from repro.core.vectorized import VectorizedEdgeWeighting
+from repro.utils.shm import (
+    SHM_NAME_PREFIX,
+    SharedArrayPack,
+    list_segments,
+    segment_name,
+)
+
+BACKENDS = (
+    OriginalEdgeWeighting,
+    OptimizedEdgeWeighting,
+    VectorizedEdgeWeighting,
+)
+
+INDEX_ARRAYS = (
+    "indptr",
+    "block_indices",
+    "block_counts",
+    "member_indptr1",
+    "members1",
+    "member_indptr2",
+    "members2",
+    "inverse_cardinality_array",
+    "second_side_mask",
+)
+
+
+class TestSharedArrayPack:
+    def test_publish_attach_round_trip(self, shm_leak_check):
+        arrays = {
+            "ints": np.arange(17, dtype=np.int64),
+            "floats": np.linspace(0.0, 1.0, 5),
+            "empty": np.empty(0, dtype=np.int64),
+            "bools": np.array([True, False, True]),
+        }
+        with SharedArrayPack.publish(arrays) as pack:
+            attached = SharedArrayPack.attach(pack.spec)
+            try:
+                for key, array in arrays.items():
+                    assert np.array_equal(attached.arrays[key], array)
+                    assert attached.arrays[key].dtype == array.dtype
+                    assert not attached.arrays[key].flags.writeable
+            finally:
+                attached.close()
+
+    def test_segment_names_carry_prefix(self):
+        assert segment_name().startswith(SHM_NAME_PREFIX)
+
+    def test_destroy_unlinks_name(self):
+        pack = SharedArrayPack.publish({"x": np.ones(3)})
+        name = pack.spec.name
+        assert name in list_segments()
+        pack.destroy()
+        assert name not in list_segments()
+        pack.destroy()  # idempotent
+
+    def test_attached_close_keeps_owner_segment(self):
+        pack = SharedArrayPack.publish({"x": np.arange(4)})
+        try:
+            attached = SharedArrayPack.attach(pack.spec)
+            attached.close()
+            attached.unlink()  # non-owner: must be a no-op
+            assert pack.spec.name in list_segments()
+            assert np.array_equal(pack.arrays["x"], np.arange(4))
+        finally:
+            pack.destroy()
+
+
+class TestSharedEntityIndex:
+    def test_arrays_round_trip(self, example_blocks, shm_leak_check):
+        index = EntityIndex(example_blocks)
+        with index.to_shared() as shared:
+            attached = SharedEntityIndex.attach(shared.spec)
+            try:
+                for key in INDEX_ARRAYS:
+                    assert np.array_equal(
+                        getattr(attached, key), getattr(index, key)
+                    ), key
+                assert attached.num_entities == index.num_entities
+                assert attached.num_blocks == index.num_blocks
+                assert attached.is_bilateral == index.is_bilateral
+                assert attached.blocks is None
+            finally:
+                attached.close()
+
+    def test_unilateral_side2_aliases_side1(self, example_blocks):
+        index = EntityIndex(example_blocks)
+        assert not index.is_bilateral
+        with index.to_shared() as shared:
+            # The pack must not duplicate the side-2 member arrays.
+            keys = {entry.key for entry in shared.spec.pack.entries}
+            assert "members2" not in keys
+            assert shared.members2 is shared.members1
+            assert shared.member_indptr2 is shared.member_indptr1
+
+    def test_api_surface_matches_entity_index(self, small_clean_blocks):
+        blocks = small_clean_blocks.sorted_by_cardinality()
+        index = EntityIndex(blocks)
+        assert index.is_bilateral
+        with index.to_shared() as shared:
+            assert shared.placed_entities() == index.placed_entities()
+            for entity in index.placed_entities()[:50]:
+                assert list(shared.block_list(entity)) == list(
+                    index.block_list(entity)
+                )
+                assert np.array_equal(
+                    shared.block_slice(entity), index.block_slice(entity)
+                )
+                assert shared.num_blocks_of(entity) == index.num_blocks_of(entity)
+                assert shared.in_second_collection(
+                    entity
+                ) == index.in_second_collection(entity)
+                for position in index.block_list(entity):
+                    assert list(shared.cooccurring(entity, position)) == list(
+                        index.cooccurring(entity, position)
+                    )
+
+    def test_destroy_unlinks(self, example_blocks):
+        shared = EntityIndex(example_blocks).to_shared()
+        name = shared.spec.pack.name
+        assert name in list_segments()
+        shared.destroy()
+        assert name not in list_segments()
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=lambda cls: cls.__name__)
+@pytest.mark.parametrize("scheme", ["ARCS", "CBS", "ECBS", "JS", "EJS"])
+class TestAttachedBackendEquivalence:
+    """Backends rebuilt over an attached index match the originals exactly."""
+
+    def test_neighborhoods_and_emitted_edges(
+        self, example_blocks, backend, scheme, shm_leak_check
+    ):
+        reference = backend(example_blocks, scheme)
+        with reference.index.to_shared() as shared:
+            attached = SharedEntityIndex.attach(shared.spec)
+            try:
+                rebuilt = backend._from_shared_index(attached, scheme)
+                if reference.scheme.uses_degrees:
+                    reference._prepare_scheme_inputs()
+                    rebuilt._degrees = list(reference._degrees)
+                    rebuilt._total_edges = reference._total_edges
+                assert rebuilt.nodes() == reference.nodes()
+                for entity in reference.nodes():
+                    got = rebuilt.neighborhood_arrays(entity)
+                    expected = reference.neighborhood_arrays(entity)
+                    assert np.array_equal(got[0], expected[0])
+                    assert np.array_equal(got[1], expected[1])
+                    got = rebuilt.emitted_arrays(entity)
+                    expected = reference.emitted_arrays(entity)
+                    assert np.array_equal(got[0], expected[0])
+                    assert np.array_equal(got[1], expected[1])
+                    assert rebuilt.count_neighbors(
+                        entity
+                    ) == reference.count_neighbors(entity)
+            finally:
+                attached.close()
