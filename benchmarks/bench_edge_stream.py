@@ -20,9 +20,13 @@ Scale with ``REPRO_BENCH_SCALE`` as usual.
 from __future__ import annotations
 
 import gc
+import os
 import resource
+import subprocess
+import sys
 
 import numpy as np
+import pytest
 
 from benchmarks._recorder import RECORDER
 from benchmarks.conftest import bench_scale
@@ -34,6 +38,7 @@ from repro.core.pruning import (
     WeightedEdgePruning,
 )
 from repro.core.vectorized import VectorizedEdgeWeighting
+from repro.datamodel.sinks import SpillSink
 from repro.utils.timer import Timer
 
 NUM_ENTITIES = 50_000
@@ -195,6 +200,111 @@ def test_edge_stream_throughput(benchmark):
             f"vectorized: expected >= {SPEEDUP_FLOOR}x aggregate batched "
             f"pruning speedup, got {speedup:.2f}x"
         )
+
+
+# -- out-of-core spilling under an enforced address-space cap -----------------
+
+#: Fixed workload for the memory-budget smoke (independent of
+#: REPRO_BENCH_SCALE so the eager/spilled separation stays reliable).
+BUDGET_ENTITIES = 50_000
+#: Address-space headroom granted on top of the post-setup footprint. The
+#: eager path's materialised pair list (~120 bytes/pair x ~400k retained
+#: pairs) blows through it; the spilled path's resident working set (one
+#: shard buffer + per-batch scratch) stays far below it.
+BUDGET_HEADROOM_MB = 32
+#: SpillSink memory budget for the capped child: 1 MiB of buffered pairs.
+SPILL_BUDGET_BYTES = 1 << 20
+#: Exit code the child uses to signal "hit the cap" (MemoryError).
+EXIT_OVER_BUDGET = 77
+
+
+def _virtual_memory_bytes() -> int:
+    """Current virtual address-space size of this process (Linux)."""
+    with open("/proc/self/statm", encoding="ascii") as handle:
+        pages = int(handle.read().split()[0])
+    return pages * os.sysconf("SC_PAGESIZE")
+
+
+def _memory_budget_child(mode: str) -> None:
+    """Subprocess body for :func:`test_spill_completes_under_rss_cap`.
+
+    Builds the workload, then caps the address space at the current
+    footprint plus :data:`BUDGET_HEADROOM_MB` and runs one WEP pruning pass.
+    ``eager`` consumes through the historical surface (the materialised pair
+    list); ``spilled`` prunes through a budgeted :class:`SpillSink` and
+    streams the view's batches. Prints the retained-pair count and exits 0,
+    or exits :data:`EXIT_OVER_BUDGET` on MemoryError.
+    """
+    blocks = synthetic_collection(BUDGET_ENTITIES, BLOCKS_PER_ENTITY, BLOCK_SIZE)
+    weighting = VectorizedEdgeWeighting(blocks, "JS")
+    weighting._prepare_scheme_inputs()
+    algorithm = WeightedEdgePruning()
+    gc.collect()
+    cap = _virtual_memory_bytes() + BUDGET_HEADROOM_MB * (1 << 20)
+    resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+    try:
+        if mode == "eager":
+            count = len(algorithm.prune(weighting).pairs)
+        else:
+            sink = SpillSink(memory_budget=SPILL_BUDGET_BYTES)
+            view = algorithm.prune(weighting, sink=sink)
+            count = sum(int(sources.size) for sources, _ in view.stream())
+            view.release()
+    except MemoryError:
+        print("over budget", flush=True)
+        raise SystemExit(EXIT_OVER_BUDGET)
+    print(count, flush=True)
+    raise SystemExit(0)
+
+
+def _run_budget_child(mode: str) -> subprocess.CompletedProcess:
+    code = (
+        "from benchmarks.bench_edge_stream import _memory_budget_child; "
+        f"_memory_budget_child({mode!r})"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in ("src", ".", env.get("PYTHONPATH")) if part
+    )
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        timeout=600,
+    )
+
+
+@pytest.mark.skipif(sys.platform != "linux", reason="RLIMIT_AS semantics are Linux-specific")
+def test_spill_completes_under_rss_cap():
+    """A budgeted spill run finishes under a cap the eager path exceeds."""
+    eager = _run_budget_child("eager")
+    spilled = _run_budget_child("spilled")
+    assert spilled.returncode == 0, (
+        f"spilled run failed under the cap:\n{spilled.stdout}{spilled.stderr}"
+    )
+    assert eager.returncode == EXIT_OVER_BUDGET, (
+        "eager run was expected to exhaust the address-space cap, got exit "
+        f"{eager.returncode}:\n{eager.stdout}{eager.stderr}"
+    )
+    # The capped spilled run must still retain exactly what an uncapped
+    # in-process run retains.
+    blocks = synthetic_collection(BUDGET_ENTITIES, BLOCKS_PER_ENTITY, BLOCK_SIZE)
+    reference = len(WeightedEdgePruning().prune(VectorizedEdgeWeighting(blocks, "JS")))
+    spilled_count = int(spilled.stdout.strip().splitlines()[-1])
+    assert spilled_count == reference
+    RECORDER.record(
+        "memory_budget",
+        {
+            "|E|": BUDGET_ENTITIES,
+            "retained": reference,
+            "headroom_mb": BUDGET_HEADROOM_MB,
+            "spill_budget_bytes": SPILL_BUDGET_BYTES,
+            "eager": "over budget",
+            "spilled": "completed",
+        },
+    )
 
 
 def test_chunk_size_memory_profile(benchmark):

@@ -8,7 +8,9 @@ output of Dirty ER is a set of equivalence clusters.
 Run with:  python examples/deduplication.py
 """
 
-from repro import BlockPurging, TokenBlocking, evaluate
+import tempfile
+
+from repro import BlockPurging, ExecutionConfig, TokenBlocking, evaluate
 from repro.core import meta_block
 from repro.datasets import movies_dataset
 from repro.matching import JaccardMatcher, connected_components, resolve
@@ -42,18 +44,39 @@ def main() -> None:
     # shared-memory segment instead ("shm-spawn" backend); either way
     # meta_block unlinks the segments in a try/finally, even when a worker
     # dies mid-run, and the retained comparisons are identical to serial.
+    # All execution knobs live on one ExecutionConfig.
     parallel = meta_block(
         blocks,
         scheme="ECBS",
         algorithm="RcWNP",
         block_filtering_ratio=0.8,
-        parallel=2,
+        execution=ExecutionConfig(parallel=2),
     )
     assert set(parallel.comparisons.pairs) == set(result.comparisons.pairs)
     print(
         f"parallel run ({parallel.effective_workers} workers, "
         f"'{parallel.parallel_backend}' backend): identical comparisons"
     )
+
+    # For collections whose retained comparisons don't fit in RAM, a
+    # spill_dir (or memory_budget) makes the workers write .npy shards to
+    # disk; result.comparisons is then a memory-mapped ComparisonView —
+    # iterable, len()-able and bit-identical to the eager run.
+    with tempfile.TemporaryDirectory() as spill_dir:
+        spilled = meta_block(
+            blocks,
+            scheme="ECBS",
+            algorithm="RcWNP",
+            block_filtering_ratio=0.8,
+            execution=ExecutionConfig(parallel=2, spill_dir=spill_dir),
+        )
+        assert list(spilled.comparisons) == list(parallel.comparisons)
+        batches = sum(1 for _ in spilled.stream(batch_size=65536))
+        print(
+            f"spilled run: manifest at {spilled.spill_manifest}, "
+            f"{spilled.comparisons.cardinality:,} comparisons streamed "
+            f"back in {batches} batches"
+        )
 
     matcher = JaccardMatcher(dataset, threshold=0.5)
     resolution = resolve(result.comparisons, matcher)

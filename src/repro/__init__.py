@@ -25,6 +25,7 @@ from repro.blocking import TokenBlocking
 from repro.blockprocessing import BlockPurging, ComparisonPropagation
 from repro.core import (
     BlockFiltering,
+    ExecutionConfig,
     GraphFreeMetaBlocking,
     MetaBlockingWorkflow,
     meta_block,
@@ -34,10 +35,14 @@ from repro.datamodel import (
     BlockCollection,
     CleanCleanERDataset,
     ComparisonCollection,
+    ComparisonSink,
+    ComparisonView,
     DirtyERDataset,
     DuplicateSet,
     EntityCollection,
     EntityProfile,
+    InMemorySink,
+    SpillSink,
 )
 from repro.evaluation import evaluate, profile_blocks
 
@@ -51,12 +56,17 @@ __all__ = [
     "CleanCleanERDataset",
     "ComparisonCollection",
     "ComparisonPropagation",
+    "ComparisonSink",
+    "ComparisonView",
     "DirtyERDataset",
     "DuplicateSet",
     "EntityCollection",
     "EntityProfile",
+    "ExecutionConfig",
     "GraphFreeMetaBlocking",
+    "InMemorySink",
     "MetaBlockingWorkflow",
+    "SpillSink",
     "TokenBlocking",
     "evaluate",
     "meta_block",

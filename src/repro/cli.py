@@ -27,6 +27,7 @@ from pathlib import Path
 
 from repro.blockprocessing.block_purging import BlockPurging
 from repro.blocking import BLOCKING_METHODS
+from repro.core.execution import ExecutionConfig
 from repro.core.parallel import PARALLEL_BACKENDS
 from repro.core.pipeline import meta_block
 from repro.core.pruning import PRUNING_ALGORITHMS
@@ -95,17 +96,22 @@ def cmd_metablock(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset)
     with Timer() as blocking_timer:
         blocks = build_blocks(dataset, args)
+    execution = ExecutionConfig(
+        parallel=args.workers,
+        parallel_backend=(
+            None if args.parallel_backend == "auto" else args.parallel_backend
+        ),
+        chunk_size=args.chunk_size,
+        spill_dir=args.spill_dir,
+        memory_budget=args.memory_budget,
+    )
     result = meta_block(
         blocks,
         scheme=args.scheme,
         algorithm=args.algorithm,
         block_filtering_ratio=None if args.ratio == 0 else args.ratio,
         backend=args.backend,
-        parallel=args.workers,
-        parallel_backend=(
-            None if args.parallel_backend == "auto" else args.parallel_backend
-        ),
-        chunk_size=args.chunk_size,
+        execution=execution,
     )
     report = evaluate(
         result.comparisons,
@@ -120,6 +126,8 @@ def cmd_metablock(args: argparse.Namespace) -> int:
           f"({result.parallel_backend})")
     print(f"result:    {report}")
     print(f"overhead:  {result.overhead_seconds:.2f}s")
+    if result.spill_manifest:
+        print(f"spilled:   {result.spill_manifest}")
     if args.output:
         with open(args.output, "w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
@@ -237,6 +245,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-size", type=int, default=None, dest="chunk_size",
         help="edges per EdgeBatch chunk in the batched pruning paths "
              "(default 32768; never changes the retained comparisons)",
+    )
+    metablock.add_argument(
+        "--spill-dir", default=None, dest="spill_dir",
+        help="spill retained comparisons to .npy shards under this "
+             "directory instead of holding them in RAM (results are "
+             "bit-identical; the manifest path is printed)",
+    )
+    metablock.add_argument(
+        "--memory-budget", type=int, default=None, dest="memory_budget",
+        help="approximate bytes of retained comparisons resident in RAM; "
+             "implies spilling (to --spill-dir or a temporary directory) "
+             "and sizes the shards accordingly",
     )
     metablock.add_argument(
         "--output", help="write retained comparisons to this CSV file"

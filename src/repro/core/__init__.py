@@ -20,6 +20,7 @@ Public entry points:
 
 from repro.core.block_filtering import BlockFiltering
 from repro.core.edge_stream import DEFAULT_CHUNK_SIZE, EdgeBatch
+from repro.core.execution import ExecutionConfig, resolve_execution
 from repro.core.edge_weighting import (
     EdgeWeighting,
     OptimizedEdgeWeighting,
@@ -73,6 +74,7 @@ __all__ = [
     "EdgeBatch",
     "CardinalityNodePruning",
     "EdgeWeighting",
+    "ExecutionConfig",
     "GraphFreeMetaBlocking",
     "MaterializedBlockingGraph",
     "MetaBlockingResult",
@@ -96,4 +98,5 @@ __all__ = [
     "WeightingScheme",
     "blocking_graph_stats",
     "meta_block",
+    "resolve_execution",
 ]

@@ -1,0 +1,169 @@
+"""Unified execution configuration for the meta-blocking pipeline.
+
+Historically every execution knob was its own keyword argument threaded
+through :func:`~repro.core.pipeline.meta_block`, the workflow and the CLI —
+``parallel``, ``parallel_backend``, ``chunks``, ``chunk_size`` — and the
+out-of-core work added two more (``spill_dir``, ``memory_budget``).
+:class:`ExecutionConfig` collapses the sprawl into one value object: *what*
+to compute stays in the pipeline signature (blocks, scheme, algorithm),
+*how* to run it lives here.
+
+The old keyword arguments remain as aliases that forward into the config
+with a :class:`DeprecationWarning` (see :func:`resolve_execution`), so
+existing callers keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, fields, replace
+
+from repro.core.parallel import PARALLEL_BACKENDS
+from repro.datamodel.sinks import ComparisonSink, InMemorySink, SpillSink
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a meta-blocking run executes; never what it computes.
+
+    Parameters
+    ----------
+    parallel:
+        Worker-process count for the pruning stage; ``None``/``1`` runs
+        serially, ``0`` uses one worker per CPU core.
+    parallel_backend:
+        Pool backend — ``None``/``"auto"`` picks the best available, or one
+        of :data:`~repro.core.parallel.PARALLEL_BACKENDS`.
+    chunks:
+        Contiguous node partitions for the parallel executor (default
+        ``4 × workers``).
+    chunk_size:
+        Edges per :class:`~repro.core.edge_stream.EdgeBatch` chunk in the
+        batched pruning paths; never affects the retained comparisons.
+    spill_dir:
+        Directory for out-of-core output. When set, retained comparisons are
+        spilled to ``.npy`` shards in a unique run subdirectory instead of
+        being held in RAM, and the result's
+        :class:`~repro.datamodel.sinks.ComparisonView` memory-maps them
+        back.
+    memory_budget:
+        Approximate bound, in bytes, on retained comparisons resident in
+        RAM. Implies spilling (to ``spill_dir`` when also set, else to a
+        private temporary directory) and sizes the shards accordingly.
+    """
+
+    parallel: int | None = None
+    parallel_backend: str | None = None
+    chunks: int | None = None
+    chunk_size: int | None = None
+    spill_dir: "str | os.PathLike[str] | None" = None
+    memory_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.parallel_backend is not None and self.parallel_backend not in (
+            ("auto",) + PARALLEL_BACKENDS
+        ):
+            known = ", ".join(("auto",) + PARALLEL_BACKENDS)
+            raise ValueError(
+                f"unknown parallel backend {self.parallel_backend!r}; "
+                f"known: {known}"
+            )
+        if self.chunks is not None and self.chunks < 1:
+            raise ValueError(f"chunks must be positive, got {self.chunks}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be positive, got {self.chunk_size}"
+            )
+        if self.memory_budget is not None and self.memory_budget < 1:
+            raise ValueError(
+                f"memory_budget must be positive, got {self.memory_budget}"
+            )
+
+    @property
+    def spills(self) -> bool:
+        """True when retained comparisons go to disk instead of RAM."""
+        return self.spill_dir is not None or self.memory_budget is not None
+
+    def make_sink(self) -> ComparisonSink:
+        """A fresh single-use sink matching this configuration."""
+        if self.spills:
+            return SpillSink(
+                spill_dir=self.spill_dir, memory_budget=self.memory_budget
+            )
+        return InMemorySink()
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (paths become strings)."""
+        return {
+            "parallel": self.parallel,
+            "parallel_backend": self.parallel_backend,
+            "chunks": self.chunks,
+            "chunk_size": self.chunk_size,
+            "spill_dir": None if self.spill_dir is None else str(self.spill_dir),
+            "memory_budget": self.memory_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, config: dict) -> "ExecutionConfig":
+        """Build a config from a :meth:`to_dict` dictionary (extra keys
+        ignored, missing keys defaulted)."""
+        known = {field.name for field in fields(cls)}
+        return cls(**{key: config[key] for key in known if key in config})
+
+
+#: The per-knob keyword arguments superseded by :class:`ExecutionConfig`.
+DEPRECATED_EXECUTION_KWARGS = ("parallel", "parallel_backend", "chunks", "chunk_size")
+
+
+def resolve_execution(
+    execution: "ExecutionConfig | None" = None,
+    *,
+    parallel: int | None = None,
+    parallel_backend: str | None = None,
+    chunks: int | None = None,
+    chunk_size: int | None = None,
+    stacklevel: int = 3,
+) -> ExecutionConfig:
+    """Merge an :class:`ExecutionConfig` with the deprecated per-knob kwargs.
+
+    Any non-``None`` legacy keyword emits one :class:`DeprecationWarning`
+    (naming every offender) and fills the corresponding *unset* config
+    field; supplying a knob both ways with different values raises
+    :class:`ValueError` rather than silently preferring one.
+    """
+    legacy = {
+        "parallel": parallel,
+        "parallel_backend": parallel_backend,
+        "chunks": chunks,
+        "chunk_size": chunk_size,
+    }
+    supplied = {key: value for key, value in legacy.items() if value is not None}
+    if supplied:
+        names = ", ".join(sorted(supplied))
+        warnings.warn(
+            f"the {names} keyword argument(s) are deprecated; pass "
+            "execution=ExecutionConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    if execution is None:
+        return ExecutionConfig(**supplied)
+    updates = {}
+    for key, value in supplied.items():
+        current = getattr(execution, key)
+        if current is None:
+            updates[key] = value
+        elif current != value:
+            raise ValueError(
+                f"{key} given both on ExecutionConfig ({current!r}) and as a "
+                f"keyword argument ({value!r})"
+            )
+    return replace(execution, **updates) if updates else execution
+
+
+__all__ = [
+    "DEPRECATED_EXECUTION_KWARGS",
+    "ExecutionConfig",
+    "resolve_execution",
+]

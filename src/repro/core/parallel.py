@@ -101,13 +101,27 @@ from repro.core.pruning.base import (
     cardinality_edge_threshold,
     cardinality_node_threshold,
     node_weight_sums,
+    run_pruning,
 )
 from repro.datamodel.blocks import ComparisonCollection
+from repro.datamodel.sinks import ComparisonSink, InMemorySink, SpillSink
 from repro.utils.shm import SharedArrayPack, SharedPackSpec
 from repro.utils.topk import TopKHeap
 
 Comparison = tuple[int, int]
 Range = tuple[int, int]
+#: A pair-producing chunk task's result: ``("pairs", sources, targets)``
+#: arrays, or ``("shard", file_name, pair_count)`` when the worker wrote
+#: its pairs straight to a spill shard.
+ChunkPairs = tuple
+
+
+def _concat(chunks: "list[np.ndarray]") -> np.ndarray:
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    if len(chunks) == 1:
+        return chunks[0]
+    return np.concatenate(chunks)
 
 #: Pruning acronyms the executor can partition across workers.
 PARALLEL_ALGORITHMS = frozenset(
@@ -244,6 +258,7 @@ def _spawn_dispatch(
     shell._wep_threshold = scalars["wep_threshold"]
     shell._conjunctive = scalars["conjunctive"]
     shell._phase2_mode = scalars["phase2_mode"]
+    shell._spill_dir = scalars.get("spill_dir")
     arrays = state.pack.arrays if state.pack is not None else {}
     shell._keys = arrays.get("keys")
     shell._threshold_array = arrays.get("thresholds")
@@ -425,6 +440,9 @@ class ParallelMetaBlockingExecutor:
         self._wep_threshold = 0.0
         self._conjunctive = False
         self._phase2_mode = ""  # "topk" | "threshold"
+        #: Spill run directory; when set, pair-producing chunk tasks write
+        #: their results as shards there instead of returning arrays.
+        self._spill_dir: str | None = None
 
     def _ensure_spawn_pool(self) -> ProcessPoolExecutor:
         """The persistent spawn pool (and published index), built lazily."""
@@ -456,6 +474,7 @@ class ParallelMetaBlockingExecutor:
             "wep_threshold": self._wep_threshold,
             "conjunctive": self._conjunctive,
             "phase2_mode": self._phase2_mode,
+            "spill_dir": self._spill_dir,
             "total_edges": weighting._total_edges,
         }
         arrays: dict[str, np.ndarray] = {}
@@ -572,39 +591,48 @@ class ParallelMetaBlockingExecutor:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
         return np.concatenate(entities), np.concatenate(means)
 
-    def _chunk_original_cnp(self, bounds: Range) -> list[Comparison]:
+    def _emit_pairs(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> ChunkPairs:
+        """Package one chunk's retained pairs for the owner.
+
+        When a spill directory is staged the pairs are written straight to a
+        uniquely-named shard inside it — so a chunk's result never travels
+        through pickle, and worker memory stays bounded — and only the shard
+        name rides back. Otherwise the canonical arrays are returned as-is.
+        """
+        if self._spill_dir is not None:
+            name = SpillSink.write_shard(self._spill_dir, sources, targets)
+            return ("shard", name, int(sources.size))
+        return ("pairs", sources, targets)
+
+    def _chunk_original_cnp(self, bounds: Range) -> ChunkPairs:
         """Original CNP for one node range (directed retention, repeats kept)."""
         k = self._k
-        retained: list[Comparison] = []
+        sources: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
         for group in self._node_groups(bounds):
             selected, segments = topk_per_segment(group, k)
             entities = group.entities[segments]
             neighbors = group.neighbors[selected]
-            retained.extend(
-                zip(
-                    np.minimum(entities, neighbors).tolist(),
-                    np.maximum(entities, neighbors).tolist(),
-                )
-            )
-        return retained
+            sources.append(np.minimum(entities, neighbors))
+            targets.append(np.maximum(entities, neighbors))
+        return self._emit_pairs(_concat(sources), _concat(targets))
 
-    def _chunk_original_wnp(self, bounds: Range) -> list[Comparison]:
+    def _chunk_original_wnp(self, bounds: Range) -> ChunkPairs:
         """Original WNP for one node range (directed retention, repeats kept)."""
-        retained: list[Comparison] = []
+        sources: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
         for group in self._node_groups(bounds):
             counts = group.counts
             keep = group.weights >= np.repeat(segment_means(group), counts)
             entities = np.repeat(group.entities, counts)[keep]
             neighbors = group.neighbors[keep]
-            retained.extend(
-                zip(
-                    np.minimum(entities, neighbors).tolist(),
-                    np.maximum(entities, neighbors).tolist(),
-                )
-            )
-        return retained
+            sources.append(np.minimum(entities, neighbors))
+            targets.append(np.maximum(entities, neighbors))
+        return self._emit_pairs(_concat(sources), _concat(targets))
 
-    def _chunk_phase2(self, bounds: Range) -> list[Comparison]:
+    def _chunk_phase2(self, bounds: Range) -> ChunkPairs:
         """Phase 2 of the redefined/reciprocal algorithms for one node range.
 
         Streams the range's distinct edges in grouped segment form (one
@@ -614,7 +642,8 @@ class ParallelMetaBlockingExecutor:
         """
         num_entities = self.weighting.num_entities
         conjunctive = self._conjunctive
-        retained: list[Comparison] = []
+        kept_sources: list[np.ndarray] = []
+        kept_targets: list[np.ndarray] = []
         for group in self._emitted_groups(bounds):
             entities = np.repeat(group.entities, group.counts)
             sources = np.minimum(entities, group.neighbors)
@@ -635,10 +664,9 @@ class ParallelMetaBlockingExecutor:
                     keys, directed_pair_keys(targets, sources, num_entities)
                 )
             keep = (left & right) if conjunctive else (left | right)
-            retained.extend(
-                zip(sources[keep].tolist(), targets[keep].tolist())
-            )
-        return retained
+            kept_sources.append(sources[keep])
+            kept_targets.append(targets[keep])
+        return self._emit_pairs(_concat(kept_sources), _concat(kept_targets))
 
     def _chunk_cep(self, bounds: Range) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Exact local top-k of one range's emitted edges (a superset of the
@@ -663,22 +691,19 @@ class ParallelMetaBlockingExecutor:
             self.weighting, self._nodes[bounds[0] : bounds[1]]
         )
 
-    def _chunk_wep_retain(self, bounds: Range) -> list[Comparison]:
+    def _chunk_wep_retain(self, bounds: Range) -> ChunkPairs:
         """WEP pass 2: retain one range's emitted edges over the staged mean,
         one grouped mask per segment chunk."""
         threshold = self._wep_threshold
-        retained: list[Comparison] = []
+        sources: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
         for group in self._emitted_groups(bounds):
             keep = group.weights >= threshold
             entities = np.repeat(group.entities, group.counts)[keep]
             neighbors = group.neighbors[keep]
-            retained.extend(
-                zip(
-                    np.minimum(entities, neighbors).tolist(),
-                    np.maximum(entities, neighbors).tolist(),
-                )
-            )
-        return retained
+            sources.append(np.minimum(entities, neighbors))
+            targets.append(np.maximum(entities, neighbors))
+        return self._emit_pairs(_concat(sources), _concat(targets))
 
     def _chunk_degrees(self, bounds: Range) -> list[tuple[int, int]]:
         """Node degrees for one range (pure graph statistic, weight-free)."""
@@ -690,11 +715,21 @@ class ParallelMetaBlockingExecutor:
 
     # -- parallel counterparts of the serial algorithms ----------------------
 
-    def _merge_pairs(self, results: Iterable[list[Comparison]]) -> ComparisonCollection:
-        retained: list[Comparison] = []
+    def _merge_into(
+        self, results: Iterable[ChunkPairs], sink: ComparisonSink
+    ) -> None:
+        """Feed chunk results into the sink in submission order.
+
+        Worker-written shards are adopted by name (the sink flushes its own
+        buffer first, so manifest order equals serial emission order); array
+        results are appended directly.
+        """
         for chunk in results:
-            retained.extend(chunk)
-        return ComparisonCollection(retained, self.weighting.num_entities)
+            if chunk[0] == "shard":
+                assert isinstance(sink, SpillSink)
+                sink.adopt_shard(chunk[1], chunk[2])
+            else:
+                sink.append(chunk[1], chunk[2])
 
     def _merge_dicts(self, results: Iterable[dict]) -> dict:
         merged: dict = {}
@@ -748,20 +783,50 @@ class ParallelMetaBlockingExecutor:
             return 0.0
         return float(np.sum(sums)) / count
 
-    def prune(self, algorithm: PruningAlgorithm) -> ComparisonCollection:
+    def prune(
+        self,
+        algorithm: PruningAlgorithm,
+        sink: "ComparisonSink | None" = None,
+    ) -> ComparisonCollection:
         """Run a pruning algorithm across the pool.
 
         The retained comparison set is identical to
         ``algorithm.prune(weighting)``; raises :class:`ValueError` for
         algorithms the executor cannot partition (check
         :func:`supports_parallel` first).
+
+        ``sink`` routes the retained edges: ``None`` buffers them in memory
+        (the historical behaviour). Given a
+        :class:`~repro.datamodel.sinks.SpillSink`, its run directory is
+        staged to the workers and every pair-producing chunk task writes its
+        result straight to a per-chunk shard there; the owner adopts the
+        shards in submission order, so the manifest reproduces the serial
+        emission order exactly. On any failure the sink is aborted (shards
+        and manifest removed) before the exception propagates.
         """
         if not supports_parallel(algorithm):
             raise ValueError(
                 f"{type(algorithm).__name__} is not node-partitionable; "
                 f"parallel execution supports {sorted(PARALLEL_ALGORITHMS)}"
             )
+        collector = sink if sink is not None else InMemorySink()
         self._reset_stage()
+        if isinstance(collector, SpillSink):
+            self._spill_dir = str(collector.directory)
+        try:
+            self._prune_into(algorithm, collector)
+        except BaseException:
+            collector.abort()
+            raise
+        finally:
+            self._spill_dir = None
+        return collector.finalize(self.weighting.num_entities)
+
+    def _prune_into(
+        self, algorithm: PruningAlgorithm, sink: ComparisonSink
+    ) -> None:
+        """Stage the algorithm's criteria and stream chunk results into
+        ``sink`` (the family dispatch behind :meth:`prune`)."""
         self._prepare_weights()
         ranges = self._ranges()
         if isinstance(algorithm, CardinalityEdgePruning):
@@ -770,19 +835,21 @@ class ParallelMetaBlockingExecutor:
                 if algorithm.k is not None
                 else cardinality_edge_threshold(self.weighting.blocks)
             )
+            # Chunk top-k results are K-bounded, so they always return as
+            # arrays and merge owner-side before one bounded append.
             merged = TopKEdgeBuffer(self._k)
             for sources, targets, weights in self._map_chunks("_chunk_cep", ranges):
                 merged.push(EdgeBatch(sources, targets, weights))
-            return ComparisonCollection(
-                merged.pairs(), self.weighting.num_entities
-            )
+            sink.append_pairs(merged.pairs())
+            return
         if isinstance(algorithm, WeightedEdgePruning):
             self._wep_threshold = (
                 algorithm.threshold
                 if algorithm.threshold is not None
                 else self.mean_edge_weight()
             )
-            return self._merge_pairs(self._map_chunks("_chunk_wep_retain", ranges))
+            self._merge_into(self._map_chunks("_chunk_wep_retain", ranges), sink)
+            return
         if isinstance(algorithm, RedefinedCardinalityNodePruning):
             self._k = (
                 algorithm.k
@@ -801,7 +868,8 @@ class ParallelMetaBlockingExecutor:
             )
             self._conjunctive = algorithm.conjunctive
             self._phase2_mode = "topk"
-            return self._merge_pairs(self._map_chunks("_chunk_phase2", ranges))
+            self._merge_into(self._map_chunks("_chunk_phase2", ranges), sink)
+            return
         if isinstance(algorithm, RedefinedWeightedNodePruning):
             thresholds = np.full(
                 self.weighting.num_entities, np.inf, dtype=np.float64
@@ -813,19 +881,21 @@ class ParallelMetaBlockingExecutor:
             self._threshold_array = thresholds
             self._conjunctive = algorithm.conjunctive
             self._phase2_mode = "threshold"
-            return self._merge_pairs(self._map_chunks("_chunk_phase2", ranges))
+            self._merge_into(self._map_chunks("_chunk_phase2", ranges), sink)
+            return
         if isinstance(algorithm, CardinalityNodePruning):
             self._k = (
                 algorithm.k
                 if algorithm.k is not None
                 else cardinality_node_threshold(self.weighting.blocks)
             )
-            return self._merge_pairs(
-                self._map_chunks("_chunk_original_cnp", ranges)
+            self._merge_into(
+                self._map_chunks("_chunk_original_cnp", ranges), sink
             )
+            return
         assert isinstance(algorithm, WeightedNodePruning)
-        return self._merge_pairs(
-            self._map_chunks("_chunk_original_wnp", ranges)
+        self._merge_into(
+            self._map_chunks("_chunk_original_wnp", ranges), sink
         )
 
     def map_neighborhoods(self) -> "dict[int, list[tuple[int, float]]]":
@@ -859,14 +929,15 @@ def parallel_prune(
     workers: int | None = None,
     chunks: int | None = None,
     backend: str | None = None,
+    sink: "ComparisonSink | None" = None,
 ) -> ComparisonCollection:
     """One-call parallel pruning; falls back to serial when unsupported."""
     if not supports_parallel(algorithm) or resolve_workers(workers) == 1:
-        return algorithm.prune(weighting)
+        return run_pruning(algorithm, weighting, sink)
     executor = ParallelMetaBlockingExecutor(
         weighting, workers=workers, chunks=chunks, backend=backend
     )
     try:
-        return executor.prune(algorithm)
+        return executor.prune(algorithm, sink=sink)
     finally:
         executor.close()

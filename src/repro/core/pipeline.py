@@ -11,9 +11,13 @@ Two entry points:
 
 from __future__ import annotations
 
+import copy
 import logging
 import warnings
 from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
 
 from repro.blocking.base import BlockingMethod
 from repro.blockprocessing.block_purging import BlockPurging
@@ -23,17 +27,19 @@ from repro.core.edge_weighting import (
     OptimizedEdgeWeighting,
     OriginalEdgeWeighting,
 )
+from repro.core.execution import ExecutionConfig, resolve_execution
 from repro.core.parallel import (
-    PARALLEL_BACKENDS,
     ParallelMetaBlockingExecutor,
     resolve_workers,
     supports_parallel,
 )
 from repro.core.vectorized import VectorizedEdgeWeighting
 from repro.core.pruning import PRUNING_ALGORITHMS, PruningAlgorithm
+from repro.core.pruning.base import run_pruning
 from repro.core.weights import WeightingScheme, get_scheme
 from repro.datamodel.blocks import BlockCollection, ComparisonCollection
 from repro.datamodel.dataset import ERDataset
+from repro.datamodel.sinks import ComparisonView
 from repro.utils.timer import Timer
 
 logger = logging.getLogger(__name__)
@@ -59,7 +65,15 @@ def get_pruning(algorithm: "str | PruningAlgorithm") -> PruningAlgorithm:
 
 @dataclass
 class MetaBlockingResult:
-    """Output of one meta-blocking run, with the OTime decomposition."""
+    """Output of one meta-blocking run, with the OTime decomposition.
+
+    The retained comparisons expose a uniform consumption surface:
+    :attr:`comparisons` is the (lazily materialised)
+    :class:`~repro.datamodel.sinks.ComparisonView`, :meth:`stream` yields
+    them as bounded ``(sources, targets)`` array batches, and
+    :attr:`spill_manifest` points at the on-disk manifest when the run
+    spilled (``None`` otherwise).
+    """
 
     comparisons: ComparisonCollection
     input_blocks: BlockCollection
@@ -75,6 +89,8 @@ class MetaBlockingResult:
     #: ``"serial"``, ``"in-process"`` (chunked, no pool), ``"fork"`` or
     #: ``"shm-spawn"`` (shared-memory segments + spawned workers).
     parallel_backend: str = "serial"
+    #: The resolved execution configuration this run used.
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     @property
     def overhead_seconds(self) -> float:
@@ -85,6 +101,33 @@ class MetaBlockingResult:
             + sum(self.stage_seconds.values())
         )
 
+    @property
+    def spill_manifest(self) -> "str | None":
+        """Path of the spill manifest, or ``None`` for in-memory runs."""
+        return getattr(self.comparisons, "spill_manifest", None)
+
+    def stream(
+        self, batch_size: int | None = None
+    ) -> "Iterator[tuple[np.ndarray, np.ndarray]]":
+        """Retained comparisons as bounded ``(sources, targets)`` batches.
+
+        Spilled runs stream memory-mapped shards without materialising the
+        pair list; in-memory runs stream their buffered chunks. Order is the
+        exact emission order (identical to ``comparisons.pairs``).
+        """
+        comparisons = self.comparisons
+        if isinstance(comparisons, ComparisonView):
+            yield from comparisons.stream(batch_size)
+            return
+        pairs = comparisons.pairs
+        step = batch_size if batch_size and batch_size > 0 else len(pairs) or 1
+        for start in range(0, len(pairs), step):
+            chunk = pairs[start : start + step]
+            yield (
+                np.fromiter((p[0] for p in chunk), dtype=np.int64, count=len(chunk)),
+                np.fromiter((p[1] for p in chunk), dtype=np.int64, count=len(chunk)),
+            )
+
 
 def meta_block(
     blocks: BlockCollection,
@@ -92,6 +135,7 @@ def meta_block(
     algorithm: "str | PruningAlgorithm" = "WEP",
     block_filtering_ratio: float | None = 0.8,
     backend: str = "optimized",
+    execution: "ExecutionConfig | None" = None,
     parallel: int | None = None,
     parallel_backend: str | None = None,
     chunks: int | None = None,
@@ -115,47 +159,39 @@ def meta_block(
     backend:
         ``"optimized"`` (Algorithm 3, default) or ``"original"``
         (Algorithm 2) edge weighting.
-    parallel:
-        Worker-process count for the pruning stage (all eight algorithms);
-        ``None``/``1`` runs serially, ``0`` uses one worker per CPU core.
-        Results are identical to serial execution regardless of backend.
-    parallel_backend:
-        Execution backend for the pruning pool: ``None``/``"auto"`` picks
-        the best available (``fork`` where the platform has it, else the
-        shared-memory ``shm-spawn`` backend, else chunked ``in-process``),
-        or force one of
-        :data:`~repro.core.parallel.PARALLEL_BACKENDS`. Any fallback emits
-        exactly one :class:`RuntimeWarning` per call; the effective worker
-        count and backend are recorded on the result
-        (:attr:`MetaBlockingResult.effective_workers` /
-        :attr:`MetaBlockingResult.parallel_backend`).
-    chunks:
-        Number of contiguous node partitions for the parallel executor
-        (default ``4 × workers``).
-    chunk_size:
-        Edges per :class:`~repro.core.edge_stream.EdgeBatch` chunk in the
-        batched pruning paths (default
-        :data:`~repro.core.edge_stream.DEFAULT_CHUNK_SIZE`); never affects
-        the retained comparisons, only peak memory.
+    execution:
+        An :class:`~repro.core.execution.ExecutionConfig` holding every
+        execution knob: worker count and pool backend, node-partition and
+        edge-chunk sizes, and the out-of-core ``spill_dir`` /
+        ``memory_budget`` settings. When spilling is configured the retained
+        comparisons go to ``.npy`` shards and
+        :attr:`MetaBlockingResult.comparisons` memory-maps them back;
+        results are bit-identical either way. Any parallel-backend fallback
+        emits exactly one :class:`RuntimeWarning` per call; the effective
+        worker count and backend are recorded on the result.
+    parallel, parallel_backend, chunks, chunk_size:
+        Deprecated aliases for the matching :class:`ExecutionConfig` fields;
+        they forward into ``execution`` with a :class:`DeprecationWarning`.
     """
     try:
         backend_class = WEIGHTING_BACKENDS[backend]
     except KeyError:
         known = ", ".join(sorted(WEIGHTING_BACKENDS))
         raise ValueError(f"unknown weighting backend {backend!r}; known: {known}")
-    if parallel_backend is not None and parallel_backend not in (
-        ("auto",) + PARALLEL_BACKENDS
-    ):
-        known = ", ".join(("auto",) + PARALLEL_BACKENDS)
-        raise ValueError(
-            f"unknown parallel backend {parallel_backend!r}; known: {known}"
-        )
+    execution = resolve_execution(
+        execution,
+        parallel=parallel,
+        parallel_backend=parallel_backend,
+        chunks=chunks,
+        chunk_size=chunk_size,
+    )
     scheme = get_scheme(scheme)
     pruning = get_pruning(algorithm)
-    if chunk_size is not None:
-        if chunk_size < 1:
-            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
-        pruning.chunk_size = chunk_size
+    if execution.chunk_size is not None:
+        # Scope the override to this run: never mutate a caller-supplied
+        # algorithm instance (the setting used to leak across calls).
+        pruning = copy.copy(pruning)
+        pruning.chunk_size = execution.chunk_size
 
     filtered: BlockCollection | None = None
     filtering_seconds = 0.0
@@ -173,35 +209,40 @@ def meta_block(
             filtering_seconds,
         )
 
-    workers = resolve_workers(parallel) if parallel is not None else 1
+    workers = (
+        resolve_workers(execution.parallel)
+        if execution.parallel is not None
+        else 1
+    )
     if workers > 1 and not supports_parallel(pruning):
         warnings.warn(
             f"{pruning.name or type(pruning).__name__} does not support "
-            f"parallel execution; ignoring parallel={parallel!r} and running "
-            "serially",
+            f"parallel execution; ignoring parallel={execution.parallel!r} "
+            "and running serially",
             RuntimeWarning,
             stacklevel=2,
         )
         workers = 1
     effective_backend = "serial"
+    sink = execution.make_sink()
     with Timer() as timer:
         weighting = backend_class(graph_input, scheme)
         if workers > 1:
             executor = ParallelMetaBlockingExecutor(
                 weighting,
                 workers=workers,
-                chunks=chunks,
-                backend=parallel_backend,
+                chunks=execution.chunks,
+                backend=execution.parallel_backend,
             )
             try:
-                comparisons = executor.prune(pruning)
+                comparisons = executor.prune(pruning, sink=sink)
                 effective_backend = executor.backend
             finally:
                 # Releases the shm-spawn pool and unlinks owned segments on
                 # success, worker crash and KeyboardInterrupt alike.
                 executor.close()
         else:
-            comparisons = pruning.prune(weighting)
+            comparisons = run_pruning(pruning, weighting, sink)
     logger.debug(
         "%s/%s (%s backend, %d worker(s), %s): retained %d comparisons (%.3fs)",
         pruning.name,
@@ -222,6 +263,7 @@ def meta_block(
         pruning_seconds=timer.elapsed,
         effective_workers=workers,
         parallel_backend=effective_backend,
+        execution=execution,
     )
 
 
@@ -237,12 +279,13 @@ class MetaBlockingWorkflow:
         Optional Block Purging pre-processing (the paper always applies it).
     block_filtering_ratio:
         Block Filtering ratio, or ``None`` to skip filtering.
-    scheme / algorithm / backend / parallel / parallel_backend / chunk_size:
-        Forwarded to :func:`meta_block`; ``parallel`` is the worker-process
-        count for the pruning stage, ``parallel_backend`` its execution
-        backend (``None``/``"auto"`` picks the best available),
-        ``chunk_size`` the edges per
-        :class:`~repro.core.edge_stream.EdgeBatch` chunk.
+    scheme / algorithm / backend / execution:
+        Forwarded to :func:`meta_block`; ``execution`` is the
+        :class:`~repro.core.execution.ExecutionConfig` holding every
+        execution knob (workers, pool backend, chunking, spilling).
+    parallel / parallel_backend / chunk_size:
+        Deprecated aliases for the matching ``execution`` fields; they
+        forward with a :class:`DeprecationWarning`.
     """
 
     def __init__(
@@ -253,6 +296,7 @@ class MetaBlockingWorkflow:
         purging: BlockPurging | None = None,
         block_filtering_ratio: float | None = 0.8,
         backend: str = "optimized",
+        execution: "ExecutionConfig | None" = None,
         parallel: int | None = None,
         parallel_backend: str | None = None,
         chunk_size: int | None = None,
@@ -269,9 +313,26 @@ class MetaBlockingWorkflow:
         self.scheme = get_scheme(scheme)
         self.algorithm = get_pruning(algorithm)
         self.backend = backend
-        self.parallel = parallel
-        self.parallel_backend = parallel_backend
-        self.chunk_size = chunk_size
+        self.execution = resolve_execution(
+            execution,
+            parallel=parallel,
+            parallel_backend=parallel_backend,
+            chunk_size=chunk_size,
+        )
+
+    # Read-only views of the execution knobs, kept for callers written
+    # against the pre-ExecutionConfig attribute surface.
+    @property
+    def parallel(self) -> int | None:
+        return self.execution.parallel
+
+    @property
+    def parallel_backend(self) -> str | None:
+        return self.execution.parallel_backend
+
+    @property
+    def chunk_size(self) -> int | None:
+        return self.execution.chunk_size
 
     def to_config(self) -> dict:
         """A JSON-serialisable description of this workflow.
@@ -301,9 +362,7 @@ class MetaBlockingWorkflow:
             "algorithm": self.algorithm.name,
             "block_filtering_ratio": self.block_filtering_ratio,
             "backend": self.backend,
-            "parallel": self.parallel,
-            "parallel_backend": self.parallel_backend,
-            "chunk_size": self.chunk_size,
+            **self.execution.to_dict(),
         }
 
     @classmethod
@@ -325,9 +384,7 @@ class MetaBlockingWorkflow:
             algorithm=config.get("algorithm", "WEP"),
             block_filtering_ratio=config.get("block_filtering_ratio", 0.8),
             backend=config.get("backend", "optimized"),
-            parallel=config.get("parallel"),
-            parallel_backend=config.get("parallel_backend"),
-            chunk_size=config.get("chunk_size"),
+            execution=ExecutionConfig.from_dict(config),
         )
 
     def run(self, dataset: ERDataset) -> MetaBlockingResult:
@@ -357,9 +414,7 @@ class MetaBlockingWorkflow:
             algorithm=self.algorithm,
             block_filtering_ratio=self.block_filtering_ratio,
             backend=self.backend,
-            parallel=self.parallel,
-            parallel_backend=self.parallel_backend,
-            chunk_size=self.chunk_size,
+            execution=self.execution,
         )
         result.stage_seconds["blocking"] = blocking_seconds
         result.stage_seconds["purging"] = purging_seconds

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+import inspect
+from abc import ABC
 
 import numpy as np
 
 from repro.core.edge_stream import iter_node_groups, neighborhood_mean
 from repro.core.edge_weighting import EdgeWeighting
 from repro.datamodel.blocks import BlockCollection, ComparisonCollection
+from repro.datamodel.sinks import ComparisonSink, InMemorySink, ensure_view
 
 
 class PruningAlgorithm(ABC):
@@ -19,11 +21,17 @@ class PruningAlgorithm(ABC):
     threshold, global or local). Instances are stateless across calls;
     :meth:`prune` may be invoked with different weighting backends.
 
-    :meth:`prune` consumes the blocking graph in bulk array form (the
-    :class:`~repro.core.edge_stream.EdgeBatch` stream /
-    ``neighborhood_arrays``); :meth:`prune_per_edge` is the historical
-    tuple-at-a-time path, kept as a compatibility shim. Both retain exactly
-    the same comparison set (asserted by the test suite).
+    :meth:`prune` is a template: it consumes the blocking graph in bulk
+    array form (the :class:`~repro.core.edge_stream.EdgeBatch` stream /
+    ``neighborhood_arrays``) and emits every retained edge through a
+    :class:`~repro.datamodel.sinks.ComparisonSink` — in-memory by default,
+    spill-to-disk or a bounded generator when the caller supplies one —
+    via the subclass hook :meth:`_prune_into`. Pre-sink subclasses that
+    override :meth:`prune` with the old single-argument signature keep
+    working (see :func:`run_pruning`). :meth:`prune_per_edge` is the
+    historical tuple-at-a-time path, kept as a compatibility shim. All
+    paths retain exactly the same comparison set (asserted by the test
+    suite).
     """
 
     #: Acronym used in the paper and in the registry.
@@ -34,9 +42,33 @@ class PruningAlgorithm(ABC):
     #: affects the retained comparisons, only peak memory.
     chunk_size: int | None = None
 
-    @abstractmethod
-    def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
-        """Return the retained comparisons of the weighted blocking graph."""
+    def prune(
+        self, weighting: EdgeWeighting, sink: "ComparisonSink | None" = None
+    ) -> ComparisonCollection:
+        """Return the retained comparisons of the weighted blocking graph.
+
+        With ``sink=None`` the result is an in-memory
+        :class:`~repro.datamodel.sinks.ComparisonView`, element-for-element
+        identical to the historical eager list. Supplying a sink routes the
+        retained edges through it instead (same order); on any failure the
+        sink is aborted so partial spill artifacts never leak.
+        """
+        collector = sink if sink is not None else InMemorySink()
+        try:
+            self._prune_into(weighting, collector)
+        except BaseException:
+            collector.abort()
+            raise
+        return collector.finalize(weighting.num_entities)
+
+    def _prune_into(
+        self, weighting: EdgeWeighting, sink: ComparisonSink
+    ) -> None:
+        """Stream every retained edge into ``sink`` (subclass hook)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither prune() nor "
+            "_prune_into()"
+        )
 
     def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
         """Per-edge compatibility shim; same retained set as :meth:`prune`."""
@@ -44,6 +76,49 @@ class PruningAlgorithm(ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+def accepts_sink(algorithm: PruningAlgorithm) -> bool:
+    """True iff ``algorithm.prune`` takes the ``sink`` keyword.
+
+    Third-party subclasses written before the sink API override ``prune``
+    with the single-argument signature; they still work through
+    :func:`run_pruning`, which drains their eager output into the sink.
+    """
+    try:
+        parameters = inspect.signature(type(algorithm).prune).parameters
+    except (TypeError, ValueError):  # builtins/C callables: assume modern
+        return True
+    if "sink" in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+def run_pruning(
+    algorithm: PruningAlgorithm,
+    weighting: EdgeWeighting,
+    sink: "ComparisonSink | None" = None,
+) -> ComparisonCollection:
+    """Run ``algorithm`` against ``weighting``, emitting through ``sink``.
+
+    The serial entry point of the pipeline: sink-aware algorithms stream
+    straight into the sink; legacy single-argument ``prune`` overrides run
+    eagerly and their output is drained through the sink afterwards, so the
+    caller always gets a uniform :class:`~repro.datamodel.sinks.ComparisonView`.
+    """
+    if sink is None:
+        return algorithm.prune(weighting)
+    if accepts_sink(algorithm):
+        return algorithm.prune(weighting, sink=sink)
+    try:
+        eager = algorithm.prune(weighting)
+    except BaseException:
+        sink.abort()
+        raise
+    return ensure_view(eager, sink)
 
 
 def cardinality_edge_threshold(blocks: BlockCollection) -> int:
@@ -99,9 +174,11 @@ def node_weight_sums(
 
 __all__ = [
     "PruningAlgorithm",
+    "accepts_sink",
     "cardinality_edge_threshold",
     "cardinality_node_threshold",
     "mean_edge_weight",
     "neighborhood_mean",
     "node_weight_sums",
+    "run_pruning",
 ]

@@ -22,6 +22,7 @@ from repro.core.pruning.base import (
     mean_edge_weight,
 )
 from repro.datamodel.blocks import ComparisonCollection
+from repro.datamodel.sinks import ComparisonSink
 from repro.utils.topk import TopKHeap
 
 
@@ -45,11 +46,15 @@ class CardinalityEdgePruning(PruningAlgorithm):
             return self.k
         return cardinality_edge_threshold(weighting.blocks)
 
-    def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
+    def _prune_into(
+        self, weighting: EdgeWeighting, sink: ComparisonSink
+    ) -> None:
         buffer = TopKEdgeBuffer(self._threshold(weighting))
         for batch in weighting.iter_edge_batches(self.chunk_size):
             buffer.push(batch)
-        return ComparisonCollection(buffer.pairs(), weighting.num_entities)
+        # The global top-K is only known once the stream is exhausted, so
+        # CEP's sink traffic is a single bounded append (K pairs at most).
+        sink.append_pairs(buffer.pairs())
 
     def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
         heap: TopKHeap[tuple[int, int]] = TopKHeap(self._threshold(weighting))
@@ -77,15 +82,13 @@ class WeightedEdgePruning(PruningAlgorithm):
             return self.threshold
         return mean_edge_weight(weighting)
 
-    def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
+    def _prune_into(
+        self, weighting: EdgeWeighting, sink: ComparisonSink
+    ) -> None:
         threshold = self._resolve_threshold(weighting)
-        retained: list[tuple[int, int]] = []
         for batch in weighting.iter_edge_batches(self.chunk_size):
             keep = batch.weights >= threshold
-            retained.extend(
-                zip(batch.sources[keep].tolist(), batch.targets[keep].tolist())
-            )
-        return ComparisonCollection(retained, weighting.num_entities)
+            sink.append(batch.sources[keep], batch.targets[keep])
 
     def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
         threshold = self._resolve_threshold(weighting)

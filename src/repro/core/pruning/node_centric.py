@@ -29,6 +29,7 @@ from repro.core.edge_stream import (
 from repro.core.edge_weighting import EdgeWeighting
 from repro.core.pruning.base import PruningAlgorithm, cardinality_node_threshold
 from repro.datamodel.blocks import ComparisonCollection
+from repro.datamodel.sinks import ComparisonSink
 from repro.utils.topk import TopKHeap
 
 Comparison = tuple[int, int]
@@ -58,22 +59,19 @@ class CardinalityNodePruning(PruningAlgorithm):
             return self.k
         return cardinality_node_threshold(weighting.blocks)
 
-    def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
+    def _prune_into(
+        self, weighting: EdgeWeighting, sink: ComparisonSink
+    ) -> None:
         k = self._threshold(weighting)
-        retained: list[Comparison] = []
         for group in iter_node_groups(
             weighting.neighborhood_arrays, weighting.nodes(), self.chunk_size
         ):
             selected, segments = topk_per_segment(group, k)
             entities = group.entities[segments]
             neighbors = group.neighbors[selected]
-            retained.extend(
-                zip(
-                    np.minimum(entities, neighbors).tolist(),
-                    np.maximum(entities, neighbors).tolist(),
-                )
+            sink.append(
+                np.minimum(entities, neighbors), np.maximum(entities, neighbors)
             )
-        return ComparisonCollection(retained, weighting.num_entities)
 
     def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
         k = self._threshold(weighting)
@@ -96,8 +94,9 @@ class WeightedNodePruning(PruningAlgorithm):
 
     name = "WNP"
 
-    def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
-        retained: list[Comparison] = []
+    def _prune_into(
+        self, weighting: EdgeWeighting, sink: ComparisonSink
+    ) -> None:
         for group in iter_node_groups(
             weighting.neighborhood_arrays, weighting.nodes(), self.chunk_size
         ):
@@ -105,13 +104,9 @@ class WeightedNodePruning(PruningAlgorithm):
             keep = group.weights >= np.repeat(segment_means(group), counts)
             entities = np.repeat(group.entities, counts)[keep]
             neighbors = group.neighbors[keep]
-            retained.extend(
-                zip(
-                    np.minimum(entities, neighbors).tolist(),
-                    np.maximum(entities, neighbors).tolist(),
-                )
+            sink.append(
+                np.minimum(entities, neighbors), np.maximum(entities, neighbors)
             )
-        return ComparisonCollection(retained, weighting.num_entities)
 
     def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
         retained: list[Comparison] = []

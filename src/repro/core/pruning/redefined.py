@@ -36,6 +36,7 @@ from repro.core.edge_stream import (
 from repro.core.edge_weighting import EdgeWeighting
 from repro.core.pruning.base import PruningAlgorithm, cardinality_node_threshold
 from repro.datamodel.blocks import ComparisonCollection
+from repro.datamodel.sinks import ComparisonSink
 from repro.utils.topk import TopKHeap
 
 Comparison = tuple[int, int]
@@ -128,12 +129,13 @@ class RedefinedCardinalityNodePruning(PruningAlgorithm):
             return self.k
         return cardinality_node_threshold(weighting.blocks)
 
-    def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
+    def _prune_into(
+        self, weighting: EdgeWeighting, sink: ComparisonSink
+    ) -> None:
         keys = nearest_neighbor_keys(
             weighting, self._threshold(weighting), self.chunk_size
         )
         num_entities = weighting.num_entities
-        retained: list[Comparison] = []
         for batch in weighting.iter_edge_batches(self.chunk_size):
             in_left = keys_contain(
                 keys, directed_pair_keys(batch.sources, batch.targets, num_entities)
@@ -142,10 +144,7 @@ class RedefinedCardinalityNodePruning(PruningAlgorithm):
                 keys, directed_pair_keys(batch.targets, batch.sources, num_entities)
             )
             keep = (in_left & in_right) if self.conjunctive else (in_left | in_right)
-            retained.extend(
-                zip(batch.sources[keep].tolist(), batch.targets[keep].tolist())
-            )
-        return ComparisonCollection(retained, weighting.num_entities)
+            sink.append(batch.sources[keep], batch.targets[keep])
 
     def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
         nearest = nearest_neighbor_sets(weighting, self._threshold(weighting))
@@ -166,9 +165,10 @@ class RedefinedWeightedNodePruning(PruningAlgorithm):
     name = "ReWNP"
     conjunctive = False
 
-    def prune(self, weighting: EdgeWeighting) -> ComparisonCollection:
+    def _prune_into(
+        self, weighting: EdgeWeighting, sink: ComparisonSink
+    ) -> None:
         thresholds = neighborhood_threshold_array(weighting, self.chunk_size)
-        retained: list[Comparison] = []
         for batch in weighting.iter_edge_batches(self.chunk_size):
             over_left = batch.weights >= thresholds[batch.sources]
             over_right = batch.weights >= thresholds[batch.targets]
@@ -177,10 +177,7 @@ class RedefinedWeightedNodePruning(PruningAlgorithm):
                 if self.conjunctive
                 else (over_left | over_right)
             )
-            retained.extend(
-                zip(batch.sources[keep].tolist(), batch.targets[keep].tolist())
-            )
-        return ComparisonCollection(retained, weighting.num_entities)
+            sink.append(batch.sources[keep], batch.targets[keep])
 
     def prune_per_edge(self, weighting: EdgeWeighting) -> ComparisonCollection:
         thresholds = neighborhood_thresholds(weighting)

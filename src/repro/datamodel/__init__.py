@@ -12,6 +12,9 @@ paper's Section 3 (Preliminaries):
   blocks are unilateral for Dirty ER and bilateral for Clean-Clean ER.
 * :class:`~repro.datamodel.blocks.ComparisonCollection` — an explicit list of
   pairwise comparisons, the output of meta-blocking's pruning phase.
+* :mod:`~repro.datamodel.sinks` — out-of-core comparison sinks
+  (:class:`~repro.datamodel.sinks.ComparisonSink` and friends) and the lazy
+  :class:`~repro.datamodel.sinks.ComparisonView` the pruning stage returns.
 * :class:`~repro.datamodel.groundtruth.DuplicateSet` — the gold matches used
   by the evaluation measures.
 * :class:`~repro.datamodel.dataset.DirtyERDataset` /
@@ -22,16 +25,34 @@ from repro.datamodel.blocks import Block, BlockCollection, ComparisonCollection
 from repro.datamodel.dataset import CleanCleanERDataset, DirtyERDataset, ERDataset
 from repro.datamodel.groundtruth import DuplicateSet
 from repro.datamodel.profiles import Attribute, EntityCollection, EntityProfile
+from repro.datamodel.sinks import (
+    BoundedGeneratorSink,
+    ComparisonSink,
+    ComparisonView,
+    InMemorySink,
+    SinkClosed,
+    SpillSink,
+    load_spilled_view,
+    stream_pruned,
+)
 
 __all__ = [
     "Attribute",
     "Block",
     "BlockCollection",
+    "BoundedGeneratorSink",
     "CleanCleanERDataset",
     "ComparisonCollection",
+    "ComparisonSink",
+    "ComparisonView",
     "DirtyERDataset",
     "DuplicateSet",
     "ERDataset",
     "EntityCollection",
     "EntityProfile",
+    "InMemorySink",
+    "SinkClosed",
+    "SpillSink",
+    "load_spilled_view",
+    "stream_pruned",
 ]

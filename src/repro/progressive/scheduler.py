@@ -6,10 +6,15 @@ resolves pairs until its budget runs out; because the heavy edges come
 first, recall as a function of executed comparisons rises far faster than
 under the blocks' natural order — the pay-as-you-go property.
 
-The scheduler materialises the sorted edge list (one ``(weight, pair)``
-tuple per distinct comparison). That is exactly the footprint of CEP's
-top-K processing with K = |E_B|; for collections whose graph does not fit,
-apply Block Filtering first (as everywhere else in the library).
+The scheduler holds the sorted edges in *columnar* form — three flat numpy
+arrays (sources, targets, weights) ordered best-first, built from the
+weighting backend's :class:`~repro.core.edge_stream.EdgeBatch` stream with
+one ``np.lexsort``. That is a fraction of the footprint of the historical
+one-tuple-per-edge list, and exactly the data CEP's top-K processing holds
+with K = |E_B|; for collections whose graph does not fit, apply Block
+Filtering first (as everywhere else in the library). :meth:`as_view`
+drains the schedule through a :class:`~repro.datamodel.sinks.ComparisonSink`
+for a uniform (optionally spilled) consumption surface.
 """
 
 from __future__ import annotations
@@ -17,14 +22,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from repro.core.block_filtering import BlockFiltering
 from repro.core.edge_weighting import OptimizedEdgeWeighting
 from repro.core.weights import WeightingScheme
 from repro.datamodel.blocks import BlockCollection
 from repro.datamodel.groundtruth import DuplicateSet
+from repro.datamodel.sinks import (
+    DEFAULT_SHARD_PAIRS,
+    ComparisonSink,
+    ComparisonView,
+    InMemorySink,
+)
 from repro.matching.matchers import Matcher
 
 Comparison = tuple[int, int]
+#: The columnar schedule: best-first ``(sources, targets, weights)`` arrays.
+Schedule = tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
 class ProgressiveMetaBlocking:
@@ -52,32 +67,76 @@ class ProgressiveMetaBlocking:
             blocks = blocks.sorted_by_cardinality()
         self.blocks = blocks
         self.weighting = OptimizedEdgeWeighting(blocks, scheme)
-        self._schedule: list[tuple[float, Comparison]] | None = None
+        self._schedule: Schedule | None = None
 
-    def _build_schedule(self) -> list[tuple[float, Comparison]]:
+    def _build_schedule(self) -> Schedule:
         if self._schedule is None:
-            edges = [
-                (weight, (left, right))
-                for left, right, weight in self.weighting.iter_edges()
-            ]
-            # Descending weight; ties broken by the pair ids (deterministic).
-            edges.sort(key=lambda entry: (-entry[0], entry[1]))
-            self._schedule = edges
+            sources_parts: list[np.ndarray] = []
+            targets_parts: list[np.ndarray] = []
+            weights_parts: list[np.ndarray] = []
+            for batch in self.weighting.iter_edge_batches():
+                sources_parts.append(batch.sources)
+                targets_parts.append(batch.targets)
+                weights_parts.append(batch.weights)
+            if not sources_parts:
+                self._schedule = (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64),
+                )
+                return self._schedule
+            sources = np.concatenate(sources_parts)
+            targets = np.concatenate(targets_parts)
+            weights = np.concatenate(weights_parts)
+            # Descending weight; ties broken by the pair ids — the same
+            # order as the historical sort(key=(-weight, (left, right))).
+            order = np.lexsort((targets, sources, -weights))
+            self._schedule = (sources[order], targets[order], weights[order])
         return self._schedule
 
     def __len__(self) -> int:
-        return len(self._build_schedule())
+        return int(self._build_schedule()[0].size)
 
     def stream(self) -> Iterator[tuple[int, int, float]]:
         """Yield ``(left, right, weight)`` best-first."""
-        for weight, (left, right) in self._build_schedule():
-            yield left, right, weight
+        sources, targets, weights = self._build_schedule()
+        for index in range(sources.size):
+            yield (
+                int(sources[index]),
+                int(targets[index]),
+                float(weights[index]),
+            )
 
     def comparisons(self, budget: int | None = None) -> list[Comparison]:
         """The first ``budget`` comparisons (all of them when ``None``)."""
-        schedule = self._build_schedule()
-        selected = schedule if budget is None else schedule[:budget]
-        return [pair for _, pair in selected]
+        sources, targets, _ = self._build_schedule()
+        if budget is not None:
+            sources, targets = sources[:budget], targets[:budget]
+        return list(zip(sources.tolist(), targets.tolist()))
+
+    def as_view(
+        self,
+        budget: int | None = None,
+        sink: "ComparisonSink | None" = None,
+    ) -> ComparisonView:
+        """The first ``budget`` comparisons through a sink, best-first.
+
+        The uniform consumption surface of the rest of the pipeline:
+        supplying a :class:`~repro.datamodel.sinks.SpillSink` spills the
+        schedule to shards and memory-maps it back, so even a full-graph
+        schedule can be handed to matching without a resident pair list.
+        """
+        collector = sink if sink is not None else InMemorySink()
+        sources, targets, _ = self._build_schedule()
+        stop = sources.size if budget is None else min(budget, sources.size)
+        try:
+            for start in range(0, int(stop), DEFAULT_SHARD_PAIRS):
+                end = min(start + DEFAULT_SHARD_PAIRS, stop)
+                collector.append(sources[start:end], targets[start:end])
+        except BaseException:
+            collector.abort()
+            raise
+        return collector.finalize(self.weighting.num_entities)
 
 
 @dataclass(frozen=True)

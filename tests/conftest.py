@@ -95,6 +95,22 @@ def shm_leak_check():
     assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
 
 
+@pytest.fixture
+def spill_leak_check(tmp_path):
+    """A spill directory asserted empty of run artifacts after the test.
+
+    Mirrors ``shm_leak_check``: any ``run-*`` directory still present when
+    the test body finishes (without the test having finalised a view over
+    it) is a leaked spill artifact. The fixture yields the parent directory
+    to pass as ``spill_dir``; tests that keep a finalised view alive should
+    ``release()`` it before returning.
+    """
+    spill_dir = tmp_path / "spill"
+    yield spill_dir
+    leaked = sorted(p.name for p in spill_dir.glob("run-*")) if spill_dir.exists() else []
+    assert not leaked, f"leaked spill run directories: {leaked}"
+
+
 @pytest.fixture(scope="session")
 def tiny_dirty():
     """A 60-entity random Dirty dataset (fast unit-test input)."""

@@ -1,0 +1,181 @@
+"""The unified ExecutionConfig surface and its deprecated kwarg aliases."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.core.execution import (
+    DEPRECATED_EXECUTION_KWARGS,
+    ExecutionConfig,
+    resolve_execution,
+)
+from repro.core.pipeline import MetaBlockingWorkflow, meta_block
+from repro.core.pruning import WeightedEdgePruning
+from repro.datamodel.sinks import InMemorySink, SpillSink
+
+
+def deprecation_messages(records):
+    return [
+        str(r.message)
+        for r in records
+        if issubclass(r.category, DeprecationWarning)
+    ]
+
+
+class TestExecutionConfig:
+    def test_defaults_run_serial_in_memory(self):
+        config = ExecutionConfig()
+        assert config.parallel is None
+        assert not config.spills
+        assert isinstance(config.make_sink(), InMemorySink)
+
+    def test_spill_dir_and_memory_budget_make_spill_sinks(self, tmp_path):
+        for config in (
+            ExecutionConfig(spill_dir=tmp_path),
+            ExecutionConfig(memory_budget=1 << 20),
+            ExecutionConfig(spill_dir=tmp_path, memory_budget=1 << 20),
+        ):
+            assert config.spills
+            sink = config.make_sink()
+            assert isinstance(sink, SpillSink)
+            sink.abort()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown parallel backend"):
+            ExecutionConfig(parallel_backend="threads")
+        with pytest.raises(ValueError, match="chunks must be positive"):
+            ExecutionConfig(chunks=0)
+        with pytest.raises(ValueError, match="chunk_size must be positive"):
+            ExecutionConfig(chunk_size=-5)
+        with pytest.raises(ValueError, match="memory_budget must be positive"):
+            ExecutionConfig(memory_budget=0)
+
+    def test_dict_round_trip(self, tmp_path):
+        config = ExecutionConfig(
+            parallel=2,
+            parallel_backend="in-process",
+            chunks=3,
+            chunk_size=4096,
+            spill_dir=tmp_path,
+            memory_budget=1 << 16,
+        )
+        payload = config.to_dict()
+        json.dumps(payload)  # must be JSON-serialisable (paths -> str)
+        rebuilt = ExecutionConfig.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.spill_dir == str(tmp_path)
+
+    def test_from_dict_ignores_foreign_keys(self):
+        config = ExecutionConfig.from_dict(
+            {"parallel": 2, "scheme": "JS", "algorithm": "WEP"}
+        )
+        assert config == ExecutionConfig(parallel=2)
+
+
+class TestResolveExecution:
+    def test_no_legacy_kwargs_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = resolve_execution(ExecutionConfig(parallel=2))
+        assert config.parallel == 2
+
+    def test_legacy_kwargs_warn_once_naming_all_offenders(self):
+        with pytest.warns(DeprecationWarning) as records:
+            config = resolve_execution(None, parallel=2, chunk_size=1024)
+        messages = deprecation_messages(records)
+        assert len(messages) == 1
+        assert "chunk_size, parallel" in messages[0]
+        assert "ExecutionConfig" in messages[0]
+        assert config == ExecutionConfig(parallel=2, chunk_size=1024)
+
+    def test_legacy_kwargs_fill_unset_config_fields(self):
+        with pytest.warns(DeprecationWarning):
+            config = resolve_execution(
+                ExecutionConfig(parallel=4), chunk_size=512
+            )
+        assert config == ExecutionConfig(parallel=4, chunk_size=512)
+
+    def test_conflicting_values_raise(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="parallel given both"):
+                resolve_execution(ExecutionConfig(parallel=4), parallel=2)
+
+    def test_equal_values_are_not_a_conflict(self):
+        with pytest.warns(DeprecationWarning):
+            config = resolve_execution(ExecutionConfig(parallel=4), parallel=4)
+        assert config.parallel == 4
+
+    def test_all_documented_kwargs_are_accepted(self):
+        kwargs = {key: 2 for key in DEPRECATED_EXECUTION_KWARGS}
+        kwargs["parallel_backend"] = "in-process"
+        with pytest.warns(DeprecationWarning):
+            config = resolve_execution(None, **kwargs)
+        assert config.parallel == 2
+        assert config.parallel_backend == "in-process"
+
+
+class TestPipelineIntegration:
+    def test_meta_block_legacy_kwargs_warn_but_work(self, example_blocks):
+        with pytest.warns(DeprecationWarning, match="parallel"):
+            legacy = meta_block(example_blocks, parallel=1)
+        modern = meta_block(
+            example_blocks, execution=ExecutionConfig(parallel=1)
+        )
+        assert list(legacy.comparisons) == list(modern.comparisons)
+        assert modern.execution == ExecutionConfig(parallel=1)
+
+    def test_meta_block_does_not_mutate_caller_algorithm(self, example_blocks):
+        # Regression: the chunk_size override used to be written straight
+        # onto the caller's instance and leaked across calls.
+        algorithm = WeightedEdgePruning()
+        before = algorithm.chunk_size
+        result = meta_block(
+            example_blocks,
+            algorithm=algorithm,
+            execution=ExecutionConfig(chunk_size=7),
+        )
+        assert algorithm.chunk_size == before
+        assert result.algorithm.chunk_size == 7
+        assert result.algorithm is not algorithm
+
+    def test_meta_block_without_override_passes_instance_through(
+        self, example_blocks
+    ):
+        algorithm = WeightedEdgePruning()
+        result = meta_block(example_blocks, algorithm=algorithm)
+        assert result.algorithm is algorithm
+
+    def test_workflow_accepts_execution_config(self, small_clean_clean):
+        workflow = MetaBlockingWorkflow(
+            TokenBlocking(),
+            execution=ExecutionConfig(parallel=2, chunk_size=1024),
+        )
+        assert workflow.parallel == 2
+        assert workflow.chunk_size == 1024
+        assert workflow.parallel_backend is None
+        result = workflow.run(small_clean_clean)
+        assert result.comparisons.cardinality > 0
+
+    def test_workflow_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="parallel"):
+            workflow = MetaBlockingWorkflow(TokenBlocking(), parallel=2)
+        assert workflow.execution.parallel == 2
+
+    def test_workflow_config_round_trip_carries_execution(self, tmp_path):
+        workflow = MetaBlockingWorkflow(
+            TokenBlocking(),
+            execution=ExecutionConfig(
+                parallel=2, chunk_size=2048, spill_dir=tmp_path
+            ),
+        )
+        config = workflow.to_config()
+        json.dumps(config)
+        rebuilt = MetaBlockingWorkflow.from_config(config)
+        assert rebuilt.execution == ExecutionConfig(
+            parallel=2, chunk_size=2048, spill_dir=str(tmp_path)
+        )
+        assert rebuilt.to_config() == config
