@@ -1,0 +1,109 @@
+"""Fault-tolerance overhead — supervised retries vs. a clean run (extra).
+
+The chunk supervisor promises that a worker killed mid-run costs one chunk
+re-execution plus the backoff, not the whole run. This bench builds the
+same synthetic collection as the parallel-scaling experiment, runs
+redefined-WNP three ways — serial baseline, clean parallel run, and a
+parallel run with one injected worker kill — and records the recovery
+overhead (faulted wall clock over clean wall clock). Every leg must retain
+the identical comparison set, and the kill leg must report exactly the
+injected crash in its supervision counters.
+
+The overhead assertion (faulted <= 3x clean) only fires with >= 4 CPU
+cores; the exactness assertions always run. Scale with
+``REPRO_BENCH_SCALE`` as usual.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks._recorder import RECORDER
+from benchmarks.bench_parallel_scaling import synthetic_collection
+from benchmarks.conftest import bench_scale
+from repro.core.faults import Fault, injected_faults
+from repro.core.parallel import (
+    ParallelMetaBlockingExecutor,
+    fork_available,
+)
+from repro.core.pruning import RedefinedWeightedNodePruning
+from repro.core.vectorized import VectorizedEdgeWeighting
+from repro.utils.shm import list_segments
+from repro.utils.timer import Timer
+
+NUM_ENTITIES = 50_000
+BLOCKS_PER_ENTITY = 4
+BLOCK_SIZE = 10
+WORKERS = 4
+OVERHEAD_CEILING = 3.0  # faulted wall clock over clean wall clock
+
+
+def test_fault_recovery_overhead(benchmark):
+    blocks = synthetic_collection(
+        max(1000, int(NUM_ENTITIES * bench_scale())),
+        BLOCKS_PER_ENTITY,
+        BLOCK_SIZE,
+    )
+    algorithm = RedefinedWeightedNodePruning()
+    backend = "fork" if fork_available() else "in-process"
+    segments_before = list_segments()
+    timings: dict[str, float] = {}
+    outputs: dict[str, list] = {}
+    stats: dict[str, dict] = {}
+
+    def run_leg(leg: str) -> None:
+        weighting = VectorizedEdgeWeighting(blocks, "JS")
+        executor = ParallelMetaBlockingExecutor(
+            weighting, workers=WORKERS, backend=backend, backoff=0.01
+        )
+        try:
+            with Timer() as timer:
+                comparisons = executor.prune(algorithm)
+        finally:
+            executor.close()
+        timings[leg] = timer.elapsed
+        outputs[leg] = comparisons.pairs
+        stats[leg] = dict(executor.stats)
+
+    def run_all():
+        with Timer() as timer:
+            serial = algorithm.prune(VectorizedEdgeWeighting(blocks, "JS"))
+        timings["serial"] = timer.elapsed
+        outputs["serial"] = serial.pairs
+        run_leg("clean")
+        with injected_faults(Fault(op="kill", chunk=0, task="phase2")):
+            run_leg("one-kill")
+        return timings
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    serial_pairs = sorted(outputs["serial"])
+    clean_seconds = max(timings["clean"], 1e-9)
+    for leg in ("serial", "clean", "one-kill"):
+        RECORDER.record(
+            "fault_tolerance",
+            {
+                "|E|": blocks.num_entities,
+                "leg": leg,
+                "backend": "serial" if leg == "serial" else backend,
+                "seconds": round(timings[leg], 3),
+                "overhead": round(timings[leg] / clean_seconds, 2),
+                "retries": stats.get(leg, {}).get("retries", 0),
+                "||B'||": len(outputs[leg]),
+            },
+        )
+        assert sorted(outputs[leg]) == serial_pairs, leg
+
+    assert stats["clean"]["retries"] == 0
+    assert stats["one-kill"]["worker_crashes"] >= 1
+    assert stats["one-kill"]["retries"] >= 1
+
+    leaked = list_segments() - segments_before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+    if (os.cpu_count() or 1) >= 4 and backend == "fork":
+        overhead = timings["one-kill"] / clean_seconds
+        assert overhead <= OVERHEAD_CEILING, (
+            f"one injected kill cost {overhead:.2f}x the clean run "
+            f"(ceiling {OVERHEAD_CEILING}x)"
+        )

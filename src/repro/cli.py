@@ -12,6 +12,9 @@ Commands
 ``sweep``
     Evaluate every pruning algorithm x weighting scheme on a dataset and
     print the grid (the Section 6.4 configuration search).
+``clean``
+    Remove stale shared-memory segments (and, with ``--spill-dir``,
+    orphaned ``run-*`` spill directories) left behind by crashed runs.
 
 All commands accept Dirty or Clean-Clean JSON datasets produced by
 ``generate`` or :func:`repro.datasets.save_dataset_json`.
@@ -29,7 +32,7 @@ from repro.blockprocessing.block_purging import BlockPurging
 from repro.blocking import BLOCKING_METHODS
 from repro.core.execution import ExecutionConfig
 from repro.core.parallel import PARALLEL_BACKENDS
-from repro.core.pipeline import meta_block
+from repro.core.pipeline import meta_block, resume_run
 from repro.core.pruning import PRUNING_ALGORITHMS
 from repro.core.weights import WEIGHTING_SCHEMES
 from repro.datamodel.dataset import ERDataset
@@ -96,23 +99,33 @@ def cmd_metablock(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset)
     with Timer() as blocking_timer:
         blocks = build_blocks(dataset, args)
-    execution = ExecutionConfig(
-        parallel=args.workers,
-        parallel_backend=(
-            None if args.parallel_backend == "auto" else args.parallel_backend
-        ),
-        chunk_size=args.chunk_size,
-        spill_dir=args.spill_dir,
-        memory_budget=args.memory_budget,
-    )
-    result = meta_block(
-        blocks,
-        scheme=args.scheme,
-        algorithm=args.algorithm,
-        block_filtering_ratio=None if args.ratio == 0 else args.ratio,
-        backend=args.backend,
-        execution=execution,
-    )
+    if args.resume:
+        # Scheme/algorithm/execution settings come from the run's
+        # checkpoint; the dataset/blocking flags must match the original
+        # invocation so the input blocks are the same.
+        result = resume_run(blocks, args.resume)
+    else:
+        execution = ExecutionConfig(
+            parallel=args.workers,
+            parallel_backend=(
+                None
+                if args.parallel_backend == "auto"
+                else args.parallel_backend
+            ),
+            chunk_size=args.chunk_size,
+            spill_dir=args.spill_dir,
+            memory_budget=args.memory_budget,
+            max_retries=args.max_retries,
+            chunk_timeout=args.chunk_timeout,
+        )
+        result = meta_block(
+            blocks,
+            scheme=args.scheme,
+            algorithm=args.algorithm,
+            block_filtering_ratio=None if args.ratio == 0 else args.ratio,
+            backend=args.backend,
+            execution=execution,
+        )
     report = evaluate(
         result.comparisons,
         dataset.ground_truth,
@@ -121,11 +134,24 @@ def cmd_metablock(args: argparse.Namespace) -> int:
     print(f"dataset:   {dataset!r}")
     print(f"blocks:    ||B||={blocks.cardinality:,} "
           f"({blocking_timer.elapsed:.2f}s)")
-    print(f"config:    {args.algorithm}/{args.scheme}, r={args.ratio or 'off'}, "
-          f"{args.backend} weighting, workers={result.effective_workers} "
+    ratio_label = "resumed" if args.resume else (args.ratio or "off")
+    print(f"config:    {result.algorithm.name}/{result.scheme.name}, "
+          f"r={ratio_label}, {args.backend} weighting, "
+          f"workers={result.effective_workers} "
           f"({result.parallel_backend})")
     print(f"result:    {report}")
     print(f"overhead:  {result.overhead_seconds:.2f}s")
+    stats = result.fault_stats
+    if stats and (
+        stats.get("retries")
+        or stats.get("resumed_chunks")
+        or stats.get("degraded")
+    ):
+        degraded = "".join(f", degraded to {b}" for b in stats["degraded"])
+        print(f"faults:    {stats['retries']} retries "
+              f"({stats['worker_crashes']} worker crashes, "
+              f"{stats['chunk_timeouts']} timeouts), "
+              f"{stats['resumed_chunks']} chunks resumed{degraded}")
     if result.spill_manifest:
         print(f"spilled:   {result.spill_manifest}")
     if args.output:
@@ -139,6 +165,24 @@ def cmd_metablock(args: argparse.Namespace) -> int:
                 )
         print(f"wrote {result.comparisons.cardinality:,} comparisons "
               f"to {args.output}")
+    return 0
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    from repro.datamodel.sinks import sweep_stale_runs
+    from repro.utils.shm import sweep_stale_segments
+
+    verb = "would remove" if args.dry_run else "removed"
+    segments = sweep_stale_segments(dry_run=args.dry_run)
+    for name in segments:
+        print(f"{verb} shared-memory segment {name}")
+    runs = []
+    if args.spill_dir:
+        runs = sweep_stale_runs(args.spill_dir, dry_run=args.dry_run)
+        for run_dir in runs:
+            print(f"{verb} spill run {run_dir}")
+    if not segments and not runs:
+        print("nothing to clean")
     return 0
 
 
@@ -259,9 +303,40 @@ def build_parser() -> argparse.ArgumentParser:
              "and sizes the shards accordingly",
     )
     metablock.add_argument(
+        "--max-retries", type=int, default=None, dest="max_retries",
+        help="per-chunk retry budget before the parallel executor degrades "
+             "to a simpler backend (default 2)",
+    )
+    metablock.add_argument(
+        "--chunk-timeout", type=float, default=None, dest="chunk_timeout",
+        help="seconds a parallel chunk may run before the supervisor "
+             "retries it (default: no timeout)",
+    )
+    metablock.add_argument(
+        "--resume", default=None, metavar="RUN_DIR",
+        help="resume an interrupted spill run from its run-* directory; "
+             "scheme, algorithm and execution settings are read back from "
+             "the run's checkpoint and override the matching flags",
+    )
+    metablock.add_argument(
         "--output", help="write retained comparisons to this CSV file"
     )
     metablock.set_defaults(handler=cmd_metablock)
+
+    clean = commands.add_parser(
+        "clean",
+        help="remove stale shared-memory segments and orphaned spill runs",
+    )
+    clean.add_argument(
+        "--spill-dir", default=None, dest="spill_dir",
+        help="also sweep orphaned run-* directories (no manifest, owner "
+             "process gone) under this spill directory",
+    )
+    clean.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without touching anything",
+    )
+    clean.set_defaults(handler=cmd_clean)
 
     sweep = commands.add_parser(
         "sweep", help="evaluate every pruning algorithm x weighting scheme"

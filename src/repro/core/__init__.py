@@ -21,6 +21,19 @@ Public entry points:
 from repro.core.block_filtering import BlockFiltering
 from repro.core.edge_stream import DEFAULT_CHUNK_SIZE, EdgeBatch
 from repro.core.execution import ExecutionConfig, resolve_execution
+from repro.core.faults import (
+    ChunkTimeout,
+    Fault,
+    FaultPlan,
+    FaultToleranceError,
+    InjectedFault,
+    RetriesExhausted,
+    SpillCorrupted,
+    WorkerCrashed,
+    clear_faults,
+    injected_faults,
+    install_faults,
+)
 from repro.core.edge_weighting import (
     EdgeWeighting,
     OptimizedEdgeWeighting,
@@ -37,7 +50,12 @@ from repro.core.parallel import (
 )
 from repro.core.vectorized import VectorizedEdgeWeighting
 from repro.core.graph_free import GraphFreeMetaBlocking
-from repro.core.pipeline import MetaBlockingResult, MetaBlockingWorkflow, meta_block
+from repro.core.pipeline import (
+    MetaBlockingResult,
+    MetaBlockingWorkflow,
+    meta_block,
+    resume_run,
+)
 from repro.core.pruning import (
     PRUNING_ALGORITHMS,
     CardinalityEdgePruning,
@@ -73,8 +91,16 @@ __all__ = [
     "CardinalityEdgePruning",
     "EdgeBatch",
     "CardinalityNodePruning",
+    "ChunkTimeout",
     "EdgeWeighting",
     "ExecutionConfig",
+    "Fault",
+    "FaultPlan",
+    "FaultToleranceError",
+    "InjectedFault",
+    "RetriesExhausted",
+    "SpillCorrupted",
+    "WorkerCrashed",
     "GraphFreeMetaBlocking",
     "MaterializedBlockingGraph",
     "MetaBlockingResult",
@@ -97,6 +123,10 @@ __all__ = [
     "WeightedNodePruning",
     "WeightingScheme",
     "blocking_graph_stats",
+    "clear_faults",
+    "injected_faults",
+    "install_faults",
     "meta_block",
     "resolve_execution",
+    "resume_run",
 ]

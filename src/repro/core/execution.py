@@ -23,6 +23,32 @@ from repro.core.parallel import PARALLEL_BACKENDS
 from repro.datamodel.sinks import ComparisonSink, InMemorySink, SpillSink
 
 
+def _require_int(name: str, value: "int | None", minimum: int) -> None:
+    """Construction-time guard: fail here, not deep inside the executor."""
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        kind = "positive" if minimum == 1 else f">= {minimum}"
+        raise ValueError(f"{name} must be {kind}, got {value}")
+
+
+def _require_number(
+    name: str,
+    value: "float | None",
+    minimum: float,
+    exclusive: bool = False,
+) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{name} must be a number, got {value!r}")
+    if (value <= minimum) if exclusive else (value < minimum):
+        op = ">" if exclusive else ">="
+        raise ValueError(f"{name} must be {op} {minimum}, got {value}")
+
+
 @dataclass(frozen=True)
 class ExecutionConfig:
     """How a meta-blocking run executes; never what it computes.
@@ -51,6 +77,25 @@ class ExecutionConfig:
         Approximate bound, in bytes, on retained comparisons resident in
         RAM. Implies spilling (to ``spill_dir`` when also set, else to a
         private temporary directory) and sizes the shards accordingly.
+    max_retries:
+        How many times the parallel executor re-runs a failed chunk (worker
+        death, chunk timeout) before degrading the backend — and, once
+        in-process, raising
+        :class:`~repro.core.faults.RetriesExhausted`. ``None`` uses the
+        executor default (2).
+    chunk_timeout:
+        Seconds a single chunk may run before the supervisor counts it as
+        failed and retries it; ``None`` (default) never times chunks out.
+    backoff:
+        Base of the exponential retry backoff — the supervisor sleeps
+        ``backoff * 2**(attempt-1)`` seconds before re-running a failed
+        chunk. ``None`` uses the executor default (0.1 s).
+    resume_from:
+        Path of an interrupted spill ``run-*`` directory. The run's
+        checkpoint is reopened, completed chunks are validated and skipped,
+        and only unfinished chunks execute
+        (:func:`~repro.core.pipeline.resume_run` builds the whole call from
+        the stored configuration).
     """
 
     parallel: int | None = None
@@ -59,6 +104,10 @@ class ExecutionConfig:
     chunk_size: int | None = None
     spill_dir: "str | os.PathLike[str] | None" = None
     memory_budget: int | None = None
+    max_retries: int | None = None
+    chunk_timeout: float | None = None
+    backoff: float | None = None
+    resume_from: "str | os.PathLike[str] | None" = None
 
     def __post_init__(self) -> None:
         if self.parallel_backend is not None and self.parallel_backend not in (
@@ -69,24 +118,31 @@ class ExecutionConfig:
                 f"unknown parallel backend {self.parallel_backend!r}; "
                 f"known: {known}"
             )
-        if self.chunks is not None and self.chunks < 1:
-            raise ValueError(f"chunks must be positive, got {self.chunks}")
-        if self.chunk_size is not None and self.chunk_size < 1:
-            raise ValueError(
-                f"chunk_size must be positive, got {self.chunk_size}"
-            )
-        if self.memory_budget is not None and self.memory_budget < 1:
-            raise ValueError(
-                f"memory_budget must be positive, got {self.memory_budget}"
-            )
+        _require_int("parallel", self.parallel, minimum=0)
+        _require_int("chunks", self.chunks, minimum=1)
+        _require_int("chunk_size", self.chunk_size, minimum=1)
+        _require_int("memory_budget", self.memory_budget, minimum=1)
+        _require_int("max_retries", self.max_retries, minimum=0)
+        _require_number(
+            "chunk_timeout", self.chunk_timeout, minimum=0, exclusive=True
+        )
+        _require_number("backoff", self.backoff, minimum=0)
 
     @property
     def spills(self) -> bool:
         """True when retained comparisons go to disk instead of RAM."""
-        return self.spill_dir is not None or self.memory_budget is not None
+        return (
+            self.spill_dir is not None
+            or self.memory_budget is not None
+            or self.resume_from is not None
+        )
 
     def make_sink(self) -> ComparisonSink:
         """A fresh single-use sink matching this configuration."""
+        if self.resume_from is not None:
+            return SpillSink.resume(
+                self.resume_from, memory_budget=self.memory_budget
+            )
         if self.spills:
             return SpillSink(
                 spill_dir=self.spill_dir, memory_budget=self.memory_budget
@@ -102,6 +158,12 @@ class ExecutionConfig:
             "chunk_size": self.chunk_size,
             "spill_dir": None if self.spill_dir is None else str(self.spill_dir),
             "memory_budget": self.memory_budget,
+            "max_retries": self.max_retries,
+            "chunk_timeout": self.chunk_timeout,
+            "backoff": self.backoff,
+            "resume_from": (
+                None if self.resume_from is None else str(self.resume_from)
+            ),
         }
 
     @classmethod

@@ -1,0 +1,333 @@
+"""Structured failure taxonomy + deterministic fault injection.
+
+The fault-tolerance layer of the parallel executor needs two things this
+module provides:
+
+* a small exception taxonomy distinguishing *retryable* infrastructure
+  failures (a worker process died, a chunk exceeded its timeout, a spill
+  shard failed validation) from deterministic task errors, plus the
+  terminal :class:`RetriesExhausted`;
+* a deterministic fault-injection harness so the retry/degrade/resume
+  machinery can be tested end to end: a :class:`FaultPlan` describes
+  *when* to kill a worker, delay a chunk past its timeout, or hard-exit
+  the owner mid-adoption, and the executor/sink code calls the ``fire_*``
+  hooks at the matching sites.
+
+Fault plans propagate to worker processes through the :data:`FAULTS_ENV`
+environment variable (inherited by ``fork`` children and by ``spawn``
+children alike, since ``os.environ`` travels with the interpreter
+bootstrap), so a single :func:`install_faults` call in a test drives every
+process of the run. Firing is keyed on the *attempt number* of a chunk:
+a fault with ``attempts=1`` fires on the first attempt only, so the retry
+is deterministic — no shared mutable state between processes is needed.
+
+This module is an import leaf (stdlib only) so both
+:mod:`repro.datamodel.sinks` and :mod:`repro.core.parallel` can depend on
+it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+
+#: Environment variable carrying the JSON-encoded active fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+# -- exception taxonomy -------------------------------------------------------
+
+
+class FaultToleranceError(RuntimeError):
+    """Base of the executor's structured failure taxonomy."""
+
+
+class WorkerCrashed(FaultToleranceError):
+    """A pool worker died mid-chunk (``BrokenProcessPool``, kill, OOM).
+
+    Retryable: the supervisor re-executes the affected chunks on a fresh
+    pool, degrading to a simpler backend once the retry budget is spent.
+    """
+
+
+class ChunkTimeout(FaultToleranceError):
+    """A chunk exceeded the configured per-chunk timeout.
+
+    Retryable: only the timed-out chunk's attempt counter is charged.
+    """
+
+
+class SpillCorrupted(FaultToleranceError):
+    """A spill shard or checkpoint failed length/checksum validation.
+
+    Raised when re-opening a run (:func:`repro.datamodel.sinks
+    .load_spilled_view` with ``validate=True``) or when a resume finds a
+    checkpoint whose signature does not match the run being resumed.
+    Corrupted shards found *during* resume are silently re-executed
+    instead.
+    """
+
+
+class RetriesExhausted(FaultToleranceError):
+    """A chunk kept failing after every retry and backend degradation."""
+
+
+#: Failures the supervisor retries; anything else propagates immediately.
+RETRYABLE_FAILURES = (WorkerCrashed, ChunkTimeout)
+
+
+class InjectedFault(RuntimeError):
+    """A deterministic (non-retryable) error raised by an ``error`` fault."""
+
+
+# -- fault plans --------------------------------------------------------------
+
+#: Sites a fault can attach to.
+FAULT_SITES = ("chunk", "adopt")
+
+#: Operations a fault can perform at its site.
+FAULT_OPS = ("kill", "delay", "error", "exit")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure.
+
+    Parameters
+    ----------
+    site:
+        ``"chunk"`` fires inside chunk execution (worker-side under a pool,
+        owner-side on the in-process backend); ``"adopt"`` fires owner-side
+        after a chunk shard has been adopted and checkpointed.
+    op:
+        ``"kill"`` hard-exits the worker process (simulated as a raised
+        :class:`WorkerCrashed` when running in-process), ``"delay"`` sleeps
+        ``seconds`` inside the chunk (simulated as a raised
+        :class:`ChunkTimeout` in-process), ``"error"`` raises a
+        deterministic :class:`InjectedFault`, and ``"exit"`` (adopt site)
+        hard-exits the owner process mid-run.
+    chunk:
+        Chunk index the fault applies to; ``None`` matches every chunk.
+    task:
+        Substring of the chunk task name (e.g. ``"wep_retain"``); ``None``
+        matches every task.
+    attempts:
+        Number of attempts the fault keeps firing for: it fires while
+        ``attempt < attempts``, so the default 1 fires on the first attempt
+        only and the retry succeeds deterministically.
+    seconds:
+        Sleep length for ``delay`` faults.
+    after:
+        Adopt-site trigger: fire when exactly this many shards (1-based)
+        have been adopted.
+    """
+
+    site: str = "chunk"
+    op: str = "kill"
+    chunk: "int | None" = None
+    task: "str | None" = None
+    attempts: int = 1
+    seconds: float = 0.0
+    after: int = 1
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; known: {FAULT_SITES}")
+        if self.op not in FAULT_OPS:
+            raise ValueError(f"unknown fault op {self.op!r}; known: {FAULT_OPS}")
+
+    def matches_chunk(self, task: str, chunk: int, attempt: int) -> bool:
+        if self.site != "chunk":
+            return False
+        if self.task is not None and self.task not in task:
+            return False
+        if self.chunk is not None and self.chunk != chunk:
+            return False
+        return attempt < self.attempts
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of :class:`Fault`\\ s, JSON round-trippable."""
+
+    faults: tuple[Fault, ...] = field(default_factory=tuple)
+
+    def to_json(self) -> str:
+        return json.dumps({"faults": [asdict(fault) for fault in self.faults]})
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultPlan":
+        decoded = json.loads(payload)
+        return cls(tuple(Fault(**entry) for entry in decoded.get("faults", ())))
+
+
+_ACTIVE: "FaultPlan | None" = None
+_ENV_CACHE: "tuple[str, FaultPlan] | None" = None
+
+
+def install_faults(plan: "FaultPlan | None") -> None:
+    """Activate a fault plan for this process *and its future children*.
+
+    The plan is kept in a module global (fast path) and mirrored into the
+    :data:`FAULTS_ENV` environment variable so fork and spawn workers pick
+    it up too. Passing ``None`` clears both.
+    """
+    global _ACTIVE
+    _ACTIVE = plan
+    if plan is None or not plan.faults:
+        os.environ.pop(FAULTS_ENV, None)
+    else:
+        os.environ[FAULTS_ENV] = plan.to_json()
+
+
+def clear_faults() -> None:
+    """Deactivate fault injection (idempotent)."""
+    install_faults(None)
+
+
+def active_plan() -> "FaultPlan | None":
+    """The plan in effect for this process, if any.
+
+    Worker processes that never ran :func:`install_faults` inherit the plan
+    through the environment; the parse is cached per distinct value.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE
+    raw = os.environ.get(FAULTS_ENV)
+    if not raw:
+        return None
+    global _ENV_CACHE
+    if _ENV_CACHE is None or _ENV_CACHE[0] != raw:
+        _ENV_CACHE = (raw, FaultPlan.from_json(raw))
+    return _ENV_CACHE[1]
+
+
+class injected_faults:
+    """Context manager installing a plan and guaranteeing its removal."""
+
+    def __init__(self, *faults: Fault) -> None:
+        self._plan = FaultPlan(tuple(faults))
+
+    def __enter__(self) -> FaultPlan:
+        install_faults(self._plan)
+        return self._plan
+
+    def __exit__(self, *exc_info) -> None:
+        clear_faults()
+
+
+# -- firing sites -------------------------------------------------------------
+
+
+def fire_chunk_fault(
+    task: str, chunk: int, attempt: int, in_worker: bool
+) -> None:
+    """Hook called at the top of every chunk execution.
+
+    ``in_worker`` tells the harness whether a hard kill is possible (pool
+    worker) or must be simulated by raising the matching retryable
+    exception (in-process backend). A no-op without an active plan.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    for fault in plan.faults:
+        if not fault.matches_chunk(task, chunk, attempt):
+            continue
+        if fault.op == "kill":
+            if in_worker:
+                os._exit(11)
+            raise WorkerCrashed(
+                f"injected worker kill on chunk {chunk} of {task!r} "
+                f"(attempt {attempt})"
+            )
+        if fault.op == "delay":
+            if in_worker:
+                time.sleep(fault.seconds)
+                return
+            raise ChunkTimeout(
+                f"injected delay on chunk {chunk} of {task!r} "
+                f"(attempt {attempt})"
+            )
+        if fault.op == "error":
+            raise InjectedFault(
+                f"injected error on chunk {chunk} of {task!r} "
+                f"(attempt {attempt})"
+            )
+
+
+def fire_adoption_fault(ordinal: int) -> None:
+    """Hook called owner-side after the ``ordinal``-th shard adoption.
+
+    Runs *after* the adoption has been recorded in the spill checkpoint, so
+    an ``exit`` fault models a hard crash (SIGKILL/OOM) with ``ordinal``
+    chunks durably completed.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    for fault in plan.faults:
+        if fault.site != "adopt" or fault.after != ordinal:
+            continue
+        if fault.op == "exit":
+            os._exit(70)
+        if fault.op == "error":
+            raise InjectedFault(f"injected error after adoption {ordinal}")
+
+
+# -- corruption helpers (used by the resume tests and `repro clean`) ----------
+
+
+def truncate_shard(path: "str | os.PathLike[str]", keep: "int | None" = None) -> None:
+    """Truncate a spill shard in place, simulating a torn write.
+
+    ``keep`` is the byte length to retain (default: half the file).
+    """
+    size = os.path.getsize(path)
+    os.truncate(path, size // 2 if keep is None else keep)
+
+
+def leak_shm_segment(pid: "int | None" = None, size: int = 64) -> str:
+    """Create (and deliberately leak) a repro shared-memory segment.
+
+    The name embeds ``pid`` (default: a vanished pid) as the owner, so
+    :func:`repro.utils.shm.sweep_stale_segments` will classify the segment
+    as orphaned. Returns the segment name; the caller (or the sweeper) is
+    responsible for unlinking it.
+    """
+    import secrets
+    from multiprocessing import shared_memory
+
+    from repro.utils.shm import SHM_NAME_PREFIX
+
+    owner = pid if pid is not None else (1 << 22) + os.getpid() % 1000
+    name = f"{SHM_NAME_PREFIX}{owner}-0-{secrets.token_hex(2)}"
+    segment = shared_memory.SharedMemory(create=True, name=name, size=size)
+    segment.close()  # mapping dropped, name intentionally left behind
+    return name
+
+
+__all__ = [
+    "FAULTS_ENV",
+    "FAULT_OPS",
+    "FAULT_SITES",
+    "RETRYABLE_FAILURES",
+    "ChunkTimeout",
+    "Fault",
+    "FaultPlan",
+    "FaultToleranceError",
+    "InjectedFault",
+    "RetriesExhausted",
+    "SpillCorrupted",
+    "WorkerCrashed",
+    "active_plan",
+    "clear_faults",
+    "fire_adoption_fault",
+    "fire_chunk_fault",
+    "injected_faults",
+    "install_faults",
+    "leak_shm_segment",
+    "truncate_shard",
+]

@@ -67,11 +67,22 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Sequence
 
 import numpy as np
+
+from repro.core.faults import (
+    RETRYABLE_FAILURES,
+    ChunkTimeout,
+    RetriesExhausted,
+    WorkerCrashed,
+    fire_chunk_fault,
+)
 
 from repro.blockprocessing.entity_index import (
     SharedEntityIndex,
@@ -111,9 +122,15 @@ from repro.utils.topk import TopKHeap
 Comparison = tuple[int, int]
 Range = tuple[int, int]
 #: A pair-producing chunk task's result: ``("pairs", sources, targets)``
-#: arrays, or ``("shard", file_name, pair_count)`` when the worker wrote
-#: its pairs straight to a spill shard.
+#: arrays, or ``("shard", file_name, pair_count, crc)`` when the worker
+#: wrote its pairs straight to a spill shard.
 ChunkPairs = tuple
+
+#: Default retry budget per chunk before the executor degrades its backend.
+DEFAULT_MAX_RETRIES = 2
+
+#: Default base (seconds) of the exponential retry backoff.
+DEFAULT_BACKOFF = 0.1
 
 
 def _concat(chunks: "list[np.ndarray]") -> np.ndarray:
@@ -130,6 +147,17 @@ PARALLEL_ALGORITHMS = frozenset(
 
 #: Execution backends the executor can resolve to (``"auto"`` picks one).
 PARALLEL_BACKENDS = ("fork", "shm-spawn", "in-process")
+
+
+def _new_fault_stats() -> dict:
+    """Zeroed supervision counters (one dict per executor)."""
+    return {
+        "retries": 0,
+        "worker_crashes": 0,
+        "chunk_timeouts": 0,
+        "resumed_chunks": 0,
+        "degraded": [],
+    }
 
 
 def supports_parallel(algorithm: PruningAlgorithm) -> bool:
@@ -194,9 +222,10 @@ def partition_ranges(count: int, chunks: int) -> list[Range]:
 _FORK_STATE: "ParallelMetaBlockingExecutor | None" = None
 
 
-def _dispatch(payload: tuple[str, Range]):
-    task, bounds = payload
+def _dispatch(payload: tuple[str, Range, int, int]):
+    task, bounds, chunk, attempt = payload
     assert _FORK_STATE is not None, "worker state missing (fork executor)"
+    fire_chunk_fault(task, chunk, attempt, in_worker=True)
     return getattr(_FORK_STATE, task)(bounds)
 
 
@@ -238,10 +267,11 @@ def _spawn_init(
 
 
 def _spawn_dispatch(
-    payload: tuple[str, Range, dict, SharedPackSpec | None]
+    payload: tuple[str, Range, dict, SharedPackSpec | None, int, int]
 ):
     """Run one chunk task inside a spawned worker, staging criteria first."""
-    task, bounds, scalars, pack_spec = payload
+    task, bounds, scalars, pack_spec, chunk, attempt = payload
+    fire_chunk_fault(task, chunk, attempt, in_worker=True)
     state = _SPAWN_STATE
     assert state is not None, "worker state missing (shm-spawn executor)"
     if pack_spec is None:
@@ -293,11 +323,30 @@ class ParallelMetaBlockingExecutor:
         ``shm-spawn`` → ``in-process``); any name from
         :data:`PARALLEL_BACKENDS` forces one, falling back (with a single
         :class:`RuntimeWarning`) when the platform cannot honour it.
+    max_retries:
+        Retry budget per chunk: a chunk whose worker died
+        (:class:`~repro.core.faults.WorkerCrashed`) or that exceeded
+        ``chunk_timeout`` is re-executed up to this many times before the
+        executor *degrades* to the next simpler backend (shm-spawn → fork →
+        in-process); once in-process and still failing, the supervisor
+        raises :class:`~repro.core.faults.RetriesExhausted`. Deterministic
+        task exceptions are never retried.
+    chunk_timeout:
+        Seconds one chunk may run before it is counted as failed; ``None``
+        (the default) disables the timeout.
+    backoff:
+        Base of the exponential retry backoff (``backoff * 2**(attempt-1)``
+        seconds before each retry).
 
     Executors that resolve to ``shm-spawn`` own shared-memory segments and
     a persistent worker pool: call :meth:`close` when done, or use the
     executor as a context manager. The other backends hold no external
     resources and ``close`` is a no-op.
+
+    Supervision counters accumulate in :attr:`stats` (``retries``,
+    ``worker_crashes``, ``chunk_timeouts``, ``resumed_chunks`` and the
+    ``degraded`` backend trail) and are surfaced as
+    ``MetaBlockingResult.fault_stats``.
     """
 
     _keys: np.ndarray | None
@@ -309,13 +358,23 @@ class ParallelMetaBlockingExecutor:
         workers: int | None = None,
         chunks: int | None = None,
         backend: str | None = None,
+        max_retries: int | None = None,
+        chunk_timeout: float | None = None,
+        backoff: float | None = None,
     ) -> None:
         self.weighting = weighting
         self.workers = resolve_workers(workers)
         self.chunks = chunks if chunks and chunks > 0 else 4 * self.workers
+        self.max_retries = (
+            DEFAULT_MAX_RETRIES if max_retries is None else int(max_retries)
+        )
+        self.chunk_timeout = chunk_timeout
+        self.backoff = DEFAULT_BACKOFF if backoff is None else float(backoff)
+        self.stats: dict = _new_fault_stats()
         self._nodes: list[int] = weighting.nodes()
         self._spawn_pool: ProcessPoolExecutor | None = None
         self._shared_index: SharedEntityIndex | None = None
+        self._algorithm_name = ""
         self.backend = self._resolve_backend(backend)
         self._reset_stage()
 
@@ -422,9 +481,14 @@ class ParallelMetaBlockingExecutor:
         shell.weighting = weighting
         shell.workers = 1
         shell.chunks = 1
+        shell.max_retries = DEFAULT_MAX_RETRIES
+        shell.chunk_timeout = None
+        shell.backoff = DEFAULT_BACKOFF
+        shell.stats = _new_fault_stats()
         shell._nodes = weighting.nodes()
         shell._spawn_pool = None
         shell._shared_index = None
+        shell._algorithm_name = ""
         shell.backend = "in-process"
         shell._reset_stage()
         return shell
@@ -487,33 +551,253 @@ class ParallelMetaBlockingExecutor:
         pack = SharedArrayPack.publish(arrays) if arrays else None
         return scalars, pack
 
-    def _map_chunks(self, task: str, ranges: Sequence[Range]) -> list:
-        """Run ``task`` over every node range; results in submission order."""
+    # -- supervised chunk mapping --------------------------------------------
+
+    def _map_chunks(
+        self,
+        task: str,
+        ranges: Sequence[Range],
+        skip: "frozenset[int] | set[int]" = frozenset(),
+    ) -> list:
+        """Run ``task`` over every node range, supervising the pool.
+
+        Results come back in submission order (``None`` for ``skip``-ped
+        chunks — already-completed work on a resumed run). Retryable
+        failures — a dead worker (:class:`BrokenProcessPool` →
+        :class:`~repro.core.faults.WorkerCrashed`) or a chunk exceeding
+        :attr:`chunk_timeout` (:class:`~repro.core.faults.ChunkTimeout`) —
+        are retried with exponential backoff; chunks already completed in a
+        failed attempt are kept, never re-run. A chunk that exhausts
+        :attr:`max_retries` degrades the executor to the next simpler
+        backend (shm-spawn → fork → in-process); once in-process, the
+        supervisor raises :class:`~repro.core.faults.RetriesExhausted`.
+        Deterministic task exceptions propagate immediately, unretried.
+        """
         if not ranges:
             return []
+        pending = [index for index in range(len(ranges)) if index not in skip]
+        results: dict[int, object] = {}
+        attempts = {index: 0 for index in pending}
+        stage: "tuple[dict, SharedArrayPack | None] | None" = None
+        try:
+            while pending:
+                if self.backend == "shm-spawn" and stage is None:
+                    stage = self._stage_payload()
+                failure = self._map_attempt(
+                    task, ranges, pending, attempts, results, stage
+                )
+                if failure is None:
+                    continue  # every pending chunk completed
+                index, error = failure
+                self.stats["retries"] += 1
+                attempts[index] += 1
+                if attempts[index] > self.max_retries:
+                    if not self._degrade(task, error):
+                        raise RetriesExhausted(
+                            f"chunk {index} of task {task!r} still failing "
+                            f"after {self.max_retries} retries and every "
+                            "backend degradation"
+                        ) from error
+                    continue  # fresh backend gets its own attempt, no sleep
+                delay = self.backoff * (2 ** (attempts[index] - 1))
+                if delay > 0:
+                    time.sleep(delay)
+        finally:
+            if stage is not None and stage[1] is not None:
+                stage[1].destroy()
+        return [results.get(index) for index in range(len(ranges))]
+
+    def _map_attempt(
+        self,
+        task: str,
+        ranges: Sequence[Range],
+        pending: "list[int]",
+        attempts: "dict[int, int]",
+        results: "dict[int, object]",
+        stage: "tuple[dict, SharedArrayPack | None] | None",
+    ) -> "tuple[int, Exception] | None":
+        """One pool lifetime over the pending chunks.
+
+        Completed chunks move from ``pending`` into ``results``. Returns
+        ``None`` when everything finished, else ``(chunk_index, error)``
+        naming the first retryable failure observed — remaining chunks stay
+        pending for the next attempt.
+        """
+        if self.backend == "in-process":
+            for index in list(pending):
+                try:
+                    fire_chunk_fault(
+                        task, index, attempts[index], in_worker=False
+                    )
+                    results[index] = getattr(self, task)(ranges[index])
+                except RETRYABLE_FAILURES as error:
+                    self._count_failure(error)
+                    return index, error
+                pending.remove(index)
+            return None
         if self.backend == "fork":
             global _FORK_STATE
             _FORK_STATE = self
+            failure: "tuple[int, Exception] | None" = None
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending)),
+                mp_context=multiprocessing.get_context("fork"),
+            )
             try:
-                context = multiprocessing.get_context("fork")
-                with ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(ranges)),
-                    mp_context=context,
-                ) as pool:
-                    return list(pool.map(_dispatch, [(task, r) for r in ranges]))
+                futures = {
+                    index: pool.submit(
+                        _dispatch,
+                        (task, ranges[index], index, attempts[index]),
+                    )
+                    for index in pending
+                }
+                failure = self._collect(pool, futures, pending, results)
+                return failure
             finally:
                 _FORK_STATE = None
-        if self.backend == "shm-spawn":
-            scalars, pack = self._stage_payload()
-            spec = pack.spec if pack is not None else None
+                pool.shutdown(wait=failure is None, cancel_futures=True)
+        # shm-spawn: the persistent pool, rebuilt after any failure.
+        assert stage is not None
+        scalars, pack = stage
+        spec = pack.spec if pack is not None else None
+        pool = self._ensure_spawn_pool()
+        futures = {
+            index: pool.submit(
+                _spawn_dispatch,
+                (task, ranges[index], scalars, spec, index, attempts[index]),
+            )
+            for index in pending
+        }
+        failure = self._collect(pool, futures, pending, results)
+        if failure is not None:
+            self._discard_spawn_pool()
+        return failure
+
+    def _collect(
+        self,
+        pool: ProcessPoolExecutor,
+        futures: "dict[int, Future]",
+        pending: "list[int]",
+        results: "dict[int, object]",
+    ) -> "tuple[int, Exception] | None":
+        """Wait on the attempt's futures in submission order."""
+        for index in sorted(futures):
+            future = futures[index]
             try:
-                pool = self._ensure_spawn_pool()
-                payloads = [(task, r, scalars, spec) for r in ranges]
-                return list(pool.map(_spawn_dispatch, payloads))
-            finally:
-                if pack is not None:
-                    pack.destroy()
-        return [getattr(self, task)(bounds) for bounds in ranges]
+                value = future.result(timeout=self.chunk_timeout)
+            except FuturesTimeout:
+                error: Exception = ChunkTimeout(
+                    f"chunk {index} exceeded the "
+                    f"{self.chunk_timeout:g}s chunk timeout"
+                )
+                self._count_failure(error)
+                self._abandon(pool, futures, pending, results, skip=index)
+                return index, error
+            except BrokenProcessPool as cause:
+                error = WorkerCrashed(
+                    f"a worker died while chunk {index} was outstanding: "
+                    f"{cause}"
+                )
+                self._count_failure(error)
+                self._harvest(futures, pending, results, skip=index)
+                return index, error
+            else:
+                results[index] = value
+                pending.remove(index)
+        return None
+
+    def _harvest(
+        self,
+        futures: "dict[int, Future]",
+        pending: "list[int]",
+        results: "dict[int, object]",
+        skip: int,
+    ) -> None:
+        """Keep every chunk that did finish before the attempt failed."""
+        for index, future in futures.items():
+            if index == skip or index not in pending:
+                continue
+            if future.done() and not future.cancelled():
+                try:
+                    results[index] = future.result(timeout=0)
+                except BaseException:
+                    continue  # died with the pool; stays pending
+                pending.remove(index)
+
+    def _abandon(
+        self,
+        pool: ProcessPoolExecutor,
+        futures: "dict[int, Future]",
+        pending: "list[int]",
+        results: "dict[int, object]",
+        skip: int,
+    ) -> None:
+        """Cancel what never started, keep what finished, stop the rest.
+
+        A timed-out chunk may be stuck in a worker indefinitely; killing
+        the pool's processes is the only way to reclaim them (best-effort —
+        ``_processes`` is CPython's private map).
+        """
+        for index, future in futures.items():
+            if index != skip:
+                future.cancel()
+        self._harvest(futures, pending, results, skip)
+        processes = getattr(pool, "_processes", None)
+        if processes:
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+
+    def _count_failure(self, error: Exception) -> None:
+        if isinstance(error, ChunkTimeout):
+            self.stats["chunk_timeouts"] += 1
+        else:
+            self.stats["worker_crashes"] += 1
+
+    def _discard_spawn_pool(self) -> None:
+        """Drop (and best-effort stop) a failed spawn pool; keep the index
+        segment so the replacement pool re-attaches without republishing."""
+        pool, self._spawn_pool = self._spawn_pool, None
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None)
+        if processes:
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _degrade(self, task: str, error: Exception) -> bool:
+        """Fall to the next simpler backend after a chunk's retry budget.
+
+        shm-spawn → fork (where available) → in-process; returns False when
+        already in-process (nothing left to degrade to). Attempt counters
+        are kept, but the fresh backend always gets at least one attempt.
+        """
+        if self.backend == "shm-spawn":
+            target = "fork" if fork_available() else "in-process"
+        elif self.backend == "fork":
+            target = "in-process"
+        else:
+            return False
+        warnings.warn(
+            f"the {self.backend!r} backend kept failing on {task!r} "
+            f"({error}); degrading to {target!r}",
+            RuntimeWarning,
+            stacklevel=5,
+        )
+        if self.backend == "shm-spawn":
+            self._discard_spawn_pool()
+        self.stats["degraded"].append(target)
+        self.backend = target
+        return True
 
     def _ranges(self) -> list[Range]:
         return partition_ranges(len(self._nodes), self.chunks)
@@ -599,11 +883,14 @@ class ParallelMetaBlockingExecutor:
         When a spill directory is staged the pairs are written straight to a
         uniquely-named shard inside it — so a chunk's result never travels
         through pickle, and worker memory stays bounded — and only the shard
-        name rides back. Otherwise the canonical arrays are returned as-is.
+        name (plus its CRC, for checkpoint validation on resume) rides back.
+        Otherwise the canonical arrays are returned as-is.
         """
         if self._spill_dir is not None:
-            name = SpillSink.write_shard(self._spill_dir, sources, targets)
-            return ("shard", name, int(sources.size))
+            name, checksum = SpillSink.write_shard(
+                self._spill_dir, sources, targets
+            )
+            return ("shard", name, int(sources.size), checksum)
         return ("pairs", sources, targets)
 
     def _chunk_original_cnp(self, bounds: Range) -> ChunkPairs:
@@ -715,19 +1002,54 @@ class ParallelMetaBlockingExecutor:
 
     # -- parallel counterparts of the serial algorithms ----------------------
 
-    def _merge_into(
-        self, results: Iterable[ChunkPairs], sink: ComparisonSink
+    def _phase_signature(self, task: str, num_chunks: int) -> dict:
+        """Deterministic identity of a chunked pair phase.
+
+        Stored in the spill checkpoint and matched on resume, so a resumed
+        run cannot silently splice shards from a different configuration or
+        partitioning into its output.
+        """
+        return {
+            "task": task,
+            "chunks": num_chunks,
+            "algorithm": self._algorithm_name,
+            "scheme": self.weighting.scheme.name,
+            "num_entities": int(self.weighting.num_entities),
+            "nodes": len(self._nodes),
+        }
+
+    def _run_pair_map(
+        self, task: str, ranges: Sequence[Range], sink: ComparisonSink
     ) -> None:
-        """Feed chunk results into the sink in submission order.
+        """Map the pair-producing phase and feed the sink in chunk order.
 
         Worker-written shards are adopted by name (the sink flushes its own
         buffer first, so manifest order equals serial emission order); array
-        results are appended directly.
+        results are appended directly. On a :class:`SpillSink` every
+        adoption is chunk-tagged, which makes it durable in the write-ahead
+        checkpoint; chunks the sink reports as already completed (a resumed
+        run) are skipped and their validated shards re-adopted in place.
         """
-        for chunk in results:
+        completed: dict[int, dict] = {}
+        if isinstance(sink, SpillSink):
+            completed = sink.begin_chunks(
+                self._phase_signature(task, len(ranges))
+            )
+            if completed:
+                self.stats["resumed_chunks"] += len(completed)
+        results = self._map_chunks(task, ranges, skip=frozenset(completed))
+        for index in range(len(ranges)):
+            if index in completed:
+                assert isinstance(sink, SpillSink)
+                sink.readopt_chunk(index)
+                continue
+            chunk = results[index]
+            assert chunk is not None
             if chunk[0] == "shard":
                 assert isinstance(sink, SpillSink)
-                sink.adopt_shard(chunk[1], chunk[2])
+                sink.adopt_shard(
+                    chunk[1], chunk[2], chunk=index, checksum=chunk[3]
+                )
             else:
                 sink.append(chunk[1], chunk[2])
 
@@ -809,7 +1131,20 @@ class ParallelMetaBlockingExecutor:
                 f"{type(algorithm).__name__} is not node-partitionable; "
                 f"parallel execution supports {sorted(PARALLEL_ALGORITHMS)}"
             )
+        if (
+            isinstance(sink, SpillSink)
+            and sink.resuming
+            and isinstance(algorithm, CardinalityEdgePruning)
+        ):
+            # Raised before the abort-on-failure scope so the checkpoint
+            # directory survives the (usage) error.
+            raise ValueError(
+                "CEP merges its global top-k owner-side, so it has no "
+                "chunk-level completion records; checkpoint resume is not "
+                "supported for CEP"
+            )
         collector = sink if sink is not None else InMemorySink()
+        self._algorithm_name = type(algorithm).__name__
         self._reset_stage()
         if isinstance(collector, SpillSink):
             self._spill_dir = str(collector.directory)
@@ -848,7 +1183,7 @@ class ParallelMetaBlockingExecutor:
                 if algorithm.threshold is not None
                 else self.mean_edge_weight()
             )
-            self._merge_into(self._map_chunks("_chunk_wep_retain", ranges), sink)
+            self._run_pair_map("_chunk_wep_retain", ranges, sink)
             return
         if isinstance(algorithm, RedefinedCardinalityNodePruning):
             self._k = (
@@ -868,7 +1203,7 @@ class ParallelMetaBlockingExecutor:
             )
             self._conjunctive = algorithm.conjunctive
             self._phase2_mode = "topk"
-            self._merge_into(self._map_chunks("_chunk_phase2", ranges), sink)
+            self._run_pair_map("_chunk_phase2", ranges, sink)
             return
         if isinstance(algorithm, RedefinedWeightedNodePruning):
             thresholds = np.full(
@@ -881,7 +1216,7 @@ class ParallelMetaBlockingExecutor:
             self._threshold_array = thresholds
             self._conjunctive = algorithm.conjunctive
             self._phase2_mode = "threshold"
-            self._merge_into(self._map_chunks("_chunk_phase2", ranges), sink)
+            self._run_pair_map("_chunk_phase2", ranges, sink)
             return
         if isinstance(algorithm, CardinalityNodePruning):
             self._k = (
@@ -889,14 +1224,10 @@ class ParallelMetaBlockingExecutor:
                 if algorithm.k is not None
                 else cardinality_node_threshold(self.weighting.blocks)
             )
-            self._merge_into(
-                self._map_chunks("_chunk_original_cnp", ranges), sink
-            )
+            self._run_pair_map("_chunk_original_cnp", ranges, sink)
             return
         assert isinstance(algorithm, WeightedNodePruning)
-        self._merge_into(
-            self._map_chunks("_chunk_original_wnp", ranges), sink
-        )
+        self._run_pair_map("_chunk_original_wnp", ranges, sink)
 
     def map_neighborhoods(self) -> "dict[int, list[tuple[int, float]]]":
         """All node neighbourhoods, computed across the pool.

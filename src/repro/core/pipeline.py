@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import copy
 import logging
+import os
 import warnings
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -39,7 +40,11 @@ from repro.core.pruning.base import run_pruning
 from repro.core.weights import WeightingScheme, get_scheme
 from repro.datamodel.blocks import BlockCollection, ComparisonCollection
 from repro.datamodel.dataset import ERDataset
-from repro.datamodel.sinks import ComparisonView
+from repro.datamodel.sinks import (
+    ComparisonView,
+    SpillSink,
+    read_run_checkpoint,
+)
 from repro.utils.timer import Timer
 
 logger = logging.getLogger(__name__)
@@ -91,6 +96,10 @@ class MetaBlockingResult:
     parallel_backend: str = "serial"
     #: The resolved execution configuration this run used.
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    #: Supervision counters from the parallel executor: ``retries``,
+    #: ``worker_crashes``, ``chunk_timeouts``, ``resumed_chunks`` and the
+    #: ``degraded`` backend trail. Empty for serial runs.
+    fault_stats: dict = field(default_factory=dict)
 
     @property
     def overhead_seconds(self) -> float:
@@ -214,6 +223,19 @@ def meta_block(
         if execution.parallel is not None
         else 1
     )
+    if execution.resume_from is not None:
+        # Only the parallel executor records (and can skip) per-chunk
+        # completion; a serial resume would silently re-run everything.
+        if workers <= 1:
+            raise ValueError(
+                "resume_from requires parallel execution (set parallel >= 2 "
+                "on the ExecutionConfig)"
+            )
+        if not supports_parallel(pruning):
+            raise ValueError(
+                f"{pruning.name or type(pruning).__name__} does not support "
+                "parallel execution, so its runs cannot be resumed"
+            )
     if workers > 1 and not supports_parallel(pruning):
         warnings.warn(
             f"{pruning.name or type(pruning).__name__} does not support "
@@ -224,7 +246,20 @@ def meta_block(
         )
         workers = 1
     effective_backend = "serial"
+    fault_stats: dict = {}
     sink = execution.make_sink()
+    if isinstance(sink, SpillSink) and not sink.resuming:
+        # Write-ahead: lands in the run's checkpoint before any pruning, so
+        # even a crash before the first adoption leaves a resumable record.
+        sink.record_run_config(
+            {
+                "scheme": scheme.name,
+                "algorithm": pruning.name,
+                "block_filtering_ratio": block_filtering_ratio,
+                "backend": backend,
+                "execution": execution.to_dict(),
+            }
+        )
     with Timer() as timer:
         weighting = backend_class(graph_input, scheme)
         if workers > 1:
@@ -233,10 +268,17 @@ def meta_block(
                 workers=workers,
                 chunks=execution.chunks,
                 backend=execution.parallel_backend,
+                max_retries=execution.max_retries,
+                chunk_timeout=execution.chunk_timeout,
+                backoff=execution.backoff,
             )
             try:
                 comparisons = executor.prune(pruning, sink=sink)
                 effective_backend = executor.backend
+                fault_stats = {
+                    **executor.stats,
+                    "degraded": list(executor.stats["degraded"]),
+                }
             finally:
                 # Releases the shm-spawn pool and unlinks owned segments on
                 # success, worker crash and KeyboardInterrupt alike.
@@ -263,6 +305,49 @@ def meta_block(
         pruning_seconds=timer.elapsed,
         effective_workers=workers,
         parallel_backend=effective_backend,
+        execution=execution,
+        fault_stats=fault_stats,
+    )
+
+
+def resume_run(
+    blocks: BlockCollection,
+    run_dir: "str | os.PathLike[str]",
+) -> MetaBlockingResult:
+    """Resume an interrupted spilled meta-blocking run.
+
+    ``run_dir`` is the ``run-*`` directory of a run that crashed mid-spill
+    (checkpoint present, no manifest). The scheme, algorithm, filtering
+    ratio, weighting backend and execution settings are read back from the
+    checkpoint's stored configuration; the caller supplies the *same* input
+    blocks the original run was given. Completed chunks are validated and
+    skipped; the final :class:`MetaBlockingResult` is bit-identical to an
+    uninterrupted run's.
+
+    Surfaced on the command line as ``repro metablock --resume RUN_DIR``.
+    """
+    state = read_run_checkpoint(run_dir)
+    stored = state.get("config")
+    if not stored:
+        raise ValueError(
+            f"checkpoint in {run_dir} records no run configuration; "
+            "pass the original settings to meta_block(..., execution="
+            "ExecutionConfig(resume_from=...)) instead"
+        )
+    execution = ExecutionConfig.from_dict(
+        {
+            **stored.get("execution", {}),
+            # The reopened run directory replaces the original spill target.
+            "spill_dir": None,
+            "resume_from": str(run_dir),
+        }
+    )
+    return meta_block(
+        blocks,
+        scheme=stored.get("scheme", "JS"),
+        algorithm=stored.get("algorithm", "WEP"),
+        block_filtering_ratio=stored.get("block_filtering_ratio", 0.8),
+        backend=stored.get("backend", "optimized"),
         execution=execution,
     )
 

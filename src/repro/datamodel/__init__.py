@@ -33,7 +33,10 @@ from repro.datamodel.sinks import (
     SinkClosed,
     SpillSink,
     load_spilled_view,
+    pair_checksum,
+    read_run_checkpoint,
     stream_pruned,
+    sweep_stale_runs,
 )
 
 __all__ = [
@@ -54,5 +57,8 @@ __all__ = [
     "SinkClosed",
     "SpillSink",
     "load_spilled_view",
+    "pair_checksum",
+    "read_run_checkpoint",
     "stream_pruned",
+    "sweep_stale_runs",
 ]

@@ -50,6 +50,7 @@ import shutil
 import tempfile
 import threading
 import weakref
+import zlib
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
@@ -70,7 +71,21 @@ MANIFEST_VERSION = 1
 #: File name of the spill manifest inside a run directory.
 MANIFEST_NAME = "manifest.json"
 
+#: File name of the write-ahead checkpoint inside a run directory.
+CHECKPOINT_NAME = "checkpoint.json"
+
+#: Checkpoint schema version written by :class:`SpillSink`.
+CHECKPOINT_VERSION = 1
+
 Batch = tuple[np.ndarray, np.ndarray]
+
+
+def pair_checksum(sources: np.ndarray, targets: np.ndarray) -> int:
+    """CRC-32 over a canonical pair chunk (shard integrity fingerprint)."""
+    crc = zlib.crc32(np.ascontiguousarray(sources, dtype=np.int64).tobytes())
+    return zlib.crc32(
+        np.ascontiguousarray(targets, dtype=np.int64).tobytes(), crc
+    )
 
 
 def _as_pair_arrays(
@@ -351,6 +366,16 @@ class SpillSink(ComparisonSink):
     sources, row 1 the targets — so a memory-mapped reader gets both columns
     as contiguous row slices. The manifest lists shards in append order;
     concatenating them reproduces the exact emission order of the run.
+
+    Checkpointing: when the parallel executor adopts chunk-tagged shards
+    (``adopt_shard(..., chunk=i, checksum=crc)``) the sink rewrites a small
+    write-ahead ``checkpoint.json`` after every adoption. A run that is
+    killed hard (SIGKILL, OOM — anything that never reaches ``abort``)
+    leaves the run directory with that checkpoint behind;
+    :meth:`SpillSink.resume` reopens it and :meth:`begin_chunks` reports
+    which chunks survived validation, so only unfinished work re-executes.
+    Python-level failures still go through ``abort`` and remove everything,
+    exactly as before.
     """
 
     def __init__(
@@ -358,6 +383,7 @@ class SpillSink(ComparisonSink):
         spill_dir: "str | os.PathLike[str] | None" = None,
         shard_pairs: "int | None" = None,
         memory_budget: "int | None" = None,
+        resume_dir: "str | os.PathLike[str] | None" = None,
     ) -> None:
         if shard_pairs is None and memory_budget is not None:
             if memory_budget < 1:
@@ -370,7 +396,14 @@ class SpillSink(ComparisonSink):
         if shard_pairs < 1:
             raise ValueError(f"shard_pairs must be positive, got {shard_pairs}")
         self.shard_pairs = int(shard_pairs)
-        if spill_dir is None:
+        self._resume_state: "dict | None" = None
+        if resume_dir is not None:
+            if spill_dir is not None:
+                raise ValueError("pass either spill_dir or resume_dir, not both")
+            self.directory = Path(resume_dir)
+            self._ephemeral = False
+            self._resume_state = self._load_checkpoint(self.directory)
+        elif spill_dir is None:
             self.directory = Path(tempfile.mkdtemp(prefix="repro-spill-"))
             self._ephemeral = True
         else:
@@ -384,6 +417,182 @@ class SpillSink(ComparisonSink):
         self._buffered = 0
         self._shards: list[dict] = []
         self._sealed = False
+        self._adoptions = 0
+        self._signature: "dict | None" = None
+        self._run_config: "dict | None" = None
+        self._chunk_records: "dict[int, dict]" = {}
+
+    # -- checkpoint / resume --------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        run_dir: "str | os.PathLike[str]",
+        shard_pairs: "int | None" = None,
+        memory_budget: "int | None" = None,
+    ) -> "SpillSink":
+        """Reopen an interrupted spill run from its ``run-*`` directory.
+
+        Requires a checkpoint (the run adopted at least zero chunks and
+        recorded its configuration) and no manifest (a manifest means the
+        run finished — nothing to resume). The completed-chunk records are
+        validated lazily by :meth:`begin_chunks`.
+        """
+        return cls(
+            shard_pairs=shard_pairs,
+            memory_budget=memory_budget,
+            resume_dir=run_dir,
+        )
+
+    @staticmethod
+    def _load_checkpoint(run_dir: Path) -> dict:
+        if not run_dir.is_dir():
+            raise ValueError(f"resume directory does not exist: {run_dir}")
+        if (run_dir / MANIFEST_NAME).is_file():
+            raise ValueError(
+                f"run already finalized (manifest present): {run_dir}"
+            )
+        checkpoint_path = run_dir / CHECKPOINT_NAME
+        if not checkpoint_path.is_file():
+            raise ValueError(f"no checkpoint to resume from in {run_dir}")
+        state = json.loads(checkpoint_path.read_text(encoding="utf-8"))
+        if state.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported spill checkpoint version {state.get('version')!r}"
+            )
+        return state
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.directory / CHECKPOINT_NAME
+
+    @property
+    def resuming(self) -> bool:
+        """True while reopened checkpoint state awaits :meth:`begin_chunks`."""
+        return self._resume_state is not None
+
+    @property
+    def run_config(self) -> "dict | None":
+        """The stored run configuration (from a checkpoint being resumed)."""
+        if self._run_config is not None:
+            return self._run_config
+        if self._resume_state is not None:
+            return self._resume_state.get("config")
+        return None
+
+    def record_run_config(self, config: dict) -> None:
+        """Persist the run's configuration into the write-ahead checkpoint.
+
+        Called by :func:`repro.core.pipeline.meta_block` before pruning
+        starts, so even a run interrupted before its first adoption can be
+        resumed with the same scheme/algorithm/execution settings.
+        """
+        if self._sealed:
+            raise RuntimeError("sink already finalized or aborted")
+        self._run_config = dict(config)
+        self._write_checkpoint()
+
+    def begin_chunks(self, signature: dict) -> "dict[int, dict]":
+        """Declare the chunked pair phase; returns validated completed chunks.
+
+        ``signature`` identifies the phase deterministically (task name,
+        chunk count, algorithm, scheme, graph size). On a fresh sink it is
+        simply recorded. On a resumed sink it must match the checkpointed
+        signature (:class:`~repro.core.faults.SpillCorrupted` otherwise);
+        each completed-chunk record is then validated — file present,
+        ``(2, pairs)`` shape, CRC match — and invalid or orphaned shard
+        files are deleted so their chunks re-execute. The returned mapping
+        (chunk index → record) tells the executor what to skip.
+        """
+        from repro.core.faults import SpillCorrupted
+
+        if self._sealed:
+            raise RuntimeError("sink already finalized or aborted")
+        self._signature = dict(signature)
+        completed: dict[int, dict] = {}
+        if self._resume_state is not None:
+            stored = self._resume_state.get("signature")
+            if stored is not None and stored != self._signature:
+                raise SpillCorrupted(
+                    "checkpoint signature does not match the run being "
+                    f"resumed: stored {stored!r}, current {self._signature!r}"
+                )
+            if self._run_config is None:
+                self._run_config = self._resume_state.get("config")
+            for record in self._resume_state.get("chunks", ()):
+                index = int(record["chunk"])
+                if self._validate_record(record):
+                    completed[index] = record
+                else:
+                    (self.directory / record["file"]).unlink(missing_ok=True)
+            self._prune_orphans(completed)
+            self._resume_state = None
+        self._chunk_records = {
+            index: dict(record) for index, record in completed.items()
+        }
+        self._write_checkpoint()
+        return completed
+
+    def _validate_record(self, record: dict) -> bool:
+        """True iff a checkpointed chunk's shard survives length+CRC checks."""
+        path = self.directory / record["file"]
+        if not path.is_file():
+            return False
+        try:
+            stacked = np.load(path, mmap_mode="r")
+        except Exception:
+            return False  # torn write: numpy cannot even map the file
+        if stacked.ndim != 2 or stacked.shape[0] != 2:
+            return False
+        if stacked.shape[1] != int(record["pairs"]):
+            return False
+        crc = record.get("crc")
+        if crc is not None and pair_checksum(stacked[0], stacked[1]) != int(crc):
+            return False
+        return True
+
+    def _prune_orphans(self, completed: "dict[int, dict]") -> None:
+        """Delete shard files the checkpoint does not vouch for.
+
+        A crash can leave worker-written shards that were never adopted;
+        they would otherwise linger in the directory (and in the final
+        view's cleanup) without appearing in any manifest.
+        """
+        keep = {record["file"] for record in completed.values()}
+        keep.add(CHECKPOINT_NAME)
+        for path in self.directory.iterdir():
+            if path.is_file() and path.name not in keep:
+                path.unlink(missing_ok=True)
+
+    def readopt_chunk(self, chunk: int) -> None:
+        """Splice a validated completed chunk into the output at this point.
+
+        The executor calls this (instead of re-running the chunk) while
+        walking chunks in submission order, so the manifest order of a
+        resumed run equals an uninterrupted run's exactly.
+        """
+        record = self._chunk_records[int(chunk)]
+        if self._buffered:
+            self._flush_shard(self._buffered)
+        entry = {"file": record["file"], "pairs": int(record["pairs"])}
+        if record.get("crc") is not None:
+            entry["crc"] = int(record["crc"])
+        self._shards.append(entry)
+
+    def _write_checkpoint(self) -> None:
+        """Atomically rewrite the write-ahead checkpoint (tmp + rename)."""
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "signature": self._signature,
+            "config": self._run_config,
+            "chunks": [
+                self._chunk_records[index]
+                for index in sorted(self._chunk_records)
+            ],
+        }
+        scratch = self.directory / (CHECKPOINT_NAME + ".tmp")
+        scratch.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+        os.replace(scratch, self.checkpoint_path)
 
     # -- producer side --------------------------------------------------------
 
@@ -398,7 +607,13 @@ class SpillSink(ComparisonSink):
         while self._buffered >= self.shard_pairs:
             self._flush_shard(self.shard_pairs)
 
-    def adopt_shard(self, file_name: str, pairs: int) -> None:
+    def adopt_shard(
+        self,
+        file_name: str,
+        pairs: int,
+        chunk: "int | None" = None,
+        checksum: "int | None" = None,
+    ) -> None:
         """Register a shard written directly into :attr:`directory`.
 
         The parallel executor's workers write their chunk results as shards
@@ -406,6 +621,11 @@ class SpillSink(ComparisonSink):
         submission order*, which keeps the manifest order equal to the
         serial emission order. Any pairs buffered through :meth:`append`
         are flushed first so interleavings cannot reorder the stream.
+
+        When ``chunk`` is given the adoption is durable: the write-ahead
+        checkpoint is rewritten to record the chunk as completed (with its
+        ``checksum`` for later validation) *before* this call returns, so a
+        crash any time afterwards can resume past it.
         """
         if self._sealed:
             raise RuntimeError("sink already finalized or aborted")
@@ -414,7 +634,18 @@ class SpillSink(ComparisonSink):
         path = self.directory / file_name
         if not path.is_file():
             raise FileNotFoundError(f"adopted shard missing: {path}")
-        self._shards.append({"file": file_name, "pairs": int(pairs)})
+        entry = {"file": file_name, "pairs": int(pairs)}
+        if checksum is not None:
+            entry["crc"] = int(checksum)
+        self._shards.append(entry)
+        self._adoptions += 1
+        if chunk is not None:
+            record = {"chunk": int(chunk), **entry}
+            self._chunk_records[int(chunk)] = record
+            self._write_checkpoint()
+        from repro.core.faults import fire_adoption_fault
+
+        fire_adoption_fault(self._adoptions)
 
     @staticmethod
     def shard_name(tag: str = "chunk") -> str:
@@ -422,12 +653,19 @@ class SpillSink(ComparisonSink):
         return f"{tag}-{os.getpid()}-{secrets.token_hex(4)}.npy"
 
     @staticmethod
-    def write_shard(directory: "str | os.PathLike[str]", sources, targets) -> str:
-        """Write one ``(2, n)`` shard into ``directory``; returns its name."""
+    def write_shard(
+        directory: "str | os.PathLike[str]", sources, targets
+    ) -> "tuple[str, int]":
+        """Write one ``(2, n)`` shard into ``directory``.
+
+        Returns ``(file_name, crc)`` — the CRC travels back to the owner in
+        the chunk result and is checkpointed alongside the adoption, so a
+        resume can detect torn or corrupted shard writes.
+        """
         sources, targets = _as_pair_arrays(sources, targets)
         name = SpillSink.shard_name()
         np.save(Path(directory) / name, np.vstack((sources, targets)))
-        return name
+        return name, pair_checksum(sources, targets)
 
     def _flush_shard(self, take: int) -> None:
         taken: list[Batch] = []
@@ -447,7 +685,13 @@ class SpillSink(ComparisonSink):
         targets = np.concatenate([t for _, t in taken])
         name = f"shard-{len(self._shards):05d}-{secrets.token_hex(2)}.npy"
         np.save(self.directory / name, np.vstack((sources, targets)))
-        self._shards.append({"file": name, "pairs": int(sources.size)})
+        self._shards.append(
+            {
+                "file": name,
+                "pairs": int(sources.size),
+                "crc": pair_checksum(sources, targets),
+            }
+        )
         self._buffered -= int(sources.size)
 
     # -- sealing --------------------------------------------------------------
@@ -468,9 +712,16 @@ class SpillSink(ComparisonSink):
             "shard_pairs": self.shard_pairs,
             "shards": self._shards,
         }
+        if self._chunk_records:
+            manifest["chunks"] = [
+                self._chunk_records[index]
+                for index in sorted(self._chunk_records)
+            ]
         self.manifest_path.write_text(
             json.dumps(manifest, indent=1), encoding="utf-8"
         )
+        # The manifest supersedes the write-ahead checkpoint.
+        self.checkpoint_path.unlink(missing_ok=True)
         self._sealed = True
         directory = self.directory
         cleanup = _removal(directory)
@@ -483,11 +734,19 @@ class SpillSink(ComparisonSink):
         )
 
     def abort(self) -> None:
-        """Remove the run directory and everything in it (idempotent)."""
+        """Remove the run directory and everything in it (idempotent).
+
+        A reopened sink whose resume state was never consumed (the failure
+        happened *before* :meth:`begin_chunks` — e.g. a checkpoint
+        signature mismatch) wrote nothing of its own, so the interrupted
+        run's artifacts are left intact for a corrected resume attempt.
+        """
         if self._sealed and not self.directory.exists():
             return
         self._sealed = True
         self._buffer, self._buffered = [], 0
+        if self._resume_state is not None:
+            return
         shutil.rmtree(self.directory, ignore_errors=True)
 
 
@@ -498,8 +757,14 @@ def _removal(directory: Path) -> "Callable[[], None]":
     return remove
 
 
-def load_spilled_view(manifest_path: "str | os.PathLike[str]") -> ComparisonView:
+def load_spilled_view(
+    manifest_path: "str | os.PathLike[str]", validate: bool = False
+) -> ComparisonView:
     """Re-open a finished spill run from its manifest (memory-mapped).
+
+    With ``validate=True`` every shard is checked against the manifest —
+    file present, ``(2, pairs)`` shape, CRC match where recorded — raising
+    :class:`~repro.core.faults.SpillCorrupted` on the first mismatch.
 
     The returned view never deletes the artifacts on garbage collection;
     call :meth:`ComparisonView.release` to remove the run directory.
@@ -510,6 +775,35 @@ def load_spilled_view(manifest_path: "str | os.PathLike[str]") -> ComparisonView
         raise ValueError(
             f"unsupported spill manifest version {manifest.get('version')!r}"
         )
+    if validate:
+        from repro.core.faults import SpillCorrupted
+
+        for entry in manifest["shards"]:
+            shard_path = path.parent / entry["file"]
+            problem: "str | None" = None
+            if not shard_path.is_file():
+                problem = "missing"
+            else:
+                try:
+                    stacked = np.load(shard_path, mmap_mode="r")
+                except Exception:
+                    problem = "unreadable"
+                else:
+                    if stacked.ndim != 2 or stacked.shape[0] != 2:
+                        problem = f"bad shape {stacked.shape}"
+                    elif stacked.shape[1] != int(entry["pairs"]):
+                        problem = (
+                            f"{stacked.shape[1]} pairs on disk, manifest "
+                            f"says {entry['pairs']}"
+                        )
+                    elif entry.get("crc") is not None and pair_checksum(
+                        stacked[0], stacked[1]
+                    ) != int(entry["crc"]):
+                        problem = "checksum mismatch"
+            if problem is not None:
+                raise SpillCorrupted(
+                    f"spill shard {entry['file']} failed validation: {problem}"
+                )
     return ComparisonView(
         _SpillSource(path.parent, list(manifest["shards"])),
         int(manifest["num_entities"]),
@@ -517,6 +811,55 @@ def load_spilled_view(manifest_path: "str | os.PathLike[str]") -> ComparisonView
         cleanup=_removal(path.parent),
         auto_release=False,
     )
+
+
+def read_run_checkpoint(run_dir: "str | os.PathLike[str]") -> dict:
+    """Validated contents of an interrupted run's write-ahead checkpoint.
+
+    Raises :class:`ValueError` when the directory is missing, the run
+    already finished (manifest present), no checkpoint exists, or the
+    checkpoint version is unsupported — the same preconditions
+    :meth:`SpillSink.resume` enforces.
+    """
+    return SpillSink._load_checkpoint(Path(run_dir))
+
+
+def sweep_stale_runs(
+    spill_dir: "str | os.PathLike[str]", dry_run: bool = False
+) -> "list[Path]":
+    """Remove orphaned ``run-*`` directories under a spill directory.
+
+    A run directory is orphaned when its owning process (the pid embedded
+    in ``run-{pid}-{hex}``) is gone *and* no manifest was written — i.e.
+    the owner crashed before finishing. Finished runs (manifest present)
+    and runs whose owner is still alive are left alone: the former are
+    data, the latter are in flight. Directories with a checkpoint are still
+    swept — pass them to :meth:`SpillSink.resume` first if their work is
+    worth salvaging. Returns the directories swept (or, with ``dry_run``,
+    those that would be).
+    """
+    from repro.utils.shm import pid_alive
+
+    parent = Path(spill_dir)
+    swept: list[Path] = []
+    if not parent.is_dir():
+        return swept
+    for run_dir in sorted(parent.glob("run-*")):
+        if not run_dir.is_dir():
+            continue
+        if (run_dir / MANIFEST_NAME).is_file():
+            continue
+        pieces = run_dir.name.split("-")
+        try:
+            pid = int(pieces[1])
+        except (IndexError, ValueError):
+            continue
+        if pid_alive(pid):
+            continue
+        swept.append(run_dir)
+        if not dry_run:
+            shutil.rmtree(run_dir, ignore_errors=True)
+    return swept
 
 
 # -- bounded generator sink ---------------------------------------------------
@@ -569,10 +912,22 @@ class BoundedGeneratorSink(ComparisonSink):
                 continue
 
     def batches(self) -> Iterator[Batch]:
-        """Consumer side: yield batches until the producer finalises."""
+        """Consumer side: yield batches until the producer finalises.
+
+        The wait polls rather than blocking indefinitely: a producer that
+        *aborts* against a full queue cannot enqueue its end-of-stream
+        marker, so an uncancellable ``get()`` here would deadlock the
+        consumer forever (the pre-fix behaviour). Draining continues until
+        the queue is empty *and* the stream has been sealed.
+        """
         try:
             while True:
-                item = self._queue.get()
+                try:
+                    item = self._queue.get(timeout=0.1)
+                except queue.Empty:
+                    if self._sealed:
+                        return  # aborted producer; no marker is coming
+                    continue
                 if item is self._DONE:
                     return
                 yield item  # type: ignore[misc]
@@ -668,6 +1023,8 @@ def ensure_view(
 
 
 __all__ = [
+    "CHECKPOINT_NAME",
+    "CHECKPOINT_VERSION",
     "DEFAULT_SHARD_PAIRS",
     "MANIFEST_NAME",
     "MANIFEST_VERSION",
@@ -679,5 +1036,8 @@ __all__ = [
     "SpillSink",
     "ensure_view",
     "load_spilled_view",
+    "pair_checksum",
+    "read_run_checkpoint",
     "stream_pruned",
+    "sweep_stale_runs",
 ]

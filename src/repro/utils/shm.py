@@ -68,6 +68,64 @@ def list_segments() -> set[str]:
     return {name for name in entries if name.startswith(SHM_NAME_PREFIX)}
 
 
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0; permission errors mean alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OverflowError):
+        return True
+    return True
+
+
+def segment_owner_pid(name: str) -> "int | None":
+    """The owning pid embedded in a repro segment name, or ``None``.
+
+    Segment names follow ``{SHM_NAME_PREFIX}{pid}-{counter}-{hex}`` (see
+    :func:`segment_name`); anything that does not parse is not ours to
+    touch.
+    """
+    if not name.startswith(SHM_NAME_PREFIX):
+        return None
+    head = name[len(SHM_NAME_PREFIX) :].split("-", 1)[0]
+    try:
+        return int(head)
+    except ValueError:
+        return None
+
+
+def sweep_stale_segments(dry_run: bool = False) -> list[str]:
+    """Unlink repro segments whose owning process is gone.
+
+    A crashed (SIGKILL/OOM) owner never reaches its ``destroy()`` call, so
+    its segments survive in ``/dev/shm`` until someone reclaims them — this
+    is that someone (surfaced as ``repro clean``). Segments whose embedded
+    owner pid is still alive are left alone. Returns the names swept (or,
+    with ``dry_run``, the names that *would* be swept).
+    """
+    swept: list[str] = []
+    for name in sorted(list_segments()):
+        pid = segment_owner_pid(name)
+        if pid is None or pid_alive(pid):
+            continue
+        swept.append(name)
+        if dry_run:
+            continue
+        try:
+            segment = attach_segment(name)
+        except FileNotFoundError:
+            continue
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        segment.close()
+    return swept
+
+
 def attach_segment(name: str) -> shared_memory.SharedMemory:
     """Open an existing segment without taking resource-tracker ownership.
 
@@ -217,5 +275,8 @@ __all__ = [
     "SharedPackSpec",
     "attach_segment",
     "list_segments",
+    "pid_alive",
     "segment_name",
+    "segment_owner_pid",
+    "sweep_stale_segments",
 ]

@@ -148,3 +148,90 @@ class TestGenerateProducts:
         payload = json.loads(output.read_text())
         assert payload["task"] == "clean-clean"
         assert payload["collection1"]["name"] == "shop-a"
+
+
+class TestFaultToleranceFlags:
+    def test_retry_flags_accepted(self, clean_dataset_path, capsys):
+        assert main(
+            ["metablock", clean_dataset_path, "--workers", "2",
+             "--algorithm", "WNP", "--max-retries", "3",
+             "--chunk-timeout", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out
+        # A clean run reports no fault line.
+        assert "faults:" not in out
+
+    def test_injected_kill_reports_fault_stats(
+        self, clean_dataset_path, capsys
+    ):
+        from repro.core.faults import Fault, injected_faults
+
+        with injected_faults(Fault(op="kill", chunk=0, task="wnp")):
+            assert main(
+                ["metablock", clean_dataset_path, "--workers", "2",
+                 "--algorithm", "WNP"]
+            ) == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out and "worker crashes" in out
+
+    def test_resume_completes_interrupted_run(
+        self, clean_dataset_path, tmp_path, capsys
+    ):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        from repro.core.faults import FAULTS_ENV, Fault, FaultPlan
+
+        spill_dir = tmp_path / "spill"
+        plan = FaultPlan((Fault(site="adopt", op="exit", after=1),))
+        env = dict(os.environ)
+        env[FAULTS_ENV] = plan.to_json()
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        crashed = subprocess.run(
+            [sys.executable, "-m", "repro", "metablock", clean_dataset_path,
+             "--workers", "2", "--algorithm", "WNP",
+             "--spill-dir", str(spill_dir), "--memory-budget", "4096"],
+            env=env,
+            capture_output=True,
+            timeout=180,
+        )
+        assert crashed.returncode == 70, crashed.stderr.decode()
+        runs = list(spill_dir.glob("run-*"))
+        assert len(runs) == 1
+
+        assert main(
+            ["metablock", clean_dataset_path, "--resume", str(runs[0])]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chunks resumed" in out
+        assert "r=resumed" in out
+        assert (runs[0] / "manifest.json").is_file()
+
+
+class TestClean:
+    def test_sweeps_stale_artifacts(self, tmp_path, capsys):
+        from repro.core.faults import leak_shm_segment
+        from repro.utils.shm import list_segments
+
+        name = leak_shm_segment()
+        dead_run = tmp_path / "run-4194304-dead"
+        dead_run.mkdir()
+
+        assert main(["clean", "--spill-dir", str(tmp_path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert f"would remove shared-memory segment {name}" in out
+        assert f"would remove spill run {dead_run}" in out
+        assert name in list_segments() and dead_run.exists()
+
+        assert main(["clean", "--spill-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"removed shared-memory segment {name}" in out
+        assert name not in list_segments()
+        assert not dead_run.exists()
+
+    def test_nothing_to_clean(self, tmp_path, capsys):
+        assert main(["clean", "--spill-dir", str(tmp_path)]) == 0
+        assert "nothing to clean" in capsys.readouterr().out

@@ -54,6 +54,30 @@ class TestExecutionConfig:
         with pytest.raises(ValueError, match="memory_budget must be positive"):
             ExecutionConfig(memory_budget=0)
 
+    def test_fault_tolerance_field_validation(self):
+        with pytest.raises(ValueError, match="max_retries must be >= 0"):
+            ExecutionConfig(max_retries=-1)
+        with pytest.raises(ValueError, match="max_retries must be an integer"):
+            ExecutionConfig(max_retries=1.5)
+        with pytest.raises(ValueError, match="max_retries must be an integer"):
+            ExecutionConfig(max_retries=True)
+        with pytest.raises(ValueError, match="chunk_timeout must be > 0"):
+            ExecutionConfig(chunk_timeout=0)
+        with pytest.raises(ValueError, match="chunk_timeout must be > 0"):
+            ExecutionConfig(chunk_timeout=-2.5)
+        with pytest.raises(ValueError, match="chunk_timeout must be a number"):
+            ExecutionConfig(chunk_timeout="fast")
+        with pytest.raises(ValueError, match="backoff must be >= 0"):
+            ExecutionConfig(backoff=-0.1)
+        # Zero retries and zero backoff are legal (fail fast, no sleep).
+        config = ExecutionConfig(max_retries=0, backoff=0.0, chunk_timeout=0.5)
+        assert config.max_retries == 0
+        assert config.backoff == 0.0
+
+    def test_resume_from_implies_spilling(self, tmp_path):
+        config = ExecutionConfig(resume_from=tmp_path / "run-1-aa")
+        assert config.spills
+
     def test_dict_round_trip(self, tmp_path):
         config = ExecutionConfig(
             parallel=2,
@@ -62,6 +86,10 @@ class TestExecutionConfig:
             chunk_size=4096,
             spill_dir=tmp_path,
             memory_budget=1 << 16,
+            max_retries=3,
+            chunk_timeout=12.5,
+            backoff=0.25,
+            resume_from=tmp_path / "run-1-aa",
         )
         payload = config.to_dict()
         json.dumps(payload)  # must be JSON-serialisable (paths -> str)

@@ -220,10 +220,10 @@ class TestSpillSink:
     def test_adopt_shard_preserves_submission_order(self, tmp_path):
         sink = SpillSink(spill_dir=tmp_path, shard_pairs=1000)
         sink.append(np.array([1]), np.array([601]))
-        name = SpillSink.write_shard(
+        name, crc = SpillSink.write_shard(
             sink.directory, np.array([2, 3]), np.array([602, 603])
         )
-        sink.adopt_shard(name, 2)
+        sink.adopt_shard(name, 2, checksum=crc)
         sink.append(np.array([4]), np.array([604]))
         view = sink.finalize(700)
         assert list(view) == [(1, 601), (2, 602), (3, 603), (4, 604)]
@@ -331,6 +331,25 @@ class TestBoundedGeneratorSink:
         assert len(view) == 2
         assert view.pairs == []  # pairs flowed to the consumer, not the view
         assert len(consumed) == 1
+
+    def test_abort_with_full_queue_releases_consumer(self):
+        # Regression: a producer that aborts against a *full* queue cannot
+        # enqueue its end-of-stream marker; the consumer used to block on
+        # an uncancellable get() forever.
+        sink = BoundedGeneratorSink(max_pending=1)
+        sink.append(np.array([1]), np.array([601]))  # queue now full
+        sink.abort()  # put_nowait(_DONE) fails silently
+
+        drained: list = []
+
+        def consume():
+            drained.extend(sink.batches())
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        thread.join(timeout=5)
+        assert not thread.is_alive(), "consumer deadlocked after abort"
+        assert len(drained) == 1  # the buffered batch still drains
 
     def test_invalid_max_pending(self):
         with pytest.raises(ValueError, match="max_pending"):

@@ -8,6 +8,9 @@ failure path: a crash mid-spill leaves no artifacts behind.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -193,3 +196,77 @@ class TestCrashCleanup:
         finally:
             executor.close()
         assert not sink.directory.exists()
+
+
+class TestShardValidation:
+    """Length + checksum validation of spilled shards (fault tolerance)."""
+
+    def _spilled(self, blocks, spill_dir):
+        result = run(
+            blocks,
+            "WEP",
+            execution=ExecutionConfig(spill_dir=spill_dir, memory_budget=2048),
+        )
+        return result
+
+    def test_validate_accepts_intact_run(self, small_clean_blocks, tmp_path):
+        result = self._spilled(small_clean_blocks, tmp_path)
+        view = load_spilled_view(result.spill_manifest, validate=True)
+        assert list(view) == list(result.comparisons)
+        result.comparisons.release()
+
+    def test_validate_detects_truncated_shard(self, small_clean_blocks, tmp_path):
+        from repro.core.faults import SpillCorrupted, truncate_shard
+
+        result = self._spilled(small_clean_blocks, tmp_path)
+        manifest = Path(result.spill_manifest)
+        entry = json.loads(manifest.read_text())["shards"][0]
+        truncate_shard(manifest.parent / entry["file"])
+        with pytest.raises(SpillCorrupted):
+            load_spilled_view(manifest, validate=True)
+        result.comparisons.release()
+
+    def test_validate_detects_flipped_payload(self, small_clean_blocks, tmp_path):
+        from repro.core.faults import SpillCorrupted
+
+        result = self._spilled(small_clean_blocks, tmp_path)
+        manifest = Path(result.spill_manifest)
+        entry = json.loads(manifest.read_text())["shards"][0]
+        shard_path = manifest.parent / entry["file"]
+        stacked = np.load(shard_path)
+        stacked[0, 0] += 1  # same length, different content: CRC must catch it
+        np.save(shard_path, stacked)
+        with pytest.raises(SpillCorrupted, match="checksum"):
+            load_spilled_view(manifest, validate=True)
+        result.comparisons.release()
+
+    def test_validate_detects_missing_shard(self, small_clean_blocks, tmp_path):
+        from repro.core.faults import SpillCorrupted
+
+        result = self._spilled(small_clean_blocks, tmp_path)
+        manifest = Path(result.spill_manifest)
+        entry = json.loads(manifest.read_text())["shards"][0]
+        (manifest.parent / entry["file"]).unlink()
+        with pytest.raises(SpillCorrupted, match="missing"):
+            load_spilled_view(manifest, validate=True)
+        result.comparisons.release()
+
+    def test_manifest_version_mismatch_rejected(self, small_clean_blocks, tmp_path):
+        result = self._spilled(small_clean_blocks, tmp_path)
+        manifest = Path(result.spill_manifest)
+        payload = json.loads(manifest.read_text())
+        payload["version"] = 999
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="manifest version"):
+            load_spilled_view(manifest, validate=True)
+        result.comparisons.release()
+
+    def test_write_shard_checksum_round_trips(self, tmp_path):
+        from repro.datamodel.sinks import pair_checksum
+
+        sources = np.array([1, 2, 3], dtype=np.int64)
+        targets = np.array([601, 602, 603], dtype=np.int64)
+        name, crc = SpillSink.write_shard(tmp_path, sources, targets)
+        stacked = np.load(tmp_path / name)
+        assert crc == pair_checksum(stacked[0], stacked[1])
+        assert crc != pair_checksum(stacked[1], stacked[0])
