@@ -152,6 +152,12 @@ def cmd_metablock(args: argparse.Namespace) -> int:
               f"({stats['worker_crashes']} worker crashes, "
               f"{stats['chunk_timeouts']} timeouts), "
               f"{stats['resumed_chunks']} chunks resumed{degraded}")
+    timings = result.phase_timings
+    if timings and any(timings.values()):
+        print(f"timings:   dispatch {timings.get('dispatch', 0.0):.2f}s, "
+              f"weight {timings.get('weight', 0.0):.2f}s, "
+              f"prune {timings.get('prune', 0.0):.2f}s, "
+              f"merge {timings.get('merge', 0.0):.2f}s")
     if result.spill_manifest:
         print(f"spilled:   {result.spill_manifest}")
     if args.output:
@@ -218,6 +224,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chunk_size(value: str) -> "int | str":
+    """``--chunk-size`` values: a positive integer or the literal 'auto'."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -281,14 +299,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto",) + PARALLEL_BACKENDS,
         default="auto",
         dest="parallel_backend",
-        help="execution backend for the worker pool: fork (copy-on-write), "
+        help="execution backend for the worker pool: threads (GIL-releasing "
+             "thread pool, zero serialization), fork (copy-on-write), "
              "shm-spawn (shared-memory segments, for spawn-only platforms) "
              "or in-process; auto picks the best available",
     )
     metablock.add_argument(
-        "--chunk-size", type=int, default=None, dest="chunk_size",
-        help="edges per EdgeBatch chunk in the batched pruning paths "
-             "(default 32768; never changes the retained comparisons)",
+        "--chunk-size", type=_chunk_size, default="auto", dest="chunk_size",
+        help="edges per EdgeBatch chunk in the batched pruning paths, or "
+             "'auto' (default) for the stream default plus degree-aware "
+             "parallel chunking; never changes the retained comparisons",
     )
     metablock.add_argument(
         "--spill-dir", default=None, dest="spill_dir",

@@ -51,6 +51,13 @@ class EdgeWeighting(ABC):
         Weighting scheme instance or name (see :mod:`repro.core.weights`).
     """
 
+    #: Whether :meth:`iter_edges` emits edges grouped by emitting node, in
+    #: the same per-node order as :meth:`emitted_arrays`. The fused pruning
+    #: paths rely on this to reproduce the legacy emission order exactly;
+    #: the block-ordered original backend opts out and keeps the two-pass
+    #: code path.
+    node_ordered_edge_stream: bool = True
+
     def __init__(
         self, blocks: BlockCollection, scheme: "str | WeightingScheme"
     ) -> None:
@@ -184,6 +191,32 @@ class EdgeWeighting(ABC):
         if keep.all():
             return neighbors, weights
         return neighbors[keep], weights[keep]
+
+    def combined_arrays(
+        self, entity: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One gather serving both pruning phases: ``(neighbors, weights,
+        emitted)``.
+
+        ``neighbors``/``weights`` are exactly :meth:`neighborhood_arrays`;
+        ``emitted`` is a boolean mask marking the subset
+        :meth:`emitted_arrays` would return (element-for-element, same
+        order). The fused pruning kernels use this to derive the node-centric
+        criterion *and* the node's slice of the distinct-edge stream from a
+        single CSR neighbourhood gather, instead of gathering once per
+        phase. Because every weighting scheme is element-wise, masking after
+        weighting is bit-identical to the filter-before-weighting order the
+        separate methods use.
+        """
+        neighbors, weights = self.neighborhood_arrays(entity)
+        if self.index.is_bilateral:
+            if self.index.in_second_collection(entity):
+                emitted = np.zeros(neighbors.size, dtype=bool)
+            else:
+                emitted = np.ones(neighbors.size, dtype=bool)
+        else:
+            emitted = neighbors > entity
+        return neighbors, weights, emitted
 
     def iter_edge_batches(
         self, chunk_size: int | None = None
@@ -368,6 +401,10 @@ class OriginalEdgeWeighting(EdgeWeighting):
     computes exactly the same weights as the optimized backend at
     O(2·BPE) per comparison.
     """
+
+    # iter_edges walks blocks, not nodes, so its order differs from the
+    # node-partitioned emitted_arrays view; fused pruning stays off.
+    node_ordered_edge_stream = False
 
     def _intersect(
         self, left: int, right: int, block_position: int | None

@@ -65,8 +65,12 @@ class ExecutionConfig:
         Contiguous node partitions for the parallel executor (default
         ``4 × workers``).
     chunk_size:
-        Edges per :class:`~repro.core.edge_stream.EdgeBatch` chunk in the
-        batched pruning paths; never affects the retained comparisons.
+        ``"auto"`` (the default) uses the stream's default batch size and
+        lets the parallel executor balance its node ranges by Entity Index
+        comparison mass (degree-aware chunking). An explicit integer sets
+        the edges per :class:`~repro.core.edge_stream.EdgeBatch` chunk in
+        the batched pruning paths and keeps the historical even node
+        split. Never affects the retained comparisons.
     spill_dir:
         Directory for out-of-core output. When set, retained comparisons are
         spilled to ``.npy`` shards in a unique run subdirectory instead of
@@ -101,7 +105,7 @@ class ExecutionConfig:
     parallel: int | None = None
     parallel_backend: str | None = None
     chunks: int | None = None
-    chunk_size: int | None = None
+    chunk_size: "int | str | None" = "auto"
     spill_dir: "str | os.PathLike[str] | None" = None
     memory_budget: int | None = None
     max_retries: int | None = None
@@ -120,7 +124,14 @@ class ExecutionConfig:
             )
         _require_int("parallel", self.parallel, minimum=0)
         _require_int("chunks", self.chunks, minimum=1)
-        _require_int("chunk_size", self.chunk_size, minimum=1)
+        if isinstance(self.chunk_size, str):
+            if self.chunk_size != "auto":
+                raise ValueError(
+                    "chunk_size must be a positive integer or 'auto', got "
+                    f"{self.chunk_size!r}"
+                )
+        else:
+            _require_int("chunk_size", self.chunk_size, minimum=1)
         _require_int("memory_budget", self.memory_budget, minimum=1)
         _require_int("max_retries", self.max_retries, minimum=0)
         _require_number(
@@ -184,7 +195,7 @@ def resolve_execution(
     parallel: int | None = None,
     parallel_backend: str | None = None,
     chunks: int | None = None,
-    chunk_size: int | None = None,
+    chunk_size: "int | str | None" = None,
     stacklevel: int = 3,
 ) -> ExecutionConfig:
     """Merge an :class:`ExecutionConfig` with the deprecated per-knob kwargs.
@@ -214,7 +225,9 @@ def resolve_execution(
     updates = {}
     for key, value in supplied.items():
         current = getattr(execution, key)
-        if current is None:
+        # chunk_size's "auto" default counts as unset: a legacy integer
+        # kwarg should fill it, not conflict with it.
+        if current is None or (key == "chunk_size" and current == "auto"):
             updates[key] = value
         elif current != value:
             raise ValueError(

@@ -5,9 +5,15 @@ every node's neighbourhood is derived independently from the Entity Index,
 and the distinct-edge stream can be partitioned by its *emitting endpoint*
 (the lower id for unilateral graphs, the first-collection endpoint for
 bilateral ones). This module fans those per-node array scans across a
-:class:`~concurrent.futures.ProcessPoolExecutor`, through one of three
-interchangeable execution backends:
+worker pool, through one of four interchangeable execution backends:
 
+* ``"threads"`` — a :class:`~concurrent.futures.ThreadPoolExecutor` over
+  the same chunk kernels. The columnar kernels spend their time inside
+  GIL-releasing numpy ops, so chunks run truly in parallel with zero
+  serialization, zero fork/spawn cost and zero shared-memory staging; each
+  pool thread checks out its own weighting-backend clone (built around the
+  parent's Entity Index with ``EdgeWeighting._from_shared_index``) so the
+  ScanCount scratch arrays are never shared between threads.
 * ``"fork"`` — worker processes are forked, so the weighting backend — and
   with it the Entity Index's CSR arrays — is shared copy-on-write with the
   parent; the only pickled traffic is the ``(start, stop)`` range per task
@@ -25,8 +31,8 @@ interchangeable execution backends:
 * ``"in-process"`` — the same chunked code paths run serially in the
   parent (``workers=1``, single-node graphs, or by request).
 
-The backend is picked automatically (fork where available, else shm-spawn,
-else in-process) and can be overridden via the ``backend`` argument —
+The backend is picked automatically (``threads``, which every platform
+offers) and can be overridden via the ``backend`` argument —
 surfaced as ``meta_block(parallel_backend=)`` and the CLI's
 ``--parallel-backend``. Falling back emits a single :class:`RuntimeWarning`
 at executor construction (never per chunk); the resolved choice is readable
@@ -61,17 +67,47 @@ batched path. Weight thresholds go through the same canonical reductions as
 the serial batched code (per-emitting-node partial sums in node order,
 reduced with one ``np.sum``), so they are bit-identical for every
 worker/chunk/backend combination.
+
+Two cross-backend optimisations ride on the same partitioning:
+
+* **Fused weight+prune chunks** — when no spill directory is staged, the
+  two-pass families (WEP and the redefined/reciprocal node-centric
+  algorithms) run their phase 1 through the fused chunk tasks
+  (:func:`~repro.core.vectorized.weight_and_prune_chunks`): each worker
+  gathers every CSR neighbourhood in its range *once*, derives the local
+  criterion from the full segments and sends the range's emitted-edge
+  slice back with it. The owner merges the global criterion and applies
+  the retention masks to the cached arrays in submission order — same
+  retained pairs, same emission order, half the gathers.
+* **Degree-aware chunking** — with ``chunking="auto"`` (the default) node
+  ranges are split by balancing the Entity Index's per-node comparison
+  mass (a prefix-sum cut over the CSR membership sizes) instead of the
+  node count, so power-law graphs don't leave most workers idle behind
+  one hub-heavy chunk. ``chunking="even"`` keeps the historical
+  equal-node-count split. Range boundaries never affect results, only
+  balance.
+
+Per-phase wall-clock is accumulated in :attr:`ParallelMetaBlockingExecutor.
+timings` (``dispatch`` / ``weight`` / ``prune`` / ``merge`` seconds, reset
+at each :meth:`~ParallelMetaBlockingExecutor.prune` call) and surfaced as
+``MetaBlockingResult.phase_timings``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue
 import time
 import warnings
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -114,6 +150,7 @@ from repro.core.pruning.base import (
     node_weight_sums,
     run_pruning,
 )
+from repro.core.vectorized import weight_and_prune_chunks
 from repro.datamodel.blocks import ComparisonCollection
 from repro.datamodel.sinks import ComparisonSink, InMemorySink, SpillSink
 from repro.utils.shm import SharedArrayPack, SharedPackSpec
@@ -133,9 +170,9 @@ DEFAULT_MAX_RETRIES = 2
 DEFAULT_BACKOFF = 0.1
 
 
-def _concat(chunks: "list[np.ndarray]") -> np.ndarray:
+def _concat(chunks: "list[np.ndarray]", dtype=np.int64) -> np.ndarray:
     if not chunks:
-        return np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=dtype)
     if len(chunks) == 1:
         return chunks[0]
     return np.concatenate(chunks)
@@ -146,7 +183,28 @@ PARALLEL_ALGORITHMS = frozenset(
 )
 
 #: Execution backends the executor can resolve to (``"auto"`` picks one).
-PARALLEL_BACKENDS = ("fork", "shm-spawn", "in-process")
+PARALLEL_BACKENDS = ("threads", "fork", "shm-spawn", "in-process")
+
+#: Node-range partitioning strategies (see :func:`partition_ranges_by_mass`).
+CHUNKING_STRATEGIES = ("auto", "even")
+
+#: Chunk tasks dominated by the weighting phase (neighbourhood gathers /
+#: phase-1 criteria / degree passes); everything else is a pruning pass.
+#: Used to attribute supervised map wall-clock to the timing buckets.
+_WEIGHT_TASKS = frozenset(
+    {
+        "_chunk_nearest",
+        "_chunk_thresholds",
+        "_chunk_nearest_keys",
+        "_chunk_threshold_array",
+        "_chunk_edge_sums",
+        "_chunk_degrees",
+        "_chunk_neighborhoods",
+        "_chunk_fused_keys",
+        "_chunk_fused_thresholds",
+        "_chunk_fused_sums",
+    }
+)
 
 
 def _new_fault_stats() -> dict:
@@ -158,6 +216,11 @@ def _new_fault_stats() -> dict:
         "resumed_chunks": 0,
         "degraded": [],
     }
+
+
+def _new_timings() -> dict:
+    """Zeroed per-phase wall-clock buckets (seconds)."""
+    return {"dispatch": 0.0, "weight": 0.0, "prune": 0.0, "merge": 0.0}
 
 
 def supports_parallel(algorithm: PruningAlgorithm) -> bool:
@@ -193,9 +256,18 @@ def spawn_available() -> bool:
 
 
 def resolve_workers(workers: int | None) -> int:
-    """Normalise a worker-count knob (None/0 → all cores)."""
+    """Normalise a worker-count knob (None/0 → all *usable* cores).
+
+    "Usable" honours the process's CPU affinity mask where the platform
+    exposes one (``os.sched_getaffinity``) — inside a container or cgroup
+    limited to a subset of the host's cores, ``os.cpu_count()`` would
+    oversubscribe the pool several-fold.
+    """
     if workers is None or workers <= 0:
-        return os.cpu_count() or 1
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except (AttributeError, OSError):
+            return os.cpu_count() or 1
     return workers
 
 
@@ -207,6 +279,42 @@ def partition_ranges(count: int, chunks: int) -> list[Range]:
     start = 0
     for position in range(chunks):
         stop = start + base + (1 if position < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def partition_ranges_by_mass(
+    masses: np.ndarray, chunks: int
+) -> list[Range]:
+    """Split ``range(len(masses))`` into contiguous ranges of near-equal
+    total mass (a prefix-sum cut), instead of near-equal length.
+
+    Every range is non-empty and the ranges exactly cover the input, so
+    the split is a drop-in replacement for :func:`partition_ranges` — with
+    power-law node masses it stops one hub-heavy chunk from serialising
+    the whole map. Falls back to the even split when the total mass is not
+    positive.
+    """
+    count = int(masses.size)
+    chunks = max(1, min(chunks, count)) if count else 0
+    if not chunks:
+        return []
+    prefix = np.cumsum(np.asarray(masses, dtype=np.float64))
+    total = float(prefix[-1])
+    if not total > 0:
+        return partition_ranges(count, chunks)
+    ranges: list[Range] = []
+    start = 0
+    for position in range(chunks):
+        if position == chunks - 1:
+            stop = count
+        else:
+            target = total * (position + 1) / chunks
+            cut = int(np.searchsorted(prefix, target, side="left")) + 1
+            # Clamp so this range is non-empty and enough nodes remain to
+            # give every later range at least one.
+            stop = min(max(cut, start + 1), count - (chunks - 1 - position))
         ranges.append((start, stop))
         start = stop
     return ranges
@@ -319,10 +427,15 @@ class ParallelMetaBlockingExecutor:
         Number of contiguous node ranges to split the graph into; defaults
         to ``4 × workers`` so stragglers rebalance.
     backend:
-        ``None``/``"auto"`` picks the best available backend (``fork`` →
-        ``shm-spawn`` → ``in-process``); any name from
-        :data:`PARALLEL_BACKENDS` forces one, falling back (with a single
-        :class:`RuntimeWarning`) when the platform cannot honour it.
+        ``None``/``"auto"`` picks ``threads`` (available on every
+        platform); any name from :data:`PARALLEL_BACKENDS` forces one,
+        falling back (with a single :class:`RuntimeWarning`) when the
+        platform cannot honour it.
+    chunking:
+        ``"auto"`` (the default) balances the node ranges by Entity Index
+        comparison mass (:func:`partition_ranges_by_mass`); ``"even"``
+        keeps the historical equal-node-count split. Either way the
+        retained comparisons are identical.
     max_retries:
         Retry budget per chunk: a chunk whose worker died
         (:class:`~repro.core.faults.WorkerCrashed`) or that exceeded
@@ -361,6 +474,7 @@ class ParallelMetaBlockingExecutor:
         max_retries: int | None = None,
         chunk_timeout: float | None = None,
         backoff: float | None = None,
+        chunking: str | None = None,
     ) -> None:
         self.weighting = weighting
         self.workers = resolve_workers(workers)
@@ -370,10 +484,22 @@ class ParallelMetaBlockingExecutor:
         )
         self.chunk_timeout = chunk_timeout
         self.backoff = DEFAULT_BACKOFF if backoff is None else float(backoff)
+        if chunking is None:
+            chunking = "auto"
+        if chunking not in CHUNKING_STRATEGIES:
+            known = ", ".join(CHUNKING_STRATEGIES)
+            raise ValueError(
+                f"unknown chunking strategy {chunking!r}; known: {known}"
+            )
+        self.chunking = chunking
         self.stats: dict = _new_fault_stats()
+        self.timings: dict = _new_timings()
         self._nodes: list[int] = weighting.nodes()
         self._spawn_pool: ProcessPoolExecutor | None = None
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._thread_shells: "queue.SimpleQueue | None" = None
         self._shared_index: SharedEntityIndex | None = None
+        self._range_cache: "list[Range] | None" = None
         self._algorithm_name = ""
         self.backend = self._resolve_backend(backend)
         self._reset_stage()
@@ -392,23 +518,10 @@ class ParallelMetaBlockingExecutor:
         if self.workers <= 1 or len(self._nodes) <= 1:
             return "in-process"
         if requested is None:
-            if fork_available():
-                return "fork"
-            if spawn_available():
-                warnings.warn(
-                    "the 'fork' start method is unavailable on this "
-                    "platform; using the shared-memory 'shm-spawn' backend",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
-                return "shm-spawn"
-            warnings.warn(
-                "no multiprocessing start method is available; running the "
-                "chunked code path in-process",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return "in-process"
+            # Threads are available everywhere and carry no start-method or
+            # serialization cost, so auto-selection never needs to fall
+            # back (or warn).
+            return "threads"
         if requested == "fork" and not fork_available():
             if spawn_available():
                 warnings.warn(
@@ -454,6 +567,10 @@ class ParallelMetaBlockingExecutor:
         pool, self._spawn_pool = self._spawn_pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        threads, self._thread_pool = self._thread_pool, None
+        if threads is not None:
+            threads.shutdown(wait=True, cancel_futures=True)
+        self._thread_shells = None
         shared, self._shared_index = self._shared_index, None
         if shared is not None:
             shared.destroy()
@@ -484,10 +601,15 @@ class ParallelMetaBlockingExecutor:
         shell.max_retries = DEFAULT_MAX_RETRIES
         shell.chunk_timeout = None
         shell.backoff = DEFAULT_BACKOFF
+        shell.chunking = "even"
         shell.stats = _new_fault_stats()
+        shell.timings = _new_timings()
         shell._nodes = weighting.nodes()
         shell._spawn_pool = None
+        shell._thread_pool = None
+        shell._thread_shells = None
         shell._shared_index = None
+        shell._range_cache = None
         shell._algorithm_name = ""
         shell.backend = "in-process"
         shell._reset_stage()
@@ -524,6 +646,67 @@ class ParallelMetaBlockingExecutor:
                 ),
             )
         return self._spawn_pool
+
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        """The persistent thread pool plus one weighting clone per thread.
+
+        The clones are what make the backend safe with the ScanCount
+        (optimized) weighting, whose reusable counter arrays are mutated by
+        every neighbourhood scan: each submitted chunk checks a clone out
+        of :attr:`_thread_shells`, runs on it, and returns it — so no two
+        threads ever share scratch state, while the Entity Index CSR
+        arrays (read-only) stay genuinely shared, zero-copy.
+        """
+        if self._thread_pool is None:
+            workers = min(self.workers, max(1, len(self._nodes)))
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-metablock"
+            )
+            shells: "queue.SimpleQueue" = queue.SimpleQueue()
+            for _ in range(workers):
+                clone = type(self.weighting)._from_shared_index(
+                    self.weighting.index, self.weighting.scheme
+                )
+                shells.put(self._worker_shell(clone))
+            self._thread_shells = shells
+        return self._thread_pool
+
+    def _sync_shell(self, shell: "ParallelMetaBlockingExecutor") -> None:
+        """Copy the staged criteria (and EJS degrees) onto a thread shell.
+
+        Arrays are shared by reference — they are only read inside the
+        chunk tasks — so staging costs a few attribute writes per chunk.
+        """
+        shell._k = self._k
+        shell._keys = self._keys
+        shell._threshold_array = self._threshold_array
+        shell._wep_threshold = self._wep_threshold
+        shell._conjunctive = self._conjunctive
+        shell._phase2_mode = self._phase2_mode
+        shell._spill_dir = self._spill_dir
+        weighting = self.weighting
+        clone = shell.weighting
+        clone._degrees = weighting._degrees
+        clone._total_edges = weighting._total_edges
+        degrees_array = getattr(weighting, "_degrees_array", None)
+        if degrees_array is not None and hasattr(clone, "_degrees_array"):
+            clone._degrees_array = degrees_array
+
+    def _thread_dispatch(self, payload: tuple[str, Range, int, int]):
+        """Run one chunk task on a checked-out thread shell."""
+        task, bounds, chunk, attempt = payload
+        # in_worker=False: an injected "kill" must surface as a retryable
+        # WorkerCrashed here — os._exit in a pool thread would take the
+        # whole interpreter down, not one worker.
+        fire_chunk_fault(task, chunk, attempt, in_worker=False)
+        shells = self._thread_shells
+        assert shells is not None, "worker shells missing (threads executor)"
+        shell = shells.get()
+        try:
+            self._sync_shell(shell)
+            return getattr(shell, task)(bounds)
+        finally:
+            shells.put(shell)
 
     def _stage_payload(self) -> tuple[dict, SharedArrayPack | None]:
         """Snapshot the staged criteria for one shm-spawn map call.
@@ -575,6 +758,9 @@ class ParallelMetaBlockingExecutor:
         """
         if not ranges:
             return []
+        bucket = "weight" if task in _WEIGHT_TASKS else "prune"
+        started = time.perf_counter()
+        dispatch_before = self.timings["dispatch"]
         pending = [index for index in range(len(ranges)) if index not in skip]
         results: dict[int, object] = {}
         attempts = {index: 0 for index in pending}
@@ -605,6 +791,11 @@ class ParallelMetaBlockingExecutor:
         finally:
             if stage is not None and stage[1] is not None:
                 stage[1].destroy()
+            # Submission overhead was credited to "dispatch" as it
+            # happened; the rest of the map's wall-clock is the phase work.
+            elapsed = time.perf_counter() - started
+            dispatched = self.timings["dispatch"] - dispatch_before
+            self.timings[bucket] += max(0.0, elapsed - dispatched)
         return [results.get(index) for index in range(len(ranges))]
 
     def _map_attempt(
@@ -635,10 +826,23 @@ class ParallelMetaBlockingExecutor:
                     return index, error
                 pending.remove(index)
             return None
+        if self.backend == "threads":
+            pool = self._ensure_thread_pool()
+            submit_started = time.perf_counter()
+            futures = {
+                index: pool.submit(
+                    self._thread_dispatch,
+                    (task, ranges[index], index, attempts[index]),
+                )
+                for index in pending
+            }
+            self.timings["dispatch"] += time.perf_counter() - submit_started
+            return self._collect(pool, futures, pending, results)
         if self.backend == "fork":
             global _FORK_STATE
             _FORK_STATE = self
             failure: "tuple[int, Exception] | None" = None
+            submit_started = time.perf_counter()
             pool = ProcessPoolExecutor(
                 max_workers=min(self.workers, len(pending)),
                 mp_context=multiprocessing.get_context("fork"),
@@ -651,6 +855,9 @@ class ParallelMetaBlockingExecutor:
                     )
                     for index in pending
                 }
+                self.timings["dispatch"] += (
+                    time.perf_counter() - submit_started
+                )
                 failure = self._collect(pool, futures, pending, results)
                 return failure
             finally:
@@ -660,6 +867,7 @@ class ParallelMetaBlockingExecutor:
         assert stage is not None
         scalars, pack = stage
         spec = pack.spec if pack is not None else None
+        submit_started = time.perf_counter()
         pool = self._ensure_spawn_pool()
         futures = {
             index: pool.submit(
@@ -668,6 +876,7 @@ class ParallelMetaBlockingExecutor:
             )
             for index in pending
         }
+        self.timings["dispatch"] += time.perf_counter() - submit_started
         failure = self._collect(pool, futures, pending, results)
         if failure is not None:
             self._discard_spawn_pool()
@@ -675,7 +884,7 @@ class ParallelMetaBlockingExecutor:
 
     def _collect(
         self,
-        pool: ProcessPoolExecutor,
+        pool: "ProcessPoolExecutor | ThreadPoolExecutor",
         futures: "dict[int, Future]",
         pending: "list[int]",
         results: "dict[int, object]",
@@ -685,6 +894,13 @@ class ParallelMetaBlockingExecutor:
             future = futures[index]
             try:
                 value = future.result(timeout=self.chunk_timeout)
+            except RETRYABLE_FAILURES as error:
+                # Raised inside the task itself — the threads backend's
+                # injected crashes/timeouts surface here rather than as a
+                # broken pool.
+                self._count_failure(error)
+                self._harvest(futures, pending, results, skip=index)
+                return index, error
             except FuturesTimeout:
                 error: Exception = ChunkTimeout(
                     f"chunk {index} exceeded the "
@@ -777,13 +993,14 @@ class ParallelMetaBlockingExecutor:
     def _degrade(self, task: str, error: Exception) -> bool:
         """Fall to the next simpler backend after a chunk's retry budget.
 
-        shm-spawn → fork (where available) → in-process; returns False when
-        already in-process (nothing left to degrade to). Attempt counters
-        are kept, but the fresh backend always gets at least one attempt.
+        threads → in-process, shm-spawn → fork (where available) →
+        in-process; returns False when already in-process (nothing left to
+        degrade to). Attempt counters are kept, but the fresh backend
+        always gets at least one attempt.
         """
         if self.backend == "shm-spawn":
             target = "fork" if fork_available() else "in-process"
-        elif self.backend == "fork":
+        elif self.backend in ("fork", "threads"):
             target = "in-process"
         else:
             return False
@@ -799,8 +1016,53 @@ class ParallelMetaBlockingExecutor:
         self.backend = target
         return True
 
+    @contextmanager
+    def _timed(self, bucket: str):
+        """Accumulate a block's wall-clock into one timing bucket."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings[bucket] += time.perf_counter() - started
+
+    def _node_masses(self) -> np.ndarray:
+        """Estimated comparison mass per graph node (in ``_nodes`` order).
+
+        A node's scan cost is the total size of the member lists it meets:
+        for each of its blocks, the other side's member count (bilateral)
+        or ``|b| - 1`` (unilateral). Computed entirely from the Entity
+        Index CSR arrays with one prefix sum — no neighbourhood is
+        gathered.
+        """
+        index = self.weighting.index
+        indptr = np.asarray(index.indptr)
+        block_of_pair = np.asarray(index.block_indices)
+        sizes1 = np.diff(np.asarray(index.member_indptr1))
+        if index.is_bilateral:
+            sizes2 = np.diff(np.asarray(index.member_indptr2))
+            pair_side2 = np.repeat(
+                np.asarray(index.second_side_mask), np.diff(indptr)
+            )
+            pair_cost = np.where(
+                pair_side2, sizes1[block_of_pair], sizes2[block_of_pair]
+            ).astype(np.float64)
+        else:
+            pair_cost = (sizes1[block_of_pair] - 1).astype(np.float64)
+        prefix = np.concatenate(([0.0], np.cumsum(pair_cost)))
+        entity_mass = prefix[indptr[1:]] - prefix[indptr[:-1]]
+        return entity_mass[np.asarray(self._nodes, dtype=np.int64)]
+
     def _ranges(self) -> list[Range]:
-        return partition_ranges(len(self._nodes), self.chunks)
+        if self._range_cache is None:
+            if self.chunking == "auto":
+                self._range_cache = partition_ranges_by_mass(
+                    self._node_masses(), self.chunks
+                )
+            else:
+                self._range_cache = partition_ranges(
+                    len(self._nodes), self.chunks
+                )
+        return self._range_cache
 
     def _prepare_weights(self) -> None:
         """Make the backend scan-ready: parallel degree pass for EJS first."""
@@ -992,6 +1254,99 @@ class ParallelMetaBlockingExecutor:
             targets.append(np.maximum(entities, neighbors))
         return self._emit_pairs(_concat(sources), _concat(targets))
 
+    def _fused_range(self, bounds: Range):
+        """The range's neighbourhoods as fused chunks (one gather each)."""
+        return weight_and_prune_chunks(
+            self.weighting, self._nodes[bounds[0] : bounds[1]]
+        )
+
+    def _chunk_fused_keys(
+        self, bounds: Range
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fused (Re/Rc)CNP phase 1: the range's directed top-k keys *and*
+        its emitted-edge slice, from a single gather per neighbourhood.
+
+        Returns ``(keys, sources, targets, weights)``; the owner merges the
+        global key set and applies the phase-2 retention to the returned
+        arrays, so the graph is never gathered a second time.
+        """
+        k = self._k
+        num_entities = self.weighting.num_entities
+        key_parts: list[np.ndarray] = []
+        sources: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        for fused in self._fused_range(bounds):
+            selected, segments = topk_per_segment(fused.group, k)
+            if selected.size:
+                key_parts.append(
+                    directed_pair_keys(
+                        fused.group.entities[segments],
+                        fused.group.neighbors[selected],
+                        num_entities,
+                    )
+                )
+            sources.append(fused.emitted.sources)
+            targets.append(fused.emitted.targets)
+            weights.append(fused.emitted.weights)
+        return (
+            _concat(key_parts),
+            _concat(sources),
+            _concat(targets),
+            _concat(weights, dtype=np.float64),
+        )
+
+    def _chunk_fused_thresholds(
+        self, bounds: Range
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fused (Re/Rc)WNP phase 1: ``(entities, means)`` plus the range's
+        emitted-edge slice, from a single gather per neighbourhood."""
+        entities: list[np.ndarray] = []
+        means: list[np.ndarray] = []
+        sources: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        for fused in self._fused_range(bounds):
+            entities.append(fused.group.entities)
+            means.append(segment_means(fused.group))
+            sources.append(fused.emitted.sources)
+            targets.append(fused.emitted.targets)
+            weights.append(fused.emitted.weights)
+        return (
+            _concat(entities),
+            _concat(means, dtype=np.float64),
+            _concat(sources),
+            _concat(targets),
+            _concat(weights, dtype=np.float64),
+        )
+
+    def _chunk_fused_sums(
+        self, bounds: Range
+    ) -> tuple[np.ndarray, int, np.ndarray, np.ndarray, np.ndarray]:
+        """Fused WEP pass 1: the range's per-node weight sums (node order,
+        bit-identical to ``_chunk_edge_sums``) plus its emitted-edge slice,
+        from a single gather per neighbourhood."""
+        sums: list[np.ndarray] = []
+        count = 0
+        sources: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        for fused in self._fused_range(bounds):
+            node_sums, edges = fused.emitted_node_sums()
+            if edges:
+                sums.append(node_sums)
+                count += edges
+            sources.append(fused.emitted.sources)
+            targets.append(fused.emitted.targets)
+            weights.append(fused.emitted.weights)
+        return (
+            _concat(sums, dtype=np.float64),
+            count,
+            _concat(sources),
+            _concat(targets),
+            _concat(weights, dtype=np.float64),
+        )
+
     def _chunk_degrees(self, bounds: Range) -> list[tuple[int, int]]:
         """Node degrees for one range (pure graph statistic, weight-free)."""
         weighting = self.weighting
@@ -1016,6 +1371,10 @@ class ParallelMetaBlockingExecutor:
             "scheme": self.weighting.scheme.name,
             "num_entities": int(self.weighting.num_entities),
             "nodes": len(self._nodes),
+            # The actual node partitioning: mass-balanced and even splits
+            # produce different shard boundaries, so a resume under a
+            # different chunking strategy must be rejected, not spliced.
+            "ranges": [[int(start), int(stop)] for start, stop in self._ranges()],
         }
 
     def _run_pair_map(
@@ -1038,20 +1397,21 @@ class ParallelMetaBlockingExecutor:
             if completed:
                 self.stats["resumed_chunks"] += len(completed)
         results = self._map_chunks(task, ranges, skip=frozenset(completed))
-        for index in range(len(ranges)):
-            if index in completed:
-                assert isinstance(sink, SpillSink)
-                sink.readopt_chunk(index)
-                continue
-            chunk = results[index]
-            assert chunk is not None
-            if chunk[0] == "shard":
-                assert isinstance(sink, SpillSink)
-                sink.adopt_shard(
-                    chunk[1], chunk[2], chunk=index, checksum=chunk[3]
-                )
-            else:
-                sink.append(chunk[1], chunk[2])
+        with self._timed("merge"):
+            for index in range(len(ranges)):
+                if index in completed:
+                    assert isinstance(sink, SpillSink)
+                    sink.readopt_chunk(index)
+                    continue
+                chunk = results[index]
+                assert chunk is not None
+                if chunk[0] == "shard":
+                    assert isinstance(sink, SpillSink)
+                    sink.adopt_shard(
+                        chunk[1], chunk[2], chunk=index, checksum=chunk[3]
+                    )
+                else:
+                    sink.append(chunk[1], chunk[2])
 
     def _merge_dicts(self, results: Iterable[dict]) -> dict:
         merged: dict = {}
@@ -1146,6 +1506,7 @@ class ParallelMetaBlockingExecutor:
         collector = sink if sink is not None else InMemorySink()
         self._algorithm_name = type(algorithm).__name__
         self._reset_stage()
+        self.timings = _new_timings()
         if isinstance(collector, SpillSink):
             self._spill_dir = str(collector.directory)
         try:
@@ -1164,6 +1525,11 @@ class ParallelMetaBlockingExecutor:
         ``sink`` (the family dispatch behind :meth:`prune`)."""
         self._prepare_weights()
         ranges = self._ranges()
+        # The fused single-gather paths cache each range's emitted edges at
+        # the owner, so they are reserved for non-spilling runs (spill runs
+        # keep bounded worker memory and chunk-level resume records) and
+        # can be disabled per algorithm via ``algorithm.fused``.
+        fused = self._spill_dir is None and getattr(algorithm, "fused", True)
         if isinstance(algorithm, CardinalityEdgePruning):
             self._k = (
                 algorithm.k
@@ -1174,10 +1540,26 @@ class ParallelMetaBlockingExecutor:
             # arrays and merge owner-side before one bounded append.
             merged = TopKEdgeBuffer(self._k)
             for sources, targets, weights in self._map_chunks("_chunk_cep", ranges):
-                merged.push(EdgeBatch(sources, targets, weights))
-            sink.append_pairs(merged.pairs())
+                with self._timed("merge"):
+                    merged.push(EdgeBatch(sources, targets, weights))
+            with self._timed("merge"):
+                sink.append_pairs(merged.pairs())
             return
         if isinstance(algorithm, WeightedEdgePruning):
+            if algorithm.threshold is None and fused:
+                parts = self._map_chunks("_chunk_fused_sums", ranges)
+                with self._timed("merge"):
+                    sums = [part[0] for part in parts if part[1]]
+                    count = sum(part[1] for part in parts)
+                    threshold = (
+                        float(np.sum(np.concatenate(sums))) / count
+                        if count
+                        else 0.0
+                    )
+                    for _, _, sources, targets, weights in parts:
+                        keep = weights >= threshold
+                        sink.append(sources[keep], targets[keep])
+                return
             self._wep_threshold = (
                 algorithm.threshold
                 if algorithm.threshold is not None
@@ -1191,6 +1573,33 @@ class ParallelMetaBlockingExecutor:
                 if algorithm.k is not None
                 else cardinality_node_threshold(self.weighting.blocks)
             )
+            num_entities = self.weighting.num_entities
+            conjunctive = algorithm.conjunctive
+            if fused:
+                parts = self._map_chunks("_chunk_fused_keys", ranges)
+                with self._timed("merge"):
+                    key_parts = [part[0] for part in parts if part[0].size]
+                    keys = (
+                        np.sort(np.concatenate(key_parts))
+                        if key_parts
+                        else np.empty(0, dtype=np.int64)
+                    )
+                    for _, sources, targets, _ in parts:
+                        in_left = keys_contain(
+                            keys,
+                            directed_pair_keys(sources, targets, num_entities),
+                        )
+                        in_right = keys_contain(
+                            keys,
+                            directed_pair_keys(targets, sources, num_entities),
+                        )
+                        keep = (
+                            (in_left & in_right)
+                            if conjunctive
+                            else (in_left | in_right)
+                        )
+                        sink.append(sources[keep], targets[keep])
+                return
             keys = [
                 chunk
                 for chunk in self._map_chunks("_chunk_nearest_keys", ranges)
@@ -1201,11 +1610,30 @@ class ParallelMetaBlockingExecutor:
                 if keys
                 else np.empty(0, dtype=np.int64)
             )
-            self._conjunctive = algorithm.conjunctive
+            self._conjunctive = conjunctive
             self._phase2_mode = "topk"
             self._run_pair_map("_chunk_phase2", ranges, sink)
             return
         if isinstance(algorithm, RedefinedWeightedNodePruning):
+            conjunctive = algorithm.conjunctive
+            if fused:
+                parts = self._map_chunks("_chunk_fused_thresholds", ranges)
+                with self._timed("merge"):
+                    thresholds = np.full(
+                        self.weighting.num_entities, np.inf, dtype=np.float64
+                    )
+                    for entities, values, _, _, _ in parts:
+                        thresholds[entities] = values
+                    for _, _, sources, targets, weights in parts:
+                        over_left = weights >= thresholds[sources]
+                        over_right = weights >= thresholds[targets]
+                        keep = (
+                            (over_left & over_right)
+                            if conjunctive
+                            else (over_left | over_right)
+                        )
+                        sink.append(sources[keep], targets[keep])
+                return
             thresholds = np.full(
                 self.weighting.num_entities, np.inf, dtype=np.float64
             )
@@ -1214,7 +1642,7 @@ class ParallelMetaBlockingExecutor:
             ):
                 thresholds[entities] = values
             self._threshold_array = thresholds
-            self._conjunctive = algorithm.conjunctive
+            self._conjunctive = conjunctive
             self._phase2_mode = "threshold"
             self._run_pair_map("_chunk_phase2", ranges, sink)
             return
@@ -1261,12 +1689,17 @@ def parallel_prune(
     chunks: int | None = None,
     backend: str | None = None,
     sink: "ComparisonSink | None" = None,
+    chunking: str | None = None,
 ) -> ComparisonCollection:
     """One-call parallel pruning; falls back to serial when unsupported."""
     if not supports_parallel(algorithm) or resolve_workers(workers) == 1:
         return run_pruning(algorithm, weighting, sink)
     executor = ParallelMetaBlockingExecutor(
-        weighting, workers=workers, chunks=chunks, backend=backend
+        weighting,
+        workers=workers,
+        chunks=chunks,
+        backend=backend,
+        chunking=chunking,
     )
     try:
         return executor.prune(algorithm, sink=sink)

@@ -91,8 +91,9 @@ class MetaBlockingResult:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     #: Worker processes that actually ran the pruning stage (1 == serial).
     effective_workers: int = 1
-    #: ``"serial"``, ``"in-process"`` (chunked, no pool), ``"fork"`` or
-    #: ``"shm-spawn"`` (shared-memory segments + spawned workers).
+    #: ``"serial"``, ``"in-process"`` (chunked, no pool), ``"threads"``
+    #: (GIL-releasing thread pool), ``"fork"`` or ``"shm-spawn"``
+    #: (shared-memory segments + spawned workers).
     parallel_backend: str = "serial"
     #: The resolved execution configuration this run used.
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
@@ -100,6 +101,12 @@ class MetaBlockingResult:
     #: ``worker_crashes``, ``chunk_timeouts``, ``resumed_chunks`` and the
     #: ``degraded`` backend trail. Empty for serial runs.
     fault_stats: dict = field(default_factory=dict)
+    #: Per-phase wall-clock seconds from the parallel executor —
+    #: ``dispatch`` (submitting chunks to the pool), ``weight`` (chunk
+    #: tasks building weights/criteria), ``prune`` (chunk tasks applying
+    #: retention), ``merge`` (owner-side reduction of chunk results).
+    #: Empty for serial runs.
+    phase_timings: dict = field(default_factory=dict)
 
     @property
     def overhead_seconds(self) -> float:
@@ -148,7 +155,7 @@ def meta_block(
     parallel: int | None = None,
     parallel_backend: str | None = None,
     chunks: int | None = None,
-    chunk_size: int | None = None,
+    chunk_size: "int | str | None" = None,
 ) -> MetaBlockingResult:
     """Restructure a redundancy-positive block collection.
 
@@ -196,9 +203,10 @@ def meta_block(
     )
     scheme = get_scheme(scheme)
     pruning = get_pruning(algorithm)
-    if execution.chunk_size is not None:
+    if isinstance(execution.chunk_size, int):
         # Scope the override to this run: never mutate a caller-supplied
         # algorithm instance (the setting used to leak across calls).
+        # ("auto" keeps the stream's default batch size.)
         pruning = copy.copy(pruning)
         pruning.chunk_size = execution.chunk_size
 
@@ -247,6 +255,7 @@ def meta_block(
         workers = 1
     effective_backend = "serial"
     fault_stats: dict = {}
+    phase_timings: dict = {}
     sink = execution.make_sink()
     if isinstance(sink, SpillSink) and not sink.resuming:
         # Write-ahead: lands in the run's checkpoint before any pruning, so
@@ -271,6 +280,11 @@ def meta_block(
                 max_retries=execution.max_retries,
                 chunk_timeout=execution.chunk_timeout,
                 backoff=execution.backoff,
+                chunking=(
+                    "even"
+                    if isinstance(execution.chunk_size, int)
+                    else "auto"
+                ),
             )
             try:
                 comparisons = executor.prune(pruning, sink=sink)
@@ -279,6 +293,7 @@ def meta_block(
                     **executor.stats,
                     "degraded": list(executor.stats["degraded"]),
                 }
+                phase_timings = dict(executor.timings)
             finally:
                 # Releases the shm-spawn pool and unlinks owned segments on
                 # success, worker crash and KeyboardInterrupt alike.
@@ -307,6 +322,7 @@ def meta_block(
         parallel_backend=effective_backend,
         execution=execution,
         fault_stats=fault_stats,
+        phase_timings=phase_timings,
     )
 
 
@@ -384,7 +400,7 @@ class MetaBlockingWorkflow:
         execution: "ExecutionConfig | None" = None,
         parallel: int | None = None,
         parallel_backend: str | None = None,
-        chunk_size: int | None = None,
+        chunk_size: "int | str | None" = None,
     ) -> None:
         if not blocking.redundancy_positive:
             raise ValueError(
@@ -416,7 +432,7 @@ class MetaBlockingWorkflow:
         return self.execution.parallel_backend
 
     @property
-    def chunk_size(self) -> int | None:
+    def chunk_size(self) -> "int | str | None":
         return self.execution.chunk_size
 
     def to_config(self) -> dict:

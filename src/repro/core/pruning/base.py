@@ -42,6 +42,29 @@ class PruningAlgorithm(ABC):
     #: affects the retained comparisons, only peak memory.
     chunk_size: int | None = None
 
+    #: Enables the fused single-gather fast path on the two-pass algorithms
+    #: (ReCNP/ReWNP families, WEP): each CSR neighbourhood is gathered once
+    #: and cached across both phases instead of re-gathered per phase. The
+    #: retained comparisons are identical either way (asserted by the test
+    #: suite); flip to ``False`` to force the historical two-pass streaming.
+    fused: bool = True
+
+    def _use_fused_path(
+        self, weighting: EdgeWeighting, sink: ComparisonSink
+    ) -> bool:
+        """Whether the fused path may replace the two-pass streaming path.
+
+        Requires a node-ordered edge stream (so the emission order matches
+        the legacy pass exactly) and an in-memory sink — spill sinks keep
+        the streaming path, whose bounded-memory behaviour and resume
+        chunk signatures the fused cache would change.
+        """
+        return (
+            self.fused
+            and weighting.node_ordered_edge_stream
+            and isinstance(sink, InMemorySink)
+        )
+
     def prune(
         self, weighting: EdgeWeighting, sink: "ComparisonSink | None" = None
     ) -> ComparisonCollection:

@@ -14,6 +14,8 @@ exactly the same comparisons.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.edge_stream import TopKEdgeBuffer
 from repro.core.edge_weighting import EdgeWeighting
 from repro.core.pruning.base import (
@@ -21,6 +23,7 @@ from repro.core.pruning.base import (
     cardinality_edge_threshold,
     mean_edge_weight,
 )
+from repro.core.vectorized import weight_and_prune_chunks
 from repro.datamodel.blocks import ComparisonCollection
 from repro.datamodel.sinks import ComparisonSink
 from repro.utils.topk import TopKHeap
@@ -85,8 +88,39 @@ class WeightedEdgePruning(PruningAlgorithm):
     def _prune_into(
         self, weighting: EdgeWeighting, sink: ComparisonSink
     ) -> None:
+        if self.threshold is None and self._use_fused_path(weighting, sink):
+            self._prune_fused(weighting, sink)
+            return
         threshold = self._resolve_threshold(weighting)
         for batch in weighting.iter_edge_batches(self.chunk_size):
+            keep = batch.weights >= threshold
+            sink.append(batch.sources[keep], batch.targets[keep])
+
+    def _prune_fused(
+        self, weighting: EdgeWeighting, sink: ComparisonSink
+    ) -> None:
+        """Single-gather variant: the mean and the retention share chunks.
+
+        The global mean keeps its barrier (it is only known a-posteriori)
+        but is reduced from the cached chunks' per-node sums — the same
+        node-ordered array :func:`~repro.core.pruning.base.mean_edge_weight`
+        builds, so the threshold is bit-identical to the two-pass path.
+        """
+        chunks = list(
+            weight_and_prune_chunks(weighting, weighting.nodes(), self.chunk_size)
+        )
+        sums: list[np.ndarray] = []
+        count = 0
+        for fused in chunks:
+            node_sums, edges = fused.emitted_node_sums()
+            if edges:
+                sums.append(node_sums)
+                count += edges
+        threshold = (
+            float(np.sum(np.concatenate(sums))) / count if count else 0.0
+        )
+        for fused in chunks:
+            batch = fused.emitted
             keep = batch.weights >= threshold
             sink.append(batch.sources[keep], batch.targets[keep])
 

@@ -35,6 +35,7 @@ from repro.core.edge_stream import (
 )
 from repro.core.edge_weighting import EdgeWeighting
 from repro.core.pruning.base import PruningAlgorithm, cardinality_node_threshold
+from repro.core.vectorized import weight_and_prune_chunks
 from repro.datamodel.blocks import ComparisonCollection
 from repro.datamodel.sinks import ComparisonSink
 from repro.utils.topk import TopKHeap
@@ -132,11 +133,57 @@ class RedefinedCardinalityNodePruning(PruningAlgorithm):
     def _prune_into(
         self, weighting: EdgeWeighting, sink: ComparisonSink
     ) -> None:
+        if self._use_fused_path(weighting, sink):
+            self._prune_fused(weighting, sink)
+            return
         keys = nearest_neighbor_keys(
             weighting, self._threshold(weighting), self.chunk_size
         )
         num_entities = weighting.num_entities
         for batch in weighting.iter_edge_batches(self.chunk_size):
+            in_left = keys_contain(
+                keys, directed_pair_keys(batch.sources, batch.targets, num_entities)
+            )
+            in_right = keys_contain(
+                keys, directed_pair_keys(batch.targets, batch.sources, num_entities)
+            )
+            keep = (in_left & in_right) if self.conjunctive else (in_left | in_right)
+            sink.append(batch.sources[keep], batch.targets[keep])
+
+    def _prune_fused(
+        self, weighting: EdgeWeighting, sink: ComparisonSink
+    ) -> None:
+        """Single-gather variant: phase 1 and phase 2 share the chunks.
+
+        Each neighbourhood is gathered once into a
+        :class:`~repro.core.vectorized.FusedChunk`; the top-k selection runs
+        on the full segments and the phase-2 barrier (the complete key set)
+        is honoured by caching the chunks' emitted slices rather than
+        re-streaming the graph. Same retained pairs, same emission order.
+        """
+        k = self._threshold(weighting)
+        num_entities = weighting.num_entities
+        chunks = list(
+            weight_and_prune_chunks(weighting, weighting.nodes(), self.chunk_size)
+        )
+        key_parts: list[np.ndarray] = []
+        for fused in chunks:
+            selected, segments = topk_per_segment(fused.group, k)
+            if selected.size:
+                key_parts.append(
+                    directed_pair_keys(
+                        fused.group.entities[segments],
+                        fused.group.neighbors[selected],
+                        num_entities,
+                    )
+                )
+        keys = (
+            np.sort(np.concatenate(key_parts))
+            if key_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        for fused in chunks:
+            batch = fused.emitted
             in_left = keys_contain(
                 keys, directed_pair_keys(batch.sources, batch.targets, num_entities)
             )
@@ -168,8 +215,38 @@ class RedefinedWeightedNodePruning(PruningAlgorithm):
     def _prune_into(
         self, weighting: EdgeWeighting, sink: ComparisonSink
     ) -> None:
+        if self._use_fused_path(weighting, sink):
+            self._prune_fused(weighting, sink)
+            return
         thresholds = neighborhood_threshold_array(weighting, self.chunk_size)
         for batch in weighting.iter_edge_batches(self.chunk_size):
+            over_left = batch.weights >= thresholds[batch.sources]
+            over_right = batch.weights >= thresholds[batch.targets]
+            keep = (
+                (over_left & over_right)
+                if self.conjunctive
+                else (over_left | over_right)
+            )
+            sink.append(batch.sources[keep], batch.targets[keep])
+
+    def _prune_fused(
+        self, weighting: EdgeWeighting, sink: ComparisonSink
+    ) -> None:
+        """Single-gather variant: per-node means and retention share chunks.
+
+        ``segment_means`` over the cached full segments is bit-identical to
+        :func:`neighborhood_threshold_array` (same per-segment reduction over
+        the same values), so the retained set and order match the two-pass
+        path exactly.
+        """
+        thresholds = np.full(weighting.num_entities, np.inf, dtype=np.float64)
+        chunks = list(
+            weight_and_prune_chunks(weighting, weighting.nodes(), self.chunk_size)
+        )
+        for fused in chunks:
+            thresholds[fused.group.entities] = segment_means(fused.group)
+        for fused in chunks:
+            batch = fused.emitted
             over_left = batch.weights >= thresholds[batch.sources]
             over_right = batch.weights >= thresholds[batch.targets]
             keep = (

@@ -25,11 +25,17 @@ numpy.
 
 from __future__ import annotations
 
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.core.edge_stream import EdgeBatch, iter_node_groups
+from repro.core.edge_stream import (
+    DEFAULT_CHUNK_SIZE,
+    EdgeBatch,
+    NodeGroup,
+    iter_node_groups,
+)
 from repro.core.edge_weighting import (
     Edge,
     EdgeWeighting,
@@ -198,3 +204,121 @@ class VectorizedEdgeWeighting(EdgeWeighting):
         self._degrees_array = degrees
         self._degrees = degrees.tolist()
         self._total_edges = total // 2
+
+
+# -- fused weight+prune chunk kernels -----------------------------------------
+#
+# The two-pass pruning families (redefined/reciprocal node pruning, WEP)
+# historically gathered every CSR neighbourhood twice: once to derive the
+# node-centric criterion and once to stream the distinct-edge view. The
+# fused representation below gathers each neighbourhood exactly once per run
+# — the phase-1 statistics come from the full :class:`NodeGroup` and the
+# node's slice of the emitted-edge stream is carved out of the same arrays
+# with a boolean mask (``EdgeWeighting.combined_arrays``).
+
+
+@dataclass
+class FusedChunk:
+    """One chunk of node neighbourhoods gathered once, serving both phases.
+
+    ``group`` holds the full neighbourhoods (segment form, the phase-1
+    input); ``emitted`` is the chunk's slice of the canonical distinct-edge
+    stream, element-for-element identical to what
+    ``iter_node_groups(weighting.emitted_arrays, ...)`` would produce for
+    the same entities; ``emitted_offsets[i]:emitted_offsets[i+1]`` is the
+    emitted run of ``group.entities[i]`` (possibly empty).
+    """
+
+    group: NodeGroup
+    emitted: EdgeBatch
+    emitted_offsets: np.ndarray  # int64 [num_segments + 1]
+
+    def emitted_node_sums(self) -> tuple[np.ndarray, int]:
+        """Per-emitting-node weight sums (node order) and the edge count.
+
+        Bit-identical to
+        :func:`repro.core.pruning.base.node_weight_sums` over the same
+        entities: one sequential ``np.add.reduceat`` per non-empty emitted
+        run, empty runs skipped — so WEP's global mean never depends on
+        whether the fused or the two-pass path computed it.
+        """
+        weights = self.emitted.weights
+        if weights.size == 0:
+            return np.empty(0, dtype=np.float64), 0
+        starts = self.emitted_offsets[:-1]
+        nonzero = np.diff(self.emitted_offsets) > 0
+        return np.add.reduceat(weights, starts[nonzero]), int(weights.size)
+
+
+def _pack_fused_chunk(
+    entities: "list[int]",
+    offsets: "list[int]",
+    neighbors: "list[np.ndarray]",
+    weights: "list[np.ndarray]",
+    masks: "list[np.ndarray]",
+) -> FusedChunk:
+    group = NodeGroup(
+        np.asarray(entities, dtype=np.int64),
+        np.asarray(offsets, dtype=np.int64),
+        np.concatenate(neighbors),
+        np.concatenate(weights),
+    )
+    mask = np.concatenate(masks)
+    emitted_counts = np.add.reduceat(
+        mask.astype(np.int64), group.offsets[:-1]
+    )
+    emitted_offsets = np.zeros(len(entities) + 1, dtype=np.int64)
+    np.cumsum(emitted_counts, out=emitted_offsets[1:])
+    emitting = np.repeat(group.entities, group.counts)[mask]
+    emitted_neighbors = group.neighbors[mask]
+    emitted = EdgeBatch(
+        np.minimum(emitting, emitted_neighbors),
+        np.maximum(emitting, emitted_neighbors),
+        group.weights[mask],
+    )
+    return FusedChunk(group, emitted, emitted_offsets)
+
+
+def weight_and_prune_chunks(
+    weighting: EdgeWeighting,
+    entities: "Sequence[int]",
+    chunk_size: int | None = None,
+) -> Iterator[FusedChunk]:
+    """Pack ``entities`` into :class:`FusedChunk`\\ s, one CSR gather each.
+
+    Chunk boundaries follow the same flush rule as
+    :func:`~repro.core.edge_stream.iter_node_groups` over the *full*
+    neighbourhoods, and — as everywhere in the stack — never affect any
+    downstream result, only peak memory. Entities with empty neighbourhoods
+    are skipped entirely.
+    """
+    size = chunk_size if chunk_size and chunk_size > 0 else DEFAULT_CHUNK_SIZE
+    group_entities: list[int] = []
+    offsets: list[int] = [0]
+    neighbors: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    masks: list[np.ndarray] = []
+    buffered = 0
+    for entity in entities:
+        node_neighbors, node_weights, node_mask = weighting.combined_arrays(
+            entity
+        )
+        if node_neighbors.size == 0:
+            continue
+        group_entities.append(entity)
+        buffered += int(node_neighbors.size)
+        offsets.append(buffered)
+        neighbors.append(node_neighbors)
+        weights.append(node_weights)
+        masks.append(node_mask)
+        if buffered >= size:
+            yield _pack_fused_chunk(
+                group_entities, offsets, neighbors, weights, masks
+            )
+            group_entities, offsets = [], [0]
+            neighbors, weights, masks = [], [], []
+            buffered = 0
+    if buffered:
+        yield _pack_fused_chunk(
+            group_entities, offsets, neighbors, weights, masks
+        )

@@ -199,8 +199,13 @@ class ECBS(WeightingScheme):
         bi = np.asarray(blocks_i, dtype=float)
         bj = np.asarray(blocks_j, dtype=float)
         with np.errstate(divide="ignore", invalid="ignore"):
-            weights = (
-                common * np.log10(total_blocks / bi) * np.log10(total_blocks / bj)
+            # The two log factors are multiplied together first: IEEE
+            # multiplication is commutative, so the weight of an edge is
+            # bit-identical no matter which endpoint computes it (the
+            # left-to-right grouping differs by one ulp between endpoints,
+            # enough to flip retention at an exact threshold).
+            weights = common * (
+                np.log10(total_blocks / bi) * np.log10(total_blocks / bj)
             )
         weights[(common == 0) | (bi == 0) | (bj == 0)] = 0.0
         return weights
@@ -218,9 +223,10 @@ class ECBS(WeightingScheme):
     ) -> float:
         if common_blocks == 0 or blocks_i == 0 or blocks_j == 0:
             return 0.0
-        return (
-            common_blocks
-            * math.log10(total_blocks / blocks_i)
+        # Logs multiplied first so both endpoints compute the same bits
+        # (see weight_array).
+        return common_blocks * (
+            math.log10(total_blocks / blocks_i)
             * math.log10(total_blocks / blocks_j)
         )
 
@@ -308,10 +314,9 @@ class EJS(WeightingScheme):
         di = np.asarray(degree_i, dtype=float)
         dj = np.asarray(degree_j, dtype=float)
         with np.errstate(divide="ignore", invalid="ignore"):
-            weights = (
-                (common / denominator)
-                * np.log10(total_edges / di)
-                * np.log10(total_edges / dj)
+            # Logs multiplied together first for endpoint symmetry (see ECBS).
+            weights = (common / denominator) * (
+                np.log10(total_edges / di) * np.log10(total_edges / dj)
             )
         invalid = (denominator == 0) | (di == 0) | (dj == 0)
         if total_edges == 0:
@@ -335,9 +340,10 @@ class EJS(WeightingScheme):
         if denominator == 0 or degree_i == 0 or degree_j == 0 or total_edges == 0:
             return 0.0
         jaccard = common_blocks / denominator
-        return (
-            jaccard
-            * math.log10(total_edges / degree_i)
+        # Logs multiplied first so both endpoints compute the same bits
+        # (see weight_array).
+        return jaccard * (
+            math.log10(total_edges / degree_i)
             * math.log10(total_edges / degree_j)
         )
 

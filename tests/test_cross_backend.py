@@ -112,6 +112,7 @@ def parallel_executors(bilateral_blocks):
 @pytest.mark.parametrize(
     "pool_backend",
     [
+        "threads",
         pytest.param(
             "fork",
             marks=pytest.mark.skipif(

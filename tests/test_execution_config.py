@@ -46,13 +46,20 @@ class TestExecutionConfig:
 
     def test_validation(self):
         with pytest.raises(ValueError, match="unknown parallel backend"):
-            ExecutionConfig(parallel_backend="threads")
+            ExecutionConfig(parallel_backend="greenlets")
         with pytest.raises(ValueError, match="chunks must be positive"):
             ExecutionConfig(chunks=0)
         with pytest.raises(ValueError, match="chunk_size must be positive"):
             ExecutionConfig(chunk_size=-5)
+        with pytest.raises(ValueError, match="chunk_size"):
+            ExecutionConfig(chunk_size="huge")
         with pytest.raises(ValueError, match="memory_budget must be positive"):
             ExecutionConfig(memory_budget=0)
+
+    def test_chunk_size_auto_is_the_default(self):
+        assert ExecutionConfig().chunk_size == "auto"
+        assert ExecutionConfig(chunk_size="auto").chunk_size == "auto"
+        assert ExecutionConfig(chunk_size=None).chunk_size is None
 
     def test_fault_tolerance_field_validation(self):
         with pytest.raises(ValueError, match="max_retries must be >= 0"):
@@ -126,6 +133,19 @@ class TestResolveExecution:
                 ExecutionConfig(parallel=4), chunk_size=512
             )
         assert config == ExecutionConfig(parallel=4, chunk_size=512)
+
+    def test_legacy_chunk_size_overrides_auto_default(self):
+        # chunk_size's "auto" default counts as unset, not a conflict.
+        with pytest.warns(DeprecationWarning):
+            config = resolve_execution(ExecutionConfig(), chunk_size=512)
+        assert config.chunk_size == 512
+
+    def test_legacy_chunk_size_conflicts_with_explicit_int(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="chunk_size given both"):
+                resolve_execution(
+                    ExecutionConfig(chunk_size=1024), chunk_size=512
+                )
 
     def test_conflicting_values_raise(self):
         with pytest.warns(DeprecationWarning):

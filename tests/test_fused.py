@@ -1,0 +1,298 @@
+"""Fused weight+prune kernels, degree-aware chunking and phase timings.
+
+The fused paths gather each CSR neighbourhood exactly once and serve both
+the criterion phase and the retention phase from that single gather. They
+are an execution detail, so every test here asserts exact equivalence with
+the legacy two-stream paths — the same invariant the ``prune_per_edge``
+shims anchor for the batched paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.edge_weighting import (
+    OptimizedEdgeWeighting,
+    OriginalEdgeWeighting,
+)
+from repro.core.execution import ExecutionConfig
+from repro.core.parallel import (
+    ParallelMetaBlockingExecutor,
+    partition_ranges,
+    partition_ranges_by_mass,
+    resolve_workers,
+)
+from repro.core.pipeline import meta_block
+from repro.core.pruning import PRUNING_ALGORITHMS
+from repro.core.vectorized import (
+    VectorizedEdgeWeighting,
+    weight_and_prune_chunks,
+)
+from repro.datamodel.blocks import Block, BlockCollection
+from repro.datamodel.sinks import InMemorySink
+
+NODE_ORDERED_BACKENDS = {
+    "optimized": OptimizedEdgeWeighting,
+    "vectorized": VectorizedEdgeWeighting,
+}
+
+#: The algorithms with a fused single-gather path (plus their reciprocal
+#: subclasses, which inherit it).
+FUSED_ALGORITHMS = ("WEP", "ReCNP", "ReWNP", "RcCNP", "RcWNP")
+
+
+@pytest.fixture(scope="module")
+def dirty_blocks():
+    """Unilateral blocks with a hub entity, a singleton and an empty block."""
+    blocks = BlockCollection(
+        [
+            Block("a", [0, 1, 2]),
+            Block("b", [0, 3]),
+            Block("c", [1, 2, 4, 5]),
+            Block("d", [0, 2, 3, 5, 6]),
+            Block("e", [4, 6]),
+            Block("solo", [7]),
+            Block("ghost", []),
+        ],
+        num_entities=8,
+    )
+    return blocks.sorted_by_cardinality()
+
+
+def _with_fused(algorithm: str, fused: bool):
+    pruning = PRUNING_ALGORITHMS[algorithm]()
+    pruning.fused = fused
+    return pruning
+
+
+class TestFusedChunks:
+    def test_chunks_reassemble_the_emitted_stream(self, dirty_blocks):
+        """Concatenated fused chunks == the legacy edge-batch stream."""
+        weighting = VectorizedEdgeWeighting(dirty_blocks, "JS")
+        legacy = [
+            (batch.sources.copy(), batch.targets.copy(), batch.weights.copy())
+            for batch in weighting.iter_edge_batches(3)
+        ]
+        expected_sources = np.concatenate([s for s, _, _ in legacy])
+        expected_targets = np.concatenate([t for _, t, _ in legacy])
+        expected_weights = np.concatenate([w for _, _, w in legacy])
+        fused_chunks = list(
+            weight_and_prune_chunks(weighting, weighting.nodes(), 3)
+        )
+        sources = np.concatenate([f.emitted.sources for f in fused_chunks])
+        targets = np.concatenate([f.emitted.targets for f in fused_chunks])
+        weights = np.concatenate([f.emitted.weights for f in fused_chunks])
+        np.testing.assert_array_equal(sources, expected_sources)
+        np.testing.assert_array_equal(targets, expected_targets)
+        # Bit-identical, not approximately equal.
+        np.testing.assert_array_equal(weights, expected_weights)
+
+    def test_group_carries_full_neighborhoods(self, dirty_blocks):
+        """The phase-1 view holds every neighbour, not just emitted ones."""
+        weighting = VectorizedEdgeWeighting(dirty_blocks, "JS")
+        for fused in weight_and_prune_chunks(weighting, weighting.nodes(), 2):
+            for position, entity in enumerate(fused.group.entities):
+                start = fused.group.offsets[position]
+                stop = fused.group.offsets[position + 1]
+                neighbors, weights = weighting.neighborhood_arrays(int(entity))
+                np.testing.assert_array_equal(
+                    fused.group.neighbors[start:stop], neighbors
+                )
+                np.testing.assert_array_equal(
+                    fused.group.weights[start:stop], weights
+                )
+
+    def test_emitted_node_sums_match_mean_edge_weight(self, dirty_blocks):
+        from repro.core.pruning.base import mean_edge_weight
+
+        weighting = VectorizedEdgeWeighting(dirty_blocks, "JS")
+        sums = []
+        count = 0
+        for fused in weight_and_prune_chunks(weighting, weighting.nodes(), 2):
+            node_sums, edges = fused.emitted_node_sums()
+            if edges:
+                sums.append(node_sums)
+                count += edges
+        threshold = float(np.sum(np.concatenate(sums))) / count
+        assert threshold == mean_edge_weight(weighting)
+
+
+@pytest.mark.parametrize("scheme", ["JS", "EJS", "ARCS"])
+@pytest.mark.parametrize("algorithm", FUSED_ALGORITHMS)
+class TestFusedMatchesLegacy:
+    """Mirrors the prune_per_edge shim assertions for the fused kernels."""
+
+    @pytest.mark.parametrize("backend", sorted(NODE_ORDERED_BACKENDS))
+    def test_exact_pairs_and_order(
+        self, dirty_blocks, scheme, algorithm, backend
+    ):
+        weighting = NODE_ORDERED_BACKENDS[backend](dirty_blocks, scheme)
+        fused = _with_fused(algorithm, True).prune(weighting).pairs
+        legacy = _with_fused(algorithm, False).prune(weighting).pairs
+        assert fused == legacy
+
+    def test_tiny_chunks(self, dirty_blocks, scheme, algorithm):
+        weighting = VectorizedEdgeWeighting(dirty_blocks, scheme)
+        fused = _with_fused(algorithm, True)
+        fused.chunk_size = 2
+        legacy = _with_fused(algorithm, False)
+        legacy.chunk_size = 2
+        assert fused.prune(weighting).pairs == legacy.prune(weighting).pairs
+
+    def test_per_edge_shim_agrees(self, dirty_blocks, scheme, algorithm):
+        weighting = VectorizedEdgeWeighting(dirty_blocks, scheme)
+        pruning = PRUNING_ALGORITHMS[algorithm]()
+        assert (
+            pruning.prune(weighting).pairs
+            == pruning.prune_per_edge(weighting).pairs
+        )
+
+
+class TestFusedGates:
+    def test_block_ordered_backend_skips_fusion(self, dirty_blocks):
+        """Original's iter_edges is block-ordered, so fusing would reorder
+        the emitted pairs; the gate must route it to the legacy path."""
+        weighting = OriginalEdgeWeighting(dirty_blocks, "JS")
+        assert not weighting.node_ordered_edge_stream
+        pruning = PRUNING_ALGORITHMS["ReWNP"]()
+        assert not pruning._use_fused_path(weighting, InMemorySink())
+        reference = sorted(
+            PRUNING_ALGORITHMS["ReWNP"]()
+            .prune(VectorizedEdgeWeighting(dirty_blocks, "JS"))
+            .pairs
+        )
+        assert sorted(pruning.prune(weighting).pairs) == reference
+
+    def test_node_ordered_flag_defaults_true(self, dirty_blocks):
+        for cls in NODE_ORDERED_BACKENDS.values():
+            assert cls(dirty_blocks, "JS").node_ordered_edge_stream
+
+
+class TestMassPartitioning:
+    def test_hub_nodes_get_small_ranges(self):
+        masses = np.array([10, 1, 1, 1, 1, 1, 1, 10], dtype=np.float64)
+        assert partition_ranges_by_mass(masses, 3) == [(0, 1), (1, 7), (7, 8)]
+
+    def test_exact_non_empty_cover(self):
+        rng = np.random.default_rng(7)
+        for count in (1, 2, 5, 17, 100):
+            masses = rng.integers(0, 50, size=count).astype(np.float64)
+            for chunks in (1, 2, 3, count, count + 4):
+                ranges = partition_ranges_by_mass(masses, chunks)
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == count
+                for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+                    assert stop == start
+                assert all(stop > start for start, stop in ranges)
+                assert len(ranges) == min(chunks, count)
+
+    def test_zero_mass_falls_back_to_even_split(self):
+        masses = np.zeros(10)
+        assert partition_ranges_by_mass(masses, 3) == partition_ranges(10, 3)
+
+    def test_empty_input(self):
+        assert partition_ranges_by_mass(np.empty(0), 3) == []
+
+
+class TestResolveWorkers:
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_zero_honours_cpu_affinity(self, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module.os, "sched_getaffinity", lambda pid: {0, 1, 2}
+        )
+        assert resolve_workers(0) == 3
+        assert resolve_workers(None) == 3
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        def unavailable(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr(
+            parallel_module.os, "sched_getaffinity", unavailable
+        )
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 5)
+        assert resolve_workers(0) == 5
+
+
+class TestPhaseTimings:
+    def test_executor_accumulates_buckets(self, dirty_blocks):
+        executor = ParallelMetaBlockingExecutor(
+            VectorizedEdgeWeighting(dirty_blocks, "JS"),
+            workers=2,
+            chunks=3,
+            backend="threads",
+        )
+        try:
+            executor.prune(PRUNING_ALGORITHMS["ReWNP"]())
+            timings = executor.timings
+        finally:
+            executor.close()
+        assert set(timings) == {"dispatch", "weight", "prune", "merge"}
+        assert all(value >= 0.0 for value in timings.values())
+        assert timings["weight"] + timings["prune"] > 0.0
+
+    def test_timings_reset_per_prune(self, dirty_blocks):
+        executor = ParallelMetaBlockingExecutor(
+            VectorizedEdgeWeighting(dirty_blocks, "JS"),
+            workers=2,
+            chunks=3,
+            backend="in-process",
+        )
+        try:
+            executor.prune(PRUNING_ALGORITHMS["WEP"]())
+            first = dict(executor.timings)
+            executor.prune(PRUNING_ALGORITHMS["WEP"]())
+            second = dict(executor.timings)
+        finally:
+            executor.close()
+        # Each run starts from zero, so the second is not a running total.
+        assert second["weight"] + second["prune"] < (
+            first["weight"] + first["prune"]
+        ) * 10 + 1.0
+
+    def test_meta_block_surfaces_phase_timings(self, dirty_blocks):
+        result = meta_block(
+            dirty_blocks,
+            algorithm="ReCNP",
+            execution=ExecutionConfig(
+                parallel=2, parallel_backend="in-process"
+            ),
+        )
+        assert set(result.phase_timings) == {
+            "dispatch",
+            "weight",
+            "prune",
+            "merge",
+        }
+        serial = meta_block(dirty_blocks, algorithm="ReCNP")
+        assert serial.phase_timings == {}
+
+
+class TestAutoChunkingPipeline:
+    def test_auto_and_even_chunking_retain_identical_pairs(
+        self, dirty_blocks
+    ):
+        auto = meta_block(
+            dirty_blocks,
+            algorithm="RcWNP",
+            execution=ExecutionConfig(
+                parallel=2, parallel_backend="threads"
+            ),
+        )
+        even = meta_block(
+            dirty_blocks,
+            algorithm="RcWNP",
+            execution=ExecutionConfig(
+                parallel=2, parallel_backend="threads", chunk_size=4
+            ),
+        )
+        serial = meta_block(dirty_blocks, algorithm="RcWNP")
+        assert list(auto.comparisons) == list(serial.comparisons)
+        assert list(even.comparisons) == list(serial.comparisons)

@@ -308,7 +308,7 @@ class TestBackendResolution:
             ParallelMetaBlockingExecutor(
                 OptimizedEdgeWeighting(example_blocks, "JS"),
                 workers=2,
-                backend="threads",
+                backend="greenlets",
             )
 
     def test_single_worker_resolves_in_process(self, example_blocks):
@@ -320,14 +320,26 @@ class TestBackendResolution:
         assert executor.backend == "in-process"
         assert executor.pool_backend == "in-process"
 
-    @needs_spawn
-    def test_forced_spawn_auto_selects_shm(self, example_blocks, monkeypatch):
-        monkeypatch.setenv("REPRO_FORCE_SPAWN", "1")
-        with pytest.warns(RuntimeWarning, match="shm-spawn"):
+    def test_auto_selects_threads(self, example_blocks):
+        # Threads are available on every platform, so auto never needs a
+        # start method — and never warns.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             executor = ParallelMetaBlockingExecutor(
                 OptimizedEdgeWeighting(example_blocks, "JS"), workers=2
             )
-        assert executor.backend == "shm-spawn"
+        assert executor.backend == "threads"
+        executor.close()
+
+    @needs_spawn
+    def test_forced_spawn_auto_still_threads(self, example_blocks, monkeypatch):
+        # REPRO_FORCE_SPAWN only hides fork; the auto choice is threads
+        # either way.
+        monkeypatch.setenv("REPRO_FORCE_SPAWN", "1")
+        executor = ParallelMetaBlockingExecutor(
+            OptimizedEdgeWeighting(example_blocks, "JS"), workers=2
+        )
+        assert executor.backend == "threads"
         executor.close()
 
     @needs_spawn
@@ -484,7 +496,7 @@ class TestPipelineIntegration:
     ):
         with pytest.raises(ValueError, match="unknown parallel backend"):
             meta_block(
-                small_dirty_blocks, parallel=2, parallel_backend="threads"
+                small_dirty_blocks, parallel=2, parallel_backend="greenlets"
             )
 
     @needs_spawn
@@ -505,15 +517,20 @@ class TestPipelineIntegration:
     def test_meta_block_spawn_fallback_warns_once(
         self, small_dirty_blocks, monkeypatch, shm_leak_check
     ):
-        """Forced spawn platform: auto falls back to shm-spawn, with exactly
-        one RuntimeWarning per meta_block call (not one per chunk) and the
-        chosen backend recorded in the result metadata."""
+        """Forced spawn platform: an explicit fork request falls back to
+        shm-spawn, with exactly one RuntimeWarning per meta_block call (not
+        one per chunk) and the chosen backend recorded in the result
+        metadata."""
         monkeypatch.setenv("REPRO_FORCE_SPAWN", "1")
         serial = meta_block(small_dirty_blocks, scheme="JS", algorithm="RcWNP")
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             result = meta_block(
-                small_dirty_blocks, scheme="JS", algorithm="RcWNP", parallel=2
+                small_dirty_blocks,
+                scheme="JS",
+                algorithm="RcWNP",
+                parallel=2,
+                parallel_backend="fork",
             )
         fallbacks = [
             entry
@@ -524,6 +541,14 @@ class TestPipelineIntegration:
         assert len(fallbacks) == 1
         assert result.effective_workers == 2
         assert result.parallel_backend == "shm-spawn"
+        assert result.comparisons.pairs == serial.comparisons.pairs
+
+    def test_meta_block_auto_selects_threads(self, small_dirty_blocks):
+        serial = meta_block(small_dirty_blocks, scheme="JS", algorithm="RcWNP")
+        result = meta_block(
+            small_dirty_blocks, scheme="JS", algorithm="RcWNP", parallel=2
+        )
+        assert result.parallel_backend == "threads"
         assert result.comparisons.pairs == serial.comparisons.pairs
 
     def test_meta_block_warns_for_unsupported_algorithm(
