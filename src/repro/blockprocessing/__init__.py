@@ -19,7 +19,14 @@ from repro.blockprocessing.block_scheduling import (
     BlockScheduling,
 )
 from repro.blockprocessing.comparison_propagation import ComparisonPropagation
-from repro.blockprocessing.entity_index import EntityIndex
+from repro.blockprocessing.delta_index import (
+    DeltaEntityIndex,
+    latest_epoch,
+    load_epoch,
+    save_epoch,
+    sweep_stale_epochs,
+)
+from repro.blockprocessing.entity_index import EntityIndex, SharedEntityIndex
 from repro.blockprocessing.iterative_blocking import (
     IterativeBlocking,
     IterativeBlockingResult,
@@ -31,7 +38,13 @@ __all__ = [
     "BlockPurging",
     "BlockScheduling",
     "ComparisonPropagation",
+    "DeltaEntityIndex",
     "EntityIndex",
     "IterativeBlocking",
     "IterativeBlockingResult",
+    "SharedEntityIndex",
+    "latest_epoch",
+    "load_epoch",
+    "save_epoch",
+    "sweep_stale_epochs",
 ]

@@ -1,0 +1,692 @@
+"""A mutable Entity Index: immutable base CSR plus append-only deltas.
+
+The batch pipeline builds an :class:`~repro.blockprocessing.entity_index.
+EntityIndex` once and never touches it again. The online path (``repro.
+incremental``) needs the same index to absorb upserts — new entities, new
+blocking keys, new block members — without an O(collection) rebuild per
+insert. :class:`DeltaEntityIndex` provides that:
+
+* an immutable **base**: a regular :class:`EntityIndex` (or its
+  shared-memory form), possibly ``None`` when starting empty;
+* **append-only deltas**: per-block member append lists and per-entity
+  block-id sets, plus incrementally maintained statistic arrays
+  (``block_counts``, ``inverse_cardinality_array``, sizes, side mask) that
+  always reflect base + delta;
+* a **read-through view** of the Entity Index API the weighting backends
+  consume (``block_slice``/``block_list``/``cooccurring``/
+  ``cooccurrence_arrays``/``placed_entities``/counts/masks), so
+  ``EdgeWeighting._from_shared_index`` builds a working backend over it;
+* **dirty-set tracking**: every mutation records the touched blocks;
+  :meth:`drain_dirty` converts them into the affected node ids so callers
+  invalidate exactly the per-node weight state that went stale;
+* **epoch-based compaction**: :meth:`compact` merges the deltas into a
+  fresh CSR via :meth:`EntityIndex.from_csr` — bit-identical to
+  ``EntityIndex.from_blocks`` on the equivalent collection — and swaps it
+  in as the new base, optionally publishing it to shared memory and/or
+  persisting the member arrays to an ``epoch-NNNNNN`` directory.
+
+Every mutation bumps :attr:`epoch`; epoch-aware consumers (the weighting
+backends) compare it against their cached value and refresh stale memos.
+
+The delta view is for the *serial* streaming path: the parallel executor
+chunks over raw base arrays and is not delta-aware — compact first, then
+hand the fresh base (or :meth:`to_block_collection`) to ``meta_block``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.blockprocessing.entity_index import (
+    EntityIndex,
+    SharedEntityIndex,
+    multi_range_gather,
+)
+from repro.datamodel.blocks import Block, BlockCollection
+from repro.utils.shm import pid_alive
+
+EPOCH_PREFIX = "epoch-"
+_MANIFEST_NAME = "index.json"
+_MANIFEST_VERSION = 1
+
+
+def _grow(array: np.ndarray, size: int) -> np.ndarray:
+    """Return ``array`` with capacity >= ``size`` (doubling growth)."""
+    if array.size >= size:
+        return array
+    capacity = max(size, array.size * 2, 16)
+    out = np.zeros(capacity, dtype=array.dtype)
+    out[: array.size] = array
+    return out
+
+
+class DeltaEntityIndex:
+    """Entity Index over an immutable base CSR plus append-only deltas.
+
+    Parameters
+    ----------
+    base:
+        An immutable :class:`EntityIndex` or :class:`SharedEntityIndex` to
+        layer deltas over, or ``None`` to start from an empty collection.
+    is_bilateral:
+        Whether the collection is Clean-Clean (two sources). Ignored when
+        ``base`` is given (the base decides). Fixed for the index lifetime.
+    keys:
+        Optional blocking keys for the base's blocks (needed when the base
+        came from shared memory or ``from_csr`` and carries no Block
+        objects). Defaults to the base collection's keys, or synthesised
+        ``block-N`` placeholders.
+    """
+
+    def __init__(
+        self,
+        base: EntityIndex | SharedEntityIndex | None = None,
+        *,
+        is_bilateral: bool = False,
+        keys: list[str] | None = None,
+    ) -> None:
+        #: Bumped on every mutation (and on compaction); consumers compare
+        #: it against a cached value to detect stale memos.
+        self.epoch = 0
+        #: No Block objects — consumers work through the CSR/delta arrays.
+        self.blocks = None
+        if base is not None:
+            self.is_bilateral = bool(base.is_bilateral)
+            self._num_entities = int(base.num_entities)
+            base_blocks = getattr(base, "blocks", None)
+            if keys is not None:
+                base_keys = [str(key) for key in keys]
+            elif base_blocks is not None:
+                base_keys = [block.key for block in base_blocks]
+            else:
+                base_keys = [f"block-{i}" for i in range(base.num_blocks)]
+            if len(base_keys) != base.num_blocks:
+                raise ValueError(
+                    f"{len(base_keys)} keys for {base.num_blocks} base blocks"
+                )
+        else:
+            self.is_bilateral = bool(is_bilateral)
+            self._num_entities = 0
+            base_keys = [] if keys is None else [str(key) for key in keys]
+            if base_keys:
+                raise ValueError("keys given without a base index")
+        self._base = base
+        self._keys: list[str] = base_keys
+
+        num_blocks = len(self._keys)
+        if base is not None:
+            sizes1 = np.diff(base.member_indptr1).astype(np.int64, copy=False)
+            if self.is_bilateral:
+                sizes2 = np.diff(base.member_indptr2).astype(
+                    np.int64, copy=False
+                )
+            else:
+                sizes2 = np.zeros(num_blocks, dtype=np.int64)
+            inverse = np.array(base.inverse_cardinality_array, dtype=np.float64)
+            counts = np.array(base.block_counts, dtype=np.int64)
+            second = np.array(base.second_side_mask, dtype=bool)
+        else:
+            sizes1 = np.zeros(0, dtype=np.int64)
+            sizes2 = np.zeros(0, dtype=np.int64)
+            inverse = np.zeros(0, dtype=np.float64)
+            counts = np.zeros(0, dtype=np.int64)
+            second = np.zeros(0, dtype=bool)
+        # Grown statistic arrays; the public views slice them to live size.
+        self._sizes1 = sizes1
+        self._sizes2 = sizes2
+        self._inverse = inverse
+        self._counts = counts
+        self._second = second
+        self._excluded = np.zeros(num_blocks, dtype=bool)
+        self._has_exclusions = False
+
+        # Append-only delta state.
+        self._delta_members1: dict[int, list[int]] = {}
+        self._delta_members2: dict[int, list[int]] = {}
+        self._delta_blocks_of: dict[int, set[int]] = {}
+        self._blocks_of_cache: dict[int, np.ndarray] = {}
+        self._delta_assignments = 0
+        self._dirty_blocks: set[int] = set()
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaEntityIndex(|B|={self.num_blocks}, |E|={self.num_entities},"
+            f" epoch={self.epoch}, delta={self._delta_assignments})"
+        )
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def num_entities(self) -> int:
+        return self._num_entities
+
+    @property
+    def num_blocks(self) -> int:
+        """``|B|`` — number of blocks, base plus delta."""
+        return len(self._keys)
+
+    @property
+    def delta_assignments(self) -> int:
+        """Membership assignments recorded in the delta since last compact."""
+        return self._delta_assignments
+
+    @property
+    def delta_fraction(self) -> float:
+        """Delta assignments as a fraction of all assignments (0 when empty)."""
+        total = int(self._counts[: self._num_entities].sum())
+        return self._delta_assignments / total if total else 0.0
+
+    def keys(self) -> list[str]:
+        """The blocking key of every block, by block position."""
+        return list(self._keys)
+
+    def key_of(self, block_id: int) -> str:
+        return self._keys[block_id]
+
+    # -- mutation ------------------------------------------------------------
+
+    def new_entity(self, second_side: bool = False) -> int:
+        """Register a new entity id (the next consecutive one) and return it."""
+        if second_side and not self.is_bilateral:
+            raise ValueError("second_side entities require a bilateral index")
+        entity = self._num_entities
+        self._num_entities += 1
+        self._counts = _grow(self._counts, self._num_entities)
+        self._second = _grow(self._second, self._num_entities)
+        self._second[entity] = second_side
+        self.epoch += 1
+        return entity
+
+    def new_block(self, key: str | None = None) -> int:
+        """Register a new (empty) block and return its position."""
+        block_id = len(self._keys)
+        self._keys.append(str(key) if key is not None else f"block-{block_id}")
+        num_blocks = len(self._keys)
+        self._sizes1 = _grow(self._sizes1, num_blocks)
+        self._sizes2 = _grow(self._sizes2, num_blocks)
+        self._inverse = _grow(self._inverse, num_blocks)
+        self._excluded = _grow(self._excluded, num_blocks)
+        self.epoch += 1
+        return block_id
+
+    def assign(self, entity: int, block_ids: list[int]) -> None:
+        """Append ``entity`` to each block (side chosen by the entity's mask).
+
+        Marks the touched blocks dirty. When the entity already had block
+        memberships, *all* of its blocks are marked dirty: its ``|B_i|``
+        changed, so every edge incident to it — i.e. every neighborhood it
+        appears in — went stale, not just those through the new blocks.
+        """
+        if not 0 <= entity < self._num_entities:
+            raise ValueError(f"unknown entity id {entity}")
+        if not block_ids:
+            return
+        num_blocks = len(self._keys)
+        side2 = self.is_bilateral and bool(self._second[entity])
+        members = self._delta_members2 if side2 else self._delta_members1
+        sizes = self._sizes2 if side2 else self._sizes1
+        existing = self._delta_blocks_of.setdefault(entity, set())
+        had_blocks = bool(self._counts[entity])
+        for block_id in block_ids:
+            if not 0 <= block_id < num_blocks:
+                raise ValueError(f"unknown block id {block_id}")
+            if block_id in existing or self._in_base_block(entity, block_id):
+                raise ValueError(
+                    f"entity {entity} is already a member of block {block_id}"
+                )
+            existing.add(block_id)
+            members.setdefault(block_id, []).append(entity)
+            sizes[block_id] += 1
+            self._update_inverse(block_id)
+            self._dirty_blocks.add(block_id)
+        if had_blocks:
+            # |B_entity| changed: every neighborhood containing the entity
+            # is stale, so dirty all of its blocks, not just the new ones.
+            self._dirty_blocks.update(int(b) for b in self.block_slice(entity))
+        self._counts[entity] += len(block_ids)
+        self._delta_assignments += len(block_ids)
+        self._blocks_of_cache.pop(entity, None)
+        self.epoch += 1
+
+    def exclude_block(self, block_id: int) -> None:
+        """Veil a block from co-occurrence queries (streaming Block Purging).
+
+        The block keeps its members, sizes and statistics — and survives
+        compaction — but no longer contributes comparison partners. Its
+        members' neighborhoods change, so it is marked dirty.
+        """
+        if not 0 <= block_id < len(self._keys):
+            raise ValueError(f"unknown block id {block_id}")
+        if self._excluded[block_id]:
+            return
+        self._excluded[block_id] = True
+        self._has_exclusions = True
+        self._dirty_blocks.add(block_id)
+        self.epoch += 1
+
+    def is_excluded(self, block_id: int) -> bool:
+        return bool(self._excluded[block_id])
+
+    # -- dirty tracking ------------------------------------------------------
+
+    @property
+    def dirty_blocks(self) -> frozenset[int]:
+        """Blocks touched since the last :meth:`drain_dirty` (undrained)."""
+        return frozenset(self._dirty_blocks)
+
+    def drain_dirty(self) -> tuple[set[int], set[int]]:
+        """Return and clear ``(dirty_blocks, affected_nodes)``.
+
+        The affected nodes are the *current* members (both sides) of every
+        block touched since the previous drain — exactly the entities whose
+        per-node weight state a caller must invalidate.
+        """
+        blocks = self._dirty_blocks
+        self._dirty_blocks = set()
+        nodes: set[int] = set()
+        for block_id in blocks:
+            nodes.update(int(e) for e in self._members(block_id, side2=False))
+            if self.is_bilateral:
+                nodes.update(
+                    int(e) for e in self._members(block_id, side2=True)
+                )
+        return blocks, nodes
+
+    # -- read-through Entity Index API ---------------------------------------
+
+    @property
+    def block_counts(self) -> np.ndarray:
+        """``|B_i|`` per entity (live view; re-read after mutations)."""
+        return self._counts[: self._num_entities]
+
+    @property
+    def inverse_cardinality_array(self) -> np.ndarray:
+        return self._inverse[: len(self._keys)]
+
+    @property
+    def inverse_cardinalities(self) -> np.ndarray:
+        return self.inverse_cardinality_array
+
+    @property
+    def second_side_mask(self) -> np.ndarray:
+        return self._second[: self._num_entities]
+
+    def in_second_collection(self, entity: int) -> bool:
+        return bool(self._second[entity])
+
+    def block_slice(self, entity: int) -> np.ndarray:
+        """``B_i`` — ascending block positions containing ``entity``."""
+        delta = self._delta_blocks_of.get(entity)
+        base = self._base
+        if base is not None and entity < base.num_entities:
+            base_slice = base.block_slice(entity)
+        else:
+            base_slice = np.empty(0, dtype=np.int64)
+        if not delta:
+            return base_slice
+        cached = self._blocks_of_cache.get(entity)
+        if cached is None:
+            extra = np.fromiter(delta, dtype=np.int64, count=len(delta))
+            cached = np.sort(np.concatenate((base_slice, extra)))
+            self._blocks_of_cache[entity] = cached
+        return cached
+
+    def block_list(self, entity: int) -> np.ndarray:
+        return self.block_slice(entity)
+
+    def num_blocks_of(self, entity: int) -> int:
+        return int(self._counts[entity])
+
+    def placed_entities(self) -> list[int]:
+        return np.flatnonzero(self.block_counts).tolist()
+
+    def block_size(self, block_id: int) -> int:
+        """``|b|`` — members on both sides, base plus delta."""
+        size = int(self._sizes1[block_id])
+        if self.is_bilateral:
+            size += int(self._sizes2[block_id])
+        return size
+
+    def cardinality(self, block_id: int) -> int:
+        """``||b||`` — comparisons the block entails."""
+        if self.is_bilateral:
+            return int(self._sizes1[block_id]) * int(self._sizes2[block_id])
+        size = int(self._sizes1[block_id])
+        return size * (size - 1) // 2
+
+    def comparison_mass(self) -> int:
+        """``||B||`` — total comparisons across all (non-excluded) blocks."""
+        num_blocks = len(self._keys)
+        sizes1 = self._sizes1[:num_blocks]
+        if self.is_bilateral:
+            cards = sizes1 * self._sizes2[:num_blocks]
+        else:
+            cards = sizes1 * (sizes1 - 1) // 2
+        if self._has_exclusions:
+            cards = np.where(self._excluded[:num_blocks], 0, cards)
+        return int(cards.sum())
+
+    def members(self, block_id: int, second_side: bool = False) -> np.ndarray:
+        """Current member ids of one block side (base run + delta appends)."""
+        return self._members(block_id, side2=second_side)
+
+    def cooccurring(self, entity: int, block_position: int) -> np.ndarray:
+        """See :meth:`EntityIndex.cooccurring` (CSR + delta overlay)."""
+        other_side = self.is_bilateral and not self._second[entity]
+        return self._members(block_position, side2=other_side)
+
+    def cooccurrence_arrays(self, entity: int) -> tuple[np.ndarray, np.ndarray]:
+        """See :meth:`EntityIndex.cooccurrence_arrays`.
+
+        The base contribution comes from one multi-range gather over the
+        base member arrays; delta appends are overlaid per block. Excluded
+        blocks are skipped entirely.
+        """
+        positions = self.block_slice(entity)
+        if self._has_exclusions and positions.size:
+            positions = positions[~self._excluded[positions]]
+        base = self._base
+        use_side1 = self.is_bilateral and bool(self._second[entity])
+        delta = self._delta_members1 if use_side1 else self._delta_members2
+        if not self.is_bilateral:
+            delta = self._delta_members1
+        pieces_ids: list[np.ndarray] = []
+        pieces_blocks: list[np.ndarray] = []
+        if base is not None and positions.size:
+            base_positions = positions[positions < base.num_blocks]
+            if use_side1 or not self.is_bilateral:
+                indptr, members = base.member_indptr1, base.members1
+            else:
+                indptr, members = base.member_indptr2, base.members2
+            ids, blocks = multi_range_gather(indptr, members, base_positions)
+            if ids.size:
+                pieces_ids.append(ids)
+                pieces_blocks.append(blocks)
+        if delta:
+            for position in positions.tolist():
+                appended = delta.get(position)
+                if appended:
+                    pieces_ids.append(np.asarray(appended, dtype=np.int64))
+                    pieces_blocks.append(
+                        np.full(len(appended), position, dtype=np.int64)
+                    )
+        if not pieces_ids:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        ids = np.concatenate(pieces_ids)
+        blocks = np.concatenate(pieces_blocks)
+        if not self.is_bilateral and ids.size:
+            keep = ids != entity
+            ids, blocks = ids[keep], blocks[keep]
+        return ids, blocks
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(
+        self,
+        *,
+        shared: bool = False,
+        persist_dir: "str | os.PathLike[str] | None" = None,
+    ) -> EntityIndex | SharedEntityIndex:
+        """Merge the deltas into a fresh CSR base and swap it in.
+
+        The merged member arrays list, per block, the base run followed by
+        the delta appends in insertion order — the same member order
+        :meth:`to_block_collection` produces — and are rebuilt through
+        :meth:`EntityIndex.from_csr`, so the result is bit-identical to
+        ``EntityIndex.from_blocks(self.to_block_collection())``. Block ids
+        and the exclusion mask are preserved.
+
+        With ``shared=True`` the fresh CSR is published straight into a
+        :class:`~repro.utils.shm.SharedArrayPack` and the shared view
+        becomes the new base (caller owns the segment). With
+        ``persist_dir`` the member arrays are also written to an
+        ``epoch-NNNNNN`` directory (atomic tmp + rename).
+        """
+        indptr1, members1 = self._merge_side(side2=False)
+        if self.is_bilateral:
+            indptr2, members2 = self._merge_side(side2=True)
+        else:
+            indptr2 = members2 = None
+        fresh = EntityIndex.from_csr(
+            num_entities=self._num_entities,
+            is_bilateral=self.is_bilateral,
+            member_indptr1=indptr1,
+            members1=members1,
+            member_indptr2=indptr2,
+            members2=members2,
+        )
+        self.epoch += 1
+        if persist_dir is not None:
+            save_epoch(fresh, persist_dir, self.epoch, keys=self._keys)
+        base: EntityIndex | SharedEntityIndex = fresh
+        if shared:
+            base = fresh.to_shared()
+        self._base = base
+        self._delta_members1 = {}
+        self._delta_members2 = {}
+        self._delta_blocks_of = {}
+        self._blocks_of_cache = {}
+        self._delta_assignments = 0
+        return base
+
+    def to_block_collection(self) -> BlockCollection:
+        """Materialise the current state as a plain :class:`BlockCollection`.
+
+        Member order per block is base run followed by delta appends, the
+        same order compaction merges — ``EntityIndex(collection)`` equals
+        ``compact()`` bit for bit. Excluded blocks are included (exclusion
+        is a query-time veil, mirrored by batch Block Purging).
+        """
+        blocks = []
+        for block_id, key in enumerate(self._keys):
+            entities1 = self._members(block_id, side2=False).tolist()
+            if self.is_bilateral:
+                entities2 = self._members(block_id, side2=True).tolist()
+                blocks.append(Block(key, entities1, entities2))
+            else:
+                blocks.append(Block(key, entities1))
+        return BlockCollection(blocks, num_entities=self._num_entities)
+
+    # -- internals -----------------------------------------------------------
+
+    def _in_base_block(self, entity: int, block_id: int) -> bool:
+        base = self._base
+        if base is None or entity >= base.num_entities:
+            return False
+        if block_id >= base.num_blocks:
+            return False
+        base_slice = base.block_slice(entity)
+        position = int(np.searchsorted(base_slice, block_id))
+        return position < base_slice.size and int(base_slice[position]) == block_id
+
+    def _update_inverse(self, block_id: int) -> None:
+        if self.is_bilateral:
+            card = int(self._sizes1[block_id]) * int(self._sizes2[block_id])
+        else:
+            size = int(self._sizes1[block_id])
+            card = size * (size - 1) // 2
+        self._inverse[block_id] = 1.0 / card if card > 0 else 0.0
+
+    def _members(self, block_id: int, *, side2: bool) -> np.ndarray:
+        base = self._base
+        delta = self._delta_members2 if side2 else self._delta_members1
+        appended = delta.get(block_id)
+        if base is not None and block_id < base.num_blocks:
+            if side2:
+                indptr, members = base.member_indptr2, base.members2
+            else:
+                indptr, members = base.member_indptr1, base.members1
+            run = members[indptr[block_id] : indptr[block_id + 1]]
+        else:
+            run = np.empty(0, dtype=np.int64)
+        if not appended:
+            return run
+        extra = np.asarray(appended, dtype=np.int64)
+        return np.concatenate((run, extra)) if run.size else extra
+
+    def _merge_side(self, *, side2: bool) -> tuple[np.ndarray, np.ndarray]:
+        num_blocks = len(self._keys)
+        sizes = (self._sizes2 if side2 else self._sizes1)[:num_blocks]
+        indptr = np.zeros(num_blocks + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        base = self._base
+        delta = self._delta_members2 if side2 else self._delta_members1
+        merged = np.empty(int(indptr[-1]), dtype=np.int64)
+        if base is not None:
+            base_indptr = base.member_indptr2 if side2 else base.member_indptr1
+            base_members = base.members2 if side2 else base.members1
+            base_blocks = base.num_blocks
+        else:
+            base_blocks = 0
+        cursor = 0
+        for block_id in range(num_blocks):
+            if block_id < base_blocks:
+                run = base_members[
+                    base_indptr[block_id] : base_indptr[block_id + 1]
+                ]
+                merged[cursor : cursor + run.size] = run
+                cursor += run.size
+            appended = delta.get(block_id)
+            if appended:
+                merged[cursor : cursor + len(appended)] = appended
+                cursor += len(appended)
+        return indptr, merged
+
+
+# -- epoch persistence -------------------------------------------------------
+
+
+def _epoch_dir_name(epoch: int) -> str:
+    return f"{EPOCH_PREFIX}{epoch:06d}"
+
+
+def save_epoch(
+    index: EntityIndex | SharedEntityIndex,
+    directory: "str | os.PathLike[str]",
+    epoch: int,
+    keys: list[str] | None = None,
+) -> Path:
+    """Persist a compacted base's member arrays to ``directory/epoch-NNNNNN``.
+
+    Writes into a pid-tagged temp directory first, then renames into place,
+    so readers only ever see complete epochs; a crash mid-write leaves an
+    ``epoch-NNNNNN.tmp-{pid}`` orphan that ``sweep_stale_epochs`` removes.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    final = directory / _epoch_dir_name(epoch)
+    tmp = directory / f"{_epoch_dir_name(epoch)}.tmp-{os.getpid()}"
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir()
+    try:
+        np.save(tmp / "member_indptr1.npy", index.member_indptr1)
+        np.save(tmp / "members1.npy", index.members1)
+        if index.is_bilateral:
+            np.save(tmp / "member_indptr2.npy", index.member_indptr2)
+            np.save(tmp / "members2.npy", index.members2)
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "epoch": int(epoch),
+            "pid": os.getpid(),
+            "num_entities": int(index.num_entities),
+            "is_bilateral": bool(index.is_bilateral),
+            "keys": None if keys is None else [str(key) for key in keys],
+        }
+        (tmp / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        if final.exists():
+            shutil.rmtree(final)
+        os.replace(tmp, final)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return final
+
+
+def load_epoch(
+    epoch_dir: "str | os.PathLike[str]",
+) -> tuple[EntityIndex, list[str] | None]:
+    """Rebuild a compacted base from a persisted epoch directory.
+
+    Returns ``(index, keys)``; ``keys`` is ``None`` when the epoch was
+    saved without them. The entity → blocks CSR and statistics are
+    re-derived, so the result is bit-identical to the index that was saved.
+    """
+    epoch_dir = Path(epoch_dir)
+    manifest = json.loads((epoch_dir / _MANIFEST_NAME).read_text())
+    if manifest.get("version") != _MANIFEST_VERSION:
+        raise ValueError(
+            f"unsupported epoch manifest version {manifest.get('version')!r}"
+        )
+    is_bilateral = bool(manifest["is_bilateral"])
+    kwargs = {
+        "member_indptr1": np.load(epoch_dir / "member_indptr1.npy"),
+        "members1": np.load(epoch_dir / "members1.npy"),
+    }
+    if is_bilateral:
+        kwargs["member_indptr2"] = np.load(epoch_dir / "member_indptr2.npy")
+        kwargs["members2"] = np.load(epoch_dir / "members2.npy")
+    index = EntityIndex.from_csr(
+        num_entities=int(manifest["num_entities"]),
+        is_bilateral=is_bilateral,
+        **kwargs,
+    )
+    keys = manifest.get("keys")
+    return index, keys
+
+
+def latest_epoch(directory: "str | os.PathLike[str]") -> Path | None:
+    """The newest complete epoch directory under ``directory``, or ``None``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates = sorted(
+        child
+        for child in directory.iterdir()
+        if child.is_dir()
+        and child.name.startswith(EPOCH_PREFIX)
+        and ".tmp-" not in child.name
+        and (child / _MANIFEST_NAME).is_file()
+    )
+    return candidates[-1] if candidates else None
+
+
+def sweep_stale_epochs(
+    directory: "str | os.PathLike[str]", dry_run: bool = False
+) -> list[Path]:
+    """Remove orphaned compaction artifacts under a compaction directory.
+
+    Sweeps ``epoch-NNNNNN.tmp-{pid}`` staging directories whose owning
+    process is gone (a crash mid-:func:`save_epoch`) and ``epoch-*``
+    directories missing their manifest (a torn write predating the atomic
+    rename, or manual tampering). Complete epochs and live staging dirs
+    are left alone. Returns the swept (or, under ``dry_run``, sweepable)
+    paths.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    swept: list[Path] = []
+    for child in sorted(directory.iterdir()):
+        if not child.is_dir() or not child.name.startswith(EPOCH_PREFIX):
+            continue
+        if ".tmp-" in child.name:
+            tail = child.name.rsplit(".tmp-", 1)[1]
+            try:
+                owner = int(tail)
+            except ValueError:
+                owner = -1
+            if pid_alive(owner):
+                continue
+        elif (child / _MANIFEST_NAME).is_file():
+            continue
+        swept.append(child)
+        if not dry_run:
+            shutil.rmtree(child, ignore_errors=True)
+    return swept

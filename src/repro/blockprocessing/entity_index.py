@@ -34,6 +34,47 @@ from repro.datamodel.blocks import BlockCollection
 from repro.utils.shm import SharedArrayPack, SharedPackSpec
 
 
+def multi_range_gather(
+    member_indptr: np.ndarray, members: np.ndarray, positions: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather several CSR member runs back to back, in one fancy-index.
+
+    Returns ``(ids, blocks)``: the concatenated member runs of ``positions``
+    and, aligned element-for-element, the block position each id came from.
+    The runs appear in the order of ``positions``.
+    """
+    if positions.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    starts = member_indptr[positions]
+    lengths = member_indptr[positions + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    ends = np.cumsum(lengths)
+    gather = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - (ends - lengths), lengths
+    )
+    return members[gather], np.repeat(positions, lengths)
+
+
+def _csr_cooccurrence_arrays(
+    index, entity: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared implementation of ``cooccurrence_arrays`` over CSR arrays."""
+    positions = index.block_slice(entity)
+    if index.is_bilateral and index.second_side_mask[entity]:
+        member_indptr, members = index.member_indptr1, index.members1
+    else:
+        member_indptr, members = index.member_indptr2, index.members2
+    ids, blocks = multi_range_gather(member_indptr, members, positions)
+    if not index.is_bilateral and ids.size:
+        keep = ids != entity
+        ids, blocks = ids[keep], blocks[keep]
+    return ids, blocks
+
+
 class EntityIndex:
     """Inverted index over a block collection, CSR-backed.
 
@@ -43,9 +84,12 @@ class EntityIndex:
     (:meth:`~repro.datamodel.blocks.BlockCollection.sorted_by_cardinality`).
     """
 
+    #: Static indexes never mutate; :class:`DeltaEntityIndex` overrides this
+    #: with a counter so epoch-aware consumers can detect staleness.
+    epoch = 0
+
     def __init__(self, blocks: BlockCollection) -> None:
         self.blocks = blocks
-        self.num_entities = blocks.num_entities
         self.is_bilateral = blocks.is_bilateral
         num_blocks = len(blocks)
 
@@ -81,8 +125,72 @@ class EntityIndex:
             self.member_indptr2 = self.member_indptr1
             self.members2 = self.members1
 
+        cardinalities = np.fromiter(
+            (block.cardinality for block in blocks),
+            dtype=np.float64,
+            count=num_blocks,
+        )
+        self._derive(blocks.num_entities, cardinalities)
+
+    @classmethod
+    def from_blocks(cls, blocks: BlockCollection) -> "EntityIndex":
+        """Build an index from a block collection (alias of the constructor)."""
+        return cls(blocks)
+
+    @classmethod
+    def from_csr(
+        cls,
+        *,
+        num_entities: int,
+        is_bilateral: bool,
+        member_indptr1: np.ndarray,
+        members1: np.ndarray,
+        member_indptr2: np.ndarray | None = None,
+        members2: np.ndarray | None = None,
+    ) -> "EntityIndex":
+        """Build an index directly from block → member CSR arrays.
+
+        Runs the same derivation (lexsort, counts, cardinality statistics) as
+        the block-collection constructor, so for equal member arrays the
+        result is bit-identical to :meth:`from_blocks` on the equivalent
+        collection — this is the compaction entry point of
+        :class:`~repro.blockprocessing.delta_index.DeltaEntityIndex`. The
+        resulting index has ``blocks = None``; accessors fall back to the
+        CSR arrays.
+        """
+        self = cls.__new__(cls)
+        self.blocks = None
+        self.is_bilateral = is_bilateral
+        self.member_indptr1 = np.ascontiguousarray(member_indptr1, dtype=np.int64)
+        self.members1 = np.ascontiguousarray(members1, dtype=np.int64)
+        if is_bilateral:
+            if member_indptr2 is None or members2 is None:
+                raise ValueError("bilateral CSR requires side-2 member arrays")
+            self.member_indptr2 = np.ascontiguousarray(
+                member_indptr2, dtype=np.int64
+            )
+            self.members2 = np.ascontiguousarray(members2, dtype=np.int64)
+        else:
+            self.member_indptr2 = self.member_indptr1
+            self.members2 = self.members1
+        sizes1 = np.diff(self.member_indptr1)
+        if is_bilateral:
+            sizes2 = np.diff(self.member_indptr2)
+            cardinalities = (sizes1 * sizes2).astype(np.float64)
+        else:
+            cardinalities = (sizes1 * (sizes1 - 1) // 2).astype(np.float64)
+        self._derive(num_entities, cardinalities)
+        return self
+
+    def _derive(self, num_entities: int, cardinalities: np.ndarray) -> None:
+        """Derive the entity → blocks CSR and statistics from member arrays."""
+        self.num_entities = num_entities
+        num_blocks = self.member_indptr1.size - 1
+        sizes1 = np.diff(self.member_indptr1)
+
         # -- entity -> blocks CSR ------------------------------------------
         if self.is_bilateral:
+            sizes2 = np.diff(self.member_indptr2)
             entities = np.concatenate((self.members1, self.members2))
             positions = np.concatenate(
                 (
@@ -106,11 +214,6 @@ class EntityIndex:
         self._block_lists_cache: list[list[int]] | None = None
 
         # -- per-block / per-entity statistics -----------------------------
-        cardinalities = np.fromiter(
-            (block.cardinality for block in blocks),
-            dtype=np.float64,
-            count=num_blocks,
-        )
         with np.errstate(divide="ignore"):
             inverse = np.where(cardinalities > 0, 1.0 / cardinalities, 0.0)
         self.inverse_cardinality_array = inverse
@@ -125,7 +228,7 @@ class EntityIndex:
         self._second_side: list[bool] = self.second_side_mask.tolist()
 
     def __repr__(self) -> str:
-        return f"EntityIndex(|B|={len(self.blocks)}, |E|={self.num_entities})"
+        return f"EntityIndex(|B|={self.num_blocks}, |E|={self.num_entities})"
 
     @property
     def num_blocks(self) -> int:
@@ -152,19 +255,36 @@ class EntityIndex:
         """True iff the entity appears on the second side of bilateral blocks."""
         return self._second_side[entity]
 
-    def cooccurring(self, entity: int, block_position: int) -> tuple[int, ...]:
+    def cooccurring(self, entity: int, block_position: int):
         """Entities the given one is compared with inside one of its blocks.
 
         For unilateral blocks these are all members (the caller filters out
         ``entity`` itself); for bilateral blocks, the members of the opposite
-        side.
+        side. Returns the block's tuples when built from a collection, a CSR
+        member view when built :meth:`from_csr`.
         """
+        if self.blocks is None:
+            if self.is_bilateral and self._second_side[entity]:
+                indptr, members = self.member_indptr1, self.members1
+            else:
+                indptr, members = self.member_indptr2, self.members2
+            return members[indptr[block_position] : indptr[block_position + 1]]
         block = self.blocks[block_position]
         if block.entities2 is None:
             return block.entities1
         if self._second_side[entity]:
             return block.entities1
         return block.entities2
+
+    def cooccurrence_arrays(self, entity: int) -> tuple[np.ndarray, np.ndarray]:
+        """All of ``entity``'s comparison partners across its blocks, columnar.
+
+        Returns ``(ids, blocks)``: the co-occurring entity ids of every block
+        in ``B_i`` back to back (an id repeats once per shared block) and,
+        aligned, the block position each came from. Self co-occurrences are
+        already filtered for unilateral collections.
+        """
+        return _csr_cooccurrence_arrays(self, entity)
 
     def block_list(self, entity: int) -> list[int]:
         """``B_i`` — ascending block positions containing ``entity``."""
@@ -252,6 +372,9 @@ class SharedEntityIndex:
     the index as a context manager) to unlink it. Attached instances only
     :meth:`close` their mapping and are resource-tracker safe.
     """
+
+    #: Shared indexes are immutable snapshots; see :attr:`EntityIndex.epoch`.
+    epoch = 0
 
     _ARRAY_KEYS = (
         "indptr",
@@ -349,6 +472,10 @@ class SharedEntityIndex:
         else:
             indptr, members = self.member_indptr2, self.members2
         return members[indptr[block_position] : indptr[block_position + 1]]
+
+    def cooccurrence_arrays(self, entity: int) -> tuple[np.ndarray, np.ndarray]:
+        """See :meth:`EntityIndex.cooccurrence_arrays`."""
+        return _csr_cooccurrence_arrays(self, entity)
 
     def block_list(self, entity: int) -> np.ndarray:
         return self.block_slice(entity)

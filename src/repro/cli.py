@@ -8,13 +8,19 @@ Commands
     Print the Table-1-style characteristics of a dataset's blocks.
 ``metablock``
     Run the full pipeline on a dataset file and report PC/PQ/RR/OTime;
-    optionally write the retained comparisons to CSV.
+    optionally write the retained comparisons to CSV and the phase
+    timings/fault counters to JSON (``--timings-json``).
+``stream``
+    Replay a dataset through the incremental resolver
+    (:class:`~repro.incremental.IncrementalMetaBlocking`), one profile at
+    a time, and report streaming recall/precision and upsert throughput.
 ``sweep``
     Evaluate every pruning algorithm x weighting scheme on a dataset and
     print the grid (the Section 6.4 configuration search).
 ``clean``
-    Remove stale shared-memory segments (and, with ``--spill-dir``,
-    orphaned ``run-*`` spill directories) left behind by crashed runs.
+    Remove stale shared-memory segments (and, with ``--spill-dir`` /
+    ``--compact-dir``, orphaned ``run-*`` spill directories and
+    ``epoch-*`` compaction snapshots) left behind by crashed runs.
 
 All commands accept Dirty or Clean-Clean JSON datasets produced by
 ``generate`` or :func:`repro.datasets.save_dataset_json`.
@@ -160,6 +166,27 @@ def cmd_metablock(args: argparse.Namespace) -> int:
               f"merge {timings.get('merge', 0.0):.2f}s")
     if result.spill_manifest:
         print(f"spilled:   {result.spill_manifest}")
+    if args.timings_json:
+        payload = {
+            "scheme": result.scheme.name,
+            "algorithm": result.algorithm.name,
+            "backend": args.backend,
+            "effective_workers": result.effective_workers,
+            "parallel_backend": result.parallel_backend,
+            "blocking_seconds": blocking_timer.elapsed,
+            "filtering_seconds": result.filtering_seconds,
+            "pruning_seconds": result.pruning_seconds,
+            "stage_seconds": result.stage_seconds,
+            "overhead_seconds": result.overhead_seconds,
+            "phase_timings": result.phase_timings,
+            "fault_stats": result.fault_stats,
+            "retained_comparisons": result.comparisons.cardinality,
+        }
+        Path(args.timings_json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote timings to {args.timings_json}")
     if args.output:
         with open(args.output, "w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
@@ -175,6 +202,7 @@ def cmd_metablock(args: argparse.Namespace) -> int:
 
 
 def cmd_clean(args: argparse.Namespace) -> int:
+    from repro.blockprocessing.delta_index import sweep_stale_epochs
     from repro.datamodel.sinks import sweep_stale_runs
     from repro.utils.shm import sweep_stale_segments
 
@@ -187,8 +215,58 @@ def cmd_clean(args: argparse.Namespace) -> int:
         runs = sweep_stale_runs(args.spill_dir, dry_run=args.dry_run)
         for run_dir in runs:
             print(f"{verb} spill run {run_dir}")
-    if not segments and not runs:
+    epochs = []
+    if args.compact_dir:
+        epochs = sweep_stale_epochs(args.compact_dir, dry_run=args.dry_run)
+        for epoch_dir in epochs:
+            print(f"{verb} compaction artifact {epoch_dir}")
+    if not segments and not runs and not epochs:
         print("nothing to clean")
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.incremental import IncrementalMetaBlocking
+
+    dataset = load_dataset(args.dataset)
+    method = BLOCKING_METHODS[args.blocking]()
+    resolver = IncrementalMetaBlocking(
+        method.keys_for,
+        scheme=args.scheme,
+        k=args.k,
+        reciprocal=args.reciprocal,
+        filtering_ratio=args.filtering_ratio,
+        max_block_size=args.max_block_size,
+        clean_clean=dataset.is_clean_clean,
+        compact_ratio=args.compact_ratio,
+        compact_dir=args.compact_dir,
+    )
+    truth = {tuple(sorted(pair)) for pair in dataset.ground_truth}
+    emitted = 0
+    matched: set = set()
+    with Timer() as timer:
+        for entity_id, profile in dataset.iter_profiles():
+            source = (
+                dataset.source_of(entity_id) if dataset.is_clean_clean else 0
+            )
+            for candidate in resolver.add(profile, source=source):
+                emitted += 1
+                pair = tuple(sorted((entity_id, candidate.entity_id)))
+                if pair in truth:
+                    matched.add(pair)
+    added = len(resolver)
+    rate = added / timer.elapsed if timer.elapsed > 0 else float("inf")
+    recall = len(matched) / len(truth) if truth else 1.0
+    precision = len(matched) / emitted if emitted else 0.0
+    print(f"dataset:   {dataset!r}")
+    print(f"config:    {resolver.scheme.name}, k={args.k}, "
+          f"r={args.filtering_ratio}, "
+          f"reciprocal={'on' if args.reciprocal else 'off'}")
+    print(f"stream:    {added:,} upserts in {timer.elapsed:.2f}s "
+          f"({rate:,.0f}/s), {resolver.num_blocks:,} blocks, "
+          f"{resolver.compactions} compaction(s), epoch {resolver.epoch}")
+    print(f"result:    recall {recall:.3f}, precision {precision:.5f}, "
+          f"{emitted:,} candidates")
     return 0
 
 
@@ -339,9 +417,56 @@ def build_parser() -> argparse.ArgumentParser:
              "the run's checkpoint and override the matching flags",
     )
     metablock.add_argument(
+        "--timings-json", default=None, dest="timings_json", metavar="PATH",
+        help="write the run's phase timings, fault counters and stage "
+             "seconds to this JSON file",
+    )
+    metablock.add_argument(
         "--output", help="write retained comparisons to this CSV file"
     )
     metablock.set_defaults(handler=cmd_metablock)
+
+    stream = commands.add_parser(
+        "stream",
+        help="replay a dataset through the incremental resolver and report "
+             "streaming recall/precision and upsert throughput",
+    )
+    stream.add_argument("dataset", help="dataset JSON path")
+    stream.add_argument(
+        "--blocking", choices=sorted(BLOCKING_METHODS), default="token",
+        help="blocking method supplying the per-profile keys",
+    )
+    stream.add_argument(
+        "--scheme", choices=sorted(WEIGHTING_SCHEMES), default="JS"
+    )
+    stream.add_argument(
+        "--k", type=int, default=5,
+        help="candidates returned per upsert (node-centric cardinality)",
+    )
+    stream.add_argument(
+        "--reciprocal", action="store_true",
+        help="keep only reciprocally top-k candidates (Reciprocal CNP)",
+    )
+    stream.add_argument(
+        "--filtering-ratio", type=float, default=0.8, dest="filtering_ratio",
+        help="insertion-time Block Filtering ratio (1.0 disables)",
+    )
+    stream.add_argument(
+        "--max-block-size", type=int, default=None, dest="max_block_size",
+        help="exclude blocks growing beyond this size (streaming Block "
+             "Purging; default: no cap)",
+    )
+    stream.add_argument(
+        "--compact-ratio", type=float, default=None, dest="compact_ratio",
+        help="delta-mass fraction at which the index auto-compacts into a "
+             "fresh CSR (in (0, 1]; default: never)",
+    )
+    stream.add_argument(
+        "--compact-dir", default=None, dest="compact_dir",
+        help="persist an epoch-NNNNNN snapshot on every compaction under "
+             "this directory (swept by 'repro clean --compact-dir')",
+    )
+    stream.set_defaults(handler=cmd_stream)
 
     clean = commands.add_parser(
         "clean",
@@ -351,6 +476,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--spill-dir", default=None, dest="spill_dir",
         help="also sweep orphaned run-* directories (no manifest, owner "
              "process gone) under this spill directory",
+    )
+    clean.add_argument(
+        "--compact-dir", default=None, dest="compact_dir",
+        help="also sweep orphaned compaction artifacts (partial epoch "
+             "temp directories with a dead owner, epoch directories "
+             "missing their manifest) under this directory",
     )
     clean.add_argument(
         "--dry-run", action="store_true",

@@ -64,10 +64,19 @@ class EdgeWeighting(ABC):
         self.blocks = blocks
         self.scheme = get_scheme(scheme)
         self.index = EntityIndex(blocks)
-        self.num_entities = blocks.num_entities
-        self.total_blocks = len(blocks)
         self._degrees: list[int] | None = None
         self._total_edges: int | None = None
+        self._epoch = self.index.epoch
+
+    @property
+    def num_entities(self) -> int:
+        """``|E|`` — read through to the index (mutable indexes grow)."""
+        return self.index.num_entities
+
+    @property
+    def total_blocks(self) -> int:
+        """``|B|`` — read through to the index (mutable indexes grow)."""
+        return self.index.num_blocks
 
     @classmethod
     def _from_shared_index(
@@ -89,15 +98,35 @@ class EdgeWeighting(ABC):
         self.blocks = None  # type: ignore[assignment]
         self.scheme = get_scheme(scheme)
         self.index = index
-        self.num_entities = index.num_entities
-        self.total_blocks = index.num_blocks
         self._degrees = None
         self._total_edges = None
+        self._epoch = getattr(index, "epoch", 0)
         self._init_shared_state()
         return self
 
     def _init_shared_state(self) -> None:
         """Backend-specific extras for :meth:`_from_shared_index`."""
+
+    # -- epoch awareness ------------------------------------------------------
+
+    def _refresh_epoch(self) -> None:
+        """Invalidate memos when a mutable index advanced its epoch.
+
+        Static indexes keep ``epoch == 0`` so this is a no-op int compare on
+        the batch paths. After a mutation (or compaction) of a
+        :class:`~repro.blockprocessing.delta_index.DeltaEntityIndex`, the
+        degree/edge-count memos are dropped and the backend hook
+        :meth:`_epoch_invalidated` re-reads any index-sized caches.
+        """
+        epoch = getattr(self.index, "epoch", 0)
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self._degrees = None
+            self._total_edges = None
+            self._epoch_invalidated()
+
+    def _epoch_invalidated(self) -> None:
+        """Backend hook: refresh caches invalidated by an index mutation."""
 
     # -- graph structure ----------------------------------------------------
 
@@ -113,6 +142,7 @@ class EdgeWeighting(ABC):
     @property
     def graph_size(self) -> int:
         """``|E_B|`` — number of distinct edges of the blocking graph."""
+        self._refresh_epoch()
         if self._total_edges is None:
             self._compute_degrees()
         assert self._total_edges is not None
@@ -120,6 +150,7 @@ class EdgeWeighting(ABC):
 
     def degrees(self) -> list[int]:
         """Node degrees ``|v_i|`` (distinct co-occurring entities)."""
+        self._refresh_epoch()
         if self._degrees is None:
             self._compute_degrees()
         assert self._degrees is not None
@@ -272,7 +303,8 @@ class EdgeWeighting(ABC):
             yield entity, self.neighborhood(entity)
 
     def _prepare_scheme_inputs(self) -> None:
-        """Force the degree pass when the scheme needs it (EJS)."""
+        """Refresh stale memos, then force the degree pass if needed (EJS)."""
+        self._refresh_epoch()
         if self.scheme.uses_degrees and self._degrees is None:
             self._compute_degrees()
 
@@ -320,6 +352,13 @@ class OptimizedEdgeWeighting(EdgeWeighting):
         # scanned again in a later pass over the graph.
         self._stamp = 0
 
+    def _epoch_invalidated(self) -> None:
+        grow = self.num_entities - len(self._flags)
+        if grow > 0:
+            self._flags.extend([-1] * grow)
+            self._common.extend([0] * grow)
+            self._arcs.extend([0.0] * grow)
+
     def _scan(self, entity: int) -> list[int]:
         """One ScanCount pass; returns the distinct neighbours of ``entity``.
 
@@ -327,6 +366,7 @@ class OptimizedEdgeWeighting(EdgeWeighting):
         the scheme needs it) ``self._arcs[j]`` holds ``sum(1/||b||)`` over
         the shared blocks.
         """
+        self._refresh_epoch()
         flags, common, arcs = self._flags, self._common, self._arcs
         self._stamp += 1
         stamp = self._stamp

@@ -100,6 +100,18 @@ class ExecutionConfig:
         and only unfinished chunks execute
         (:func:`~repro.core.pipeline.resume_run` builds the whole call from
         the stored configuration).
+    compact_ratio:
+        Streaming-only: the delta-mass fraction at which
+        :class:`~repro.incremental.IncrementalMetaBlocking` compacts its
+        :class:`~repro.blockprocessing.delta_index.DeltaEntityIndex` into a
+        fresh base CSR (in ``(0, 1]``; e.g. ``0.25`` compacts once a
+        quarter of all block memberships live in the delta).  ``None``
+        (default) never auto-compacts. Ignored by the batch pipeline.
+    compact_dir:
+        Streaming-only: directory where compactions persist their epoch
+        snapshots (``epoch-NNNNNN`` subdirectories); swept by
+        ``repro clean --compact-dir``. ``None`` keeps epochs in memory
+        only.
     """
 
     parallel: int | None = None
@@ -112,6 +124,8 @@ class ExecutionConfig:
     chunk_timeout: float | None = None
     backoff: float | None = None
     resume_from: "str | os.PathLike[str] | None" = None
+    compact_ratio: float | None = None
+    compact_dir: "str | os.PathLike[str] | None" = None
 
     def __post_init__(self) -> None:
         if self.parallel_backend is not None and self.parallel_backend not in (
@@ -138,6 +152,13 @@ class ExecutionConfig:
             "chunk_timeout", self.chunk_timeout, minimum=0, exclusive=True
         )
         _require_number("backoff", self.backoff, minimum=0)
+        _require_number(
+            "compact_ratio", self.compact_ratio, minimum=0, exclusive=True
+        )
+        if self.compact_ratio is not None and self.compact_ratio > 1:
+            raise ValueError(
+                f"compact_ratio must be <= 1, got {self.compact_ratio}"
+            )
 
     @property
     def spills(self) -> bool:
@@ -174,6 +195,10 @@ class ExecutionConfig:
             "backoff": self.backoff,
             "resume_from": (
                 None if self.resume_from is None else str(self.resume_from)
+            ),
+            "compact_ratio": self.compact_ratio,
+            "compact_dir": (
+                None if self.compact_dir is None else str(self.compact_dir)
             ),
         }
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.blocking.base import BlockingMethod
 from repro.blockprocessing.block_purging import BlockPurging
+from repro.blockprocessing.delta_index import DeltaEntityIndex
 from repro.core.block_filtering import BlockFiltering
 from repro.core.edge_weighting import (
     EdgeWeighting,
@@ -163,7 +164,9 @@ def meta_block(
     ----------
     blocks:
         The input blocks (Token Blocking output, typically after Block
-        Purging).
+        Purging), or a live
+        :class:`~repro.blockprocessing.delta_index.DeltaEntityIndex` —
+        materialised via its ``to_block_collection()`` first.
     scheme:
         Edge weighting scheme — one of ``ARCS, CBS, ECBS, JS, EJS``.
     algorithm:
@@ -189,6 +192,12 @@ def meta_block(
         Deprecated aliases for the matching :class:`ExecutionConfig` fields;
         they forward into ``execution`` with a :class:`DeprecationWarning`.
     """
+    if isinstance(blocks, DeltaEntityIndex):
+        # A live streaming index: materialise the current collection so the
+        # batch stages (cardinality sorting, Block Filtering) see immutable
+        # blocks. Excluded blocks are veiled at query time only, so they
+        # reappear here — batch runs decide purging for themselves.
+        blocks = blocks.to_block_collection()
     try:
         backend_class = WEIGHTING_BACKENDS[backend]
     except KeyError:

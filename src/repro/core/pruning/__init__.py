@@ -28,6 +28,7 @@ from repro.core.pruning.edge_centric import (
 from repro.core.pruning.node_centric import (
     CardinalityNodePruning,
     WeightedNodePruning,
+    node_criteria,
 )
 from repro.core.pruning.reciprocal import (
     ReciprocalCardinalityNodePruning,
@@ -36,6 +37,8 @@ from repro.core.pruning.reciprocal import (
 from repro.core.pruning.redefined import (
     RedefinedCardinalityNodePruning,
     RedefinedWeightedNodePruning,
+    stream_key_retention,
+    stream_threshold_retention,
 )
 
 #: Registry keyed by the acronyms used throughout the paper and this library.
@@ -61,4 +64,7 @@ __all__ = [
     "RedefinedWeightedNodePruning",
     "WeightedEdgePruning",
     "WeightedNodePruning",
+    "node_criteria",
+    "stream_key_retention",
+    "stream_threshold_retention",
 ]

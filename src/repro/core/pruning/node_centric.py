@@ -41,6 +41,43 @@ def _canonical(entity: int, others: "list[int]") -> "list[Comparison]":
     ]
 
 
+def node_criteria(
+    weighting: EdgeWeighting,
+    entities: "list[int]",
+    k: int,
+    chunk_size: int | None = None,
+):
+    """Per-node pruning criteria for a node subset, via the batch kernels.
+
+    Yields ``(entity, topk_neighbors, mean)`` for every entity of
+    ``entities`` with a non-empty neighbourhood: the CNP top-k neighbor ids
+    (ascending — the order :func:`topk_per_segment` emits within a
+    segment, so CNP exports reproduce the batch pair order) and the WNP
+    mean weight. Entities with empty neighbourhoods are skipped, exactly
+    as the batch algorithms skip them.
+
+    This is the dirty-neighborhood re-pruning entry point of the
+    incremental resolver: after an upsert it re-derives criteria only for
+    the affected nodes, with the same selection and tie-breaking as a full
+    batch pass.
+    """
+    for group in iter_node_groups(
+        weighting.neighborhood_arrays, entities, chunk_size
+    ):
+        means = segment_means(group)
+        selected, segments = topk_per_segment(group, k)
+        picked = np.bincount(segments, minlength=group.entities.size)
+        offsets = np.zeros(group.entities.size + 1, dtype=np.int64)
+        np.cumsum(picked, out=offsets[1:])
+        neighbors = group.neighbors[selected]
+        for position, entity in enumerate(group.entities.tolist()):
+            yield (
+                int(entity),
+                neighbors[offsets[position] : offsets[position + 1]],
+                float(means[position]),
+            )
+
+
 class CardinalityNodePruning(PruningAlgorithm):
     """CNP: keep the top-k weighted edges of every node neighbourhood.
 

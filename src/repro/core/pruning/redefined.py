@@ -61,7 +61,10 @@ def nearest_neighbor_sets(
 
 
 def nearest_neighbor_keys(
-    weighting: EdgeWeighting, k: int, chunk_size: int | None = None
+    weighting: EdgeWeighting,
+    k: int,
+    chunk_size: int | None = None,
+    entities: "list[int] | None" = None,
 ) -> np.ndarray:
     """Array form of phase 1 CNP: sorted directed ``entity -> neighbor`` keys.
 
@@ -69,11 +72,16 @@ def nearest_neighbor_keys(
     (grouped segment top-k with the heap's tie rule) and encodes each
     retained directed pair as one sortable int64 key for
     ``np.searchsorted`` lookups.
+
+    ``entities`` restricts the pass to a node subset (dirty-neighborhood
+    re-pruning on a mutable index); the default covers every graph node.
     """
     num_entities = weighting.num_entities
     chunks: list[np.ndarray] = []
     for group in iter_node_groups(
-        weighting.neighborhood_arrays, weighting.nodes(), chunk_size
+        weighting.neighborhood_arrays,
+        weighting.nodes() if entities is None else entities,
+        chunk_size,
     ):
         selected, segments = topk_per_segment(group, k)
         if selected.size:
@@ -100,17 +108,70 @@ def neighborhood_thresholds(weighting: EdgeWeighting) -> dict[int, float]:
 
 
 def neighborhood_threshold_array(
-    weighting: EdgeWeighting, chunk_size: int | None = None
+    weighting: EdgeWeighting,
+    chunk_size: int | None = None,
+    entities: "list[int] | None" = None,
 ) -> np.ndarray:
     """Array form of phase 1 WNP: per-entity mean weight, ``+inf`` when the
     entity has no neighbourhood (so the missing-threshold comparison always
-    fails, as with the dict's ``.get(entity, inf)``)."""
+    fails, as with the dict's ``.get(entity, inf)``).
+
+    ``entities`` restricts the pass to a node subset (dirty-neighborhood
+    re-pruning on a mutable index); entities outside the subset keep the
+    ``+inf`` default.
+    """
     thresholds = np.full(weighting.num_entities, np.inf, dtype=np.float64)
     for group in iter_node_groups(
-        weighting.neighborhood_arrays, weighting.nodes(), chunk_size
+        weighting.neighborhood_arrays,
+        weighting.nodes() if entities is None else entities,
+        chunk_size,
     ):
         thresholds[group.entities] = segment_means(group)
     return thresholds
+
+
+def stream_key_retention(
+    weighting: EdgeWeighting,
+    keys: np.ndarray,
+    conjunctive: bool,
+    sink: ComparisonSink,
+    chunk_size: int | None = None,
+) -> None:
+    """Phase 2 of (redefined/reciprocal) CNP: stream every distinct edge and
+    retain it when its directed keys appear in ``keys`` for either endpoint
+    (disjunctive) or both (conjunctive). Shared by the batch algorithms and
+    the incremental resolver's full-export path."""
+    num_entities = weighting.num_entities
+    for batch in weighting.iter_edge_batches(chunk_size):
+        in_left = keys_contain(
+            keys, directed_pair_keys(batch.sources, batch.targets, num_entities)
+        )
+        in_right = keys_contain(
+            keys, directed_pair_keys(batch.targets, batch.sources, num_entities)
+        )
+        keep = (in_left & in_right) if conjunctive else (in_left | in_right)
+        sink.append(batch.sources[keep], batch.targets[keep])
+
+
+def stream_threshold_retention(
+    weighting: EdgeWeighting,
+    thresholds: np.ndarray,
+    conjunctive: bool,
+    sink: ComparisonSink,
+    chunk_size: int | None = None,
+) -> None:
+    """Phase 2 of (redefined/reciprocal) WNP: stream every distinct edge and
+    retain it when its weight reaches the per-entity threshold of either
+    endpoint (disjunctive) or both (conjunctive)."""
+    for batch in weighting.iter_edge_batches(chunk_size):
+        over_left = batch.weights >= thresholds[batch.sources]
+        over_right = batch.weights >= thresholds[batch.targets]
+        keep = (
+            (over_left & over_right)
+            if conjunctive
+            else (over_left | over_right)
+        )
+        sink.append(batch.sources[keep], batch.targets[keep])
 
 
 class RedefinedCardinalityNodePruning(PruningAlgorithm):
@@ -139,16 +200,9 @@ class RedefinedCardinalityNodePruning(PruningAlgorithm):
         keys = nearest_neighbor_keys(
             weighting, self._threshold(weighting), self.chunk_size
         )
-        num_entities = weighting.num_entities
-        for batch in weighting.iter_edge_batches(self.chunk_size):
-            in_left = keys_contain(
-                keys, directed_pair_keys(batch.sources, batch.targets, num_entities)
-            )
-            in_right = keys_contain(
-                keys, directed_pair_keys(batch.targets, batch.sources, num_entities)
-            )
-            keep = (in_left & in_right) if self.conjunctive else (in_left | in_right)
-            sink.append(batch.sources[keep], batch.targets[keep])
+        stream_key_retention(
+            weighting, keys, self.conjunctive, sink, self.chunk_size
+        )
 
     def _prune_fused(
         self, weighting: EdgeWeighting, sink: ComparisonSink
@@ -219,15 +273,9 @@ class RedefinedWeightedNodePruning(PruningAlgorithm):
             self._prune_fused(weighting, sink)
             return
         thresholds = neighborhood_threshold_array(weighting, self.chunk_size)
-        for batch in weighting.iter_edge_batches(self.chunk_size):
-            over_left = batch.weights >= thresholds[batch.sources]
-            over_right = batch.weights >= thresholds[batch.targets]
-            keep = (
-                (over_left & over_right)
-                if self.conjunctive
-                else (over_left | over_right)
-            )
-            sink.append(batch.sources[keep], batch.targets[keep])
+        stream_threshold_retention(
+            weighting, thresholds, self.conjunctive, sink, self.chunk_size
+        )
 
     def _prune_fused(
         self, weighting: EdgeWeighting, sink: ComparisonSink

@@ -63,37 +63,24 @@ class VectorizedEdgeWeighting(EdgeWeighting):
         self._block_counts = index.block_counts
         self._degrees_array: np.ndarray | None = None
 
+    def _epoch_invalidated(self) -> None:
+        # The statistic views are index-sized; a mutation (or compaction)
+        # may have reallocated them, so re-read through the index.
+        index = self.index
+        self._inverse_cardinalities = index.inverse_cardinality_array
+        self._block_counts = index.block_counts
+        self._degrees_array = None
+
     # -- core scan ----------------------------------------------------------
 
     def _cooccurrence_arrays(self, entity: int) -> tuple[np.ndarray, np.ndarray]:
-        """Concatenated co-occurring ids and the matching block positions."""
-        index = self.index
-        positions = index.block_slice(entity)
-        if positions.size == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
-        if self._bilateral and index.second_side_mask[entity]:
-            member_indptr, members = index.member_indptr1, index.members1
-        else:
-            member_indptr, members = index.member_indptr2, index.members2
-        starts = member_indptr[positions]
-        lengths = member_indptr[positions + 1] - starts
-        total = int(lengths.sum())
-        if total == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
-        # Multi-range gather: addresses of each block's member run laid out
-        # back to back, in one fancy-index over the flat CSR member array.
-        ends = np.cumsum(lengths)
-        gather = np.arange(total, dtype=np.int64) + np.repeat(
-            starts - (ends - lengths), lengths
-        )
-        ids = members[gather]
-        blocks = np.repeat(positions, lengths)
-        if not self._bilateral:
-            keep = ids != entity
-            ids, blocks = ids[keep], blocks[keep]
-        return ids, blocks
+        """Concatenated co-occurring ids and the matching block positions.
+
+        The multi-range CSR gather lives on the index
+        (:meth:`EntityIndex.cooccurrence_arrays`), so mutable delta indexes
+        answer the same query with their overlay applied.
+        """
+        return self.index.cooccurrence_arrays(entity)
 
     def _neighborhood_stats(
         self, entity: int
@@ -148,6 +135,21 @@ class VectorizedEdgeWeighting(EdgeWeighting):
         if neighbors.size == 0:
             return neighbors, np.empty(0, dtype=np.float64)
         return neighbors, self._weights_for(entity, neighbors, counts, arcs)
+
+    def weighted_neighborhood(
+        self, entity: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(neighbors, common_counts, weights)`` for one node.
+
+        The incremental resolver's query surface: like
+        :meth:`neighborhood_arrays` but keeping the shared-block counts,
+        which streaming candidates report alongside the weight.
+        """
+        self._prepare_scheme_inputs()
+        neighbors, counts, arcs = self._neighborhood_stats(entity)
+        if neighbors.size == 0:
+            return neighbors, counts, np.empty(0, dtype=np.float64)
+        return neighbors, counts, self._weights_for(entity, neighbors, counts, arcs)
 
     def emitted_arrays(self, entity: int) -> NeighborhoodArrays:
         """Distinct edges emitted by ``entity``; filters before weighting."""

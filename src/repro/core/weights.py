@@ -39,6 +39,15 @@ class WeightingScheme(ABC):
     uses_arcs_sum: bool = False
     #: Whether the backend must pre-compute node degrees (extra graph pass).
     uses_degrees: bool = False
+    #: Whether weights depend on the collection-level block count ``|B|``.
+    #: On a mutable index every new block then shifts *all* edge weights,
+    #: so incremental consumers must invalidate every per-node memo when
+    #: ``|B|`` grows, not just the dirty neighborhoods.
+    uses_total_blocks: bool = False
+    #: Whether the scheme can serve streaming/incremental queries. Degree-
+    #: based schemes need a full extra pass over the graph per epoch, which
+    #: defeats per-upsert querying; they are batch-only.
+    streamable: bool = True
 
     @abstractmethod
     def weight(
@@ -181,6 +190,7 @@ class ECBS(WeightingScheme):
     """
 
     name = "ECBS"
+    uses_total_blocks = True
 
     def weight_array(
         self,
@@ -291,6 +301,7 @@ class EJS(WeightingScheme):
 
     name = "EJS"
     uses_degrees = True
+    streamable = False
 
     def weight_array(
         self,
@@ -364,6 +375,7 @@ class X2(WeightingScheme):
     """
 
     name = "X2"
+    uses_total_blocks = True
 
     def weight(
         self,

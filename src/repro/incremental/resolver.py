@@ -2,22 +2,30 @@
 
 Batch meta-blocking (``repro.core``) assumes the full block collection is
 available; incremental ER receives profiles one at a time and must surface
-each new profile's most likely matches *now*. The adaptation keeps the
-paper's machinery but reorients it around a single node:
+each new profile's most likely matches *now*. Historically this module was
+a parallel dict-based reimplementation; it is now a thin orchestration
+layer over the exact batch machinery, running on a mutable
+:class:`~repro.blockprocessing.delta_index.DeltaEntityIndex`:
 
-* the Entity Index becomes a live inverted index ``key -> member ids``,
-  updated per insertion;
+* the Entity Index is the delta index — an immutable base CSR plus
+  append-only deltas, compacted back into a fresh CSR once the delta
+  grows past ``compact_ratio`` (epoch-based, optionally into shared
+  memory and/or persisted epoch snapshots);
 * Block Filtering becomes an insertion-time cap: a new profile only joins
   its ``r``-fraction smallest existing blocks (importance = current block
   size, the streaming analogue of Algorithm 1's cardinality ordering);
-* Block Purging becomes a size guard: keys whose member list exceeds
-  ``max_block_size`` stop contributing co-occurrences (they are kept in the
-  index so that their sizes keep informing filtering);
-* pruning is node-centric on the *new* node: its top-``k`` weighted
-  neighbours are retained (CNP-style), optionally validated by the
-  reciprocal test — the neighbour must also rank the new profile among its
-  own top-``k`` (Reciprocal CNP's conjunction, evaluated lazily on the
-  neighbour's current neighbourhood).
+* Block Purging becomes a size guard: blocks whose size exceeds
+  ``max_block_size`` are excluded from co-occurrence queries (they stay in
+  the index so their sizes keep informing filtering);
+* weighting is the paper's vectorized backend
+  (:class:`~repro.core.vectorized.VectorizedEdgeWeighting`) built over the
+  delta index via ``_from_shared_index`` — upserts reuse the exact
+  weighting schemes and array kernels of the batch path;
+* pruning is node-centric on the *new* node at insert time (its top-``k``
+  weighted neighbours, CNP-style, optionally validated by the reciprocal
+  test), and :meth:`IncrementalMetaBlocking.candidate_pairs` exports the
+  full pruned graph with the batch kernels, re-deriving criteria only for
+  the *dirty* neighborhoods the index reported since the last export.
 
 Weights use the paper's schemes over the *current* state, so early weights
 drift as the collection grows — the standard incremental-ER trade-off. EJS
@@ -27,11 +35,41 @@ its graph-level statistics are exactly what a stream lacks.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.blockprocessing.delta_index import DeltaEntityIndex
+from repro.blockprocessing.entity_index import EntityIndex, SharedEntityIndex
+from repro.core.edge_stream import (
+    directed_pair_keys,
+    iter_node_groups,
+    neighborhood_mean,
+    select_topk_neighbors,
+)
+from repro.core.execution import ExecutionConfig
+from repro.core.pruning.node_centric import node_criteria
+from repro.core.pruning.redefined import (
+    stream_key_retention,
+    stream_threshold_retention,
+)
+from repro.core.vectorized import VectorizedEdgeWeighting
 from repro.core.weights import WeightingScheme, get_scheme
+from repro.datamodel.blocks import BlockCollection
 from repro.datamodel.profiles import EntityProfile
-from repro.utils.topk import TopKHeap
+from repro.datamodel.sinks import ComparisonView, InMemorySink
+
+#: Auto-compaction floor: below this many delta assignments the ratio
+#: trigger stays quiet, so a young collection is not compacted every
+#: handful of upserts while its delta fraction is necessarily high.
+MIN_COMPACT_ASSIGNMENTS = 256
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+#: The node-centric pruning exports :meth:`candidate_pairs` supports.
+#: Conjunctive (reciprocal) variants pair with their disjunctive bases.
+EXPORT_ALGORITHMS = ("CNP", "WNP", "ReCNP", "ReWNP", "RcCNP", "RcWNP")
 
 
 @dataclass(frozen=True)
@@ -41,13 +79,6 @@ class Candidate:
     entity_id: int
     weight: float
     common_blocks: int
-
-
-@dataclass
-class _EntityState:
-    profile: EntityProfile
-    keys: tuple[str, ...] = ()
-    source: int = 0
 
 
 class IncrementalMetaBlocking:
@@ -64,21 +95,34 @@ class IncrementalMetaBlocking:
         supported (EJS is not — see module docstring).
     k:
         Node-centric cardinality threshold: at most ``k`` candidates are
-        returned per insertion.
+        returned per insertion (and per node in :meth:`candidate_pairs`
+        cardinality exports).
     reciprocal:
-        When True, a candidate is kept only if the new profile would also
-        rank among the candidate's own top-``k`` neighbours (Reciprocal
-        CNP's conjunctive test).
+        When True, a candidate is kept only if the new profile also ranks
+        among the candidate's own top-``k`` neighbours (Reciprocal CNP's
+        conjunctive test, evaluated on the post-insertion state).
     filtering_ratio:
         Insertion-time Block Filtering: the profile joins only the
         ``ratio``-fraction smallest of its matching existing blocks (at
         least one). 1.0 disables filtering.
     max_block_size:
-        Keys with more members than this stop producing co-occurrences
+        Blocks that grow beyond this size stop producing co-occurrences
         (streaming Block Purging). ``None`` disables the guard.
     clean_clean:
-        When True, profiles carry a source tag (see :meth:`add`) and only
-        cross-source pairs are candidates (Clean-Clean ER).
+        When True, profiles carry a source tag (see :meth:`add`), blocks
+        are bilateral, and only cross-source pairs are candidates
+        (Clean-Clean ER).
+    execution:
+        Optional :class:`~repro.core.execution.ExecutionConfig`; its
+        ``compact_ratio``/``compact_dir`` fields seed the two parameters
+        below when those are not given explicitly.
+    compact_ratio:
+        Delta-mass fraction at which the index auto-compacts (in
+        ``(0, 1]``); ``None`` never auto-compacts. Auto-compaction also
+        waits for :data:`MIN_COMPACT_ASSIGNMENTS` delta assignments.
+    compact_dir:
+        Directory receiving ``epoch-NNNNNN`` snapshots on every
+        compaction; ``None`` keeps epochs in memory only.
     """
 
     def __init__(
@@ -90,6 +134,9 @@ class IncrementalMetaBlocking:
         filtering_ratio: float = 0.8,
         max_block_size: int | None = None,
         clean_clean: bool = False,
+        execution: "ExecutionConfig | None" = None,
+        compact_ratio: float | None = None,
+        compact_dir: "str | os.PathLike[str] | None" = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
@@ -101,29 +148,72 @@ class IncrementalMetaBlocking:
             raise ValueError(f"max_block_size must be >= 2, got {max_block_size}")
         self.keys_for = keys_for
         self.scheme = get_scheme(scheme)
-        if self.scheme.uses_degrees:
+        if not self.scheme.streamable:
             raise ValueError(
                 f"{self.scheme.name} requires node degrees, which are not "
                 "maintainable incrementally; use ARCS, CBS, ECBS or JS"
+            )
+        if execution is not None:
+            if compact_ratio is None:
+                compact_ratio = execution.compact_ratio
+            if compact_dir is None:
+                compact_dir = execution.compact_dir
+        if compact_ratio is not None and not 0.0 < compact_ratio <= 1.0:
+            raise ValueError(
+                f"compact_ratio must be in (0, 1], got {compact_ratio}"
             )
         self.k = k
         self.reciprocal = reciprocal
         self.filtering_ratio = filtering_ratio
         self.max_block_size = max_block_size
         self.clean_clean = clean_clean
-        self._members: dict[str, list[int]] = {}
-        self._entities: list[_EntityState] = []
+        self.compact_ratio = compact_ratio
+        self.compact_dir = compact_dir
+        #: How many compactions have run (manual and automatic).
+        self.compactions = 0
+
+        #: The mutable CSR index every query runs against.
+        self.index = DeltaEntityIndex(is_bilateral=clean_clean)
+        # The batch vectorized backend over the delta index: upserts and
+        # exports share the paper's exact weighting kernels. The epoch
+        # machinery keeps its memos fresh across mutations.
+        self._weighting: VectorizedEdgeWeighting = (
+            VectorizedEdgeWeighting._from_shared_index(self.index, self.scheme)
+        )
+        self._profiles: list[EntityProfile] = []
+        self._key_to_block: dict[str, int] = {}
+        # Per-node pruning state: entity -> (ascending top-k neighbor ids,
+        # neighborhood mean weight). An entry is valid unless the entity is
+        # in the dirty set; dirty entries are re-derived lazily (at the
+        # next reciprocal probe or export) with the batch kernels.
+        self._criteria: dict[int, tuple[np.ndarray, float]] = {}
+        self._dirty_nodes: set[int] = set()
+        # |B| at the time the criteria were valid: schemes whose weights
+        # depend on the total block count (ECBS, X2) invalidate everything
+        # when a new block appears, not just dirty neighborhoods.
+        self._criteria_blocks = 0
 
     def __len__(self) -> int:
-        return len(self._entities)
+        return len(self._profiles)
 
     @property
     def num_blocks(self) -> int:
-        """Current number of keys with at least one member."""
-        return len(self._members)
+        """Current number of blocks (every key ever assigned a member)."""
+        return self.index.num_blocks
+
+    @property
+    def epoch(self) -> int:
+        """The index's mutation epoch (bumps per upsert and compaction)."""
+        return self.index.epoch
 
     def profile(self, entity_id: int) -> EntityProfile:
-        return self._entities[entity_id].profile
+        return self._profiles[entity_id]
+
+    def to_block_collection(self) -> BlockCollection:
+        """The current collection as immutable blocks (for batch runs)."""
+        return self.index.to_block_collection()
+
+    # -- upserts -------------------------------------------------------------
 
     def add(self, profile: EntityProfile, source: int = 0) -> list[Candidate]:
         """Insert ``profile`` and return its pruned candidate matches.
@@ -134,112 +224,262 @@ class IncrementalMetaBlocking:
         """
         if self.clean_clean and source not in (0, 1):
             raise ValueError(f"source must be 0 or 1, got {source}")
-        entity_id = len(self._entities)
         keys = sorted(set(map(str, self.keys_for(profile))))
         keys = self._filter_keys(keys)
-        state = _EntityState(profile=profile, keys=tuple(keys), source=source)
-        self._entities.append(state)
-
-        candidates = self._prune(entity_id, self._neighborhood(entity_id, keys))
-
-        # Register the new entity only after scoring, so it is never its
-        # own neighbour and reciprocal checks see the pre-insertion state
-        # of its neighbours' neighbourhoods plus the new node itself.
+        index = self.index
+        entity = index.new_entity(
+            second_side=self.clean_clean and source == 1
+        )
+        self._profiles.append(profile)
+        block_ids = []
         for key in keys:
-            self._members.setdefault(key, []).append(entity_id)
+            block_id = self._key_to_block.get(key)
+            if block_id is None:
+                block_id = index.new_block(key)
+                self._key_to_block[key] = block_id
+            block_ids.append(block_id)
+        if block_ids:
+            index.assign(entity, block_ids)
+            if self.max_block_size is not None:
+                for block_id in block_ids:
+                    if (
+                        not index.is_excluded(block_id)
+                        and index.block_size(block_id) > self.max_block_size
+                    ):
+                        index.exclude_block(block_id)
+        self._absorb_dirty()
+        candidates = self._query(entity)
+        self._maybe_compact()
         return candidates
 
-    # -- internals ----------------------------------------------------------
+    # -- full export ---------------------------------------------------------
+
+    def candidate_pairs(self, algorithm: str = "CNP") -> ComparisonView:
+        """Node-centric pruning over the *whole* current collection.
+
+        Re-derives per-node criteria only for neighborhoods dirtied since
+        the last export, then runs the requested batch algorithm's
+        retention with those criteria — for ``CNP`` straight from the
+        cache, for the two-phase families (``ReCNP``/``ReWNP`` and their
+        reciprocal variants) by streaming phase 2 over the distinct-edge
+        stream. The result matches the batch algorithm run on
+        :meth:`to_block_collection` with the same explicit ``k`` (exactly
+        for the integer-statistic schemes CBS/JS; ARCS sums can differ in
+        the last float bit when block orders differ).
+        """
+        if algorithm not in EXPORT_ALGORITHMS:
+            known = ", ".join(EXPORT_ALGORITHMS)
+            raise ValueError(
+                f"unknown export algorithm {algorithm!r}; known: {known}"
+            )
+        self._refresh_criteria()
+        weighting = self._weighting
+        sink = InMemorySink()
+        try:
+            if algorithm == "CNP":
+                self._export_cnp(sink)
+            elif algorithm == "WNP":
+                self._export_wnp(sink)
+            elif algorithm in ("ReCNP", "RcCNP"):
+                keys = self._criteria_keys()
+                stream_key_retention(
+                    weighting, keys, algorithm == "RcCNP", sink
+                )
+            else:  # ReWNP / RcWNP
+                thresholds = self._criteria_thresholds()
+                stream_threshold_retention(
+                    weighting, thresholds, algorithm == "RcWNP", sink
+                )
+        except BaseException:
+            sink.abort()
+            raise
+        return sink.finalize(self.index.num_entities)
+
+    def compact(self, shared: bool = False) -> "EntityIndex | SharedEntityIndex":
+        """Merge the index deltas into a fresh base CSR now.
+
+        Per-node criteria stay valid — compaction changes the storage
+        layout, never the collection. With ``shared=True`` the new base is
+        published to shared memory (the caller owns the segment). Persists
+        an epoch snapshot when ``compact_dir`` is configured.
+        """
+        self.compactions += 1
+        return self.index.compact(shared=shared, persist_dir=self.compact_dir)
+
+    # -- internals -----------------------------------------------------------
 
     def _filter_keys(self, keys: list[str]) -> list[str]:
         """Insertion-time Block Filtering: keep the smallest blocks."""
         if self.filtering_ratio >= 1.0 or not keys:
             return keys
-        existing = [key for key in keys if key in self._members]
-        fresh = [key for key in keys if key not in self._members]
+        existing = [key for key in keys if key in self._key_to_block]
+        fresh = [key for key in keys if key not in self._key_to_block]
         if not existing:
             return keys
         limit = max(1, int(self.filtering_ratio * len(existing) + 0.5))
-        existing.sort(key=lambda key: (len(self._members[key]), key))
+        index = self.index
+        existing.sort(
+            key=lambda key: (index.block_size(self._key_to_block[key]), key)
+        )
         # Fresh keys cost nothing (their blocks have size 1) and are the
         # entity's rarest, most important keys — always kept.
         return fresh + existing[:limit]
 
-    def _neighborhood(
-        self, entity_id: int, keys: list[str]
-    ) -> dict[int, tuple[int, float]]:
-        """``other -> (common_blocks, arcs_sum)`` over current blocks."""
-        counts: dict[int, int] = {}
-        arcs: dict[int, float] = {}
-        accumulate_arcs = self.scheme.uses_arcs_sum
-        source = self._entities[entity_id].source
-        for key in keys:
-            members = self._members.get(key)
-            if not members:
-                continue
-            if self.max_block_size is not None and len(members) > self.max_block_size:
-                continue
-            if accumulate_arcs:
-                # The block the new entity joins has len(members)+1 members.
-                size = len(members) + 1
-                inverse = 1.0 / (size * (size - 1) / 2)
-            for other in members:
-                if other == entity_id:
-                    continue
-                if self.clean_clean and self._entities[other].source == source:
-                    continue
-                counts[other] = counts.get(other, 0) + 1
-                if accumulate_arcs:
-                    arcs[other] = arcs.get(other, 0.0) + inverse
-        return {
-            other: (count, arcs.get(other, 0.0))
-            for other, count in counts.items()
-        }
+    def _absorb_dirty(self) -> None:
+        """Pull the index's dirty blocks into the stale-criteria set."""
+        _, nodes = self.index.drain_dirty()
+        for node in nodes:
+            self._criteria.pop(node, None)
+        self._dirty_nodes.update(nodes)
 
-    def _weight(self, left: int, right: int, common: int, arcs_sum: float) -> float:
-        return self.scheme.weight(
-            common,
-            arcs_sum,
-            len(self._entities[left].keys),
-            len(self._entities[right].keys),
-            0,
-            0,
-            max(1, len(self._members)),
-            0,
+    def _store_criteria(
+        self, entity: int, topk: np.ndarray, mean: float
+    ) -> None:
+        self._criteria[entity] = (topk, mean)
+        self._dirty_nodes.discard(entity)
+
+    def _query(self, entity: int) -> list[Candidate]:
+        """Score the new node's neighborhood and return its top-k."""
+        neighbors, counts, weights = self._weighting.weighted_neighborhood(
+            entity
         )
-
-    def _prune(
-        self, entity_id: int, neighborhood: dict[int, tuple[int, float]]
-    ) -> list[Candidate]:
-        heap: TopKHeap[int] = TopKHeap(self.k)
-        weights: dict[int, tuple[float, int]] = {}
-        for other, (common, arcs_sum) in neighborhood.items():
-            weight = self._weight(entity_id, other, common, arcs_sum)
-            weights[other] = (weight, common)
-            heap.push(weight, other)
+        if neighbors.size == 0:
+            self._store_criteria(entity, _EMPTY_IDS, float("inf"))
+            return []
+        selected = select_topk_neighbors(weights, neighbors, self.k)
+        self._store_criteria(
+            entity, np.sort(neighbors[selected]), neighborhood_mean(weights)
+        )
         retained = []
-        for other in heap.items():
-            weight, common = weights[other]
-            if self.reciprocal and not self._reciprocates(entity_id, other, weight):
+        for position in selected.tolist():
+            other = int(neighbors[position])
+            if self.reciprocal and not self._reciprocates(entity, other):
                 continue
-            retained.append(Candidate(other, weight, common))
+            retained.append(
+                Candidate(
+                    other, float(weights[position]), int(counts[position])
+                )
+            )
         retained.sort(key=lambda c: (-c.weight, c.entity_id))
         return retained
 
-    def _reciprocates(self, entity_id: int, other: int, weight: float) -> bool:
-        """Would ``entity_id`` rank in ``other``'s top-k neighbourhood?
+    def _criterion_ids(self, entity: int) -> np.ndarray:
+        """The entity's current top-k neighbor ids (cached unless dirty)."""
+        if entity not in self._dirty_nodes:
+            cached = self._criteria.get(entity)
+            if cached is not None:
+                return cached[0]
+        neighbors, _, weights = self._weighting.weighted_neighborhood(entity)
+        if neighbors.size == 0:
+            self._store_criteria(entity, _EMPTY_IDS, float("inf"))
+            return _EMPTY_IDS
+        selected = select_topk_neighbors(weights, neighbors, self.k)
+        topk = np.sort(neighbors[selected])
+        self._store_criteria(entity, topk, neighborhood_mean(weights))
+        return topk
 
-        Evaluated lazily against the current state: the new node beats the
-        k-th best of the neighbour's existing edges (or the neighbourhood
-        has fewer than k edges).
+    def _reciprocates(self, entity: int, other: int) -> bool:
+        """Does ``entity`` rank in ``other``'s top-k neighborhood?
+
+        Reciprocal CNP's conjunctive test, evaluated on the post-insertion
+        state (the batch semantics: both directed edges must survive).
         """
-        other_keys = list(self._entities[other].keys)
-        neighborhood = self._neighborhood(other, other_keys)
-        heap: TopKHeap[int] = TopKHeap(self.k)
-        for third, (common, arcs_sum) in neighborhood.items():
-            heap.push(self._weight(other, third, common, arcs_sum), third)
-        if len(heap) < self.k:
-            return True
-        weakest = heap.min_entry()
-        assert weakest is not None
-        return (weight, entity_id) > weakest
+        return bool(np.any(self._criterion_ids(other) == entity))
+
+    def _refresh_criteria(self) -> None:
+        """Re-derive pruning criteria for every dirty neighborhood."""
+        self._absorb_dirty()
+        index = self.index
+        if (
+            self.scheme.uses_total_blocks
+            and index.num_blocks != self._criteria_blocks
+        ):
+            # |B| shifted every weight in the graph; nothing is reusable.
+            self._criteria.clear()
+            self._dirty_nodes.update(index.placed_entities())
+        self._criteria_blocks = index.num_blocks
+        if not self._dirty_nodes:
+            return
+        dirty = sorted(self._dirty_nodes)
+        for entity, topk, mean in node_criteria(
+            self._weighting, dirty, self.k
+        ):
+            self._criteria[entity] = (topk, mean)
+        for entity in dirty:
+            # Not yielded: the neighborhood is empty (e.g. all of the
+            # node's blocks are excluded) — no retained edges, no mean.
+            if entity not in self._criteria:
+                self._criteria[entity] = (_EMPTY_IDS, float("inf"))
+        self._dirty_nodes.clear()
+
+    def _export_cnp(self, sink: InMemorySink) -> None:
+        """CNP straight from the criteria cache — no weight recomputation.
+
+        Emits per node in ascending node order, neighbors ascending: the
+        exact pair order of the batch
+        :class:`~repro.core.pruning.node_centric.CardinalityNodePruning`.
+        """
+        for entity in self.index.placed_entities():
+            cached = self._criteria.get(entity)
+            if cached is None or cached[0].size == 0:
+                continue
+            neighbors = cached[0]
+            entities = np.full(neighbors.size, entity, dtype=np.int64)
+            sink.append(
+                np.minimum(entities, neighbors),
+                np.maximum(entities, neighbors),
+            )
+
+    def _export_wnp(self, sink: InMemorySink) -> None:
+        """WNP with cached means as the per-node thresholds."""
+        thresholds = self._criteria_thresholds()
+        weighting = self._weighting
+        for group in iter_node_groups(
+            weighting.neighborhood_arrays, self.index.placed_entities()
+        ):
+            counts = group.counts
+            keep = group.weights >= np.repeat(
+                thresholds[group.entities], counts
+            )
+            entities = np.repeat(group.entities, counts)[keep]
+            neighbors = group.neighbors[keep]
+            sink.append(
+                np.minimum(entities, neighbors),
+                np.maximum(entities, neighbors),
+            )
+
+    def _criteria_keys(self) -> np.ndarray:
+        """Phase-1 CNP keys (sorted directed pairs) from the cache."""
+        num_entities = self.index.num_entities
+        parts: list[np.ndarray] = []
+        for entity, (topk, _) in self._criteria.items():
+            if topk.size:
+                parts.append(
+                    directed_pair_keys(
+                        np.full(topk.size, entity, dtype=np.int64),
+                        topk,
+                        num_entities,
+                    )
+                )
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))
+
+    def _criteria_thresholds(self) -> np.ndarray:
+        """Phase-1 WNP threshold array from the cache (``+inf`` default)."""
+        thresholds = np.full(
+            self.index.num_entities, np.inf, dtype=np.float64
+        )
+        for entity, (_, mean) in self._criteria.items():
+            thresholds[entity] = mean
+        return thresholds
+
+    def _maybe_compact(self) -> None:
+        index = self.index
+        if (
+            self.compact_ratio is None
+            or index.delta_assignments < MIN_COMPACT_ASSIGNMENTS
+            or index.delta_fraction < self.compact_ratio
+        ):
+            return
+        self.compact()

@@ -235,3 +235,95 @@ class TestClean:
     def test_nothing_to_clean(self, tmp_path, capsys):
         assert main(["clean", "--spill-dir", str(tmp_path)]) == 0
         assert "nothing to clean" in capsys.readouterr().out
+
+
+class TestTimingsJson:
+    def test_writes_timings_payload(self, clean_dataset_path, tmp_path, capsys):
+        output = tmp_path / "timings.json"
+        assert main(
+            ["metablock", clean_dataset_path, "--algorithm", "CNP",
+             "--timings-json", str(output)]
+        ) == 0
+        assert "wrote timings to" in capsys.readouterr().out
+        payload = json.loads(output.read_text())
+        assert payload["algorithm"] == "CNP"
+        assert payload["effective_workers"] == 1
+        assert payload["overhead_seconds"] >= 0
+        assert "phase_timings" in payload and "fault_stats" in payload
+        assert payload["retained_comparisons"] > 0
+
+    def test_parallel_run_records_phase_timings(
+        self, clean_dataset_path, tmp_path
+    ):
+        output = tmp_path / "timings.json"
+        assert main(
+            ["metablock", clean_dataset_path, "--algorithm", "WNP",
+             "--workers", "2", "--timings-json", str(output)]
+        ) == 0
+        payload = json.loads(output.read_text())
+        assert payload["effective_workers"] == 2
+        assert set(payload["phase_timings"]) >= {"dispatch", "merge"}
+
+
+class TestStream:
+    def test_streams_dirty_dataset(self, dirty_dataset_path, capsys):
+        assert main(
+            ["stream", dirty_dataset_path, "--filtering-ratio", "1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "upserts" in out and "recall" in out
+
+    def test_streams_clean_clean_with_compaction(
+        self, clean_dataset_path, tmp_path, capsys
+    ):
+        compact_dir = tmp_path / "epochs"
+        assert main(
+            ["stream", clean_dataset_path, "--scheme", "CBS", "--k", "3",
+             "--compact-ratio", "0.4", "--compact-dir", str(compact_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recall" in out
+        # 130 profiles x several tokens crosses the compaction floor, so at
+        # least one epoch snapshot lands on disk.
+        assert "compaction(s)" in out
+        if "0 compaction(s)" not in out:
+            assert list(compact_dir.glob("epoch-*"))
+
+    def test_reciprocal_flag(self, dirty_dataset_path, capsys):
+        assert main(
+            ["stream", dirty_dataset_path, "--reciprocal", "--k", "2"]
+        ) == 0
+        assert "reciprocal=on" in capsys.readouterr().out
+
+
+class TestCleanCompactDir:
+    def test_sweeps_orphaned_epochs(self, tmp_path, capsys):
+        (tmp_path / "epoch-000003.tmp-4194304").mkdir()  # dead owner pid
+        (tmp_path / "epoch-000002").mkdir()  # manifest missing
+
+        assert main(
+            ["clean", "--compact-dir", str(tmp_path), "--dry-run"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("would remove compaction artifact") == 2
+        assert (tmp_path / "epoch-000002").exists()
+
+        assert main(["clean", "--compact-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("removed compaction artifact") == 2
+        assert not (tmp_path / "epoch-000002").exists()
+        assert not (tmp_path / "epoch-000003.tmp-4194304").exists()
+
+    def test_keeps_healthy_epochs(self, tmp_path, capsys):
+        from repro.blockprocessing import DeltaEntityIndex, latest_epoch
+
+        index = DeltaEntityIndex()
+        block = index.new_block()
+        entity = index.new_entity()
+        index.assign(entity, [block])
+        index.compact(persist_dir=tmp_path)
+        healthy = latest_epoch(tmp_path)
+
+        assert main(["clean", "--compact-dir", str(tmp_path)]) == 0
+        assert "nothing to clean" in capsys.readouterr().out
+        assert healthy.exists()

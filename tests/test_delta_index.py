@@ -1,0 +1,309 @@
+"""Tests for the delta-capable Entity Index (base CSR + append-only deltas)."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockprocessing import (
+    DeltaEntityIndex,
+    EntityIndex,
+    latest_epoch,
+    load_epoch,
+    save_epoch,
+    sweep_stale_epochs,
+)
+from repro.datamodel.blocks import Block, BlockCollection
+
+#: Every CSR array whose bit-identity the compaction contract guarantees.
+CSR_ARRAYS = (
+    "indptr",
+    "block_indices",
+    "block_counts",
+    "member_indptr1",
+    "members1",
+    "member_indptr2",
+    "members2",
+    "inverse_cardinality_array",
+    "second_side_mask",
+)
+
+
+def assert_csr_identical(actual: EntityIndex, expected: EntityIndex) -> None:
+    assert actual.num_entities == expected.num_entities
+    assert actual.is_bilateral == expected.is_bilateral
+    for name in CSR_ARRAYS:
+        left = getattr(actual, name)
+        right = getattr(expected, name)
+        assert left.dtype == right.dtype, name
+        np.testing.assert_array_equal(left, right, err_msg=name)
+
+
+def build_reference(delta: DeltaEntityIndex) -> EntityIndex:
+    """The one-shot batch build over the delta's equivalent collection."""
+    return EntityIndex(delta.to_block_collection())
+
+
+class TestDeltaBasics:
+    def test_empty_index(self):
+        index = DeltaEntityIndex()
+        assert index.num_entities == 0
+        assert index.num_blocks == 0
+        assert index.delta_assignments == 0
+        assert list(index.placed_entities()) == []
+
+    def test_read_through_matches_fresh_build(self):
+        index = DeltaEntityIndex()
+        blocks = [index.new_block() for _ in range(3)]
+        for memberships in ([0, 1], [1, 2], [0, 2], [0, 1, 2]):
+            entity = index.new_entity()
+            index.assign(entity, [blocks[b] for b in memberships])
+        reference = build_reference(index)
+        for entity in range(index.num_entities):
+            np.testing.assert_array_equal(
+                index.block_slice(entity), reference.block_slice(entity)
+            )
+            mine = index.cooccurrence_arrays(entity)
+            theirs = reference.cooccurrence_arrays(entity)
+            np.testing.assert_array_equal(mine[0], theirs[0])
+            np.testing.assert_array_equal(mine[1], theirs[1])
+        np.testing.assert_array_equal(
+            index.block_counts, reference.block_counts
+        )
+        np.testing.assert_array_equal(
+            index.inverse_cardinality_array,
+            reference.inverse_cardinality_array,
+        )
+
+    def test_rejects_duplicate_membership(self):
+        index = DeltaEntityIndex()
+        block = index.new_block()
+        entity = index.new_entity()
+        index.assign(entity, [block])
+        with pytest.raises(ValueError, match="already"):
+            index.assign(entity, [block])
+
+    def test_rejects_second_side_on_unilateral(self):
+        index = DeltaEntityIndex()
+        with pytest.raises(ValueError):
+            index.new_entity(second_side=True)
+
+    def test_epoch_advances_on_mutation(self):
+        index = DeltaEntityIndex()
+        before = index.epoch
+        block = index.new_block()
+        entity = index.new_entity()
+        index.assign(entity, [block])
+        assert index.epoch > before
+
+    def test_dirty_tracking(self):
+        index = DeltaEntityIndex()
+        block = index.new_block()
+        first = index.new_entity()
+        index.assign(first, [block])
+        index.drain_dirty()
+        second = index.new_entity()
+        index.assign(second, [block])
+        dirty_blocks, dirty_nodes = index.drain_dirty()
+        # The shared block is dirty, and both members are affected nodes.
+        assert block in dirty_blocks
+        assert dirty_nodes == {first, second}
+        assert index.drain_dirty() == (set(), set())
+
+    def test_exclusion_veils_cooccurrences(self):
+        index = DeltaEntityIndex()
+        block = index.new_block()
+        entities = [index.new_entity() for _ in range(3)]
+        for entity in entities:
+            index.assign(entity, [block])
+        assert index.cooccurrence_arrays(entities[0])[0].size == 2
+        index.exclude_block(block)
+        assert index.cooccurrence_arrays(entities[0])[0].size == 0
+        assert index.comparison_mass() == 0
+        # The block still exists and still counts toward sizes.
+        assert index.block_size(block) == 3
+
+
+# -- the compaction bit-identity property -----------------------------------
+
+#: One scripted upsert: which blocks (by position, modulo the number of
+#: blocks existing at replay time) the new entity joins, and on which side.
+upsert = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=7), min_size=0, max_size=4),
+    st.booleans(),
+)
+
+
+def replay(
+    script: "list[tuple[list[int], bool]]",
+    bilateral: bool,
+    compact_points: "set[int]",
+    shared: bool = False,
+) -> DeltaEntityIndex:
+    """Drive a DeltaEntityIndex through a scripted upsert interleaving."""
+    index = DeltaEntityIndex(is_bilateral=bilateral)
+    blocks = [index.new_block() for _ in range(4)]
+    for step, (choices, second_side) in enumerate(script):
+        entity = index.new_entity(second_side=bilateral and second_side)
+        memberships = sorted({blocks[c % len(blocks)] for c in choices})
+        if memberships:
+            index.assign(entity, memberships)
+        if step in compact_points:
+            index.compact(shared=shared)
+    return index
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    script=st.lists(upsert, min_size=1, max_size=10),
+    bilateral=st.booleans(),
+    compact_at=st.sets(
+        st.integers(min_value=0, max_value=9), min_size=0, max_size=3
+    ),
+)
+def test_compaction_bit_identical_to_batch_build(
+    script, bilateral, compact_at
+):
+    """Any upsert/compact interleaving compacts to the exact CSR arrays of
+    a one-shot ``EntityIndex.from_blocks`` over the equivalent collection."""
+    index = replay(script, bilateral, compact_at)
+    compacted = index.compact()
+    assert_csr_identical(compacted, build_reference(index))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    script=st.lists(upsert, min_size=1, max_size=8),
+    bilateral=st.booleans(),
+)
+def test_read_through_equals_batch_before_compaction(script, bilateral):
+    """The delta view answers queries identically to the batch index *without*
+    compacting first."""
+    index = replay(script, bilateral, compact_points=set())
+    reference = build_reference(index)
+    np.testing.assert_array_equal(index.block_counts, reference.block_counts)
+    np.testing.assert_array_equal(
+        index.inverse_cardinality_array, reference.inverse_cardinality_array
+    )
+    # The mask is compared on placed entities only: an unplaced entity's
+    # side is unobservable in a block collection (the batch index derives
+    # the mask from bilateral membership), while the delta index records it
+    # at new_entity time so later assigns land on the right side.
+    placed = index.placed_entities()
+    np.testing.assert_array_equal(
+        index.second_side_mask[placed], reference.second_side_mask[placed]
+    )
+    for entity in range(index.num_entities):
+        np.testing.assert_array_equal(
+            index.block_slice(entity), reference.block_slice(entity)
+        )
+        mine_ids, mine_blocks = index.cooccurrence_arrays(entity)
+        ref_ids, ref_blocks = reference.cooccurrence_arrays(entity)
+        np.testing.assert_array_equal(mine_ids, ref_ids)
+        np.testing.assert_array_equal(mine_blocks, ref_blocks)
+
+
+def test_shared_compaction_round_trips():
+    pytest.importorskip("multiprocessing.shared_memory")
+    index = DeltaEntityIndex()
+    blocks = [index.new_block() for _ in range(2)]
+    for _ in range(4):
+        entity = index.new_entity()
+        index.assign(entity, blocks)
+    reference = build_reference(index)
+    shared = index.compact(shared=True)
+    try:
+        assert_csr_identical(shared, reference)
+        # The delta keeps answering queries off the new shared base.
+        entity = index.new_entity()
+        index.assign(entity, [blocks[0]])
+        assert index.block_size(blocks[0]) == 5
+    finally:
+        shared.destroy()
+
+
+# -- epoch persistence and sweeping -----------------------------------------
+
+
+class TestEpochPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        index = DeltaEntityIndex()
+        block = index.new_block("movies")
+        entity = index.new_entity()
+        index.assign(entity, [block])
+        other = index.new_entity()
+        index.assign(other, [block])
+        compacted = index.compact(persist_dir=tmp_path)
+        epoch_dir = latest_epoch(tmp_path)
+        assert epoch_dir is not None
+        loaded, keys = load_epoch(epoch_dir)
+        assert_csr_identical(loaded, compacted)
+        assert keys == ["movies"]
+
+    def test_latest_epoch_picks_highest(self, tmp_path):
+        index = DeltaEntityIndex()
+        block = index.new_block()
+        for _ in range(2):
+            entity = index.new_entity()
+            index.assign(entity, [block])
+            index.compact(persist_dir=tmp_path)
+        epochs = sorted(p.name for p in tmp_path.glob("epoch-*"))
+        assert len(epochs) == 2
+        assert latest_epoch(tmp_path).name == epochs[-1]
+
+    def test_sweep_removes_orphaned_artifacts(self, tmp_path):
+        index = DeltaEntityIndex()
+        block = index.new_block()
+        entity = index.new_entity()
+        index.assign(entity, [block])
+        index.compact(persist_dir=tmp_path)
+        healthy = latest_epoch(tmp_path)
+
+        # A partial temp dir whose owner pid is dead, and an epoch dir
+        # missing its manifest: both are orphans.
+        dead_tmp = tmp_path / "epoch-000009.tmp-4194304"
+        dead_tmp.mkdir()
+        broken = tmp_path / "epoch-000008"
+        broken.mkdir()
+
+        would = sweep_stale_epochs(tmp_path, dry_run=True)
+        assert {os.path.basename(p) for p in would} == {
+            dead_tmp.name,
+            broken.name,
+        }
+        assert dead_tmp.exists() and broken.exists()
+
+        swept = sweep_stale_epochs(tmp_path)
+        assert {os.path.basename(p) for p in swept} == {
+            dead_tmp.name,
+            broken.name,
+        }
+        assert not dead_tmp.exists() and not broken.exists()
+        assert healthy.exists()
+
+    def test_sweep_keeps_live_owner_temp(self, tmp_path):
+        live_tmp = tmp_path / f"epoch-000001.tmp-{os.getpid()}"
+        live_tmp.mkdir()
+        assert sweep_stale_epochs(tmp_path) == []
+        assert live_tmp.exists()
+
+
+def test_from_csr_matches_from_blocks():
+    blocks = BlockCollection(
+        [
+            Block("a", (0, 1, 2)),
+            Block("b", (1, 3)),
+            Block("c", (0, 3)),
+        ],
+        num_entities=4,
+    )
+    reference = EntityIndex.from_blocks(blocks)
+    rebuilt = EntityIndex.from_csr(
+        num_entities=4,
+        is_bilateral=False,
+        member_indptr1=reference.member_indptr1,
+        members1=reference.members1,
+    )
+    assert_csr_identical(rebuilt, reference)

@@ -196,3 +196,161 @@ class TestStreamQuality:
         candidate = Candidate(entity_id=1, weight=0.5, common_blocks=2)
         with pytest.raises(AttributeError):
             candidate.weight = 0.9  # type: ignore[misc]
+
+
+class TestBatchEquivalence:
+    """Post-stream exports match the batch pipeline on the same collection.
+
+    The acceptance contract of the delta-index rewrite: after any sequence
+    of upserts (with or without compactions), ``candidate_pairs`` retains
+    exactly the pairs — in the same order — that ``meta_block`` retains on
+    the materialised collection with the same scheme and explicit ``k``.
+    Schemes with integer co-occurrence statistics (JS, CBS) make the match
+    bit-exact regardless of block order.
+    """
+
+    @staticmethod
+    def _stream(dataset, scheme, execution=None, compact_every=None):
+        resolver = IncrementalMetaBlocking(
+            TokenBlocking().keys_for,
+            scheme=scheme,
+            k=2,
+            filtering_ratio=1.0,
+            clean_clean=dataset.is_clean_clean,
+            execution=execution,
+        )
+        for entity_id, profile in dataset.iter_profiles():
+            source = (
+                dataset.source_of(entity_id)
+                if dataset.is_clean_clean
+                else 0
+            )
+            resolver.add(profile, source=source)
+            if compact_every and (entity_id + 1) % compact_every == 0:
+                resolver.compact()
+        return resolver
+
+    @staticmethod
+    def _batch(resolver, scheme, algorithm, execution=None):
+        from repro.core.pipeline import meta_block
+
+        return meta_block(
+            resolver.to_block_collection(),
+            scheme=scheme,
+            algorithm=algorithm,
+            block_filtering_ratio=None,
+            backend="vectorized",
+            execution=execution,
+        )
+
+    @pytest.mark.parametrize("scheme", ["JS", "CBS"])
+    @pytest.mark.parametrize("algorithm", ["CNP", "ReCNP"])
+    def test_serial_equivalence(self, scheme, algorithm):
+        from repro.core.pruning import (
+            CardinalityNodePruning,
+            RedefinedCardinalityNodePruning,
+        )
+
+        dataset = bibliographic_dataset(
+            DatasetScale(size1=30, size2=60, num_duplicates=20), seed=11
+        )
+        resolver = self._stream(dataset, scheme, compact_every=25)
+        batch_algo = (
+            CardinalityNodePruning(2)
+            if algorithm == "CNP"
+            else RedefinedCardinalityNodePruning(2)
+        )
+        streaming = resolver.candidate_pairs(algorithm)
+        batch = self._batch(resolver, scheme, batch_algo)
+        assert list(streaming.pairs) == list(batch.comparisons.pairs)
+
+    @pytest.mark.parametrize("algorithm", ["CNP", "ReCNP"])
+    def test_threads_backend_equivalence(self, algorithm):
+        """The parallel (threads) batch run agrees with the streaming export
+        after compaction — the delta is merged into plain CSR arrays, so the
+        chunked executor sees an ordinary index."""
+        from repro.core.execution import ExecutionConfig
+        from repro.core.pruning import (
+            CardinalityNodePruning,
+            RedefinedCardinalityNodePruning,
+        )
+
+        dataset = bibliographic_dataset(
+            DatasetScale(size1=30, size2=60, num_duplicates=20), seed=12
+        )
+        resolver = self._stream(dataset, "JS")
+        resolver.compact()
+        batch_algo = (
+            CardinalityNodePruning(2)
+            if algorithm == "CNP"
+            else RedefinedCardinalityNodePruning(2)
+        )
+        streaming = resolver.candidate_pairs(algorithm)
+        batch = self._batch(
+            resolver,
+            "JS",
+            batch_algo,
+            execution=ExecutionConfig(parallel=2, parallel_backend="threads"),
+        )
+        assert sorted(streaming.pairs) == sorted(batch.comparisons.pairs)
+
+    def test_dirty_repruning_matches_full_recompute(self):
+        """Exports after further upserts (dirty-subset re-pruning) equal a
+        from-scratch resolver's export over the same profiles."""
+        dataset = bibliographic_dataset(
+            DatasetScale(size1=20, size2=40, num_duplicates=15), seed=13
+        )
+        profiles = list(dataset.iter_profiles())
+        warm = IncrementalMetaBlocking(
+            TokenBlocking().keys_for, scheme="JS", k=2, filtering_ratio=1.0,
+            clean_clean=True,
+        )
+        for entity_id, profile in profiles[: len(profiles) // 2]:
+            warm.add(profile, source=dataset.source_of(entity_id))
+        warm.candidate_pairs("CNP")  # populate criteria, clear dirty set
+        for entity_id, profile in profiles[len(profiles) // 2 :]:
+            warm.add(profile, source=dataset.source_of(entity_id))
+
+        cold = IncrementalMetaBlocking(
+            TokenBlocking().keys_for, scheme="JS", k=2, filtering_ratio=1.0,
+            clean_clean=True,
+        )
+        for entity_id, profile in profiles:
+            cold.add(profile, source=dataset.source_of(entity_id))
+
+        assert list(warm.candidate_pairs("CNP").pairs) == list(
+            cold.candidate_pairs("CNP").pairs
+        )
+        assert list(warm.candidate_pairs("ReWNP").pairs) == list(
+            cold.candidate_pairs("ReWNP").pairs
+        )
+
+    def test_compaction_preserves_resolver_state(self):
+        dataset = bibliographic_dataset(
+            DatasetScale(size1=15, size2=30, num_duplicates=10), seed=14
+        )
+        resolver = self._stream(dataset, "JS")
+        before = list(resolver.candidate_pairs("CNP").pairs)
+        resolver.compact()
+        assert resolver.compactions == 1
+        assert list(resolver.candidate_pairs("CNP").pairs) == before
+
+    def test_auto_compaction_triggers(self):
+        import repro.incremental.resolver as resolver_module
+
+        dataset = bibliographic_dataset(
+            DatasetScale(size1=20, size2=40, num_duplicates=10), seed=15
+        )
+        resolver = IncrementalMetaBlocking(
+            TokenBlocking().keys_for,
+            scheme="JS",
+            compact_ratio=0.5,
+            clean_clean=True,
+        )
+        threshold = resolver_module.MIN_COMPACT_ASSIGNMENTS
+        for entity_id, profile in dataset.iter_profiles():
+            resolver.add(profile, source=dataset.source_of(entity_id))
+            if resolver.compactions:
+                break
+        assert resolver.compactions >= 1
+        assert resolver.index.delta_assignments < threshold
