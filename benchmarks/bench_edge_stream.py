@@ -72,6 +72,10 @@ class CachedGraph:
     are identical for both paths.
     """
 
+    #: Keep the pruning algorithms on the streaming path: this wrapper exists
+    #: to measure edge-stream consumption, which the fused gather would skip.
+    node_ordered_edge_stream = False
+
     def __init__(self, weighting) -> None:
         weighting._prepare_scheme_inputs()
         self.blocks = weighting.blocks

@@ -9,6 +9,9 @@ baseline), recording:
 * upserts/sec for both resolvers;
 * per-upsert candidate-query latency (p50/p99);
 * the compaction pause (epoch merge wall clock) at the final delta size;
+* upserts/sec for the micro-batched ``submit()`` path at each coalescing
+  capacity in :data:`BATCH_SIZES` (pass ``--profile-upserts`` to also
+  bucket the wall clock into tokenize/index/weight/criteria phases);
 
 and asserts the two implementations return identical candidate id lists
 per upsert under JS (integer co-occurrence statistics make the weights
@@ -39,6 +42,11 @@ K = 5
 #: dict baseline's upsert throughput (it trades constant overhead for
 #: batch-exact kernels and full-export capability).
 THROUGHPUT_RATIO_FLOOR = 0.05
+#: Coalescing-buffer capacities swept by the micro-batch bench.
+BATCH_SIZES = (1, 8, 64, 256)
+#: batch=1 must stay within this factor of the plain ``add()`` loop (the
+#: submit path adds only buffer bookkeeping at capacity 1).
+SINGLE_BATCH_FLOOR = 0.90
 
 
 # -- the previous implementation, trimmed to the benchmarked surface --------
@@ -238,6 +246,128 @@ def test_incremental_throughput_and_equivalence(benchmark):
     # wire for pathological slowdowns.
     assert new_rate >= old_rate * THROUGHPUT_RATIO_FLOOR
     assert results["compact_seconds"] < max(5.0, results["new_seconds"])
+
+
+def test_batched_throughput_sweep(benchmark, profile_upserts):
+    """Micro-batched streaming: sweep the coalescing-buffer capacity.
+
+    Replays the stream through ``submit()`` at each capacity in
+    :data:`BATCH_SIZES` plus a plain ``add()`` reference leg and the dict
+    baseline, asserting every leg returns the identical per-upsert
+    candidate id lists (JS statistics are integers, so batching is
+    bit-exact). At full scale (``REPRO_BENCH_SCALE >= 1``) it also gates
+    the headline claims: batch=64 beats the dict baseline's upserts/s and
+    batch=1 stays within :data:`SINGLE_BATCH_FLOOR` of plain ``add()``.
+    With ``--profile-upserts`` each leg's per-phase wall clock
+    (tokenize/index/weight/criteria) is recorded alongside.
+    """
+    dataset = _dataset()
+    profiles = list(dataset.iter_profiles())
+    keys_for = TokenBlocking().keys_for
+    results: dict = {}
+
+    def timed_best_of_two(run_once):
+        """Wall clock as the best of two runs — the legs execute back to
+        back in one process, so a single run is exposed to GC pauses and
+        frequency shifts from its predecessors."""
+        first, payload = run_once()
+        second, _ = run_once()
+        return min(first, second), payload
+
+    def run_dict():
+        baseline = DictResolverBaseline(
+            keys_for, scheme="JS", k=K, filtering_ratio=1.0, clean_clean=True
+        )
+        with Timer() as timer:
+            candidates = [
+                baseline.add(profile, source=dataset.source_of(entity_id))
+                for entity_id, profile in profiles
+            ]
+        return timer.elapsed, candidates
+
+    def run_plain():
+        plain = IncrementalMetaBlocking(
+            keys_for, scheme="JS", k=K, filtering_ratio=1.0, clean_clean=True
+        )
+        with Timer() as timer:
+            for entity_id, profile in profiles:
+                plain.add(profile, source=dataset.source_of(entity_id))
+        return timer.elapsed, None
+
+    def run_batched(batch_size):
+        resolver = IncrementalMetaBlocking(
+            keys_for, scheme="JS", k=K, filtering_ratio=1.0,
+            clean_clean=True, batch_size=batch_size,
+            profile_phases=profile_upserts,
+        )
+        candidates: list[list[int]] = []
+        with Timer() as timer:
+            for entity_id, profile in profiles:
+                flushed = resolver.submit(
+                    profile, source=dataset.source_of(entity_id)
+                )
+                if flushed is not None:
+                    candidates.extend(
+                        [c.entity_id for c in batch] for batch in flushed
+                    )
+            candidates.extend(
+                [c.entity_id for c in batch] for batch in resolver.flush()
+            )
+        return timer.elapsed, (candidates, dict(resolver.phase_seconds))
+
+    def run_all():
+        old_seconds, old_candidates = timed_best_of_two(run_dict)
+        plain_seconds, _ = timed_best_of_two(run_plain)
+        legs = {}
+        for batch_size in BATCH_SIZES:
+            seconds, (candidates, phases) = timed_best_of_two(
+                lambda: run_batched(batch_size)
+            )
+            legs[batch_size] = {
+                "seconds": seconds,
+                "candidates": candidates,
+                "phases": phases,
+            }
+        results.update(
+            old_seconds=old_seconds,
+            plain_seconds=plain_seconds,
+            old_candidates=old_candidates,
+            legs=legs,
+        )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    upserts = len(profiles)
+    old_rate = upserts / max(results["old_seconds"], 1e-9)
+    plain_rate = upserts / max(results["plain_seconds"], 1e-9)
+    for batch_size in BATCH_SIZES:
+        leg = results["legs"][batch_size]
+        rate = upserts / max(leg["seconds"], 1e-9)
+        record = {
+            "|E|": upserts,
+            "resolver": f"delta-index (batch={batch_size})",
+            "upserts/s": round(rate, 1),
+            "vs_dict": round(rate / old_rate, 2),
+        }
+        if profile_upserts:
+            record.update(
+                {
+                    f"{phase}_ms": round(seconds * 1e3, 1)
+                    for phase, seconds in leg["phases"].items()
+                }
+            )
+        RECORDER.record("incremental", record)
+        # Batching must never change the answers: every leg returns the
+        # dict baseline's exact per-upsert candidate id lists, in order.
+        assert leg["candidates"] == results["old_candidates"], batch_size
+
+    if bench_scale() >= 1.0:
+        # The headline perf gates only hold at full scale; toy CI runs
+        # (REPRO_BENCH_SCALE << 1) check equivalence, not throughput.
+        rate_64 = upserts / max(results["legs"][64]["seconds"], 1e-9)
+        rate_1 = upserts / max(results["legs"][1]["seconds"], 1e-9)
+        assert rate_64 >= old_rate, (rate_64, old_rate)
+        assert rate_1 >= SINGLE_BATCH_FLOOR * plain_rate, (rate_1, plain_rate)
 
 
 def test_compaction_pause_bounded(benchmark):

@@ -26,6 +26,23 @@ def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile-upserts",
+        action="store_true",
+        default=False,
+        help="bucket per-upsert wall clock into tokenize/index/weight/"
+             "criteria phases in the incremental benches (adds two clock "
+             "reads per phase, so throughput numbers dip slightly)",
+    )
+
+
+@pytest.fixture(scope="session")
+def profile_upserts(request) -> bool:
+    """True when ``--profile-upserts`` was passed to pytest."""
+    return bool(request.config.getoption("--profile-upserts"))
+
+
 @pytest.fixture(scope="session")
 def suite():
     """The six evaluation datasets."""

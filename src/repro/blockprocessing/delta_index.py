@@ -54,6 +54,8 @@ EPOCH_PREFIX = "epoch-"
 _MANIFEST_NAME = "index.json"
 _MANIFEST_VERSION = 1
 
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
 
 def _grow(array: np.ndarray, size: int) -> np.ndarray:
     """Return ``array`` with capacity >= ``size`` (doubling growth)."""
@@ -150,6 +152,10 @@ class DeltaEntityIndex:
         self._delta_members2: dict[int, list[int]] = {}
         self._delta_blocks_of: dict[int, set[int]] = {}
         self._blocks_of_cache: dict[int, np.ndarray] = {}
+        # Per-block delta member lists materialised as int64 arrays, for the
+        # multi-entity gather; invalidated per block on append.
+        self._delta_arrays1: dict[int, np.ndarray] = {}
+        self._delta_arrays2: dict[int, np.ndarray] = {}
         self._delta_assignments = 0
         self._dirty_blocks: set[int] = set()
 
@@ -230,6 +236,7 @@ class DeltaEntityIndex:
         side2 = self.is_bilateral and bool(self._second[entity])
         members = self._delta_members2 if side2 else self._delta_members1
         sizes = self._sizes2 if side2 else self._sizes1
+        arrays = self._delta_arrays2 if side2 else self._delta_arrays1
         existing = self._delta_blocks_of.setdefault(entity, set())
         had_blocks = bool(self._counts[entity])
         for block_id in block_ids:
@@ -244,6 +251,7 @@ class DeltaEntityIndex:
             sizes[block_id] += 1
             self._update_inverse(block_id)
             self._dirty_blocks.add(block_id)
+            arrays.pop(block_id, None)
         if had_blocks:
             # |B_entity| changed: every neighborhood containing the entity
             # is stale, so dirty all of its blocks, not just the new ones.
@@ -252,6 +260,108 @@ class DeltaEntityIndex:
         self._delta_assignments += len(block_ids)
         self._blocks_of_cache.pop(entity, None)
         self.epoch += 1
+
+    def apply_batch(
+        self,
+        new_entities: "list[bool] | tuple[bool, ...]" = (),
+        new_block_keys: "list[str] | tuple[str, ...]" = (),
+        assignments: "list[tuple[int, list[int]]] | tuple" = (),
+    ) -> tuple[list[int], list[int]]:
+        """Ingest many upserts as **one** mutation.
+
+        ``new_entities`` holds one ``second_side`` flag per new entity,
+        ``new_block_keys`` one blocking key per new block, and
+        ``assignments`` pairs of ``(entity, block_ids)`` — entity and block
+        ids may reference rows created by this very batch. Equivalent to
+        the matching sequence of :meth:`new_entity` / :meth:`new_block` /
+        :meth:`assign` calls, but the statistic arrays are grown once, the
+        per-block inverse cardinalities are recomputed in one vectorized
+        pass over the touched blocks, the dirty sets are merged once, and
+        :attr:`epoch` bumps exactly once (an empty batch does not bump).
+
+        Validates the whole batch before mutating anything, so a rejected
+        batch leaves the index untouched. Returns the new
+        ``(entity_ids, block_ids)`` in registration order.
+        """
+        flags = [bool(flag) for flag in new_entities]
+        if any(flags) and not self.is_bilateral:
+            raise ValueError("second_side entities require a bilateral index")
+        total_entities = self._num_entities + len(flags)
+        total_blocks = len(self._keys) + len(new_block_keys)
+        normalized: list[tuple[int, list[int]]] = []
+        staged: dict[int, set[int]] = {}
+        for entity, block_ids in assignments:
+            entity = int(entity)
+            if not 0 <= entity < total_entities:
+                raise ValueError(f"unknown entity id {entity}")
+            seen = staged.setdefault(entity, set())
+            ids = [int(block_id) for block_id in block_ids]
+            for block_id in ids:
+                if not 0 <= block_id < total_blocks:
+                    raise ValueError(f"unknown block id {block_id}")
+                if (
+                    block_id in seen
+                    or block_id in self._delta_blocks_of.get(entity, ())
+                    or self._in_base_block(entity, block_id)
+                ):
+                    raise ValueError(
+                        f"entity {entity} is already a member of block "
+                        f"{block_id}"
+                    )
+                seen.add(block_id)
+            if ids:
+                normalized.append((entity, ids))
+        if not flags and not new_block_keys and not normalized:
+            return [], []
+
+        entity_start = self._num_entities
+        if flags:
+            self._num_entities = total_entities
+            self._counts = _grow(self._counts, total_entities)
+            self._second = _grow(self._second, total_entities)
+            self._second[entity_start:total_entities] = flags
+        block_start = len(self._keys)
+        if new_block_keys:
+            self._keys.extend(str(key) for key in new_block_keys)
+            self._sizes1 = _grow(self._sizes1, total_blocks)
+            self._sizes2 = _grow(self._sizes2, total_blocks)
+            self._inverse = _grow(self._inverse, total_blocks)
+            self._excluded = _grow(self._excluded, total_blocks)
+
+        touched: set[int] = set()
+        renumber: list[int] = []
+        for entity, ids in normalized:
+            side2 = self.is_bilateral and bool(self._second[entity])
+            members = self._delta_members2 if side2 else self._delta_members1
+            sizes = self._sizes2 if side2 else self._sizes1
+            arrays = self._delta_arrays2 if side2 else self._delta_arrays1
+            existing = self._delta_blocks_of.setdefault(entity, set())
+            if self._counts[entity]:
+                renumber.append(entity)
+            for block_id in ids:
+                existing.add(block_id)
+                members.setdefault(block_id, []).append(entity)
+                sizes[block_id] += 1
+                arrays.pop(block_id, None)
+            touched.update(ids)
+            self._counts[entity] += len(ids)
+            self._delta_assignments += len(ids)
+            self._blocks_of_cache.pop(entity, None)
+        if touched:
+            block_array = np.fromiter(
+                touched, dtype=np.int64, count=len(touched)
+            )
+            self._update_inverse_many(block_array)
+            self._dirty_blocks.update(touched)
+        for entity in renumber:
+            # |B_entity| changed mid-stream: every neighborhood containing
+            # the entity went stale, same rule as :meth:`assign`.
+            self._dirty_blocks.update(int(b) for b in self.block_slice(entity))
+        self.epoch += 1
+        return (
+            list(range(entity_start, total_entities)),
+            list(range(block_start, total_blocks)),
+        )
 
     def exclude_block(self, block_id: int) -> None:
         """Veil a block from co-occurrence queries (streaming Block Purging).
@@ -425,6 +535,126 @@ class DeltaEntityIndex:
             ids, blocks = ids[keep], blocks[keep]
         return ids, blocks
 
+    def cooccurrence_arrays_multi(
+        self, entities: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Segmented :meth:`cooccurrence_arrays` over several entities.
+
+        Returns ``(ids, block_positions, offsets)``: segment ``i`` —
+        ``ids[offsets[i]:offsets[i+1]]`` and the aligned block positions —
+        reproduces ``cooccurrence_arrays(entities[i])`` element for element,
+        order included (per owner: base runs then delta appends, ascending
+        block position). The whole batch costs one multi-range gather per
+        member side plus one gather over a mini-CSR of the touched delta
+        lists, instead of per-entity Python overlay loops — the gather half
+        of the micro-batched upsert path.
+        """
+        entities = np.ascontiguousarray(entities, dtype=np.int64)
+        n = int(entities.size)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        if n == 0:
+            return _EMPTY_I64, _EMPTY_I64, offsets
+        excluded = self._excluded if self._has_exclusions else None
+        position_runs = []
+        for entity in entities.tolist():
+            positions = self.block_slice(entity)
+            if excluded is not None and positions.size:
+                positions = positions[~excluded[positions]]
+            position_runs.append(positions)
+        lengths = np.fromiter(
+            (run.size for run in position_runs), dtype=np.int64, count=n
+        )
+        if not int(lengths.sum()):
+            return _EMPTY_I64, _EMPTY_I64, offsets
+        positions = np.concatenate(position_runs)
+        owners = np.repeat(np.arange(n, dtype=np.int64), lengths)
+
+        # (ids, blocks, owner per element) pieces; for any one owner the
+        # append order below is base-then-delta, so the final stable sort
+        # by owner reproduces the sequential per-entity element order.
+        parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+        def gather_group(mask: "np.ndarray | None", side2: bool) -> None:
+            group_positions = positions if mask is None else positions[mask]
+            group_owners = owners if mask is None else owners[mask]
+            if group_positions.size == 0:
+                return
+            base = self._base
+            if base is not None:
+                base_mask = group_positions < base.num_blocks
+                base_positions = group_positions[base_mask]
+                if base_positions.size:
+                    if side2:
+                        indptr, members = base.member_indptr2, base.members2
+                    else:
+                        indptr, members = base.member_indptr1, base.members1
+                    ids, blocks = multi_range_gather(
+                        indptr, members, base_positions
+                    )
+                    if ids.size:
+                        run_lengths = (
+                            indptr[base_positions + 1] - indptr[base_positions]
+                        )
+                        parts.append((
+                            ids,
+                            blocks,
+                            np.repeat(group_owners[base_mask], run_lengths),
+                        ))
+            delta = self._delta_members2 if side2 else self._delta_members1
+            if not delta:
+                return
+            unique_positions = np.unique(group_positions)
+            runs = [
+                self._delta_run(int(p), side2=side2)
+                for p in unique_positions.tolist()
+            ]
+            run_lengths = np.fromiter(
+                (run.size for run in runs),
+                dtype=np.int64,
+                count=unique_positions.size,
+            )
+            if not int(run_lengths.sum()):
+                return
+            mini_indptr = np.zeros(unique_positions.size + 1, dtype=np.int64)
+            np.cumsum(run_lengths, out=mini_indptr[1:])
+            mini_members = np.concatenate(runs)
+            remapped = np.searchsorted(unique_positions, group_positions)
+            ids, mini_blocks = multi_range_gather(
+                mini_indptr, mini_members, remapped
+            )
+            if ids.size:
+                parts.append((
+                    ids,
+                    unique_positions[mini_blocks],
+                    np.repeat(group_owners, run_lengths[remapped]),
+                ))
+
+        if self.is_bilateral:
+            # Second-side entities gather side-1 members and vice versa.
+            second = np.repeat(self._second[entities], lengths)
+            gather_group(second, side2=False)
+            gather_group(~second, side2=True)
+        else:
+            gather_group(None, side2=False)
+        if not parts:
+            return _EMPTY_I64, _EMPTY_I64, offsets
+        ids = np.concatenate([part[0] for part in parts])
+        blocks = np.concatenate([part[1] for part in parts])
+        owner_elements = np.concatenate([part[2] for part in parts])
+        order = np.argsort(owner_elements, kind="stable")
+        ids = ids[order]
+        blocks = blocks[order]
+        owner_elements = owner_elements[order]
+        if not self.is_bilateral and ids.size:
+            keep = ids != entities[owner_elements]
+            ids = ids[keep]
+            blocks = blocks[keep]
+            owner_elements = owner_elements[keep]
+        np.cumsum(
+            np.bincount(owner_elements, minlength=n), out=offsets[1:]
+        )
+        return ids, blocks, offsets
+
     # -- compaction ----------------------------------------------------------
 
     def compact(
@@ -472,6 +702,8 @@ class DeltaEntityIndex:
         self._delta_members2 = {}
         self._delta_blocks_of = {}
         self._blocks_of_cache = {}
+        self._delta_arrays1 = {}
+        self._delta_arrays2 = {}
         self._delta_assignments = 0
         return base
 
@@ -512,6 +744,36 @@ class DeltaEntityIndex:
             size = int(self._sizes1[block_id])
             card = size * (size - 1) // 2
         self._inverse[block_id] = 1.0 / card if card > 0 else 0.0
+
+    def _update_inverse_many(self, block_ids: np.ndarray) -> None:
+        """Vectorized :meth:`_update_inverse` over many blocks at once.
+
+        ``1.0 / int64`` is the same IEEE division the scalar path performs,
+        so batched and per-call maintenance stay bit-identical.
+        """
+        sizes1 = self._sizes1[block_ids]
+        if self.is_bilateral:
+            cards = sizes1 * self._sizes2[block_ids]
+        else:
+            cards = sizes1 * (sizes1 - 1) // 2
+        inverse = np.zeros(block_ids.size, dtype=np.float64)
+        np.divide(1.0, cards, out=inverse, where=cards > 0)
+        self._inverse[block_ids] = inverse
+
+    def _delta_run(self, block_id: int, *, side2: bool) -> np.ndarray:
+        """One block's delta appends as a cached int64 array."""
+        cache = self._delta_arrays2 if side2 else self._delta_arrays1
+        run = cache.get(block_id)
+        if run is None:
+            delta = self._delta_members2 if side2 else self._delta_members1
+            appended = delta.get(block_id)
+            run = (
+                np.asarray(appended, dtype=np.int64)
+                if appended
+                else _EMPTY_I64
+            )
+            cache[block_id] = run
+        return run
 
     def _members(self, block_id: int, *, side2: bool) -> np.ndarray:
         base = self._base

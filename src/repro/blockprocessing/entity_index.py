@@ -75,6 +75,68 @@ def _csr_cooccurrence_arrays(
     return ids, blocks
 
 
+def _csr_cooccurrence_arrays_multi(
+    index, entities: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Segmented ``cooccurrence_arrays`` over several entities at once.
+
+    Returns ``(ids, block_positions, offsets)``: segment ``i`` reproduces
+    ``cooccurrence_arrays(entities[i])`` element for element. One
+    multi-range gather per member side serves the whole batch.
+    """
+    entities = np.ascontiguousarray(entities, dtype=np.int64)
+    n = int(entities.size)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return empty, empty, offsets
+    position_runs = [index.block_slice(int(e)) for e in entities.tolist()]
+    lengths = np.fromiter(
+        (run.size for run in position_runs), dtype=np.int64, count=n
+    )
+    if not int(lengths.sum()):
+        return empty, empty, offsets
+    positions = np.concatenate(position_runs)
+    owners = np.repeat(np.arange(n, dtype=np.int64), lengths)
+
+    def gather(mask, member_indptr, members):
+        group_positions = positions if mask is None else positions[mask]
+        group_owners = owners if mask is None else owners[mask]
+        ids, blocks = multi_range_gather(
+            member_indptr, members, group_positions
+        )
+        run_lengths = (
+            member_indptr[group_positions + 1] - member_indptr[group_positions]
+        )
+        return ids, blocks, np.repeat(group_owners, run_lengths)
+
+    if index.is_bilateral:
+        # Second-side entities gather side-1 members and vice versa.
+        second = np.repeat(
+            np.asarray(index.second_side_mask, dtype=bool)[entities], lengths
+        )
+        pieces = [
+            gather(second, index.member_indptr1, index.members1),
+            gather(~second, index.member_indptr2, index.members2),
+        ]
+        ids = np.concatenate([piece[0] for piece in pieces])
+        blocks = np.concatenate([piece[1] for piece in pieces])
+        owner_elements = np.concatenate([piece[2] for piece in pieces])
+        order = np.argsort(owner_elements, kind="stable")
+        ids, blocks = ids[order], blocks[order]
+        owner_elements = owner_elements[order]
+    else:
+        ids, blocks, owner_elements = gather(
+            None, index.member_indptr2, index.members2
+        )
+        if ids.size:
+            keep = ids != entities[owner_elements]
+            ids, blocks = ids[keep], blocks[keep]
+            owner_elements = owner_elements[keep]
+    np.cumsum(np.bincount(owner_elements, minlength=n), out=offsets[1:])
+    return ids, blocks, offsets
+
+
 class EntityIndex:
     """Inverted index over a block collection, CSR-backed.
 
@@ -286,6 +348,16 @@ class EntityIndex:
         """
         return _csr_cooccurrence_arrays(self, entity)
 
+    def cooccurrence_arrays_multi(
+        self, entities: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Segmented :meth:`cooccurrence_arrays` for several entities.
+
+        ``(ids, block_positions, offsets)``; segment ``i`` reproduces
+        ``cooccurrence_arrays(entities[i])`` element for element.
+        """
+        return _csr_cooccurrence_arrays_multi(self, entities)
+
     def block_list(self, entity: int) -> list[int]:
         """``B_i`` — ascending block positions containing ``entity``."""
         return self._block_lists[entity]
@@ -476,6 +548,12 @@ class SharedEntityIndex:
     def cooccurrence_arrays(self, entity: int) -> tuple[np.ndarray, np.ndarray]:
         """See :meth:`EntityIndex.cooccurrence_arrays`."""
         return _csr_cooccurrence_arrays(self, entity)
+
+    def cooccurrence_arrays_multi(
+        self, entities: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """See :meth:`EntityIndex.cooccurrence_arrays_multi`."""
+        return _csr_cooccurrence_arrays_multi(self, entities)
 
     def block_list(self, entity: int) -> np.ndarray:
         return self.block_slice(entity)

@@ -230,6 +230,10 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
     dataset = load_dataset(args.dataset)
     method = BLOCKING_METHODS[args.blocking]()
+    if args.batch_size is not None and args.batch_size < 1:
+        print(f"error: --batch-size must be >= 1, got {args.batch_size}",
+              file=sys.stderr)
+        return 2
     resolver = IncrementalMetaBlocking(
         method.keys_for,
         scheme=args.scheme,
@@ -240,20 +244,33 @@ def cmd_stream(args: argparse.Namespace) -> int:
         clean_clean=dataset.is_clean_clean,
         compact_ratio=args.compact_ratio,
         compact_dir=args.compact_dir,
+        batch_size=args.batch_size,
     )
     truth = {tuple(sorted(pair)) for pair in dataset.ground_truth}
     emitted = 0
     matched: set = set()
+    pending_ids: list[int] = []
+
+    def consume(candidate_lists: list) -> None:
+        nonlocal emitted
+        for entity_id, candidates in zip(pending_ids, candidate_lists):
+            for candidate in candidates:
+                emitted += 1
+                pair = tuple(sorted((entity_id, candidate.entity_id)))
+                if pair in truth:
+                    matched.add(pair)
+        del pending_ids[: len(candidate_lists)]
+
     with Timer() as timer:
         for entity_id, profile in dataset.iter_profiles():
             source = (
                 dataset.source_of(entity_id) if dataset.is_clean_clean else 0
             )
-            for candidate in resolver.add(profile, source=source):
-                emitted += 1
-                pair = tuple(sorted((entity_id, candidate.entity_id)))
-                if pair in truth:
-                    matched.add(pair)
+            pending_ids.append(entity_id)
+            flushed = resolver.submit(profile, source=source)
+            if flushed is not None:
+                consume(flushed)
+        consume(resolver.flush())
     added = len(resolver)
     rate = added / timer.elapsed if timer.elapsed > 0 else float("inf")
     recall = len(matched) / len(truth) if truth else 1.0
@@ -261,7 +278,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
     print(f"dataset:   {dataset!r}")
     print(f"config:    {resolver.scheme.name}, k={args.k}, "
           f"r={args.filtering_ratio}, "
-          f"reciprocal={'on' if args.reciprocal else 'off'}")
+          f"reciprocal={'on' if args.reciprocal else 'off'}, "
+          f"batch={args.batch_size or 1}")
     print(f"stream:    {added:,} upserts in {timer.elapsed:.2f}s "
           f"({rate:,.0f}/s), {resolver.num_blocks:,} blocks, "
           f"{resolver.compactions} compaction(s), epoch {resolver.epoch}")
@@ -465,6 +483,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--compact-dir", default=None, dest="compact_dir",
         help="persist an epoch-NNNNNN snapshot on every compaction under "
              "this directory (swept by 'repro clean --compact-dir')",
+    )
+    stream.add_argument(
+        "--batch-size", type=int, default=None, dest="batch_size",
+        help="coalesce this many upserts per fused micro-batch commit "
+             "(amortises the per-upsert kernel costs; default: commit "
+             "each upsert immediately)",
     )
     stream.set_defaults(handler=cmd_stream)
 

@@ -112,6 +112,13 @@ class ExecutionConfig:
         snapshots (``epoch-NNNNNN`` subdirectories); swept by
         ``repro clean --compact-dir``. ``None`` keeps epochs in memory
         only.
+    batch_size:
+        Streaming-only: the coalescing-buffer capacity of
+        :meth:`~repro.incremental.IncrementalMetaBlocking.submit` — that
+        many buffered upserts are committed per fused
+        :meth:`~repro.incremental.IncrementalMetaBlocking.add_batch` call.
+        ``None`` (default) and ``1`` commit every upsert immediately.
+        Ignored by the batch pipeline.
     """
 
     parallel: int | None = None
@@ -126,6 +133,7 @@ class ExecutionConfig:
     resume_from: "str | os.PathLike[str] | None" = None
     compact_ratio: float | None = None
     compact_dir: "str | os.PathLike[str] | None" = None
+    batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.parallel_backend is not None and self.parallel_backend not in (
@@ -159,6 +167,7 @@ class ExecutionConfig:
             raise ValueError(
                 f"compact_ratio must be <= 1, got {self.compact_ratio}"
             )
+        _require_int("batch_size", self.batch_size, minimum=1)
 
     @property
     def spills(self) -> bool:
@@ -200,6 +209,7 @@ class ExecutionConfig:
             "compact_dir": (
                 None if self.compact_dir is None else str(self.compact_dir)
             ),
+            "batch_size": self.batch_size,
         }
 
     @classmethod

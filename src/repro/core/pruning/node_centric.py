@@ -41,6 +41,30 @@ def _canonical(entity: int, others: "list[int]") -> "list[Comparison]":
     ]
 
 
+#: Entities per multi-node kernel call in the batched ``node_criteria``
+#: path. Purely a memory/amortisation knob — like every chunk size in the
+#: stack, batch boundaries never affect downstream results.
+NODE_CRITERIA_BATCH = 512
+
+
+def _iter_criteria_groups(weighting, entities, k, chunk_size):
+    """Yield criteria NodeGroups, via the fused multi-node kernel when the
+    backend offers one (:meth:`VectorizedEdgeWeighting.neighborhood_batch`),
+    else through the per-node :func:`iter_node_groups` packing. Both paths
+    produce bit-identical segments."""
+    batch = getattr(weighting, "neighborhood_batch", None)
+    if batch is None:
+        yield from iter_node_groups(
+            weighting.neighborhood_arrays, entities, chunk_size
+        )
+        return
+    nodes = max(1, chunk_size) if chunk_size else NODE_CRITERIA_BATCH
+    for start in range(0, len(entities), nodes):
+        group = batch(entities[start : start + nodes]).node_group()
+        if group.entities.size:
+            yield group
+
+
 def node_criteria(
     weighting: EdgeWeighting,
     entities: "list[int]",
@@ -59,11 +83,11 @@ def node_criteria(
     This is the dirty-neighborhood re-pruning entry point of the
     incremental resolver: after an upsert it re-derives criteria only for
     the affected nodes, with the same selection and tie-breaking as a full
-    batch pass.
+    batch pass. Backends exposing the fused multi-node kernel
+    (``neighborhood_batch``) serve each chunk in one kernel call;
+    ``chunk_size`` is then a node count rather than an edge count.
     """
-    for group in iter_node_groups(
-        weighting.neighborhood_arrays, entities, chunk_size
-    ):
+    for group in _iter_criteria_groups(weighting, entities, k, chunk_size):
         means = segment_means(group)
         selected, segments = topk_per_segment(group, k)
         picked = np.bincount(segments, minlength=group.entities.size)

@@ -46,6 +46,54 @@ from repro.core.weights import WeightingScheme
 from repro.datamodel.blocks import BlockCollection
 
 
+@dataclass
+class NeighborhoodBatch:
+    """Many nodes' weighted neighbourhoods in concatenated segment form.
+
+    ``neighbors[offsets[i]:offsets[i+1]]`` (and the aligned ``counts`` /
+    ``weights`` slices) is the distinct-neighbor view of ``entities[i]``,
+    exactly what :meth:`VectorizedEdgeWeighting.weighted_neighborhood`
+    returns for that node — same values, same ascending-id order, bit for
+    bit. Unlike :class:`~repro.core.edge_stream.NodeGroup`, empty segments
+    are *kept* (their offset run is empty), so batch callers can index
+    results positionally by input entity.
+    """
+
+    entities: np.ndarray  # int64 [num_segments]
+    offsets: np.ndarray  # int64 [num_segments + 1]
+    neighbors: np.ndarray  # int64 [total]
+    counts: np.ndarray  # int64 [total] — shared-block counts |B_ij|
+    weights: np.ndarray  # float64 [total]
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def segment(self, position: int) -> slice:
+        """The concatenated-array slice of ``entities[position]``."""
+        return slice(
+            int(self.offsets[position]), int(self.offsets[position + 1])
+        )
+
+    def node_group(self) -> NodeGroup:
+        """The non-empty segments as a :class:`NodeGroup` (its invariant).
+
+        The concatenated arrays are shared, not copied — empty segments
+        contribute no elements.
+        """
+        lengths = self.lengths
+        mask = lengths > 0
+        if bool(mask.all()):
+            return NodeGroup(
+                self.entities, self.offsets, self.neighbors, self.weights
+            )
+        offsets = np.zeros(int(mask.sum()) + 1, dtype=np.int64)
+        np.cumsum(lengths[mask], out=offsets[1:])
+        return NodeGroup(
+            self.entities[mask], offsets, self.neighbors, self.weights
+        )
+
+
 class VectorizedEdgeWeighting(EdgeWeighting):
     """Array-based neighbourhood scans over the implicit blocking graph."""
 
@@ -125,6 +173,90 @@ class VectorizedEdgeWeighting(EdgeWeighting):
             self.total_blocks,
             self._total_edges if self._total_edges is not None else 0,
         )
+
+    def neighborhood_batch(self, entities) -> NeighborhoodBatch:
+        """Weighted neighbourhoods of many nodes through one kernel call.
+
+        The whole batch runs one multi-entity CSR gather, one composite-key
+        ``np.unique`` (distinct neighbors per segment), one ``bincount``
+        (ARCS sums) and one ``weight_array`` evaluation with the per-scheme
+        entity-side arrays gathered instead of broadcast per node —
+        amortising numpy's per-call constant costs across the batch. Every
+        segment is bit-identical to :meth:`weighted_neighborhood` on that
+        entity: the composite sort groups by segment and ascending neighbor
+        id, ``bincount`` accumulates ARCS terms in the same element order,
+        and the schemes are element-wise.
+        """
+        self._prepare_scheme_inputs()
+        entities = np.ascontiguousarray(entities, dtype=np.int64)
+        n = int(entities.size)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        empty_batch = NeighborhoodBatch(
+            entities,
+            offsets,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+        if n == 0:
+            return empty_batch
+        multi = getattr(self.index, "cooccurrence_arrays_multi", None)
+        if multi is not None:
+            ids, block_positions, gather_offsets = multi(entities)
+        else:
+            pieces = [
+                self.index.cooccurrence_arrays(int(entity))
+                for entity in entities.tolist()
+            ]
+            lengths = np.fromiter(
+                (piece[0].size for piece in pieces), dtype=np.int64, count=n
+            )
+            gather_offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(lengths, out=gather_offsets[1:])
+            ids = np.concatenate([piece[0] for piece in pieces])
+            block_positions = np.concatenate([piece[1] for piece in pieces])
+        if ids.size == 0:
+            return empty_batch
+        owners = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(gather_offsets)
+        )
+        # Composite (segment, id) keys: one sort ranks every segment's
+        # distinct neighbors ascending, exactly np.unique per segment.
+        stride = np.int64(max(self.index.num_entities, 1))
+        unique_keys, inverse, counts = np.unique(
+            owners * stride + ids, return_inverse=True, return_counts=True
+        )
+        if self.scheme.uses_arcs_sum:
+            arcs = np.bincount(
+                inverse,
+                weights=self._inverse_cardinalities[block_positions],
+                minlength=len(unique_keys),
+            )
+        else:
+            arcs = np.zeros(len(unique_keys), dtype=np.float64)
+        segments = unique_keys // stride
+        neighbors = unique_keys - segments * stride
+        entity_of = entities[segments]
+        if self._degrees is not None:
+            if self._degrees_array is None:
+                self._degrees_array = np.asarray(self._degrees, dtype=np.int64)
+            degree_i = self._degrees_array[entity_of]
+            degree_j = self._degrees_array[neighbors]
+        else:
+            degree_i = np.zeros(len(neighbors), dtype=np.int64)
+            degree_j = degree_i
+        weights = self.scheme.weight_array(
+            counts,
+            arcs,
+            self._block_counts[entity_of],
+            self._block_counts[neighbors],
+            degree_i,
+            degree_j,
+            self.total_blocks,
+            self._total_edges if self._total_edges is not None else 0,
+        )
+        np.cumsum(np.bincount(segments, minlength=n), out=offsets[1:])
+        return NeighborhoodBatch(entities, offsets, neighbors, counts, weights)
 
     # -- EdgeWeighting interface ---------------------------------------------
 

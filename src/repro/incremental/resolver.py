@@ -36,6 +36,8 @@ its graph-level statistics are exactly what a stream lacks.
 from __future__ import annotations
 
 import os
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,13 +45,19 @@ import numpy as np
 from repro.blockprocessing.delta_index import DeltaEntityIndex
 from repro.blockprocessing.entity_index import EntityIndex, SharedEntityIndex
 from repro.core.edge_stream import (
+    NodeGroup,
     directed_pair_keys,
-    iter_node_groups,
     neighborhood_mean,
+    segment_means,
     select_topk_neighbors,
+    topk_per_segment,
 )
 from repro.core.execution import ExecutionConfig
-from repro.core.pruning.node_centric import node_criteria
+from repro.core.parallel import resolve_workers
+from repro.core.pruning.node_centric import (
+    NODE_CRITERIA_BATCH,
+    node_criteria,
+)
 from repro.core.pruning.redefined import (
     stream_key_retention,
     stream_threshold_retention,
@@ -123,6 +131,15 @@ class IncrementalMetaBlocking:
     compact_dir:
         Directory receiving ``epoch-NNNNNN`` snapshots on every
         compaction; ``None`` keeps epochs in memory only.
+    batch_size:
+        Coalescing-buffer capacity for :meth:`submit`: buffered profiles
+        are committed through one :meth:`add_batch` call once this many
+        are pending. ``None`` (or 1) makes :meth:`submit` behave like
+        :meth:`add`. Seeded from ``execution.batch_size`` when not given.
+    profile_phases:
+        When True, :meth:`add`/:meth:`add_batch` accumulate wall-clock
+        time per upsert phase into :attr:`phase_seconds`
+        (``tokenize``/``index``/``weight``/``criteria``).
     """
 
     def __init__(
@@ -137,6 +154,8 @@ class IncrementalMetaBlocking:
         execution: "ExecutionConfig | None" = None,
         compact_ratio: float | None = None,
         compact_dir: "str | os.PathLike[str] | None" = None,
+        batch_size: int | None = None,
+        profile_phases: bool = False,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
@@ -158,19 +177,35 @@ class IncrementalMetaBlocking:
                 compact_ratio = execution.compact_ratio
             if compact_dir is None:
                 compact_dir = execution.compact_dir
+            if batch_size is None:
+                batch_size = execution.batch_size
         if compact_ratio is not None and not 0.0 < compact_ratio <= 1.0:
             raise ValueError(
                 f"compact_ratio must be in (0, 1], got {compact_ratio}"
             )
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.k = k
         self.reciprocal = reciprocal
         self.filtering_ratio = filtering_ratio
         self.max_block_size = max_block_size
         self.clean_clean = clean_clean
+        self.execution = execution
         self.compact_ratio = compact_ratio
         self.compact_dir = compact_dir
+        self.batch_size = batch_size
+        self.profile_phases = profile_phases
+        #: Per-phase wall-clock totals, populated when ``profile_phases``.
+        self.phase_seconds: dict[str, float] = {
+            "tokenize": 0.0,
+            "index": 0.0,
+            "weight": 0.0,
+            "criteria": 0.0,
+        }
         #: How many compactions have run (manual and automatic).
         self.compactions = 0
+        # The coalescing buffer behind submit()/flush().
+        self._buffer: list[tuple[EntityProfile, int]] = []
 
         #: The mutable CSR index every query runs against.
         self.index = DeltaEntityIndex(is_bilateral=clean_clean)
@@ -195,6 +230,17 @@ class IncrementalMetaBlocking:
 
     def __len__(self) -> int:
         return len(self._profiles)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(scheme={self.scheme.name}, "
+            f"profiles={len(self._profiles)}, pending={len(self._buffer)})"
+        )
+
+    @property
+    def pending(self) -> int:
+        """Profiles buffered by :meth:`submit` but not yet committed."""
+        return len(self._buffer)
 
     @property
     def num_blocks(self) -> int:
@@ -224,8 +270,15 @@ class IncrementalMetaBlocking:
         """
         if self.clean_clean and source not in (0, 1):
             raise ValueError(f"source must be 0 or 1, got {source}")
+        clock = time.perf_counter if self.profile_phases else None
+        if clock:
+            tick = clock()
         keys = sorted(set(map(str, self.keys_for(profile))))
         keys = self._filter_keys(keys)
+        if clock:
+            now = clock()
+            self.phase_seconds["tokenize"] += now - tick
+            tick = now
         index = self.index
         entity = index.new_entity(
             second_side=self.clean_clean and source == 1
@@ -248,9 +301,187 @@ class IncrementalMetaBlocking:
                     ):
                         index.exclude_block(block_id)
         self._absorb_dirty()
+        if clock:
+            now = clock()
+            self.phase_seconds["index"] += now - tick
         candidates = self._query(entity)
         self._maybe_compact()
         return candidates
+
+    def add_batch(
+        self,
+        profiles: "list[EntityProfile]",
+        sources: "list[int] | int | None" = None,
+    ) -> "list[list[Candidate]]":
+        """Insert ``profiles`` as one micro-batch; per-profile candidates.
+
+        Semantically equivalent to calling :meth:`add` once per profile in
+        order — Block Filtering sees the same intermediate block sizes, the
+        size guard excludes blocks at the same points, each profile's
+        candidates only reference earlier entities, and the criteria cache
+        and dirty set end in the same state — but the whole batch costs one
+        index mutation (one epoch bump) and a handful of fused multi-node
+        kernel calls instead of per-upsert kernel launches. For the
+        insertion-count schemes (CBS, JS) the candidate lists are
+        bit-identical to the sequential ones; ARCS/ECBS weights are
+        evaluated on the post-batch state, the same drift those schemes
+        already exhibit across the stream.
+
+        ``sources`` is a per-profile list, a single tag for the whole
+        batch, or ``None`` (all 0).
+        """
+        profiles = list(profiles)
+        if sources is None:
+            source_list = [0] * len(profiles)
+        elif isinstance(sources, int):
+            source_list = [sources] * len(profiles)
+        else:
+            source_list = [int(source) for source in sources]
+            if len(source_list) != len(profiles):
+                raise ValueError(
+                    f"got {len(profiles)} profiles but {len(source_list)} sources"
+                )
+        if self.clean_clean:
+            for source in source_list:
+                if source not in (0, 1):
+                    raise ValueError(f"source must be 0 or 1, got {source}")
+        if not profiles:
+            return []
+        if len(profiles) == 1:
+            # The batch machinery only pays off with company; keep the
+            # single-upsert latency path untouched.
+            return [self.add(profiles[0], source_list[0])]
+
+        clock = time.perf_counter if self.profile_phases else None
+        if clock:
+            tick = clock()
+        index = self.index
+        entity_start = index.num_entities
+        block_start = index.num_blocks
+        # --- tokenize + Block Filtering, replayed over an overlay --------
+        # ``pending_sizes`` carries the size contributions of earlier batch
+        # members so member i filters against exactly the block sizes the
+        # sequential path would see; ``batch_keys`` makes keys minted by
+        # earlier members count as existing (size = pending only).
+        pending_sizes: dict[int, int] = {}
+        batch_keys: dict[str, int] = {}
+        new_block_keys: list[str] = []
+        flags: list[bool] = []
+        assignments: list[tuple[int, list[int]]] = []
+        member_block_ids: list[list[int]] = []
+        # (member position, block id) exclusion events, ascending position:
+        # the block crossed ``max_block_size`` when that member joined it.
+        crossings: list[tuple[int, int]] = []
+        crossed: set[int] = set()
+        next_block = block_start
+        for position, (profile, source) in enumerate(
+            zip(profiles, source_list)
+        ):
+            keys = sorted(set(map(str, self.keys_for(profile))))
+            keys = self._filter_keys_overlay(keys, pending_sizes, batch_keys)
+            flags.append(self.clean_clean and source == 1)
+            block_ids: list[int] = []
+            for key in keys:
+                block_id = self._key_to_block.get(key)
+                if block_id is None:
+                    block_id = batch_keys.get(key)
+                    if block_id is None:
+                        block_id = next_block
+                        next_block += 1
+                        batch_keys[key] = block_id
+                        new_block_keys.append(key)
+                block_ids.append(block_id)
+                pending_sizes[block_id] = pending_sizes.get(block_id, 0) + 1
+            if self.max_block_size is not None:
+                for block_id in block_ids:
+                    if block_id in crossed or (
+                        block_id < block_start and index.is_excluded(block_id)
+                    ):
+                        continue
+                    base = (
+                        index.block_size(block_id)
+                        if block_id < block_start
+                        else 0
+                    )
+                    if base + pending_sizes[block_id] > self.max_block_size:
+                        crossings.append((position, block_id))
+                        crossed.add(block_id)
+            member_block_ids.append(block_ids)
+            if block_ids:
+                assignments.append((entity_start + position, block_ids))
+        if clock:
+            now = clock()
+            self.phase_seconds["tokenize"] += now - tick
+            tick = now
+
+        # --- one index mutation for the whole batch ----------------------
+        index.apply_batch(flags, new_block_keys, assignments)
+        self._key_to_block.update(batch_keys)
+        self._profiles.extend(profiles)
+        self._absorb_dirty()
+        if clock:
+            now = clock()
+            self.phase_seconds["index"] += now - tick
+
+        # --- fused queries, segmented by exclusion state ------------------
+        # A crossing recorded at member position p takes effect before p's
+        # own query (the sequential path excludes right after assigning),
+        # so batch members are queried in runs of constant exclusion state.
+        results: list[list[Candidate]] = [[] for _ in profiles]
+        last_position: dict[int, int] = {}
+        for position, block_ids in enumerate(member_block_ids):
+            for block_id in block_ids:
+                last_position[block_id] = position
+        crossing_after = {block_id: pos for pos, block_id in crossings}
+        cursor = 0
+        event = 0
+        while cursor < len(profiles):
+            while event < len(crossings) and crossings[event][0] == cursor:
+                index.exclude_block(crossings[event][1])
+                event += 1
+            self._absorb_dirty()
+            stop = crossings[event][0] if event < len(crossings) else len(
+                profiles
+            )
+            self._query_segment(
+                entity_start,
+                cursor,
+                stop,
+                member_block_ids,
+                last_position,
+                crossing_after,
+                results,
+            )
+            cursor = stop
+        self._maybe_compact()
+        return results
+
+    def submit(
+        self, profile: EntityProfile, source: int = 0
+    ) -> "list[list[Candidate]] | None":
+        """Buffer ``profile``; commit the buffer once ``batch_size`` is hit.
+
+        Returns the flushed per-profile candidate lists when this call
+        triggered a flush, else ``None`` (the profile is pending — visible
+        via :attr:`pending` and ``repr()``; :meth:`flush`,
+        :meth:`candidate_pairs` and :meth:`compact` all commit it).
+        """
+        if self.clean_clean and source not in (0, 1):
+            raise ValueError(f"source must be 0 or 1, got {source}")
+        self._buffer.append((profile, source))
+        if len(self._buffer) >= (self.batch_size or 1):
+            return self.flush()
+        return None
+
+    def flush(self) -> "list[list[Candidate]]":
+        """Commit every buffered profile now (one batch); their candidates."""
+        if not self._buffer:
+            return []
+        buffered, self._buffer = self._buffer, []
+        return self.add_batch(
+            [profile for profile, _ in buffered],
+            [source for _, source in buffered],
+        )
 
     # -- full export ---------------------------------------------------------
 
@@ -272,6 +503,7 @@ class IncrementalMetaBlocking:
             raise ValueError(
                 f"unknown export algorithm {algorithm!r}; known: {known}"
             )
+        self.flush()
         self._refresh_criteria()
         weighting = self._weighting
         sink = InMemorySink()
@@ -301,8 +533,10 @@ class IncrementalMetaBlocking:
         Per-node criteria stay valid — compaction changes the storage
         layout, never the collection. With ``shared=True`` the new base is
         published to shared memory (the caller owns the segment). Persists
-        an epoch snapshot when ``compact_dir`` is configured.
+        an epoch snapshot when ``compact_dir`` is configured. Buffered
+        :meth:`submit` profiles are committed first.
         """
+        self.flush()
         self.compactions += 1
         return self.index.compact(shared=shared, persist_dir=self.compact_dir)
 
@@ -325,6 +559,182 @@ class IncrementalMetaBlocking:
         # entity's rarest, most important keys — always kept.
         return fresh + existing[:limit]
 
+    def _filter_keys_overlay(
+        self,
+        keys: "list[str]",
+        pending_sizes: "dict[int, int]",
+        batch_keys: "dict[str, int]",
+    ) -> "list[str]":
+        """:meth:`_filter_keys` against the index plus a batch overlay.
+
+        Earlier batch members' joins (``pending_sizes``) count toward block
+        sizes and the keys they minted (``batch_keys``) count as existing,
+        so every member filters against the same state the sequential path
+        would present.
+        """
+        if self.filtering_ratio >= 1.0 or not keys:
+            return keys
+        key_to_block = self._key_to_block
+        existing = [
+            key for key in keys if key in key_to_block or key in batch_keys
+        ]
+        fresh = [
+            key
+            for key in keys
+            if key not in key_to_block and key not in batch_keys
+        ]
+        if not existing:
+            return keys
+        limit = max(1, int(self.filtering_ratio * len(existing) + 0.5))
+        index = self.index
+
+        def overlay_size(key: str) -> int:
+            block_id = key_to_block.get(key)
+            if block_id is None:
+                return pending_sizes.get(batch_keys[key], 0)
+            return index.block_size(block_id) + pending_sizes.get(block_id, 0)
+
+        existing.sort(key=lambda key: (overlay_size(key), key))
+        return fresh + existing[:limit]
+
+    def _query_segment(
+        self,
+        entity_start: int,
+        start: int,
+        stop: int,
+        member_block_ids: "list[list[int]]",
+        last_position: "dict[int, int]",
+        crossing_after: "dict[int, int]",
+        results: "list[list[Candidate]]",
+    ) -> None:
+        """Answer batch members ``[start, stop)`` with one fused kernel call.
+
+        Each member's candidates must only reference entities inserted
+        before it, so the shared post-batch neighborhoods are masked per
+        segment to ``neighbor < member id`` — reproducing the at-insert
+        state exactly for the insertion-count schemes. Criteria are cached
+        only for members whose neighborhoods no later batch event touches
+        (the sequential path would leave everyone else dirty too).
+        """
+        clock = time.perf_counter if self.profile_phases else None
+        if clock:
+            tick = clock()
+        members = np.arange(
+            entity_start + start, entity_start + stop, dtype=np.int64
+        )
+        batch = self._weighting.neighborhood_batch(members)
+        owners = np.repeat(
+            np.arange(members.size, dtype=np.int64), batch.lengths
+        )
+        mask = batch.neighbors < members[owners]
+        neighbors = batch.neighbors[mask]
+        counts = batch.counts[mask]
+        weights = batch.weights[mask]
+        lengths = np.bincount(owners[mask], minlength=members.size)
+        if clock:
+            now = clock()
+            self.phase_seconds["weight"] += now - tick
+            tick = now
+
+        nonempty = np.flatnonzero(lengths)
+        offsets = np.zeros(nonempty.size + 1, dtype=np.int64)
+        np.cumsum(lengths[nonempty], out=offsets[1:])
+        group = NodeGroup(
+            entities=members[nonempty],
+            offsets=offsets,
+            neighbors=neighbors,
+            weights=weights,
+        )
+        means = segment_means(group) if nonempty.size else _EMPTY_IDS
+        selected, segments = topk_per_segment(group, self.k)
+        picked = np.bincount(segments, minlength=nonempty.size)
+        picked_offsets = np.zeros(nonempty.size + 1, dtype=np.int64)
+        np.cumsum(picked, out=picked_offsets[1:])
+        # topk_per_segment orders within a segment by ascending neighbor —
+        # the criteria layout; candidates re-sort by (-weight, id) below.
+        topk_neighbors = group.neighbors[selected]
+        topk_weights = group.weights[selected]
+        topk_counts = counts[selected]
+        order = np.lexsort((topk_neighbors, -topk_weights, segments))
+
+        probes: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        if self.reciprocal and selected.size:
+            others = np.unique(topk_neighbors)
+            probe = self._weighting.neighborhood_batch(others)
+            for position in range(others.size):
+                piece = probe.segment(position)
+                probes[int(others[position])] = (
+                    probe.neighbors[piece],
+                    probe.weights[piece],
+                )
+
+        segment_of = np.full(members.size, -1, dtype=np.int64)
+        segment_of[nonempty] = np.arange(nonempty.size)
+        for local in range(members.size):
+            position = start + local
+            entity = int(members[local])
+            block_ids = member_block_ids[position]
+            segment = int(segment_of[local])
+            if segment < 0:
+                topk, mean = _EMPTY_IDS, float("inf")
+                retained: list[Candidate] = []
+            else:
+                topk = topk_neighbors[
+                    picked_offsets[segment] : picked_offsets[segment + 1]
+                ]
+                mean = float(means[segment])
+                retained = []
+                for slot in order[
+                    picked_offsets[segment] : picked_offsets[segment + 1]
+                ].tolist():
+                    other = int(topk_neighbors[slot])
+                    if self.reciprocal and not self._probe_reciprocates(
+                        probes, entity, other
+                    ):
+                        continue
+                    retained.append(
+                        Candidate(
+                            other,
+                            float(topk_weights[slot]),
+                            int(topk_counts[slot]),
+                        )
+                    )
+            results[position] = retained
+            # Cache the criteria only when no later batch member joins any
+            # of the entity's blocks and none of them crosses the size cap
+            # afterwards; the sequential path would re-dirty it otherwise.
+            if all(
+                last_position[block_id] == position
+                and crossing_after.get(block_id, -1) <= position
+                for block_id in block_ids
+            ):
+                self._store_criteria(entity, topk, mean)
+        if clock:
+            self.phase_seconds["criteria"] += clock() - tick
+
+    def _probe_reciprocates(
+        self,
+        probes: "dict[int, tuple[np.ndarray, np.ndarray]]",
+        entity: int,
+        other: int,
+    ) -> bool:
+        """Reciprocal test against a batched probe of ``other``'s node.
+
+        Masks the shared probe to ``neighbor <= entity`` (the state the
+        sequential path evaluates at ``entity``'s insertion) and checks
+        the top-k there. ``other``'s own cache entry is left alone — it
+        stays dirty and is re-derived at the next export, which yields the
+        same values.
+        """
+        probe_neighbors, probe_weights = probes[other]
+        visible = probe_neighbors <= entity
+        neighbors = probe_neighbors[visible]
+        if neighbors.size == 0:
+            return False
+        weights = probe_weights[visible]
+        selected = select_topk_neighbors(weights, neighbors, self.k)
+        return bool(np.any(neighbors[selected] == entity))
+
     def _absorb_dirty(self) -> None:
         """Pull the index's dirty blocks into the stale-criteria set."""
         _, nodes = self.index.drain_dirty()
@@ -340,9 +750,29 @@ class IncrementalMetaBlocking:
 
     def _query(self, entity: int) -> list[Candidate]:
         """Score the new node's neighborhood and return its top-k."""
+        clock = time.perf_counter if self.profile_phases else None
+        if clock:
+            tick = clock()
         neighbors, counts, weights = self._weighting.weighted_neighborhood(
             entity
         )
+        if clock:
+            now = clock()
+            self.phase_seconds["weight"] += now - tick
+            tick = now
+        try:
+            return self._query_finish(entity, neighbors, counts, weights)
+        finally:
+            if clock:
+                self.phase_seconds["criteria"] += clock() - tick
+
+    def _query_finish(
+        self,
+        entity: int,
+        neighbors: np.ndarray,
+        counts: np.ndarray,
+        weights: np.ndarray,
+    ) -> list[Candidate]:
         if neighbors.size == 0:
             self._store_criteria(entity, _EMPTY_IDS, float("inf"))
             return []
@@ -401,16 +831,60 @@ class IncrementalMetaBlocking:
         if not self._dirty_nodes:
             return
         dirty = sorted(self._dirty_nodes)
-        for entity, topk, mean in node_criteria(
-            self._weighting, dirty, self.k
-        ):
-            self._criteria[entity] = (topk, mean)
+        workers = self._kernel_workers(len(dirty))
+        if workers > 1:
+            # Delta-aware parallel re-pruning: the dirty set is split into
+            # contiguous chunks and each thread re-derives criteria with
+            # its own weighting clone over the *shared* delta index — no
+            # compaction needed first. Per-node results are independent,
+            # so the merge is trivially deterministic.
+            self._weighting.prime()
+            shared_index = self.index
+            scheme = self.scheme
+            k = self.k
+
+            def run(chunk: "list[int]"):
+                clone = type(self._weighting)._from_shared_index(
+                    shared_index, scheme
+                )
+                return list(node_criteria(clone, chunk, k))
+
+            chunks = [
+                dirty[start : start + NODE_CRITERIA_BATCH]
+                for start in range(0, len(dirty), NODE_CRITERIA_BATCH)
+            ]
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for part in pool.map(run, chunks):
+                    for entity, topk, mean in part:
+                        self._criteria[entity] = (topk, mean)
+        else:
+            for entity, topk, mean in node_criteria(
+                self._weighting, dirty, self.k
+            ):
+                self._criteria[entity] = (topk, mean)
         for entity in dirty:
             # Not yielded: the neighborhood is empty (e.g. all of the
             # node's blocks are excluded) — no retained edges, no mean.
             if entity not in self._criteria:
                 self._criteria[entity] = (_EMPTY_IDS, float("inf"))
         self._dirty_nodes.clear()
+
+    def _kernel_workers(self, nodes: int) -> int:
+        """Thread count for a multi-node kernel pass over ``nodes`` nodes.
+
+        Only the threads backends share the delta index zero-copy (the
+        clones read the live arrays under the GIL); process backends would
+        have to compact and re-pickle first, so they run serial here.
+        """
+        execution = self.execution
+        if execution is None or execution.parallel in (None, 1):
+            return 1
+        if execution.parallel_backend not in (None, "auto", "threads"):
+            return 1
+        workers = resolve_workers(execution.parallel)
+        if workers <= 1 or nodes < 2 * NODE_CRITERIA_BATCH:
+            return 1
+        return min(workers, nodes // NODE_CRITERIA_BATCH)
 
     def _export_cnp(self, sink: InMemorySink) -> None:
         """CNP straight from the criteria cache — no weight recomputation.
@@ -431,12 +905,15 @@ class IncrementalMetaBlocking:
             )
 
     def _export_wnp(self, sink: InMemorySink) -> None:
-        """WNP with cached means as the per-node thresholds."""
+        """WNP with cached means as the per-node thresholds.
+
+        Neighborhoods come from the fused multi-node kernel, fanned out
+        across ``ExecutionConfig`` threads when configured; groups are
+        consumed in node order either way, so the pair stream matches the
+        serial export element for element.
+        """
         thresholds = self._criteria_thresholds()
-        weighting = self._weighting
-        for group in iter_node_groups(
-            weighting.neighborhood_arrays, self.index.placed_entities()
-        ):
+        for group in self._node_groups(self.index.placed_entities()):
             counts = group.counts
             keep = group.weights >= np.repeat(
                 thresholds[group.entities], counts
@@ -447,6 +924,41 @@ class IncrementalMetaBlocking:
                 np.minimum(entities, neighbors),
                 np.maximum(entities, neighbors),
             )
+
+    def _node_groups(self, entities: np.ndarray):
+        """Yield the entities' neighborhoods as NodeGroups, in node order.
+
+        One fused ``neighborhood_batch`` call per :data:`NODE_CRITERIA_BATCH`
+        nodes; with a threads-capable :class:`ExecutionConfig` the chunks
+        are computed concurrently on weighting clones over the shared delta
+        index (results are still yielded in submission order).
+        """
+        entities = np.asarray(entities, dtype=np.int64)
+        chunks = [
+            entities[start : start + NODE_CRITERIA_BATCH]
+            for start in range(0, len(entities), NODE_CRITERIA_BATCH)
+        ]
+        workers = self._kernel_workers(len(entities))
+        if workers <= 1:
+            for chunk in chunks:
+                group = self._weighting.neighborhood_batch(chunk).node_group()
+                if group.entities.size:
+                    yield group
+            return
+        self._weighting.prime()
+        shared_index = self.index
+        scheme = self.scheme
+
+        def run(chunk: np.ndarray) -> NodeGroup:
+            clone = type(self._weighting)._from_shared_index(
+                shared_index, scheme
+            )
+            return clone.neighborhood_batch(chunk).node_group()
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for group in pool.map(run, chunks):
+                if group.entities.size:
+                    yield group
 
     def _criteria_keys(self) -> np.ndarray:
         """Phase-1 CNP keys (sorted directed pairs) from the cache."""

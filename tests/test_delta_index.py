@@ -307,3 +307,108 @@ def test_from_csr_matches_from_blocks():
         members1=reference.members1,
     )
     assert_csr_identical(rebuilt, reference)
+
+
+class TestApplyBatch:
+    """``apply_batch``: N upserts as one mutation, one epoch bump."""
+
+    def _sequential(self, bilateral, flags, keys, assignments):
+        index = DeltaEntityIndex(is_bilateral=bilateral)
+        for flag in flags:
+            index.new_entity(second_side=flag)
+        for key in keys:
+            index.new_block(key)
+        for entity, block_ids in assignments:
+            index.assign(entity, block_ids)
+        return index
+
+    def _batched(self, bilateral, flags, keys, assignments):
+        index = DeltaEntityIndex(is_bilateral=bilateral)
+        index.apply_batch(flags, keys, assignments)
+        return index
+
+    @pytest.mark.parametrize("bilateral", [False, True])
+    def test_matches_sequential_mutations(self, bilateral):
+        flags = [False, bilateral, False, bilateral, False]
+        keys = ["k0", "k1", "k2"]
+        assignments = [(0, [0, 1]), (1, [0, 2]), (2, [1, 2]), (3, [0]),
+                       (4, [0, 1, 2])]
+        seq = self._sequential(bilateral, flags, keys, assignments)
+        bat = self._batched(bilateral, flags, keys, assignments)
+        assert_csr_identical(build_reference(bat), build_reference(seq))
+        np.testing.assert_array_equal(seq.block_counts, bat.block_counts)
+        np.testing.assert_array_equal(
+            seq.inverse_cardinality_array, bat.inverse_cardinality_array
+        )
+        assert seq.drain_dirty() == bat.drain_dirty()
+
+    def test_single_epoch_bump(self):
+        index = DeltaEntityIndex()
+        before = index.epoch
+        index.apply_batch(
+            [False] * 4, ["a", "b"], [(0, [0]), (1, [0, 1]), (2, [1])]
+        )
+        assert index.epoch == before + 1
+
+    def test_empty_batch_is_a_noop(self):
+        index = DeltaEntityIndex()
+        before = index.epoch
+        assert index.apply_batch() == ([], [])
+        assert index.epoch == before
+
+    def test_returns_new_ids(self):
+        index = DeltaEntityIndex()
+        index.new_entity()
+        index.new_block("base")
+        entities, blocks = index.apply_batch(
+            [False, False], ["x", "y"], [(1, [0, 1]), (2, [2])]
+        )
+        assert entities == [1, 2]
+        assert blocks == [1, 2]
+
+    def test_assignment_to_existing_entity_dirties_all_its_blocks(self):
+        index = DeltaEntityIndex()
+        old = index.new_entity()
+        first = index.new_block("first")
+        index.assign(old, [first])
+        index.drain_dirty()
+        index.apply_batch([False], ["second"], [(old, [1]), (1, [0, 1])])
+        dirty_blocks, dirty_nodes = index.drain_dirty()
+        assert dirty_blocks == {0, 1}
+        assert old in dirty_nodes
+
+    def test_validates_before_mutating(self):
+        index = DeltaEntityIndex()
+        index.new_entity()
+        index.new_block("k")
+        index.assign(0, [0])
+        before = index.epoch
+        with pytest.raises(ValueError, match="unknown entity id"):
+            index.apply_batch([False], [], [(5, [0])])
+        with pytest.raises(ValueError, match="unknown block id"):
+            index.apply_batch([False], [], [(1, [7])])
+        with pytest.raises(ValueError, match="already a member"):
+            index.apply_batch([False], [], [(0, [0])])
+        with pytest.raises(ValueError, match="already a member"):
+            index.apply_batch([False], ["n"], [(1, [1, 1])])
+        with pytest.raises(ValueError, match="bilateral"):
+            index.apply_batch([True], [], [])
+        assert index.epoch == before
+        assert index.num_entities == 1
+        assert index.num_blocks == 1
+
+    @pytest.mark.parametrize("bilateral", [False, True])
+    def test_multi_gather_matches_per_entity(self, bilateral):
+        index = DeltaEntityIndex(is_bilateral=bilateral)
+        flags = [False, bilateral, False, bilateral, False, False]
+        assignments = [(0, [0, 1]), (1, [0, 2]), (2, [1, 2, 3]), (3, [3]),
+                       (4, [0, 1, 2, 3]), (5, [2])]
+        index.apply_batch(flags, ["a", "b", "c", "d"], assignments)
+        index.exclude_block(3)
+        entities = np.arange(index.num_entities, dtype=np.int64)
+        ids, blocks, offsets = index.cooccurrence_arrays_multi(entities)
+        for position, entity in enumerate(entities.tolist()):
+            expected_ids, expected_blocks = index.cooccurrence_arrays(entity)
+            segment = slice(offsets[position], offsets[position + 1])
+            np.testing.assert_array_equal(ids[segment], expected_ids)
+            np.testing.assert_array_equal(blocks[segment], expected_blocks)

@@ -1,6 +1,8 @@
 """Unit and behaviour tests for Incremental Meta-blocking."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.blocking import TokenBlocking
 from repro.datamodel.profiles import EntityProfile
@@ -354,3 +356,230 @@ class TestBatchEquivalence:
                 break
         assert resolver.compactions >= 1
         assert resolver.index.delta_assignments < threshold
+
+
+class TestMicroBatching:
+    """``add_batch`` and the ``submit``/``flush`` coalescing buffer."""
+
+    def test_empty_batch(self):
+        resolver = _resolver()
+        assert resolver.add_batch([]) == []
+        assert len(resolver) == 0
+
+    def test_singleton_batch_matches_add(self):
+        batched = _resolver()
+        (only,) = batched.add_batch([_profile("a", "alpha beta")])
+        plain = _resolver()
+        assert only == plain.add(_profile("a", "alpha beta"))
+
+    def test_batch_candidates_reference_earlier_entities_only(self):
+        resolver = _resolver()
+        results = resolver.add_batch(
+            [
+                _profile("a", "alpha beta"),
+                _profile("b", "alpha beta"),
+                _profile("c", "alpha beta"),
+            ]
+        )
+        assert [[c.entity_id for c in batch] for batch in results] == [
+            [], [0], [0, 1],
+        ]
+
+    def test_sources_broadcast_and_validation(self):
+        resolver = _resolver(clean_clean=True)
+        results = resolver.add_batch(
+            [_profile("a", "alpha"), _profile("b", "alpha")], sources=1
+        )
+        assert results == [[], []]  # same side: no cross-source candidates
+        with pytest.raises(ValueError, match="sources"):
+            resolver.add_batch([_profile("c", "x")], sources=[0, 1])
+        with pytest.raises(ValueError, match="source must be 0 or 1"):
+            resolver.add_batch([_profile("c", "x")], sources=[2])
+
+    def test_submit_buffers_until_capacity(self):
+        resolver = _resolver(batch_size=3)
+        assert resolver.submit(_profile("a", "alpha beta")) is None
+        assert resolver.submit(_profile("b", "alpha beta")) is None
+        assert resolver.pending == 2
+        assert len(resolver) == 0
+        assert "pending=2" in repr(resolver)
+        flushed = resolver.submit(_profile("c", "alpha beta"))
+        assert [[c.entity_id for c in batch] for batch in flushed] == [
+            [], [0], [0, 1],
+        ]
+        assert resolver.pending == 0
+        assert len(resolver) == 3
+
+    def test_default_batch_size_commits_immediately(self):
+        resolver = _resolver()
+        assert resolver.submit(_profile("a", "alpha")) == [[]]
+        assert resolver.pending == 0
+
+    def test_flush_returns_pending_candidates(self):
+        resolver = _resolver(batch_size=10)
+        resolver.submit(_profile("a", "alpha beta"))
+        resolver.submit(_profile("b", "alpha beta"))
+        flushed = resolver.flush()
+        assert [[c.entity_id for c in batch] for batch in flushed] == [
+            [], [0],
+        ]
+        assert resolver.flush() == []
+
+    def test_candidate_pairs_flushes_buffer(self):
+        resolver = _resolver(batch_size=10)
+        resolver.submit(_profile("a", "alpha beta"))
+        resolver.submit(_profile("b", "alpha beta"))
+        pairs = list(resolver.candidate_pairs("CNP").pairs)
+        assert resolver.pending == 0
+        assert len(resolver) == 2
+        # Original CNP keeps the directed repeat: both nodes retain the edge.
+        assert pairs == [(0, 1), (0, 1)]
+
+    def test_compact_flushes_buffer(self):
+        resolver = _resolver(batch_size=10)
+        resolver.submit(_profile("a", "alpha beta"))
+        resolver.compact()
+        assert resolver.pending == 0
+        assert len(resolver) == 1
+
+    def test_batch_size_validation_and_seeding(self):
+        from repro.core.execution import ExecutionConfig
+
+        with pytest.raises(ValueError, match="batch_size"):
+            _resolver(batch_size=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            ExecutionConfig(batch_size=0)
+        seeded = _resolver(execution=ExecutionConfig(batch_size=7))
+        assert seeded.batch_size == 7
+        explicit = _resolver(
+            execution=ExecutionConfig(batch_size=7), batch_size=2
+        )
+        assert explicit.batch_size == 2
+
+    def test_one_epoch_bump_per_batch(self):
+        resolver = _resolver()
+        before = resolver.epoch
+        resolver.add_batch(
+            [_profile(str(i), "alpha beta gamma") for i in range(8)]
+        )
+        assert resolver.epoch == before + 1
+
+    def test_profile_phases_accumulate(self):
+        resolver = _resolver(profile_phases=True, batch_size=4)
+        for i in range(8):
+            resolver.submit(_profile(str(i), "alpha beta gamma delta"))
+        assert all(
+            seconds > 0 for seconds in resolver.phase_seconds.values()
+        ), resolver.phase_seconds
+
+    def test_threads_refresh_matches_serial_export(self, monkeypatch):
+        import repro.incremental.resolver as resolver_module
+        from repro.core.execution import ExecutionConfig
+
+        monkeypatch.setattr(resolver_module, "NODE_CRITERIA_BATCH", 4)
+        dataset = bibliographic_dataset(
+            DatasetScale(size1=30, size2=60, num_duplicates=20), seed=21
+        )
+        serial = _resolver(filtering_ratio=1.0, clean_clean=True)
+        threaded = _resolver(
+            filtering_ratio=1.0,
+            clean_clean=True,
+            batch_size=16,
+            execution=ExecutionConfig(parallel=2, parallel_backend="threads"),
+        )
+        for entity_id, profile in dataset.iter_profiles():
+            source = dataset.source_of(entity_id)
+            serial.add(profile, source=source)
+            threaded.submit(profile, source=source)
+        for algorithm in ("CNP", "WNP", "ReCNP", "ReWNP"):
+            assert list(threaded.candidate_pairs(algorithm).pairs) == list(
+                serial.candidate_pairs(algorithm).pairs
+            ), algorithm
+
+
+class TestMicroBatchProperty:
+    """Property: any batch split of any stream equals the sequential run.
+
+    For the insertion-count schemes (CBS, JS) ``add_batch`` must be
+    bit-identical to per-profile ``add`` — per-upsert candidate lists
+    (order included), the final collection, and every export — no matter
+    how the stream is cut into micro-batches.
+    """
+
+    @staticmethod
+    def _keys_for(profile):
+        return profile  # profiles are plain token lists
+
+    @classmethod
+    def _build(cls, scheme, clean_clean, execution=None):
+        return IncrementalMetaBlocking(
+            cls._keys_for,
+            scheme=scheme,
+            k=2,
+            filtering_ratio=0.6,
+            max_block_size=4,
+            clean_clean=clean_clean,
+            execution=execution,
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    @pytest.mark.parametrize("scheme", ["CBS", "JS"])
+    @pytest.mark.parametrize("threads", [False, True])
+    def test_batched_equals_sequential(self, data, scheme, threads):
+        from repro.core.execution import ExecutionConfig
+
+        vocabulary = [f"t{i}" for i in range(8)]
+        profiles = data.draw(
+            st.lists(
+                st.lists(st.sampled_from(vocabulary), min_size=1, max_size=4),
+                min_size=2,
+                max_size=20,
+            )
+        )
+        clean_clean = data.draw(st.booleans())
+        sources = [
+            data.draw(st.integers(0, 1)) if clean_clean else 0
+            for _ in profiles
+        ]
+        execution = (
+            ExecutionConfig(parallel=2, parallel_backend="threads")
+            if threads
+            else None
+        )
+
+        sequential = self._build(scheme, clean_clean)
+        expected = [
+            sequential.add(profile, source)
+            for profile, source in zip(profiles, sources)
+        ]
+
+        batched = self._build(scheme, clean_clean, execution=execution)
+        actual = []
+        position = 0
+        while position < len(profiles):
+            size = data.draw(
+                st.integers(1, len(profiles) - position), label="batch"
+            )
+            actual.extend(
+                batched.add_batch(
+                    profiles[position : position + size],
+                    sources[position : position + size],
+                )
+            )
+            position += size
+
+        assert actual == expected
+        sequential_blocks = sequential.to_block_collection()
+        batched_blocks = batched.to_block_collection()
+        assert [
+            (block.key, block.entities1, block.entities2)
+            for block in sequential_blocks
+        ] == [
+            (block.key, block.entities1, block.entities2)
+            for block in batched_blocks
+        ]
+        for algorithm in ("CNP", "WNP", "ReCNP", "RcWNP"):
+            assert list(batched.candidate_pairs(algorithm).pairs) == list(
+                sequential.candidate_pairs(algorithm).pairs
+            ), algorithm
