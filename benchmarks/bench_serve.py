@@ -1,0 +1,166 @@
+"""Sustained request throughput against the ``repro serve`` daemon.
+
+Boots the asyncio daemon on a Unix socket and replays a Clean-Clean
+dataset through the synchronous SDK at three coalescing batch sizes
+(:data:`COALESCING`): singles drive one ``upsert`` round trip per profile,
+the larger sizes ship ``upsert_many`` chunks (a single connection awaits
+each reply before the next frame, so client-side chunking — not
+server-side buffering — is what amortises the round trip). Every tenth
+request is a top-k ``query``. Each leg runs once for CBS and once for JS
+and asserts the daemon's candidate output — per upsert and for the final
+``candidate_pairs("CNP")`` export — is bit-identical to an in-process
+:class:`IncrementalMetaBlocking` fed the same sequence.
+
+Records requests/s, upserts/s, and the server-reported p50/p99 upsert
+latency per leg into ``benchmarks/results/serve.json``. At full scale
+(``REPRO_BENCH_SCALE >= 1``) it also gates: each scheme sustains at least
+:data:`MIN_REQUESTS` mixed requests, and the 256-chunk leg's upsert
+throughput beats the single-upsert leg (the round trip dominates
+singles).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._recorder import RECORDER
+from benchmarks.conftest import bench_scale
+from repro.blocking import TokenBlocking
+from repro.client import ResolverClient
+from repro.datasets.synthetic import DatasetScale, bibliographic_dataset
+from repro.incremental import IncrementalMetaBlocking
+from repro.serve import BackgroundServer, ResolverServer
+from repro.utils.timer import Timer
+
+BASE_SIZE1 = 600
+BASE_SIZE2 = 1_200
+BASE_DUPLICATES = 400
+K = 5
+#: Client-side coalescing batch sizes swept per scheme.
+COALESCING = (1, 64, 256)
+#: Full-scale floor on mixed requests served per scheme across the sweep.
+MIN_REQUESTS = 1_000
+
+
+def _dataset():
+    scale = bench_scale()
+    return bibliographic_dataset(
+        DatasetScale(
+            size1=max(60, int(BASE_SIZE1 * scale)),
+            size2=max(120, int(BASE_SIZE2 * scale)),
+            num_duplicates=max(40, int(BASE_DUPLICATES * scale)),
+        ),
+        seed=11,
+    )
+
+
+def _resolver(scheme: str) -> IncrementalMetaBlocking:
+    return IncrementalMetaBlocking(
+        TokenBlocking().keys_for,
+        scheme=scheme,
+        k=K,
+        filtering_ratio=1.0,
+        clean_clean=True,
+    )
+
+
+def _run_leg(scheme, coalescing, dataset, profiles, socket_path):
+    """One daemon boot: replay the stream, mirror it in-process, compare."""
+    mirror = _resolver(scheme)
+    server = ResolverServer(
+        _resolver(scheme),
+        path=socket_path,
+        flush_size=coalescing,
+        flush_interval=0.01,
+    )
+    requests = 0
+    with BackgroundServer(server) as background:
+        with ResolverClient(background.address, timeout=120) as client:
+            with Timer() as timer:
+                if coalescing == 1:
+                    for position, (entity_id, profile) in enumerate(profiles):
+                        source = dataset.source_of(entity_id)
+                        got_id, candidates = client.upsert(
+                            profile, source=source
+                        )
+                        requests += 1
+                        assert got_id == position
+                        assert candidates == mirror.add(profile, source=source)
+                        if position % 10 == 9:
+                            target = (position * 13) % (position + 1)
+                            assert client.query(target) == mirror.query(target)
+                            requests += 1
+                else:
+                    for start in range(0, len(profiles), coalescing):
+                        chunk = profiles[start : start + coalescing]
+                        batch = [profile for _, profile in chunk]
+                        sources = [
+                            dataset.source_of(entity_id)
+                            for entity_id, _ in chunk
+                        ]
+                        entity_ids, lists = client.upsert_many(
+                            batch, sources=sources
+                        )
+                        requests += 1
+                        assert entity_ids == list(
+                            range(start, start + len(batch))
+                        )
+                        assert lists == mirror.add_batch(batch, sources=sources)
+                        target = (start * 13) % (start + len(batch))
+                        assert client.query(target) == mirror.query(target)
+                        requests += 1
+            # The daemon's full pruned graph is bit-identical too.
+            assert client.candidate_pairs("CNP") == [
+                tuple(pair) for pair in mirror.candidate_pairs("CNP")
+            ]
+            stats = client.stats()
+            client.shutdown()
+    return requests, timer.elapsed, stats
+
+
+@pytest.mark.parametrize("scheme", ["CBS", "JS"])
+def test_serve_sustained_mixed_requests(benchmark, tmp_path, scheme):
+    dataset = _dataset()
+    profiles = list(dataset.iter_profiles())
+    legs: dict = {}
+
+    def run_all():
+        for coalescing in COALESCING:
+            socket_path = tmp_path / f"{scheme}-{coalescing}.sock"
+            requests, elapsed, stats = _run_leg(
+                scheme, coalescing, dataset, profiles, socket_path
+            )
+            legs[coalescing] = {
+                "requests": requests,
+                "elapsed": elapsed,
+                "stats": stats,
+            }
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    upserts = len(profiles)
+    for coalescing in COALESCING:
+        leg = legs[coalescing]
+        elapsed = max(leg["elapsed"], 1e-9)
+        upsert_latency = leg["stats"]["latency_ms"].get("upsert", {})
+        RECORDER.record(
+            "serve",
+            {
+                "|E|": upserts,
+                "scheme": scheme,
+                "coalescing": coalescing,
+                "requests": leg["requests"],
+                "requests/s": round(leg["requests"] / elapsed, 1),
+                "upserts/s": round(upserts / elapsed, 1),
+                "p50_ms": upsert_latency.get("p50", 0.0),
+                "p99_ms": upsert_latency.get("p99", 0.0),
+            },
+        )
+
+    if bench_scale() >= 1.0:
+        # Full-scale gates only; toy CI runs check equivalence, not rates.
+        total_requests = sum(leg["requests"] for leg in legs.values())
+        assert total_requests >= MIN_REQUESTS, total_requests
+        rate_1 = upserts / max(legs[1]["elapsed"], 1e-9)
+        rate_256 = upserts / max(legs[256]["elapsed"], 1e-9)
+        assert rate_256 >= rate_1, (rate_256, rate_1)

@@ -8,19 +8,27 @@ schemes and eight pruning algorithms (including the paper's redefined and
 reciprocal node-centric contributions), Block Filtering, optimized edge
 weighting, and the baselines it is evaluated against.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade is the stable entry point)::
 
-    from repro import TokenBlocking, meta_block, evaluate
+    from repro import api, evaluate
     from repro.datasets import bibliographic_dataset
 
     dataset = bibliographic_dataset(seed=7)
-    blocks = TokenBlocking().build(dataset)
-    result = meta_block(blocks, scheme="JS", algorithm="RcWNP")
+    blocks = api.build_index(dataset)
+    result = api.meta_block(blocks, scheme="JS", algorithm="RcWNP")
     report = evaluate(result.comparisons, dataset.ground_truth,
                       reference_cardinality=blocks.cardinality)
     print(report)
+
+Streaming and serving go through the same facade: ``api.stream_resolver``
+builds an :class:`~repro.incremental.IncrementalMetaBlocking`,
+``api.serve`` wraps one in the ``repro serve`` daemon
+(:mod:`repro.serve`), and :class:`repro.client.ResolverClient` talks to
+it over the wire.
 """
 
+from repro import api
+from repro.api import build_index, serve, stream_resolver
 from repro.blocking import TokenBlocking
 from repro.blockprocessing import BlockPurging, ComparisonPropagation
 from repro.core import (
@@ -68,7 +76,11 @@ __all__ = [
     "MetaBlockingWorkflow",
     "SpillSink",
     "TokenBlocking",
+    "api",
+    "build_index",
     "evaluate",
     "meta_block",
     "profile_blocks",
+    "serve",
+    "stream_resolver",
 ]

@@ -1,0 +1,135 @@
+"""``repro.api`` — the one-stop public facade.
+
+The library grew a surface per PR: blocking builders, the batch pipeline,
+the streaming resolver, the daemon. This module is the stable entry point
+that ties them together — four verbs that cover the whole lifecycle::
+
+    from repro import api
+
+    blocks = api.build_index(dataset)                  # blocking
+    result = api.meta_block(blocks, algorithm="RcWNP")  # batch meta-blocking
+    resolver = api.stream_resolver(scheme="CBS")       # incremental ER
+    server = api.serve(resolver, path="/tmp/er.sock")  # the daemon
+
+Everything here is re-exported from the package root, so
+``repro.build_index`` etc. work too. The functions are thin by design:
+they normalise arguments and delegate to the real implementations, which
+remain importable directly for advanced use
+(:mod:`repro.core`, :mod:`repro.incremental`, :mod:`repro.serve`,
+:mod:`repro.client`).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.blocking import BLOCKING_METHODS, BlockingMethod, TokenBlocking
+from repro.blockprocessing import BlockPurging
+from repro.core import meta_block  # noqa: F401  (re-exported verb)
+from repro.core.execution import ExecutionConfig
+from repro.datamodel import BlockCollection
+from repro.incremental import IncrementalMetaBlocking
+from repro.serve.server import ResolverServer
+
+
+def build_index(
+    dataset,
+    blocking: "str | BlockingMethod" = "token",
+    *,
+    purge: bool = True,
+    size_fraction: float = 0.5,
+) -> BlockCollection:
+    """Build the block collection a meta-blocking run starts from.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`~repro.datamodel.DirtyERDataset` or
+        :class:`~repro.datamodel.CleanCleanERDataset`.
+    blocking:
+        A :data:`~repro.blocking.BLOCKING_METHODS` name (default
+        ``"token"`` — the paper's Token Blocking) or a ready
+        :class:`~repro.blocking.BlockingMethod` instance.
+    purge:
+        Apply Block Purging (size fraction rule) to the built collection,
+        the paper's standard preprocessing. Block Filtering happens later,
+        inside :func:`meta_block`.
+    size_fraction:
+        The purging threshold: drop blocks larger than this fraction of
+        the entity count.
+    """
+    if isinstance(blocking, str):
+        try:
+            method: BlockingMethod = BLOCKING_METHODS[blocking]()
+        except KeyError:
+            known = ", ".join(sorted(BLOCKING_METHODS))
+            raise ValueError(
+                f"unknown blocking method {blocking!r}; known: {known}"
+            ) from None
+    else:
+        method = blocking
+    blocks = method.build(dataset)
+    if purge:
+        blocks = BlockPurging(size_fraction=size_fraction).process(blocks)
+    return blocks
+
+
+def stream_resolver(
+    blocking: "str | BlockingMethod" = "token",
+    scheme: str = "JS",
+    k: int = 5,
+    **kwargs,
+) -> IncrementalMetaBlocking:
+    """An :class:`~repro.incremental.IncrementalMetaBlocking` ready to go.
+
+    ``blocking`` names the method whose ``keys_for`` tokenises upserts
+    (or is an instance); every other keyword —  ``reciprocal``,
+    ``filtering_ratio``, ``max_block_size``, ``clean_clean``,
+    ``execution``, ``compact_ratio``, ``compact_dir``, ``batch_size``,
+    ``profile_phases`` — passes straight through to the resolver.
+    """
+    if isinstance(blocking, str):
+        try:
+            method: BlockingMethod = BLOCKING_METHODS[blocking]()
+        except KeyError:
+            known = ", ".join(sorted(BLOCKING_METHODS))
+            raise ValueError(
+                f"unknown blocking method {blocking!r}; known: {known}"
+            ) from None
+    else:
+        method = blocking
+    return IncrementalMetaBlocking(method.keys_for, scheme=scheme, k=k, **kwargs)
+
+
+def serve(
+    resolver: "IncrementalMetaBlocking | None" = None,
+    *,
+    path: "str | os.PathLike[str] | None" = None,
+    host: "str | None" = None,
+    port: int = 0,
+    **kwargs,
+) -> ResolverServer:
+    """A :class:`~repro.serve.ResolverServer` around ``resolver``.
+
+    With ``resolver=None`` a default :func:`stream_resolver` (Token
+    Blocking, JS, ``k=5``) is created. The server is *returned unstarted*:
+    call :meth:`~repro.serve.ResolverServer.run` to block on it (the CLI's
+    ``repro serve``), ``await server.start()`` inside an existing event
+    loop, or wrap it in :class:`~repro.serve.BackgroundServer` for a
+    daemon thread. Remaining keywords (``flush_size``, ``flush_interval``,
+    ``queue_limit``, ``max_frame_bytes``, ``compact_on_shutdown``) go to
+    the server.
+    """
+    if resolver is None:
+        resolver = stream_resolver()
+    return ResolverServer(resolver, path=path, host=host, port=port, **kwargs)
+
+
+__all__ = [
+    "ExecutionConfig",
+    "TokenBlocking",
+    "build_index",
+    "meta_block",
+    "serve",
+    "stream_resolver",
+]

@@ -14,6 +14,14 @@ Commands
     Replay a dataset through the incremental resolver
     (:class:`~repro.incremental.IncrementalMetaBlocking`), one profile at
     a time, and report streaming recall/precision and upsert throughput.
+``serve``
+    Run the long-lived ER daemon (:mod:`repro.serve`): one incremental
+    resolver behind a TCP or Unix socket, newline-delimited JSON protocol,
+    optionally preloaded from a dataset file. Stops on the ``shutdown``
+    verb or Ctrl-C.
+``call``
+    Send one protocol request to a running daemon and print the JSON
+    result (``repro call stats --socket /tmp/er.sock``).
 ``sweep``
     Evaluate every pruning algorithm x weighting scheme on a dataset and
     print the grid (the Section 6.4 configuration search).
@@ -54,6 +62,8 @@ from repro.datasets.synthetic import (
     products_dataset,
 )
 from repro.evaluation import evaluate, profile_blocks
+from repro.incremental import EXPORT_ALGORITHMS
+from repro.serve.protocol import VERBS as SERVE_VERBS
 from repro.utils.timer import Timer
 
 GENERATORS = {
@@ -282,9 +292,129 @@ def cmd_stream(args: argparse.Namespace) -> int:
           f"batch={args.batch_size or 1}")
     print(f"stream:    {added:,} upserts in {timer.elapsed:.2f}s "
           f"({rate:,.0f}/s), {resolver.num_blocks:,} blocks, "
-          f"{resolver.compactions} compaction(s), epoch {resolver.epoch}")
+          f"{resolver.compactions} compaction(s), epoch {resolver.epoch}, "
+          f"pending {resolver.pending}")
     print(f"result:    recall {recall:.3f}, precision {precision:.5f}, "
           f"{emitted:,} candidates")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import api
+
+    if args.batch_size is not None and args.batch_size < 1:
+        print(f"error: --batch-size must be >= 1, got {args.batch_size}",
+              file=sys.stderr)
+        return 2
+    preload = load_dataset(args.preload) if args.preload else None
+    clean_clean = preload.is_clean_clean if preload is not None else False
+    resolver = api.stream_resolver(
+        blocking=args.blocking,
+        scheme=args.scheme,
+        k=args.k,
+        reciprocal=args.reciprocal,
+        filtering_ratio=args.filtering_ratio,
+        max_block_size=args.max_block_size,
+        clean_clean=clean_clean,
+        compact_ratio=args.compact_ratio,
+        compact_dir=args.compact_dir,
+        batch_size=args.batch_size,
+        profile_phases=args.profile_phases,
+    )
+    if preload is not None:
+        profiles, sources = [], []
+        for entity_id, profile in preload.iter_profiles():
+            profiles.append(profile)
+            sources.append(
+                preload.source_of(entity_id) if clean_clean else 0
+            )
+        resolver.add_batch(profiles, sources)
+        print(f"preloaded {len(resolver):,} profiles from {args.preload}")
+    server = api.serve(
+        resolver,
+        path=args.socket,
+        host=None if args.socket else args.host,
+        port=args.port,
+        flush_interval=args.flush_interval,
+        queue_limit=args.queue_limit,
+        compact_on_shutdown=args.compact_on_shutdown,
+    )
+
+    async def run_server() -> None:
+        await server.start()
+        address = server.address
+        location = (
+            address if isinstance(address, str)
+            else f"{address[0]}:{address[1]}"
+        )
+        print(f"serving on {location} (scheme {resolver.scheme.name}, "
+              f"k={resolver.k}, coalescing {resolver.batch_size or 1})",
+              flush=True)
+        try:
+            await server.wait_closed()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(run_server())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    stats = server.stats()
+    print(f"served {stats['total_requests']:,} requests "
+          f"({stats['qps']:,.0f}/s) over {stats['uptime_seconds']:.1f}s; "
+          f"{stats['profiles']:,} profiles, epoch {stats['epoch']}, "
+          f"{stats['compactions']} compaction(s)")
+    return 0
+
+
+def cmd_call(args: argparse.Namespace) -> int:
+    from repro.client import ClientError, ResolverClient
+
+    if args.socket:
+        address: "str | tuple[str, int]" = args.socket
+    elif args.port is not None:
+        address = (args.host or "127.0.0.1", args.port)
+    else:
+        print("error: give --socket PATH or --port N", file=sys.stderr)
+        return 2
+    fields: dict = {}
+    if args.fields:
+        try:
+            fields = json.loads(args.fields)
+        except json.JSONDecodeError as exc:
+            print(f"error: --fields is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(fields, dict):
+            print("error: --fields must be a JSON object", file=sys.stderr)
+            return 2
+    if args.entity_id is not None:
+        fields["entity_id"] = args.entity_id
+    if args.k is not None:
+        fields["k"] = args.k
+    if args.algorithm is not None:
+        fields["algorithm"] = args.algorithm
+    if args.profile is not None:
+        try:
+            fields["profile"] = json.loads(args.profile)
+        except json.JSONDecodeError as exc:
+            print(f"error: --profile is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 2
+    if args.source is not None:
+        fields["source"] = args.source
+    if args.compact:
+        fields["compact"] = True
+    try:
+        with ResolverClient(address, timeout=args.timeout) as client:
+            result = client.call(args.verb, **fields)
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    json.dump(result, sys.stdout, indent=2)
+    print()
     return 0
 
 
@@ -444,53 +574,144 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metablock.set_defaults(handler=cmd_metablock)
 
+    def add_resolver_options(command: argparse.ArgumentParser) -> None:
+        """Options configuring an incremental resolver (stream + serve)."""
+        command.add_argument(
+            "--blocking", choices=sorted(BLOCKING_METHODS), default="token",
+            help="blocking method supplying the per-profile keys",
+        )
+        command.add_argument(
+            "--scheme", choices=sorted(WEIGHTING_SCHEMES), default="JS"
+        )
+        command.add_argument(
+            "--k", type=int, default=5,
+            help="candidates returned per upsert (node-centric cardinality)",
+        )
+        command.add_argument(
+            "--reciprocal", action="store_true",
+            help="keep only reciprocally top-k candidates (Reciprocal CNP)",
+        )
+        command.add_argument(
+            "--filtering-ratio", type=float, default=0.8,
+            dest="filtering_ratio",
+            help="insertion-time Block Filtering ratio (1.0 disables)",
+        )
+        command.add_argument(
+            "--max-block-size", type=int, default=None, dest="max_block_size",
+            help="exclude blocks growing beyond this size (streaming Block "
+                 "Purging; default: no cap)",
+        )
+        command.add_argument(
+            "--compact-ratio", type=float, default=None, dest="compact_ratio",
+            help="delta-mass fraction at which the index auto-compacts into "
+                 "a fresh CSR (in (0, 1]; default: never)",
+        )
+        command.add_argument(
+            "--compact-dir", default=None, dest="compact_dir",
+            help="persist an epoch-NNNNNN snapshot on every compaction under "
+                 "this directory (swept by 'repro clean --compact-dir')",
+        )
+        command.add_argument(
+            "--batch-size", type=int, default=None, dest="batch_size",
+            help="coalesce this many upserts per fused micro-batch commit "
+                 "(amortises the per-upsert kernel costs; default: commit "
+                 "each upsert immediately)",
+        )
+
     stream = commands.add_parser(
         "stream",
         help="replay a dataset through the incremental resolver and report "
              "streaming recall/precision and upsert throughput",
     )
     stream.add_argument("dataset", help="dataset JSON path")
-    stream.add_argument(
-        "--blocking", choices=sorted(BLOCKING_METHODS), default="token",
-        help="blocking method supplying the per-profile keys",
-    )
-    stream.add_argument(
-        "--scheme", choices=sorted(WEIGHTING_SCHEMES), default="JS"
-    )
-    stream.add_argument(
-        "--k", type=int, default=5,
-        help="candidates returned per upsert (node-centric cardinality)",
-    )
-    stream.add_argument(
-        "--reciprocal", action="store_true",
-        help="keep only reciprocally top-k candidates (Reciprocal CNP)",
-    )
-    stream.add_argument(
-        "--filtering-ratio", type=float, default=0.8, dest="filtering_ratio",
-        help="insertion-time Block Filtering ratio (1.0 disables)",
-    )
-    stream.add_argument(
-        "--max-block-size", type=int, default=None, dest="max_block_size",
-        help="exclude blocks growing beyond this size (streaming Block "
-             "Purging; default: no cap)",
-    )
-    stream.add_argument(
-        "--compact-ratio", type=float, default=None, dest="compact_ratio",
-        help="delta-mass fraction at which the index auto-compacts into a "
-             "fresh CSR (in (0, 1]; default: never)",
-    )
-    stream.add_argument(
-        "--compact-dir", default=None, dest="compact_dir",
-        help="persist an epoch-NNNNNN snapshot on every compaction under "
-             "this directory (swept by 'repro clean --compact-dir')",
-    )
-    stream.add_argument(
-        "--batch-size", type=int, default=None, dest="batch_size",
-        help="coalesce this many upserts per fused micro-batch commit "
-             "(amortises the per-upsert kernel costs; default: commit "
-             "each upsert immediately)",
-    )
+    add_resolver_options(stream)
     stream.set_defaults(handler=cmd_stream)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the long-lived ER daemon: one incremental resolver "
+             "behind a TCP or Unix socket (newline-delimited JSON protocol)",
+    )
+    serve.add_argument(
+        "--socket", default=None,
+        help="listen on this Unix-domain socket path instead of TCP",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick a free port, printed on startup)",
+    )
+    serve.add_argument(
+        "--preload", default=None,
+        help="replay this dataset JSON into the resolver before listening",
+    )
+    add_resolver_options(serve)
+    serve.add_argument(
+        "--flush-interval", type=float, default=0.02, dest="flush_interval",
+        help="seconds of request-queue idleness after which a partially "
+             "filled coalescing buffer is committed anyway",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=256, dest="queue_limit",
+        help="bound on queued requests; beyond it clients get 'overloaded'",
+    )
+    serve.add_argument(
+        "--compact-on-shutdown", action="store_true",
+        dest="compact_on_shutdown",
+        help="run one final compaction during graceful shutdown",
+    )
+    serve.add_argument(
+        "--profile-phases", action="store_true", dest="profile_phases",
+        help="accumulate per-phase upsert timings (reported by 'stats')",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    call = commands.add_parser(
+        "call",
+        help="send one request to a running daemon and print the JSON "
+             "result",
+    )
+    call.add_argument("verb", choices=SERVE_VERBS, help="protocol verb")
+    call.add_argument(
+        "--socket", default=None, help="daemon Unix-domain socket path"
+    )
+    call.add_argument("--host", default="127.0.0.1", help="daemon TCP host")
+    call.add_argument("--port", type=int, default=None, help="daemon TCP port")
+    call.add_argument(
+        "--entity-id", type=int, default=None, dest="entity_id",
+        help="entity id for 'query'",
+    )
+    call.add_argument(
+        "--k", type=int, default=None, help="neighbor count for 'query'"
+    )
+    call.add_argument(
+        "--algorithm", choices=EXPORT_ALGORITHMS, default=None,
+        help="pruning export for 'candidates'",
+    )
+    call.add_argument(
+        "--profile", default=None,
+        help="JSON profile for 'upsert' "
+             '(e.g. \'{"identifier": "p1", "attributes": [["name", "x"]]}\')',
+    )
+    call.add_argument(
+        "--source", type=int, default=None,
+        help="source tag for 'upsert' under Clean-Clean ER (0 or 1)",
+    )
+    call.add_argument(
+        "--compact", action="store_true",
+        help="ask 'shutdown' to compact before exiting",
+    )
+    call.add_argument(
+        "--fields", default=None,
+        help="extra request fields as a JSON object (merged first)",
+    )
+    call.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="seconds to wait for each response",
+    )
+    call.set_defaults(handler=cmd_call)
 
     clean = commands.add_parser(
         "clean",

@@ -1,0 +1,21 @@
+"""``repro.client`` — the synchronous SDK for the ``repro serve`` daemon.
+
+See :class:`ResolverClient`; the wire protocol itself is documented in
+:mod:`repro.serve.protocol`.
+"""
+
+from repro.client.resolver_client import (
+    ClientError,
+    ConnectFailed,
+    RequestTimeout,
+    ResolverClient,
+    ServerError,
+)
+
+__all__ = [
+    "ClientError",
+    "ConnectFailed",
+    "RequestTimeout",
+    "ResolverClient",
+    "ServerError",
+]

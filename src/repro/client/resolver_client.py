@@ -1,0 +1,315 @@
+"""Synchronous client SDK for the ``repro serve`` daemon.
+
+:class:`ResolverClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.serve.protocol` over a plain blocking socket — one frame out,
+one frame back, no asyncio on the client side. Method names mirror the
+in-process resolver (``upsert``/``query``/``candidate_pairs``/``compact``/
+``stats``), candidates come back as real
+:class:`~repro.incremental.Candidate` objects, so swapping an in-process
+:class:`~repro.incremental.IncrementalMetaBlocking` for a daemon is a
+one-line change.
+
+Failure handling:
+
+* connecting retries with exponential backoff (``connect_retries`` /
+  ``retry_backoff``) — the daemon may still be binding its socket;
+* each request honours ``timeout`` seconds; a silent server raises
+  :class:`RequestTimeout` and the connection is dropped (the stream can no
+  longer be trusted to be aligned on frame boundaries);
+* ``overloaded`` responses (the daemon's bounded queue is full) are
+  retried automatically with backoff up to ``request_retries`` times —
+  the request was never executed, so the retry is safe;
+* every other error response raises :class:`ServerError` carrying the
+  machine-readable ``code`` and the server's message.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+
+from repro.datamodel.profiles import EntityProfile
+from repro.incremental import Candidate
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    RETRYABLE_ERROR_CODES,
+    decode_frame,
+    encode_frame,
+    profile_to_wire,
+)
+
+
+class ClientError(Exception):
+    """Base class for every client-side failure."""
+
+
+class ConnectFailed(ClientError):
+    """Could not establish (or keep) a connection to the daemon."""
+
+
+class RequestTimeout(ClientError):
+    """The daemon did not answer within the configured timeout."""
+
+
+class ServerError(ClientError):
+    """The daemon answered with an error response."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+def _candidate(data: dict) -> Candidate:
+    return Candidate(
+        int(data["entity_id"]),
+        float(data["weight"]),
+        int(data["common_blocks"]),
+    )
+
+
+class ResolverClient:
+    """Talk to one ``repro serve`` daemon over TCP or a Unix socket.
+
+    Parameters
+    ----------
+    address:
+        A Unix-socket path (``str``/``PathLike``) or a ``(host, port)``
+        tuple — whatever :attr:`ResolverServer.address` reported.
+    timeout:
+        Seconds to wait for each response before raising
+        :class:`RequestTimeout`.
+    connect_retries:
+        Connection attempts before :class:`ConnectFailed` (exponential
+        backoff between attempts).
+    request_retries:
+        Automatic retries for retryable error responses (``overloaded``).
+    retry_backoff:
+        Base backoff in seconds; attempt ``n`` sleeps ``backoff * 2**n``.
+    """
+
+    def __init__(
+        self,
+        address,
+        *,
+        timeout: float = 30.0,
+        connect_retries: int = 5,
+        request_retries: int = 5,
+        retry_backoff: float = 0.05,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.address = address
+        self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.request_retries = request_retries
+        self.retry_backoff = retry_backoff
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: "socket.socket | None" = None
+        self._reader = None
+        self._ids = itertools.count(1)
+
+    # -- connection management ----------------------------------------------
+
+    def connect(self) -> "ResolverClient":
+        """Connect now (otherwise the first request connects lazily)."""
+        self._ensure_connected()
+        return self
+
+    def close(self) -> None:
+        """Drop the connection (idempotent; the daemon keeps running)."""
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ResolverClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_connected(self) -> None:
+        if self._sock is not None:
+            return
+        last_error: "Exception | None" = None
+        for attempt in range(self.connect_retries + 1):
+            if attempt:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            try:
+                self._sock = self._open_socket()
+            except (OSError, ConnectionError) as exc:
+                last_error = exc
+                continue
+            self._sock.settimeout(self.timeout)
+            self._reader = self._sock.makefile("rb")
+            return
+        raise ConnectFailed(
+            f"could not connect to {self.address!r} after "
+            f"{self.connect_retries + 1} attempts: {last_error}"
+        )
+
+    def _open_socket(self) -> socket.socket:
+        if isinstance(self.address, (tuple, list)):
+            host, port = self.address
+            return socket.create_connection((host, int(port)), timeout=self.timeout)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(self.timeout)
+            sock.connect(str(self.address))
+        except BaseException:
+            sock.close()
+            raise
+        return sock
+
+    # -- request plumbing ----------------------------------------------------
+
+    def call(self, verb: str, **fields) -> dict:
+        """Send one request and return its ``result`` object.
+
+        Retryable errors (``overloaded``) are retried automatically; other
+        error responses raise :class:`ServerError`.
+        """
+        for attempt in range(self.request_retries + 1):
+            if attempt:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            response = self._roundtrip(verb, fields)
+            if response.get("ok"):
+                return response["result"]
+            error = response.get("error") or {}
+            code = error.get("code", "internal")
+            if code in RETRYABLE_ERROR_CODES and attempt < self.request_retries:
+                continue
+            raise ServerError(code, error.get("message", ""))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _roundtrip(self, verb: str, fields: dict) -> dict:
+        self._ensure_connected()
+        assert self._sock is not None and self._reader is not None
+        request = {"id": next(self._ids), "verb": verb, **fields}
+        frame = encode_frame(request)
+        if len(frame) > self.max_frame_bytes:
+            raise ClientError(
+                f"request frame is {len(frame)} bytes, over the "
+                f"{self.max_frame_bytes} byte limit"
+            )
+        try:
+            self._sock.sendall(frame)
+            line = self._reader.readline()
+        except socket.timeout:
+            # The stream may now be mid-frame: drop it rather than risk
+            # pairing this request's late reply with the next request.
+            self.close()
+            raise RequestTimeout(
+                f"no response to {verb!r} within {self.timeout}s"
+            ) from None
+        except (OSError, ConnectionError) as exc:
+            self.close()
+            raise ConnectFailed(f"connection lost during {verb!r}: {exc}") from exc
+        if not line:
+            self.close()
+            raise ConnectFailed(f"server closed the connection during {verb!r}")
+        try:
+            response = decode_frame(line)
+        except ValueError as exc:
+            self.close()
+            raise ClientError(f"unparseable response frame: {exc}") from exc
+        if response.get("id") not in (request["id"], None):
+            self.close()
+            raise ClientError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request['id']!r}"
+            )
+        return response
+
+    # -- resolver-shaped verbs ----------------------------------------------
+
+    def ping(self) -> dict:
+        """Liveness probe; returns ``{"pong": True, "epoch": ...}``."""
+        return self.call("ping")
+
+    def upsert(
+        self, profile, source: int = 0
+    ) -> "tuple[int, list[Candidate]]":
+        """Insert one profile; its assigned entity id and pruned candidates.
+
+        ``profile`` is an :class:`~repro.datamodel.profiles.EntityProfile`
+        or an already-encoded wire object. With server-side coalescing the
+        response arrives when the daemon's buffer flushes (bounded by its
+        ``flush_interval``).
+        """
+        if isinstance(profile, EntityProfile):
+            profile = profile_to_wire(profile)
+        result = self.call("upsert", profile=profile, source=source)
+        return result["entity_id"], [
+            _candidate(c) for c in result["candidates"]
+        ]
+
+    def upsert_many(
+        self, profiles, sources=None
+    ) -> "tuple[list[int], list[list[Candidate]]]":
+        """Insert a batch in one request (one fused ``add_batch`` call)."""
+        wire = [
+            profile_to_wire(p) if isinstance(p, EntityProfile) else p
+            for p in profiles
+        ]
+        fields: dict = {"profiles": wire}
+        if sources is not None:
+            fields["sources"] = sources
+        result = self.call("upsert", **fields)
+        return result["entity_ids"], [
+            [_candidate(c) for c in candidates]
+            for candidates in result["candidates"]
+        ]
+
+    def query(
+        self, entity_id: int, k: "int | None" = None
+    ) -> "list[Candidate]":
+        """Top-``k`` weighted neighbors of an existing entity (read-only)."""
+        fields: dict = {"entity_id": entity_id}
+        if k is not None:
+            fields["k"] = k
+        result = self.call("query", **fields)
+        return [_candidate(c) for c in result["neighbors"]]
+
+    def candidate_pairs(
+        self, algorithm: str = "CNP"
+    ) -> "list[tuple[int, int]]":
+        """Full pruned-graph export, as sorted ``(left, right)`` pairs."""
+        result = self.call("candidates", algorithm=algorithm)
+        return [(pair[0], pair[1]) for pair in result["pairs"]]
+
+    def compact(self) -> dict:
+        """Compact the daemon's delta index now."""
+        return self.call("compact")
+
+    def stats(self) -> dict:
+        """Server + resolver statistics (see the protocol docs)."""
+        return self.call("stats")
+
+    def shutdown(self, compact: "bool | None" = None) -> dict:
+        """Gracefully stop the daemon; its final summary."""
+        fields: dict = {}
+        if compact is not None:
+            fields["compact"] = compact
+        try:
+            return self.call("shutdown", **fields)
+        finally:
+            self.close()
+
+
+__all__ = [
+    "ClientError",
+    "ConnectFailed",
+    "RequestTimeout",
+    "ResolverClient",
+    "ServerError",
+]

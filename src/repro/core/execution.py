@@ -10,7 +10,10 @@ to compute stays in the pipeline signature (blocks, scheme, algorithm),
 
 The old keyword arguments remain as aliases that forward into the config
 with a :class:`DeprecationWarning` (see :func:`resolve_execution`), so
-existing callers keep working unchanged.
+existing callers keep working unchanged — until
+:data:`EXECUTION_KWARGS_REMOVAL_RELEASE`, when the aliases are removed
+from the signatures and :class:`ExecutionConfig` becomes the only way to
+configure execution (the policy table lives in ``docs/api.md``).
 """
 
 from __future__ import annotations
@@ -223,6 +226,14 @@ class ExecutionConfig:
 #: The per-knob keyword arguments superseded by :class:`ExecutionConfig`.
 DEPRECATED_EXECUTION_KWARGS = ("parallel", "parallel_backend", "chunks", "chunk_size")
 
+#: The release in which the deprecated per-knob keyword arguments become a
+#: :class:`TypeError`. The policy (documented in ``docs/api.md``) is
+#: two-stage: every use emits a :class:`DeprecationWarning` naming
+#: :class:`ExecutionConfig` today, and from this release on the aliases are
+#: removed from the signatures outright — ``ExecutionConfig`` is the single
+#: way to configure execution.
+EXECUTION_KWARGS_REMOVAL_RELEASE = "2.0"
+
 
 def resolve_execution(
     execution: "ExecutionConfig | None" = None,
@@ -250,7 +261,8 @@ def resolve_execution(
     if supplied:
         names = ", ".join(sorted(supplied))
         warnings.warn(
-            f"the {names} keyword argument(s) are deprecated; pass "
+            f"the {names} keyword argument(s) are deprecated and will be "
+            f"removed in release {EXECUTION_KWARGS_REMOVAL_RELEASE}; pass "
             "execution=ExecutionConfig(...) instead",
             DeprecationWarning,
             stacklevel=stacklevel,
@@ -274,6 +286,7 @@ def resolve_execution(
 
 __all__ = [
     "DEPRECATED_EXECUTION_KWARGS",
+    "EXECUTION_KWARGS_REMOVAL_RELEASE",
     "ExecutionConfig",
     "resolve_execution",
 ]

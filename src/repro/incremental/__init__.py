@@ -9,6 +9,10 @@ paper's schemes, and prunes it node-centrically — including the reciprocal
 test — without ever rebuilding the graph.
 """
 
-from repro.incremental.resolver import Candidate, IncrementalMetaBlocking
+from repro.incremental.resolver import (
+    EXPORT_ALGORITHMS,
+    Candidate,
+    IncrementalMetaBlocking,
+)
 
-__all__ = ["Candidate", "IncrementalMetaBlocking"]
+__all__ = ["Candidate", "EXPORT_ALGORITHMS", "IncrementalMetaBlocking"]

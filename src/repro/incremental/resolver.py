@@ -206,6 +206,10 @@ class IncrementalMetaBlocking:
         self.compactions = 0
         # The coalescing buffer behind submit()/flush().
         self._buffer: list[tuple[EntityProfile, int]] = []
+        # True while an explicit compact() drains the buffer: the flush it
+        # performs must not *also* trigger auto-compaction, or one user
+        # compaction would be counted (and executed) twice.
+        self._compacting = False
 
         #: The mutable CSR index every query runs against.
         self.index = DeltaEntityIndex(is_bilateral=clean_clean)
@@ -483,6 +487,66 @@ class IncrementalMetaBlocking:
             [source for _, source in buffered],
         )
 
+    # -- queries -------------------------------------------------------------
+
+    def query(self, entity_id: int, k: int | None = None) -> list[Candidate]:
+        """Top-``k`` weighted neighbors of an *existing* entity, read-only.
+
+        Unlike :meth:`add`, nothing is inserted: the entity's current
+        neighborhood is scored with the configured scheme and the ``k``
+        (default: the resolver's ``k``) heaviest co-occurring entities come
+        back as :class:`Candidate`\\ s, sorted by descending weight
+        (deterministic under ties). Buffered :meth:`submit` profiles are
+        committed first so the answer reflects every accepted upsert.
+        """
+        self.flush()
+        if not 0 <= entity_id < self.index.num_entities:
+            raise KeyError(
+                f"unknown entity {entity_id} "
+                f"(collection holds {self.index.num_entities})"
+            )
+        if k is None:
+            k = self.k
+        elif k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        neighbors, counts, weights = self._weighting.weighted_neighborhood(
+            entity_id
+        )
+        if neighbors.size == 0:
+            return []
+        selected = select_topk_neighbors(weights, neighbors, k)
+        retained = [
+            Candidate(
+                int(neighbors[position]),
+                float(weights[position]),
+                int(counts[position]),
+            )
+            for position in selected.tolist()
+        ]
+        retained.sort(key=lambda c: (-c.weight, c.entity_id))
+        return retained
+
+    def stats(self) -> dict:
+        """A JSON-serialisable snapshot of the resolver's state."""
+        return {
+            "profiles": len(self._profiles),
+            "blocks": self.index.num_blocks,
+            "pending": self.pending,
+            "epoch": self.epoch,
+            "compactions": self.compactions,
+            "delta_assignments": self.index.delta_assignments,
+            "delta_fraction": self.index.delta_fraction,
+            "scheme": self.scheme.name,
+            "k": self.k,
+            "reciprocal": self.reciprocal,
+            "clean_clean": self.clean_clean,
+            "batch_size": self.batch_size,
+            "phase_seconds": dict(self.phase_seconds),
+            "execution": (
+                None if self.execution is None else self.execution.to_dict()
+            ),
+        }
+
     # -- full export ---------------------------------------------------------
 
     def candidate_pairs(self, algorithm: str = "CNP") -> ComparisonView:
@@ -534,9 +598,16 @@ class IncrementalMetaBlocking:
         layout, never the collection. With ``shared=True`` the new base is
         published to shared memory (the caller owns the segment). Persists
         an epoch snapshot when ``compact_dir`` is configured. Buffered
-        :meth:`submit` profiles are committed first.
+        :meth:`submit` profiles are committed first *without* tripping
+        auto-compaction — the flushed batch folds into this one compaction
+        (one call, one :attr:`compactions` increment), where it used to be
+        compacted twice when the flush crossed ``compact_ratio``.
         """
-        self.flush()
+        self._compacting = True
+        try:
+            self.flush()
+        finally:
+            self._compacting = False
         self.compactions += 1
         return self.index.compact(shared=shared, persist_dir=self.compact_dir)
 
@@ -989,7 +1060,8 @@ class IncrementalMetaBlocking:
     def _maybe_compact(self) -> None:
         index = self.index
         if (
-            self.compact_ratio is None
+            self._compacting
+            or self.compact_ratio is None
             or index.delta_assignments < MIN_COMPACT_ASSIGNMENTS
             or index.delta_fraction < self.compact_ratio
         ):

@@ -1,0 +1,45 @@
+"""``repro.serve`` — the long-lived async ER daemon.
+
+:class:`ResolverServer` wraps one
+:class:`~repro.incremental.IncrementalMetaBlocking` resolver behind the
+newline-delimited JSON protocol of :mod:`repro.serve.protocol`;
+:class:`BackgroundServer` runs it on a daemon thread for tests and
+benchmarks. The synchronous client lives in :mod:`repro.client`, the CLI
+entry points are ``repro serve`` and ``repro call``.
+"""
+
+from repro.serve.protocol import (
+    ERR_BAD_FRAME,
+    ERR_FRAME_TOO_LARGE,
+    ERR_INTERNAL,
+    ERR_INVALID_REQUEST,
+    ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN,
+    ERR_UNKNOWN_VERB,
+    MAX_FRAME_BYTES,
+    RETRYABLE_ERROR_CODES,
+    VERBS,
+)
+from repro.serve.server import (
+    DEFAULT_FLUSH_INTERVAL,
+    DEFAULT_QUEUE_LIMIT,
+    BackgroundServer,
+    ResolverServer,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "DEFAULT_FLUSH_INTERVAL",
+    "DEFAULT_QUEUE_LIMIT",
+    "ERR_BAD_FRAME",
+    "ERR_FRAME_TOO_LARGE",
+    "ERR_INTERNAL",
+    "ERR_INVALID_REQUEST",
+    "ERR_OVERLOADED",
+    "ERR_SHUTTING_DOWN",
+    "ERR_UNKNOWN_VERB",
+    "MAX_FRAME_BYTES",
+    "RETRYABLE_ERROR_CODES",
+    "ResolverServer",
+    "VERBS",
+]

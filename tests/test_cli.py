@@ -327,3 +327,72 @@ class TestCleanCompactDir:
         assert main(["clean", "--compact-dir", str(tmp_path)]) == 0
         assert "nothing to clean" in capsys.readouterr().out
         assert healthy.exists()
+
+
+class TestServeAndCall:
+    def _wait_for(self, predicate, timeout=15.0):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return
+            time.sleep(0.02)
+        raise AssertionError("daemon did not become ready in time")
+
+    def test_serve_call_roundtrip(self, tmp_path, dirty_dataset_path, capsys):
+        import threading
+
+        socket_path = tmp_path / "er.sock"
+        exit_codes: "list[int]" = []
+        daemon = threading.Thread(
+            target=lambda: exit_codes.append(
+                main(
+                    ["serve", "--socket", str(socket_path), "--preload",
+                     dirty_dataset_path, "--scheme", "CBS", "--k", "3",
+                     "--batch-size", "4"]
+                )
+            )
+        )
+        daemon.start()
+        try:
+            self._wait_for(socket_path.exists)
+            base = ["--socket", str(socket_path)]
+            assert main(["call", "ping", *base]) == 0
+            assert main(["call", "query", *base, "--entity-id", "0"]) == 0
+            assert main(
+                ["call", "upsert", *base, "--profile",
+                 '{"identifier": "fresh", "attributes": {"name": "obama"}}']
+            ) == 0
+            assert main(["call", "stats", *base]) == 0
+            assert main(["call", "shutdown", *base, "--compact"]) == 0
+        finally:
+            daemon.join(timeout=30)
+        assert exit_codes == [0]
+        out = capsys.readouterr().out
+        assert "serving on" in out
+        assert '"pong": true' in out
+        assert '"candidates"' in out
+        assert '"compacted": true' in out
+        assert "served " in out and "requests" in out
+        # The shutdown unlinked the socket: nothing leaked.
+        assert not socket_path.exists()
+
+    def test_call_requires_an_address(self, capsys):
+        assert main(["call", "ping"]) == 2
+        assert "give --socket PATH or --port N" in capsys.readouterr().err
+
+    def test_call_reports_connect_failure(self, tmp_path, capsys):
+        code = main(
+            ["call", "ping", "--socket", str(tmp_path / "nowhere.sock")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_call_rejects_malformed_fields(self, tmp_path, capsys):
+        code = main(
+            ["call", "ping", "--socket", str(tmp_path / "er.sock"),
+             "--fields", "{not json"]
+        )
+        assert code == 2
+        assert "--fields is not valid JSON" in capsys.readouterr().err

@@ -1,0 +1,208 @@
+"""Client-SDK behaviour tests: connect retry, timeout, fault injection."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.client import (
+    ClientError,
+    ConnectFailed,
+    RequestTimeout,
+    ResolverClient,
+    ServerError,
+)
+from repro.core.faults import Fault, injected_faults
+from repro.datamodel.profiles import EntityProfile
+from repro.incremental import IncrementalMetaBlocking
+from repro.serve import BackgroundServer, ResolverServer
+from repro.serve.protocol import (
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+
+
+def _profile(identifier: str, text: str) -> EntityProfile:
+    return EntityProfile.from_dict(identifier, {"text": text})
+
+
+def _resolver() -> IncrementalMetaBlocking:
+    return IncrementalMetaBlocking(TokenBlocking().keys_for, scheme="CBS", k=3)
+
+
+class TestConnect:
+    def test_connect_failed_without_server(self, tmp_path):
+        client = ResolverClient(
+            tmp_path / "nowhere.sock", timeout=1, connect_retries=0
+        )
+        with pytest.raises(ConnectFailed, match="could not connect"):
+            client.ping()
+
+    def test_connect_retries_until_server_appears(self, tmp_path):
+        path = tmp_path / "late.sock"
+        instance = ResolverServer(_resolver(), path=path)
+        background = BackgroundServer(instance)
+
+        def boot_late() -> None:
+            time.sleep(0.3)
+            background.__enter__()
+
+        thread = threading.Thread(target=boot_late)
+        thread.start()
+        try:
+            with ResolverClient(
+                path, timeout=10, connect_retries=20, retry_backoff=0.05
+            ) as client:
+                assert client.ping()["pong"] is True
+        finally:
+            thread.join(timeout=10)
+            background.stop()
+
+    def test_close_is_idempotent(self, tmp_path):
+        instance = ResolverServer(_resolver(), path=tmp_path / "er.sock")
+        with BackgroundServer(instance) as background:
+            client = ResolverClient(background.address, timeout=10)
+            client.ping()
+            client.close()
+            client.close()
+            # A closed client reconnects lazily on the next call.
+            assert client.ping()["pong"] is True
+            client.close()
+
+
+class TestFaultInjection:
+    def test_delay_fault_times_out_then_recovers(self, tmp_path):
+        instance = ResolverServer(_resolver(), path=tmp_path / "er.sock")
+        # Ordinal 0 is the first dispatched request: only it is delayed.
+        with injected_faults(
+            Fault(op="delay", task="serve:query", chunk=0, seconds=1.0)
+        ):
+            with BackgroundServer(instance) as background:
+                with ResolverClient(
+                    background.address, timeout=0.15
+                ) as client:
+                    with pytest.raises(RequestTimeout, match="query"):
+                        client.query(0)
+                    # Let the dispatcher finish sleeping off the injected
+                    # delay — it is single-threaded, so the next request
+                    # would otherwise queue behind it and time out too.
+                    time.sleep(1.0)
+                    # The timeout dropped the connection; the next call
+                    # reconnects and (ordinal 1, no fault) succeeds.
+                    with pytest.raises(ServerError) as excinfo:
+                        client.query(0)  # empty resolver: unknown entity
+                    assert excinfo.value.code != ERR_INTERNAL
+
+    def test_error_fault_surfaces_as_server_error(self, tmp_path):
+        instance = ResolverServer(_resolver(), path=tmp_path / "er.sock")
+        with injected_faults(
+            Fault(op="error", task="serve:compact", chunk=0)
+        ):
+            with BackgroundServer(instance) as background:
+                with ResolverClient(background.address, timeout=10) as client:
+                    with pytest.raises(ServerError) as excinfo:
+                        client.compact()
+                    assert excinfo.value.code == ERR_INTERNAL
+                    assert "injected" in excinfo.value.message
+                    # The daemon survives the injected failure.
+                    assert client.compact()["compactions"] == 1
+
+
+class _ScriptedServer:
+    """A hand-rolled one-connection server answering from a script."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.requests: "list[dict]" = []
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(1)
+        self.address = self._sock.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._thread.join(timeout=10)
+        self._sock.close()
+
+    def _serve(self) -> None:
+        connection, _ = self._sock.accept()
+        with connection, connection.makefile("rb") as reader:
+            for response in self.responses:
+                line = reader.readline()
+                if not line:
+                    return
+                request = decode_frame(line)
+                self.requests.append(request)
+                if callable(response):
+                    response = response(request)
+                connection.sendall(encode_frame(response))
+
+
+class TestRetrySemantics:
+    def test_overloaded_is_retried_automatically(self):
+        scripted = _ScriptedServer(
+            [
+                lambda request: error_response(
+                    request["id"], ERR_OVERLOADED, "queue full"
+                ),
+                lambda request: ok_response(request["id"], {"pong": True}),
+            ]
+        )
+        with scripted:
+            with ResolverClient(
+                scripted.address, timeout=5, retry_backoff=0.01
+            ) as client:
+                assert client.ping() == {"pong": True}
+        assert [request["verb"] for request in scripted.requests] == [
+            "ping",
+            "ping",
+        ]
+
+    def test_non_retryable_errors_raise_immediately(self):
+        scripted = _ScriptedServer(
+            [
+                lambda request: error_response(
+                    request["id"], "invalid-request", "bad"
+                )
+            ]
+        )
+        with scripted:
+            with ResolverClient(scripted.address, timeout=5) as client:
+                with pytest.raises(ServerError, match="bad"):
+                    client.query(1)
+        assert len(scripted.requests) == 1
+
+    def test_mismatched_response_id_is_rejected(self):
+        scripted = _ScriptedServer([ok_response(999, {"pong": True})])
+        with scripted:
+            with ResolverClient(scripted.address, timeout=5) as client:
+                with pytest.raises(ClientError, match="does not match"):
+                    client.ping()
+
+    def test_server_closing_mid_request_raises_connect_failed(self):
+        scripted = _ScriptedServer([])  # accept, read nothing, close
+        with scripted:
+            with ResolverClient(scripted.address, timeout=5) as client:
+                with pytest.raises(ConnectFailed):
+                    client.ping()
+
+    def test_oversized_request_rejected_client_side(self, tmp_path):
+        instance = ResolverServer(_resolver(), path=tmp_path / "er.sock")
+        with BackgroundServer(instance) as background:
+            with ResolverClient(
+                background.address, timeout=10, max_frame_bytes=512
+            ) as client:
+                with pytest.raises(ClientError, match="byte limit"):
+                    client.upsert(_profile("a", "word " * 400))
+                # Nothing was sent: the daemon is still healthy.
+                assert client.ping()["pong"] is True

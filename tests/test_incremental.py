@@ -583,3 +583,85 @@ class TestMicroBatchProperty:
             assert list(batched.candidate_pairs(algorithm).pairs) == list(
                 sequential.candidate_pairs(algorithm).pairs
             ), algorithm
+
+
+class TestQueryAndStats:
+    """The read-only ``query``/``stats`` surface added for the daemon."""
+
+    def test_query_matches_last_insert_view(self):
+        resolver = _resolver()
+        resolver.add(_profile("a", "alpha beta"))
+        resolver.add(_profile("b", "alpha beta"))
+        candidates = resolver.query(1)
+        assert [c.entity_id for c in candidates] == [0]
+        assert candidates == resolver.query(1)  # read-only: stable
+
+    def test_query_respects_k(self):
+        resolver = _resolver(k=3)
+        for i in range(5):
+            resolver.add(_profile(str(i), "alpha beta"))
+        assert len(resolver.query(4)) == 3
+        assert len(resolver.query(4, k=1)) == 1
+        assert len(resolver.query(4, k=10)) == 4
+
+    def test_query_validation(self):
+        resolver = _resolver()
+        resolver.add(_profile("a", "alpha"))
+        with pytest.raises(KeyError, match="unknown entity"):
+            resolver.query(5)
+        with pytest.raises(ValueError, match="k must be positive"):
+            resolver.query(0, k=0)
+
+    def test_query_flushes_pending_submits(self):
+        resolver = _resolver(batch_size=10)
+        resolver.submit(_profile("a", "alpha beta"))
+        resolver.submit(_profile("b", "alpha beta"))
+        assert [c.entity_id for c in resolver.query(1)] == [0]
+        assert resolver.pending == 0
+
+    def test_stats_snapshot(self):
+        import json
+
+        from repro.core.execution import ExecutionConfig
+
+        execution = ExecutionConfig(parallel=2, parallel_backend="threads")
+        resolver = _resolver(batch_size=4, execution=execution)
+        resolver.submit(_profile("a", "alpha beta"))
+        stats = resolver.stats()
+        assert stats["profiles"] == 0
+        assert stats["pending"] == 1
+        assert stats["scheme"] == "JS"
+        assert stats["batch_size"] == 4
+        assert ExecutionConfig.from_dict(stats["execution"]) == execution
+        assert json.dumps(stats)  # JSON-serialisable end to end
+
+
+class TestCompactCounting:
+    """One explicit ``compact()`` is one compaction, even when its flush
+    crosses the auto-compaction threshold (it used to count twice)."""
+
+    def test_explicit_compact_counts_once(self, monkeypatch):
+        import repro.incremental.resolver as resolver_module
+
+        monkeypatch.setattr(resolver_module, "MIN_COMPACT_ASSIGNMENTS", 1)
+        resolver = _resolver(batch_size=50, compact_ratio=0.01)
+        for i in range(10):
+            resolver.submit(_profile(str(i), "alpha beta gamma"))
+        assert resolver.pending == 10
+        resolver.compact()
+        # The flush inside compact() crossed compact_ratio, but it folds
+        # into this compaction instead of triggering a second one.
+        assert resolver.compactions == 1
+        assert resolver.index.delta_assignments == 0
+        assert len(resolver) == 10
+
+    def test_auto_compaction_counts_per_flushed_batch(self, monkeypatch):
+        import repro.incremental.resolver as resolver_module
+
+        monkeypatch.setattr(resolver_module, "MIN_COMPACT_ASSIGNMENTS", 1)
+        resolver = _resolver(batch_size=5, compact_ratio=0.01)
+        for i in range(10):
+            resolver.submit(_profile(str(i), "alpha beta gamma"))
+        # Ten upserts = two flushed batches = two auto-compactions, not
+        # one per raw upsert.
+        assert resolver.compactions == 2

@@ -1,0 +1,105 @@
+"""End-to-end serve smoke test — the CI "serve smoke" job's workload.
+
+Boots the daemon on a Unix socket, drives 500 mixed upsert/query requests
+through the synchronous SDK, asserts candidate equality against an
+in-process resolver fed the same sequence, and fails on leaked sockets or
+threads.
+"""
+
+import threading
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.client import ResolverClient
+from repro.datamodel.profiles import EntityProfile
+from repro.incremental import IncrementalMetaBlocking
+from repro.serve import BackgroundServer, ResolverServer
+
+REQUESTS = 500
+
+
+def _profiles(n: int) -> "list[EntityProfile]":
+    first = ["john", "jane", "mary", "peter", "lucy", "frank"]
+    last = ["smith", "jones", "brown", "muller", "rossi"]
+    return [
+        EntityProfile.from_dict(
+            f"p{i}",
+            {
+                "name": f"{first[i % 6]} {last[i % 5]}",
+                "city": f"town{i % 9}",
+                "year": str(1990 + i % 7),
+            },
+        )
+        for i in range(n)
+    ]
+
+
+def _resolver(scheme: str) -> IncrementalMetaBlocking:
+    return IncrementalMetaBlocking(
+        TokenBlocking().keys_for, scheme=scheme, k=4
+    )
+
+
+@pytest.mark.parametrize("scheme", ["CBS", "JS"])
+def test_serve_smoke_500_mixed_requests(tmp_path, scheme):
+    socket_path = tmp_path / "er.sock"
+    threads_before = {
+        thread.name for thread in threading.enumerate() if thread.is_alive()
+    }
+    mirror = _resolver(scheme)
+    server = ResolverServer(
+        _resolver(scheme),
+        path=socket_path,
+        flush_size=8,
+        flush_interval=0.01,
+    )
+    # Upserts advance through the corpus faster than one profile per
+    # request (batches take 5), so generate headroom.
+    profiles = _profiles(2 * REQUESTS)
+    sent = 0
+    with BackgroundServer(server) as background:
+        with ResolverClient(background.address, timeout=30) as client:
+            position = 0
+            while sent < REQUESTS:
+                if sent % 10 == 7 and position:
+                    # Every 10th request is a read: top-k neighbors of an
+                    # already-inserted entity, checked against the mirror.
+                    entity_id = (sent * 13) % position
+                    assert client.query(entity_id) == mirror.query(entity_id)
+                elif sent % 25 == 14:
+                    batch = profiles[position : position + 5]
+                    entity_ids, lists = client.upsert_many(batch)
+                    assert entity_ids == list(
+                        range(position, position + len(batch))
+                    )
+                    assert lists == mirror.add_batch(batch)
+                    position += len(batch)
+                else:
+                    profile = profiles[position]
+                    entity_id, candidates = client.upsert(profile)
+                    assert entity_id == position
+                    assert candidates == mirror.add(profile)
+                    position += 1
+                sent += 1
+            # The daemon's full pruned graph is bit-identical too.
+            assert client.candidate_pairs("CNP") == [
+                tuple(pair) for pair in mirror.candidate_pairs("CNP")
+            ]
+            stats = client.stats()
+            assert stats["profiles"] == len(mirror)
+            assert stats["total_requests"] >= REQUESTS
+            summary = client.shutdown()
+            assert summary["profiles"] == len(mirror)
+
+    # No leaked resources: the socket file is gone and every serve-side
+    # thread (event loop + executor) has exited.
+    assert not socket_path.exists()
+    leaked = {
+        thread.name
+        for thread in threading.enumerate()
+        if thread.is_alive() and thread.name not in threads_before
+    }
+    assert not any(
+        name.startswith(("repro-serve", "asyncio")) for name in leaked
+    ), f"leaked threads: {leaked}"
