@@ -17,6 +17,15 @@ latency per leg into ``benchmarks/results/serve.json``. At full scale
 :data:`MIN_REQUESTS` mixed requests, and the 256-chunk leg's upsert
 throughput beats the single-upsert leg (the round trip dominates
 singles).
+
+The durability sweep (:func:`test_serve_durability_overhead`) re-runs the
+CBS ingest with a write-ahead log attached under each fsync policy
+(``off``/``batch``/``always``) at coalescing 64 and 256, measures the
+post-shutdown recovery time of the logged stream, and records the
+per-policy throughput next to the non-durable baseline. Full scale gates
+the price of group commit: the ``batch`` policy at coalescing 256 must
+hold at least :data:`MIN_DURABLE_FRACTION` of the baseline's upsert
+throughput.
 """
 
 from __future__ import annotations
@@ -40,6 +49,11 @@ K = 5
 COALESCING = (1, 64, 256)
 #: Full-scale floor on mixed requests served per scheme across the sweep.
 MIN_REQUESTS = 1_000
+#: Durability sweep: fsync policies (None = no WAL) x coalescing sizes.
+DURABILITY_POLICIES = (None, "off", "batch", "always")
+DURABILITY_COALESCING = (64, 256)
+#: Full-scale floor on fsync=batch throughput vs the non-durable baseline.
+MIN_DURABLE_FRACTION = 0.7
 
 
 def _dataset():
@@ -54,13 +68,14 @@ def _dataset():
     )
 
 
-def _resolver(scheme: str) -> IncrementalMetaBlocking:
+def _resolver(scheme: str, **kwargs) -> IncrementalMetaBlocking:
     return IncrementalMetaBlocking(
         TokenBlocking().keys_for,
         scheme=scheme,
         k=K,
         filtering_ratio=1.0,
         clean_clean=True,
+        **kwargs,
     )
 
 
@@ -164,3 +179,92 @@ def test_serve_sustained_mixed_requests(benchmark, tmp_path, scheme):
         rate_1 = upserts / max(legs[1]["elapsed"], 1e-9)
         rate_256 = upserts / max(legs[256]["elapsed"], 1e-9)
         assert rate_256 >= rate_1, (rate_256, rate_1)
+
+
+def _run_durable_leg(coalescing, policy, dataset, profiles, socket_path, wal_dir):
+    """One daemon boot with (or without) a WAL; pure ingest, no mirror."""
+    resolver = _resolver(
+        "CBS",
+        **({} if policy is None else
+           {"wal_dir": wal_dir, "fsync_policy": policy}),
+    )
+    server = ResolverServer(
+        resolver,
+        path=socket_path,
+        flush_size=coalescing,
+        flush_interval=0.01,
+    )
+    with BackgroundServer(server) as background:
+        with ResolverClient(background.address, timeout=120) as client:
+            with Timer() as timer:
+                for start in range(0, len(profiles), coalescing):
+                    chunk = profiles[start : start + coalescing]
+                    batch = [profile for _, profile in chunk]
+                    sources = [
+                        dataset.source_of(entity_id) for entity_id, _ in chunk
+                    ]
+                    entity_ids, _ = client.upsert_many(batch, sources=sources)
+                    assert entity_ids[0] == start
+            stats = client.stats()
+            client.shutdown()
+    recovery_seconds = None
+    if policy is not None:
+        with Timer() as recovery_timer:
+            recovered, report = IncrementalMetaBlocking.recover(wal_dir)
+        assert len(recovered) == len(profiles), report.to_dict()
+        recovery_seconds = recovery_timer.elapsed
+    return timer.elapsed, stats, recovery_seconds
+
+
+def test_serve_durability_overhead(benchmark, tmp_path):
+    dataset = _dataset()
+    profiles = list(dataset.iter_profiles())
+    legs: dict = {}
+
+    def run_all():
+        for coalescing in DURABILITY_COALESCING:
+            for policy in DURABILITY_POLICIES:
+                label = policy or "none"
+                elapsed, stats, recovery_seconds = _run_durable_leg(
+                    coalescing,
+                    policy,
+                    dataset,
+                    profiles,
+                    tmp_path / f"durable-{coalescing}-{label}.sock",
+                    tmp_path / f"wal-{coalescing}-{label}",
+                )
+                legs[(coalescing, policy)] = {
+                    "elapsed": elapsed,
+                    "stats": stats,
+                    "recovery_s": recovery_seconds,
+                }
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    upserts = len(profiles)
+    for (coalescing, policy), leg in legs.items():
+        elapsed = max(leg["elapsed"], 1e-9)
+        wal_stats = (leg["stats"] or {}).get("wal") or {}
+        fsync_ms = wal_stats.get("fsync_ms") or {}
+        RECORDER.record(
+            "serve",
+            {
+                "|E|": upserts,
+                "scheme": "CBS",
+                "coalescing": coalescing,
+                "fsync": policy or "none",
+                "upserts/s": round(upserts / elapsed, 1),
+                "fsyncs": wal_stats.get("fsyncs", 0),
+                "fsync_p99_ms": fsync_ms.get("p99", 0.0),
+                "recovery_s": (
+                    None
+                    if leg["recovery_s"] is None
+                    else round(leg["recovery_s"], 3)
+                ),
+            },
+        )
+
+    if bench_scale() >= 1.0:
+        baseline = upserts / max(legs[(256, None)]["elapsed"], 1e-9)
+        durable = upserts / max(legs[(256, "batch")]["elapsed"], 1e-9)
+        assert durable >= MIN_DURABLE_FRACTION * baseline, (durable, baseline)

@@ -86,7 +86,10 @@ def stream_resolver(
     (or is an instance); every other keyword —  ``reciprocal``,
     ``filtering_ratio``, ``max_block_size``, ``clean_clean``,
     ``execution``, ``compact_ratio``, ``compact_dir``, ``batch_size``,
-    ``profile_phases`` — passes straight through to the resolver.
+    ``profile_phases``, ``wal_dir``, ``fsync_policy`` — passes straight
+    through to the resolver. ``wal_dir`` makes every acked upsert durable
+    (see :mod:`repro.core.wal`); reopen such a state with
+    :meth:`IncrementalMetaBlocking.recover`, not this function.
     """
     if isinstance(blocking, str):
         try:
@@ -104,6 +107,7 @@ def stream_resolver(
 def serve(
     resolver: "IncrementalMetaBlocking | None" = None,
     *,
+    recovery=None,
     path: "str | os.PathLike[str] | None" = None,
     host: "str | None" = None,
     port: int = 0,
@@ -111,18 +115,25 @@ def serve(
 ) -> ResolverServer:
     """A :class:`~repro.serve.ResolverServer` around ``resolver``.
 
-    With ``resolver=None`` a default :func:`stream_resolver` (Token
-    Blocking, JS, ``k=5``) is created. The server is *returned unstarted*:
-    call :meth:`~repro.serve.ResolverServer.run` to block on it (the CLI's
-    ``repro serve``), ``await server.start()`` inside an existing event
-    loop, or wrap it in :class:`~repro.serve.BackgroundServer` for a
-    daemon thread. Remaining keywords (``flush_size``, ``flush_interval``,
-    ``queue_limit``, ``max_frame_bytes``, ``compact_on_shutdown``) go to
-    the server.
+    With ``resolver=None`` and no ``recovery``, a default
+    :func:`stream_resolver` (Token Blocking, JS, ``k=5``) is created.
+    ``recovery`` is a zero-argument callable producing the resolver after
+    the server starts — typically a closure over
+    :meth:`~repro.incremental.IncrementalMetaBlocking.recover` replaying a
+    write-ahead log; the daemon answers ``health`` immediately and serves
+    resolver verbs once recovery completes. The server is *returned
+    unstarted*: call :meth:`~repro.serve.ResolverServer.run` to block on
+    it (the CLI's ``repro serve``), ``await server.start()`` inside an
+    existing event loop, or wrap it in
+    :class:`~repro.serve.BackgroundServer` for a daemon thread. Remaining
+    keywords (``flush_size``, ``flush_interval``, ``queue_limit``,
+    ``max_frame_bytes``, ``compact_on_shutdown``) go to the server.
     """
-    if resolver is None:
+    if resolver is None and recovery is None:
         resolver = stream_resolver()
-    return ResolverServer(resolver, path=path, host=host, port=port, **kwargs)
+    return ResolverServer(
+        resolver, recovery=recovery, path=path, host=host, port=port, **kwargs
+    )
 
 
 __all__ = [

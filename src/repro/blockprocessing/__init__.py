@@ -21,8 +21,10 @@ from repro.blockprocessing.block_scheduling import (
 from repro.blockprocessing.comparison_propagation import ComparisonPropagation
 from repro.blockprocessing.delta_index import (
     DeltaEntityIndex,
+    epoch_number,
     latest_epoch,
     load_epoch,
+    load_epoch_state,
     save_epoch,
     sweep_stale_epochs,
 )
@@ -43,8 +45,10 @@ __all__ = [
     "IterativeBlocking",
     "IterativeBlockingResult",
     "SharedEntityIndex",
+    "epoch_number",
     "latest_epoch",
     "load_epoch",
+    "load_epoch_state",
     "save_epoch",
     "sweep_stale_epochs",
 ]

@@ -52,6 +52,7 @@ from repro.utils.shm import pid_alive
 
 EPOCH_PREFIX = "epoch-"
 _MANIFEST_NAME = "index.json"
+_STATE_NAME = "state.json"
 _MANIFEST_VERSION = 1
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
@@ -83,6 +84,15 @@ class DeltaEntityIndex:
         came from shared memory or ``from_csr`` and carries no Block
         objects). Defaults to the base collection's keys, or synthesised
         ``block-N`` placeholders.
+    second_side:
+        Entity ids to flag as second-side, *in addition to* what the
+        base's ``second_side_mask`` records. Snapshot restore needs this:
+        a bilateral entity placed in no block is invisible to the saved
+        member arrays, so its side flag must be reinstated explicitly.
+    excluded:
+        Block ids to mark excluded (oversized) at construction — the
+        snapshot-restore counterpart of :meth:`exclude_block`, applied
+        without epoch churn.
     """
 
     def __init__(
@@ -91,6 +101,8 @@ class DeltaEntityIndex:
         *,
         is_bilateral: bool = False,
         keys: list[str] | None = None,
+        second_side: "list[int] | None" = None,
+        excluded: "list[int] | None" = None,
     ) -> None:
         #: Bumped on every mutation (and on compaction); consumers compare
         #: it against a cached value to detect stale memos.
@@ -146,6 +158,13 @@ class DeltaEntityIndex:
         self._second = second
         self._excluded = np.zeros(num_blocks, dtype=bool)
         self._has_exclusions = False
+        if second_side:
+            if not self.is_bilateral:
+                raise ValueError("second_side given for a unilateral index")
+            self._second[np.asarray(list(second_side), dtype=np.int64)] = True
+        if excluded:
+            self._excluded[np.asarray(list(excluded), dtype=np.int64)] = True
+            self._has_exclusions = True
 
         # Append-only delta state.
         self._delta_members1: dict[int, list[int]] = {}
@@ -381,6 +400,20 @@ class DeltaEntityIndex:
 
     def is_excluded(self, block_id: int) -> bool:
         return bool(self._excluded[block_id])
+
+    def excluded_blocks(self) -> list[int]:
+        """Ascending ids of every excluded block (snapshot state)."""
+        return np.flatnonzero(self._excluded[: len(self._keys)]).tolist()
+
+    def second_side_entities(self) -> list[int]:
+        """Ascending ids of second-side entities (snapshot state).
+
+        Includes blockless entities, which the persisted member arrays
+        cannot reconstruct — the reason snapshots carry this explicitly.
+        """
+        if not self.is_bilateral:
+            return []
+        return np.flatnonzero(self._second[: self._num_entities]).tolist()
 
     # -- dirty tracking ------------------------------------------------------
 
@@ -662,6 +695,7 @@ class DeltaEntityIndex:
         *,
         shared: bool = False,
         persist_dir: "str | os.PathLike[str] | None" = None,
+        state: "dict | None" = None,
     ) -> EntityIndex | SharedEntityIndex:
         """Merge the deltas into a fresh CSR base and swap it in.
 
@@ -676,7 +710,9 @@ class DeltaEntityIndex:
         :class:`~repro.utils.shm.SharedArrayPack` and the shared view
         becomes the new base (caller owns the segment). With
         ``persist_dir`` the member arrays are also written to an
-        ``epoch-NNNNNN`` directory (atomic tmp + rename).
+        ``epoch-NNNNNN`` directory (atomic tmp + rename); ``state``
+        rides along as the epoch's ``state.json`` sidecar (the WAL
+        recovery anchor — see :mod:`repro.core.wal`).
         """
         indptr1, members1 = self._merge_side(side2=False)
         if self.is_bilateral:
@@ -693,7 +729,9 @@ class DeltaEntityIndex:
         )
         self.epoch += 1
         if persist_dir is not None:
-            save_epoch(fresh, persist_dir, self.epoch, keys=self._keys)
+            save_epoch(
+                fresh, persist_dir, self.epoch, keys=self._keys, state=state
+            )
         base: EntityIndex | SharedEntityIndex = fresh
         if shared:
             base = fresh.to_shared()
@@ -833,12 +871,17 @@ def save_epoch(
     directory: "str | os.PathLike[str]",
     epoch: int,
     keys: list[str] | None = None,
+    state: "dict | None" = None,
 ) -> Path:
     """Persist a compacted base's member arrays to ``directory/epoch-NNNNNN``.
 
     Writes into a pid-tagged temp directory first, then renames into place,
     so readers only ever see complete epochs; a crash mid-write leaves an
     ``epoch-NNNNNN.tmp-{pid}`` orphan that ``sweep_stale_epochs`` removes.
+    ``state`` (when given) is written as a ``state.json`` sidecar inside
+    the same atomic rename — WAL recovery stores the resolver-level state
+    (profiles, exclusions, covered WAL seq) there, so a snapshot either
+    carries all of it or does not exist.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -862,6 +905,10 @@ def save_epoch(
             "keys": None if keys is None else [str(key) for key in keys],
         }
         (tmp / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        if state is not None:
+            (tmp / _STATE_NAME).write_text(
+                json.dumps(state, separators=(",", ":"))
+            )
         if final.exists():
             shutil.rmtree(final)
         os.replace(tmp, final)
@@ -901,6 +948,24 @@ def load_epoch(
     )
     keys = manifest.get("keys")
     return index, keys
+
+
+def load_epoch_state(epoch_dir: "str | os.PathLike[str]") -> "dict | None":
+    """The epoch's ``state.json`` sidecar, or ``None`` when it has none.
+
+    Epochs saved without ``state`` (plain ``--compact-dir`` snapshots)
+    have no sidecar; WAL recovery skips them, since without the covered
+    sequence number a snapshot cannot anchor replay.
+    """
+    path = Path(epoch_dir) / _STATE_NAME
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text())
+
+
+def epoch_number(epoch_dir: "str | os.PathLike[str]") -> int:
+    """The epoch counter encoded in an ``epoch-NNNNNN`` directory name."""
+    return int(Path(epoch_dir).name[len(EPOCH_PREFIX) :])
 
 
 def latest_epoch(directory: "str | os.PathLike[str]") -> Path | None:

@@ -17,8 +17,14 @@ Commands
 ``serve``
     Run the long-lived ER daemon (:mod:`repro.serve`): one incremental
     resolver behind a TCP or Unix socket, newline-delimited JSON protocol,
-    optionally preloaded from a dataset file. Stops on the ``shutdown``
-    verb or Ctrl-C.
+    optionally preloaded from a dataset file. With ``--wal-dir`` every
+    acked upsert is written to a crash-safe write-ahead log and the
+    daemon recovers its state from that directory on startup. Stops on
+    the ``shutdown`` verb or Ctrl-C.
+``recover``
+    Rebuild a resolver offline from a ``--wal-dir`` directory (latest
+    snapshot + WAL replay), print the recovery report, and optionally
+    compact or export the recovered candidate pairs.
 ``call``
     Send one protocol request to a running daemon and print the JSON
     result (``repro call stats --socket /tmp/er.sock``).
@@ -27,8 +33,9 @@ Commands
     print the grid (the Section 6.4 configuration search).
 ``clean``
     Remove stale shared-memory segments (and, with ``--spill-dir`` /
-    ``--compact-dir``, orphaned ``run-*`` spill directories and
-    ``epoch-*`` compaction snapshots) left behind by crashed runs.
+    ``--compact-dir`` / ``--wal-dir``, orphaned ``run-*`` spill
+    directories, ``epoch-*`` compaction snapshots, and fully-covered or
+    half-written WAL artifacts) left behind by crashed runs.
 
 All commands accept Dirty or Clean-Clean JSON datasets produced by
 ``generate`` or :func:`repro.datasets.save_dataset_json`.
@@ -48,6 +55,7 @@ from repro.core.execution import ExecutionConfig
 from repro.core.parallel import PARALLEL_BACKENDS
 from repro.core.pipeline import meta_block, resume_run
 from repro.core.pruning import PRUNING_ALGORITHMS
+from repro.core.wal import FSYNC_POLICIES
 from repro.core.weights import WEIGHTING_SCHEMES
 from repro.datamodel.dataset import ERDataset
 from repro.datasets.io import (
@@ -213,6 +221,7 @@ def cmd_metablock(args: argparse.Namespace) -> int:
 
 def cmd_clean(args: argparse.Namespace) -> int:
     from repro.blockprocessing.delta_index import sweep_stale_epochs
+    from repro.core.wal import sweep_stale_wal
     from repro.datamodel.sinks import sweep_stale_runs
     from repro.utils.shm import sweep_stale_segments
 
@@ -230,7 +239,12 @@ def cmd_clean(args: argparse.Namespace) -> int:
         epochs = sweep_stale_epochs(args.compact_dir, dry_run=args.dry_run)
         for epoch_dir in epochs:
             print(f"{verb} compaction artifact {epoch_dir}")
-    if not segments and not runs and not epochs:
+    wal_items = []
+    if args.wal_dir:
+        wal_items = sweep_stale_wal(args.wal_dir, dry_run=args.dry_run)
+        for item in wal_items:
+            print(f"{verb} WAL artifact {item}")
+    if not segments and not runs and not epochs and not wal_items:
         print("nothing to clean")
     return 0
 
@@ -308,22 +322,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: --batch-size must be >= 1, got {args.batch_size}",
               file=sys.stderr)
         return 2
+    if args.wal_dir and args.compact_dir:
+        print("error: --compact-dir conflicts with --wal-dir (durable "
+              "snapshots live under <wal-dir>/snapshots)", file=sys.stderr)
+        return 2
     preload = load_dataset(args.preload) if args.preload else None
     clean_clean = preload.is_clean_clean if preload is not None else False
-    resolver = api.stream_resolver(
-        blocking=args.blocking,
-        scheme=args.scheme,
-        k=args.k,
-        reciprocal=args.reciprocal,
-        filtering_ratio=args.filtering_ratio,
-        max_block_size=args.max_block_size,
-        clean_clean=clean_clean,
-        compact_ratio=args.compact_ratio,
-        compact_dir=args.compact_dir,
-        batch_size=args.batch_size,
-        profile_phases=args.profile_phases,
-    )
-    if preload is not None:
+
+    def preload_into(resolver) -> None:
+        # Skipped when recovery already rebuilt state: the WAL, not the
+        # dataset file, is authoritative once the first upsert landed.
+        if preload is None or len(resolver) != 0:
+            return
         profiles, sources = [], []
         for entity_id, profile in preload.iter_profiles():
             profiles.append(profile)
@@ -331,9 +341,59 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 preload.source_of(entity_id) if clean_clean else 0
             )
         resolver.add_batch(profiles, sources)
-        print(f"preloaded {len(resolver):,} profiles from {args.preload}")
+        print(f"preloaded {len(resolver):,} profiles from {args.preload}",
+              flush=True)
+
+    resolver = None
+    recovery = None
+    if args.wal_dir:
+        from repro.incremental import IncrementalMetaBlocking
+
+        def _recover():
+            recovered, report = IncrementalMetaBlocking.recover(
+                args.wal_dir,
+                blocking=args.blocking,
+                scheme=args.scheme,
+                k=args.k,
+                reciprocal=args.reciprocal,
+                filtering_ratio=args.filtering_ratio,
+                max_block_size=args.max_block_size,
+                clean_clean=clean_clean,
+                fsync_policy=args.fsync,
+                compact_ratio=args.compact_ratio,
+                batch_size=args.batch_size,
+                profile_phases=args.profile_phases,
+            )
+            for warning in report.warnings:
+                print(f"recovery: {warning}", file=sys.stderr, flush=True)
+            if len(recovered):
+                print(f"recovered {len(recovered):,} profiles from "
+                      f"{args.wal_dir} (snapshot epoch "
+                      f"{report.snapshot_epoch}, {report.records_replayed:,} "
+                      f"records replayed, seq {report.last_seq}, "
+                      f"{report.elapsed_seconds:.2f}s)", flush=True)
+            preload_into(recovered)
+            return recovered, report
+
+        recovery = _recover
+    else:
+        resolver = api.stream_resolver(
+            blocking=args.blocking,
+            scheme=args.scheme,
+            k=args.k,
+            reciprocal=args.reciprocal,
+            filtering_ratio=args.filtering_ratio,
+            max_block_size=args.max_block_size,
+            clean_clean=clean_clean,
+            compact_ratio=args.compact_ratio,
+            compact_dir=args.compact_dir,
+            batch_size=args.batch_size,
+            profile_phases=args.profile_phases,
+        )
+        preload_into(resolver)
     server = api.serve(
         resolver,
+        recovery=recovery,
         path=args.socket,
         host=None if args.socket else args.host,
         port=args.port,
@@ -349,8 +409,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             address if isinstance(address, str)
             else f"{address[0]}:{address[1]}"
         )
-        print(f"serving on {location} (scheme {resolver.scheme.name}, "
-              f"k={resolver.k}, coalescing {resolver.batch_size or 1})",
+        durable = (
+            f", wal {args.wal_dir} (fsync {args.fsync})"
+            if args.wal_dir else ""
+        )
+        print(f"serving on {location} (scheme {args.scheme}, "
+              f"k={args.k}, coalescing {args.batch_size or 1}{durable})",
               flush=True)
         try:
             await server.wait_closed()
@@ -365,8 +429,56 @@ def cmd_serve(args: argparse.Namespace) -> int:
     stats = server.stats()
     print(f"served {stats['total_requests']:,} requests "
           f"({stats['qps']:,.0f}/s) over {stats['uptime_seconds']:.1f}s; "
-          f"{stats['profiles']:,} profiles, epoch {stats['epoch']}, "
-          f"{stats['compactions']} compaction(s)")
+          f"{stats.get('profiles', 0):,} profiles, "
+          f"epoch {stats.get('epoch', 0)}, "
+          f"{stats.get('compactions', 0)} compaction(s)")
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    from repro.incremental import IncrementalMetaBlocking
+
+    try:
+        resolver, report = IncrementalMetaBlocking.recover(
+            args.wal_dir,
+            blocking=args.blocking,
+            scheme=args.scheme,
+            k=args.k,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        print(f"wal dir:   {args.wal_dir}")
+        if report.snapshot_epoch is not None:
+            print(f"snapshot:  epoch {report.snapshot_epoch} "
+                  f"({report.snapshot_profiles:,} profiles)")
+        print(f"replayed:  {report.records_replayed:,} records "
+              f"({report.upserts_replayed:,} upserts) through seq "
+              f"{report.last_seq} in {report.elapsed_seconds:.2f}s")
+        if report.torn_tail:
+            print(f"torn tail: {report.torn_tail}")
+        for warning in report.warnings:
+            print(f"warning:   {warning}")
+        print(f"state:     {len(resolver):,} profiles, "
+              f"{resolver.num_blocks:,} blocks, epoch {resolver.epoch}")
+    if args.compact:
+        resolver.compact()
+        print(f"compacted: epoch {resolver.epoch} "
+              f"(WAL truncated through seq {report.last_seq})")
+    if args.export:
+        pairs = [
+            (int(left), int(right))
+            for left, right in resolver.candidate_pairs(args.algorithm)
+        ]
+        with open(args.export, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["left_id", "right_id"])
+            writer.writerows(pairs)
+        print(f"wrote {len(pairs):,} candidate pairs to {args.export}")
     return 0
 
 
@@ -666,7 +778,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-phases", action="store_true", dest="profile_phases",
         help="accumulate per-phase upsert timings (reported by 'stats')",
     )
+    serve.add_argument(
+        "--wal-dir", default=None, dest="wal_dir",
+        help="write-ahead log directory: every acked upsert is durable, "
+             "and the daemon recovers its state from this directory on "
+             "startup (latest snapshot + WAL replay); snapshots from "
+             "compactions land under <wal-dir>/snapshots and truncate "
+             "the log",
+    )
+    serve.add_argument(
+        "--fsync", choices=FSYNC_POLICIES, default="batch", dest="fsync",
+        help="WAL durability policy: 'always' fsyncs file and directory "
+             "per record, 'batch' fsyncs once per coalesced convoy "
+             "(default; survives process crashes and, per convoy, host "
+             "crashes), 'off' leaves flushing to the page cache",
+    )
     serve.set_defaults(handler=cmd_serve)
+
+    recover = commands.add_parser(
+        "recover",
+        help="rebuild a resolver from a --wal-dir directory (snapshot + "
+             "WAL replay) and report what was recovered",
+    )
+    recover.add_argument(
+        "--wal-dir", required=True, dest="wal_dir",
+        help="the daemon's --wal-dir directory",
+    )
+    recover.add_argument(
+        "--blocking", choices=sorted(BLOCKING_METHODS), default="token",
+        help="blocking method fallback when the WAL manifest is absent "
+             "(the manifest, written on first use, is authoritative)",
+    )
+    recover.add_argument(
+        "--scheme", choices=sorted(WEIGHTING_SCHEMES), default="JS",
+        help="weighting scheme fallback when the WAL manifest is absent",
+    )
+    recover.add_argument(
+        "--k", type=int, default=5,
+        help="candidates per upsert fallback when the manifest is absent",
+    )
+    recover.add_argument(
+        "--compact", action="store_true",
+        help="write a fresh snapshot after replay (truncates the WAL, so "
+             "the next recovery skips the replayed records)",
+    )
+    recover.add_argument(
+        "--export", default=None, metavar="CSV",
+        help="write the recovered candidate pairs to this CSV file",
+    )
+    recover.add_argument(
+        "--algorithm", choices=EXPORT_ALGORITHMS, default="CNP",
+        help="pruning export for --export",
+    )
+    recover.add_argument(
+        "--json", action="store_true",
+        help="print the recovery report as JSON instead of text",
+    )
+    recover.set_defaults(handler=cmd_recover)
 
     call = commands.add_parser(
         "call",
@@ -727,6 +895,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also sweep orphaned compaction artifacts (partial epoch "
              "temp directories with a dead owner, epoch directories "
              "missing their manifest) under this directory",
+    )
+    clean.add_argument(
+        "--wal-dir", default=None, dest="wal_dir",
+        help="also sweep fully-covered WAL segments (every record already "
+             "in the latest snapshot) and half-written snapshot temp "
+             "directories under this WAL directory",
     )
     clean.add_argument(
         "--dry-run", action="store_true",

@@ -16,9 +16,13 @@ Failure handling:
 * each request honours ``timeout`` seconds; a silent server raises
   :class:`RequestTimeout` and the connection is dropped (the stream can no
   longer be trusted to be aligned on frame boundaries);
-* ``overloaded`` responses (the daemon's bounded queue is full) are
-  retried automatically with backoff up to ``request_retries`` times —
-  the request was never executed, so the retry is safe;
+* ``overloaded`` responses (the daemon's bounded queue is full) and
+  ``recovering`` responses (the daemon is still replaying its write-ahead
+  log) are retried automatically with backoff up to ``request_retries``
+  times — the request was never executed, so the retry is safe;
+* connect backoff escalates across *calls* while a daemon stays
+  unreachable (a restart mid-recovery fails many dials in a row) and
+  resets to zero after the next successful connect;
 * every other error response raises :class:`ServerError` carrying the
   machine-readable ``code`` and the server's message.
 """
@@ -84,9 +88,13 @@ class ResolverClient:
         Connection attempts before :class:`ConnectFailed` (exponential
         backoff between attempts).
     request_retries:
-        Automatic retries for retryable error responses (``overloaded``).
+        Automatic retries for retryable error responses (``overloaded``,
+        ``recovering``).
     retry_backoff:
         Base backoff in seconds; attempt ``n`` sleeps ``backoff * 2**n``.
+        Connect backoff is driven by the number of consecutive dial
+        failures (capped at ``backoff * 64``) and survives across calls
+        until a connect succeeds.
     """
 
     def __init__(
@@ -108,6 +116,10 @@ class ResolverClient:
         self._sock: "socket.socket | None" = None
         self._reader = None
         self._ids = itertools.count(1)
+        # Consecutive failed dials, persisted across calls so reconnect
+        # storms against a down/recovering daemon keep escalating; reset
+        # to zero by the first successful connect.
+        self._connect_failures = 0
 
     # -- connection management ----------------------------------------------
 
@@ -142,15 +154,20 @@ class ResolverClient:
             return
         last_error: "Exception | None" = None
         for attempt in range(self.connect_retries + 1):
-            if attempt:
-                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            if self._connect_failures:
+                time.sleep(
+                    self.retry_backoff
+                    * (2 ** min(self._connect_failures - 1, 6))
+                )
             try:
                 self._sock = self._open_socket()
             except (OSError, ConnectionError) as exc:
                 last_error = exc
+                self._connect_failures += 1
                 continue
             self._sock.settimeout(self.timeout)
             self._reader = self._sock.makefile("rb")
+            self._connect_failures = 0
             return
         raise ConnectFailed(
             f"could not connect to {self.address!r} after "
@@ -235,6 +252,17 @@ class ResolverClient:
     def ping(self) -> dict:
         """Liveness probe; returns ``{"pong": True, "epoch": ...}``."""
         return self.call("ping")
+
+    def health(self) -> dict:
+        """Readiness probe, answered on the daemon's event loop.
+
+        Unlike :meth:`ping` this never queues behind resolver work, and it
+        is answered even while the daemon is replaying its write-ahead log
+        — the payload's ``status`` is ``"recovering"``, ``"ready"`` or
+        ``"failed"``, alongside queue depth, the recovery report and (when
+        ready and durable) live WAL/fsync latency percentiles.
+        """
+        return self.call("health")
 
     def upsert(
         self, profile, source: int = 0

@@ -27,10 +27,12 @@ from repro.core.faults import (
     FaultPlan,
     FaultToleranceError,
     InjectedFault,
+    InjectedWalTear,
     RetriesExhausted,
     SpillCorrupted,
     WorkerCrashed,
     clear_faults,
+    fire_wal_fault,
     injected_faults,
     install_faults,
 )
@@ -68,6 +70,15 @@ from repro.core.pruning import (
     WeightedEdgePruning,
     WeightedNodePruning,
 )
+from repro.core.wal import (
+    FSYNC_POLICIES,
+    RecoveryReport,
+    WalBroken,
+    WalError,
+    WriteAheadLog,
+    recover_resolver,
+    sweep_stale_wal,
+)
 from repro.core.weights import (
     ARCS,
     CBS,
@@ -94,13 +105,19 @@ __all__ = [
     "ChunkTimeout",
     "EdgeWeighting",
     "ExecutionConfig",
+    "FSYNC_POLICIES",
     "Fault",
     "FaultPlan",
     "FaultToleranceError",
     "InjectedFault",
+    "InjectedWalTear",
+    "RecoveryReport",
     "RetriesExhausted",
     "SpillCorrupted",
+    "WalBroken",
+    "WalError",
     "WorkerCrashed",
+    "WriteAheadLog",
     "GraphFreeMetaBlocking",
     "MaterializedBlockingGraph",
     "MetaBlockingResult",
@@ -124,9 +141,12 @@ __all__ = [
     "WeightingScheme",
     "blocking_graph_stats",
     "clear_faults",
+    "fire_wal_fault",
     "injected_faults",
     "install_faults",
     "meta_block",
+    "recover_resolver",
     "resolve_execution",
     "resume_run",
+    "sweep_stale_wal",
 ]

@@ -23,6 +23,7 @@ import warnings
 from dataclasses import dataclass, fields, replace
 
 from repro.core.parallel import PARALLEL_BACKENDS
+from repro.core.wal import FSYNC_POLICIES
 from repro.datamodel.sinks import ComparisonSink, InMemorySink, SpillSink
 
 
@@ -122,6 +123,18 @@ class ExecutionConfig:
         :meth:`~repro.incremental.IncrementalMetaBlocking.add_batch` call.
         ``None`` (default) and ``1`` commit every upsert immediately.
         Ignored by the batch pipeline.
+    wal_dir:
+        Streaming-only: directory of the resolver's write-ahead log.
+        When set, every committed upsert batch is appended as one
+        CRC-framed record before it is acknowledged, compaction snapshots
+        (with durability state) land in ``<wal_dir>/snapshots``, and
+        :func:`repro.core.wal.recover_resolver` rebuilds the resolver
+        after a crash. ``None`` (default) keeps serving memory-only.
+    fsync_policy:
+        Streaming-only: when to fsync WAL appends — one of
+        :data:`repro.core.wal.FSYNC_POLICIES` (``"always"``, ``"batch"``,
+        ``"off"``). ``None`` defaults to ``"batch"`` when ``wal_dir`` is
+        set. Ignored without a WAL.
     """
 
     parallel: int | None = None
@@ -137,6 +150,8 @@ class ExecutionConfig:
     compact_ratio: float | None = None
     compact_dir: "str | os.PathLike[str] | None" = None
     batch_size: int | None = None
+    wal_dir: "str | os.PathLike[str] | None" = None
+    fsync_policy: str | None = None
 
     def __post_init__(self) -> None:
         if self.parallel_backend is not None and self.parallel_backend not in (
@@ -171,6 +186,14 @@ class ExecutionConfig:
                 f"compact_ratio must be <= 1, got {self.compact_ratio}"
             )
         _require_int("batch_size", self.batch_size, minimum=1)
+        if (
+            self.fsync_policy is not None
+            and self.fsync_policy not in FSYNC_POLICIES
+        ):
+            known = ", ".join(FSYNC_POLICIES)
+            raise ValueError(
+                f"unknown fsync_policy {self.fsync_policy!r}; known: {known}"
+            )
 
     @property
     def spills(self) -> bool:
@@ -213,6 +236,8 @@ class ExecutionConfig:
                 None if self.compact_dir is None else str(self.compact_dir)
             ),
             "batch_size": self.batch_size,
+            "wal_dir": None if self.wal_dir is None else str(self.wal_dir),
+            "fsync_policy": self.fsync_policy,
         }
 
     @classmethod

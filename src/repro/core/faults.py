@@ -82,13 +82,21 @@ class InjectedFault(RuntimeError):
     """A deterministic (non-retryable) error raised by an ``error`` fault."""
 
 
+class InjectedWalTear(InjectedFault):
+    """Raised mid-append by a ``torn_wal_tail`` fault.
+
+    The WAL writer catches it *after* flushing half of the framed record,
+    leaving a genuinely torn tail on disk for recovery to skip.
+    """
+
+
 # -- fault plans --------------------------------------------------------------
 
 #: Sites a fault can attach to.
-FAULT_SITES = ("chunk", "adopt")
+FAULT_SITES = ("chunk", "adopt", "wal")
 
 #: Operations a fault can perform at its site.
-FAULT_OPS = ("kill", "delay", "error", "exit")
+FAULT_OPS = ("kill", "delay", "error", "exit", "torn_wal_tail", "fsync_error")
 
 
 @dataclass(frozen=True)
@@ -107,9 +115,15 @@ class Fault:
         ``seconds`` inside the chunk (simulated as a raised
         :class:`ChunkTimeout` in-process), ``"error"`` raises a
         deterministic :class:`InjectedFault`, and ``"exit"`` (adopt site)
-        hard-exits the owner process mid-run.
+        hard-exits the owner process mid-run. ``"torn_wal_tail"`` (wal
+        site) makes the write-ahead log flush half of the framed record
+        then fail the append, and ``"fsync_error"`` (wal site) raises an
+        :class:`OSError` from the fsync path — both poison the log so no
+        later batch can be acknowledged.
     chunk:
         Chunk index the fault applies to; ``None`` matches every chunk.
+        At the ``wal`` site this is the *record sequence number* instead,
+        which is equally deterministic across processes.
     task:
         Substring of the chunk task name (e.g. ``"wep_retain"``); ``None``
         matches every task.
@@ -277,6 +291,34 @@ def fire_adoption_fault(ordinal: int) -> None:
             raise InjectedFault(f"injected error after adoption {ordinal}")
 
 
+def fire_wal_fault(stage: str, seq: int) -> None:
+    """Hook called by the WAL writer while committing record ``seq``.
+
+    ``stage`` is ``"append"`` (before the frame is written) or ``"fsync"``
+    (before the data fsync). ``torn_wal_tail`` faults fire at the append
+    stage by raising :class:`InjectedWalTear`; ``fsync_error`` faults fire
+    at the fsync stage by raising :class:`OSError`, which the writer
+    handles exactly like a real fsync failure. Matching reuses the
+    ``task`` (substring of the stage) and ``chunk`` (record seq) fields.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    for fault in plan.faults:
+        if fault.site != "wal":
+            continue
+        if fault.task is not None and fault.task not in stage:
+            continue
+        if fault.chunk is not None and fault.chunk != seq:
+            continue
+        if fault.op == "torn_wal_tail" and stage == "append":
+            raise InjectedWalTear(f"injected torn tail at wal seq {seq}")
+        if fault.op == "fsync_error" and stage == "fsync":
+            raise OSError(f"injected fsync error at wal seq {seq}")
+        if fault.op == "error":
+            raise InjectedFault(f"injected error at wal seq {seq} ({stage})")
+
+
 # -- corruption helpers (used by the resume tests and `repro clean`) ----------
 
 
@@ -319,6 +361,7 @@ __all__ = [
     "FaultPlan",
     "FaultToleranceError",
     "InjectedFault",
+    "InjectedWalTear",
     "RetriesExhausted",
     "SpillCorrupted",
     "WorkerCrashed",
@@ -326,6 +369,7 @@ __all__ = [
     "clear_faults",
     "fire_adoption_fault",
     "fire_chunk_fault",
+    "fire_wal_fault",
     "injected_faults",
     "install_faults",
     "leak_shm_segment",

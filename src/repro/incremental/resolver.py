@@ -38,11 +38,18 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from pathlib import Path
 
 import numpy as np
 
-from repro.blockprocessing.delta_index import DeltaEntityIndex
+from repro.blockprocessing.delta_index import (
+    EPOCH_PREFIX,
+    DeltaEntityIndex,
+    epoch_number,
+    load_epoch,
+    load_epoch_state,
+)
 from repro.blockprocessing.entity_index import EntityIndex, SharedEntityIndex
 from repro.core.edge_stream import (
     NodeGroup,
@@ -63,6 +70,17 @@ from repro.core.pruning.redefined import (
     stream_threshold_retention,
 )
 from repro.core.vectorized import VectorizedEdgeWeighting
+from repro.core.wal import (
+    SNAPSHOT_SUBDIR,
+    RecoveryReport,
+    WriteAheadLog,
+    decode_profile,
+    encode_profile,
+    read_resolver_manifest,
+    read_segment,
+    wal_segments,
+    write_resolver_manifest,
+)
 from repro.core.weights import WeightingScheme, get_scheme
 from repro.datamodel.blocks import BlockCollection
 from repro.datamodel.profiles import EntityProfile
@@ -140,6 +158,19 @@ class IncrementalMetaBlocking:
         When True, :meth:`add`/:meth:`add_batch` accumulate wall-clock
         time per upsert phase into :attr:`phase_seconds`
         (``tokenize``/``index``/``weight``/``criteria``).
+    wal_dir:
+        Directory of the crash-safety write-ahead log
+        (:mod:`repro.core.wal`). When set, every committed upsert batch
+        is appended as one CRC-framed record before :meth:`add` /
+        :meth:`add_batch` return, compaction snapshots carry the
+        durability state needed for replay, and :meth:`recover` rebuilds
+        the resolver after a crash. The directory must be fresh — resume
+        an existing one through :meth:`recover`, never the constructor.
+        Seeded from ``execution.wal_dir`` when not given.
+    fsync_policy:
+        WAL fsync policy (``"always"``/``"batch"``/``"off"``; see
+        :data:`repro.core.wal.FSYNC_POLICIES`). Defaults to ``"batch"``
+        when a WAL is configured. Seeded from ``execution.fsync_policy``.
     """
 
     def __init__(
@@ -156,6 +187,8 @@ class IncrementalMetaBlocking:
         compact_dir: "str | os.PathLike[str] | None" = None,
         batch_size: int | None = None,
         profile_phases: bool = False,
+        wal_dir: "str | os.PathLike[str] | None" = None,
+        fsync_policy: "str | None" = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
@@ -179,6 +212,10 @@ class IncrementalMetaBlocking:
                 compact_dir = execution.compact_dir
             if batch_size is None:
                 batch_size = execution.batch_size
+            if wal_dir is None:
+                wal_dir = execution.wal_dir
+            if fsync_policy is None:
+                fsync_policy = execution.fsync_policy
         if compact_ratio is not None and not 0.0 < compact_ratio <= 1.0:
             raise ValueError(
                 f"compact_ratio must be in (0, 1], got {compact_ratio}"
@@ -232,6 +269,13 @@ class IncrementalMetaBlocking:
         # when a new block appears, not just dirty neighborhoods.
         self._criteria_blocks = 0
 
+        #: The attached write-ahead log, or ``None`` when memory-only.
+        self.wal: "WriteAheadLog | None" = None
+        self.wal_dir = wal_dir
+        self.fsync_policy = fsync_policy
+        if wal_dir is not None:
+            self._open_fresh_wal()
+
     def __len__(self) -> int:
         return len(self._profiles)
 
@@ -284,31 +328,39 @@ class IncrementalMetaBlocking:
             self.phase_seconds["tokenize"] += now - tick
             tick = now
         index = self.index
-        entity = index.new_entity(
-            second_side=self.clean_clean and source == 1
-        )
-        self._profiles.append(profile)
-        block_ids = []
-        for key in keys:
-            block_id = self._key_to_block.get(key)
-            if block_id is None:
-                block_id = index.new_block(key)
-                self._key_to_block[key] = block_id
-            block_ids.append(block_id)
-        if block_ids:
-            index.assign(entity, block_ids)
-            if self.max_block_size is not None:
-                for block_id in block_ids:
-                    if (
-                        not index.is_excluded(block_id)
-                        and index.block_size(block_id) > self.max_block_size
-                    ):
-                        index.exclude_block(block_id)
-        self._absorb_dirty()
-        if clock:
-            now = clock()
-            self.phase_seconds["index"] += now - tick
-        candidates = self._query(entity)
+        try:
+            entity = index.new_entity(
+                second_side=self.clean_clean and source == 1
+            )
+            self._profiles.append(profile)
+            block_ids = []
+            for key in keys:
+                block_id = self._key_to_block.get(key)
+                if block_id is None:
+                    block_id = index.new_block(key)
+                    self._key_to_block[key] = block_id
+                block_ids.append(block_id)
+            if block_ids:
+                index.assign(entity, block_ids)
+                if self.max_block_size is not None:
+                    for block_id in block_ids:
+                        if (
+                            not index.is_excluded(block_id)
+                            and index.block_size(block_id) > self.max_block_size
+                        ):
+                            index.exclude_block(block_id)
+            self._absorb_dirty()
+            if clock:
+                now = clock()
+                self.phase_seconds["index"] += now - tick
+            candidates = self._query(entity)
+            # Logged last: the record order always equals the applied
+            # order, and a failed append poisons the log so no later
+            # batch can be acknowledged past the divergence.
+            self._wal_commit([profile], [source])
+        except BaseException:
+            self._poison_wal()
+            raise
         self._maybe_compact()
         return candidates
 
@@ -419,44 +471,58 @@ class IncrementalMetaBlocking:
             tick = now
 
         # --- one index mutation for the whole batch ----------------------
+        # apply_batch validates all-or-nothing: a failure there leaves the
+        # index untouched and the log consistent. Past it, any failure
+        # before the WAL append commits must poison the log (the applied
+        # state has advanced past the durable record stream).
         index.apply_batch(flags, new_block_keys, assignments)
-        self._key_to_block.update(batch_keys)
-        self._profiles.extend(profiles)
-        self._absorb_dirty()
-        if clock:
-            now = clock()
-            self.phase_seconds["index"] += now - tick
-
-        # --- fused queries, segmented by exclusion state ------------------
-        # A crossing recorded at member position p takes effect before p's
-        # own query (the sequential path excludes right after assigning),
-        # so batch members are queried in runs of constant exclusion state.
-        results: list[list[Candidate]] = [[] for _ in profiles]
-        last_position: dict[int, int] = {}
-        for position, block_ids in enumerate(member_block_ids):
-            for block_id in block_ids:
-                last_position[block_id] = position
-        crossing_after = {block_id: pos for pos, block_id in crossings}
-        cursor = 0
-        event = 0
-        while cursor < len(profiles):
-            while event < len(crossings) and crossings[event][0] == cursor:
-                index.exclude_block(crossings[event][1])
-                event += 1
+        try:
+            self._key_to_block.update(batch_keys)
+            self._profiles.extend(profiles)
             self._absorb_dirty()
-            stop = crossings[event][0] if event < len(crossings) else len(
-                profiles
-            )
-            self._query_segment(
-                entity_start,
-                cursor,
-                stop,
-                member_block_ids,
-                last_position,
-                crossing_after,
-                results,
-            )
-            cursor = stop
+            if clock:
+                now = clock()
+                self.phase_seconds["index"] += now - tick
+
+            # --- fused queries, segmented by exclusion state --------------
+            # A crossing recorded at member position p takes effect before
+            # p's own query (the sequential path excludes right after
+            # assigning), so batch members are queried in runs of constant
+            # exclusion state.
+            results: list[list[Candidate]] = [[] for _ in profiles]
+            last_position: dict[int, int] = {}
+            for position, block_ids in enumerate(member_block_ids):
+                for block_id in block_ids:
+                    last_position[block_id] = position
+            crossing_after = {block_id: pos for pos, block_id in crossings}
+            cursor = 0
+            event = 0
+            while cursor < len(profiles):
+                while event < len(crossings) and crossings[event][0] == cursor:
+                    index.exclude_block(crossings[event][1])
+                    event += 1
+                self._absorb_dirty()
+                stop = crossings[event][0] if event < len(crossings) else len(
+                    profiles
+                )
+                self._query_segment(
+                    entity_start,
+                    cursor,
+                    stop,
+                    member_block_ids,
+                    last_position,
+                    crossing_after,
+                    results,
+                )
+                cursor = stop
+            # One WAL record per committed batch — this is the group
+            # commit: the daemon's whole coalescing convoy becomes a
+            # single append + fsync, and the convoy is acknowledged only
+            # after this returns.
+            self._wal_commit(profiles, source_list)
+        except BaseException:
+            self._poison_wal()
+            raise
         self._maybe_compact()
         return results
 
@@ -545,6 +611,7 @@ class IncrementalMetaBlocking:
             "execution": (
                 None if self.execution is None else self.execution.to_dict()
             ),
+            "wal": None if self.wal is None else self.wal.stats(),
         }
 
     # -- full export ---------------------------------------------------------
@@ -609,7 +676,340 @@ class IncrementalMetaBlocking:
         finally:
             self._compacting = False
         self.compactions += 1
-        return self.index.compact(shared=shared, persist_dir=self.compact_dir)
+        state = None if self.wal is None else self._snapshot_state()
+        base = self.index.compact(
+            shared=shared, persist_dir=self.compact_dir, state=state
+        )
+        if self.wal is not None and state is not None:
+            # The snapshot is durable (atomic rename), so every WAL
+            # segment it covers can be retired.
+            self.wal.retire_through(int(state["wal"]["seq"]))
+        return base
+
+    # -- durability (write-ahead log) ----------------------------------------
+
+    def _open_fresh_wal(self) -> None:
+        """Constructor path: start a WAL in a directory with no history."""
+        assert self.wal_dir is not None
+        wal_dir = Path(os.fspath(self.wal_dir))
+        if wal_segments(wal_dir) or (wal_dir / SNAPSHOT_SUBDIR).is_dir():
+            raise ValueError(
+                f"wal_dir {wal_dir} already holds a write-ahead log; "
+                "resume it with IncrementalMetaBlocking.recover(wal_dir), "
+                "not the constructor"
+            )
+        self._attach_wal(
+            WriteAheadLog(wal_dir, fsync_policy=self.fsync_policy or "batch")
+        )
+
+    def _attach_wal(self, wal: WriteAheadLog) -> None:
+        """Adopt ``wal`` as the durability log for every future commit."""
+        self.wal = wal
+        self.wal_dir = str(wal.directory)
+        self.fsync_policy = wal.fsync_policy
+        if self.compact_dir is None:
+            # Compaction snapshots anchor WAL truncation, so with a WAL
+            # they always live inside it.
+            self.compact_dir = str(wal.directory / SNAPSHOT_SUBDIR)
+        manifest = read_resolver_manifest(wal.directory)
+        config = self._wal_config()
+        if manifest is None:
+            write_resolver_manifest(wal.directory, config)
+        else:
+            semantic = (
+                "scheme",
+                "k",
+                "reciprocal",
+                "filtering_ratio",
+                "max_block_size",
+                "clean_clean",
+            )
+            conflicts = {
+                name: (manifest.get(name), config[name])
+                for name in semantic
+                if name in manifest and manifest[name] != config[name]
+            }
+            if conflicts:
+                raise ValueError(
+                    f"wal_dir {wal.directory} was written by a resolver "
+                    f"with different configuration: {conflicts} "
+                    "(manifest value, requested value)"
+                )
+
+    def _wal_config(self) -> dict:
+        """The manifest payload pinning this resolver's semantics."""
+        return {
+            "blocking": self._blocking_name(),
+            "scheme": self.scheme.name,
+            "k": self.k,
+            "reciprocal": self.reciprocal,
+            "filtering_ratio": self.filtering_ratio,
+            "max_block_size": self.max_block_size,
+            "clean_clean": self.clean_clean,
+            "fsync_policy": self.fsync_policy,
+        }
+
+    def _blocking_name(self) -> "str | None":
+        """Reverse-lookup of ``keys_for`` in the blocking registry."""
+        owner = getattr(self.keys_for, "__self__", None)
+        if owner is None:
+            return None
+        from repro.blocking import BLOCKING_METHODS
+
+        for name, method_cls in BLOCKING_METHODS.items():
+            if type(owner) is method_cls:
+                return name
+        return None
+
+    def _wal_commit(self, profiles, sources) -> None:
+        """Append one record for an applied batch; durable when it returns."""
+        wal = self.wal
+        if wal is None:
+            return
+        wal.append(
+            [encode_profile(profile) for profile in profiles], sources
+        )
+
+    def _poison_wal(self) -> None:
+        """In-memory state advanced past the log: forbid further commits.
+
+        A no-op when the append itself failed (the writer already marked
+        itself broken with the precise reason).
+        """
+        if self.wal is not None and self.wal.broken is None:
+            self.wal.mark_broken(
+                "in-memory state advanced past the durable log"
+            )
+
+    def _snapshot_state(self) -> dict:
+        """Everything a snapshot needs beyond the CSR member arrays."""
+        wal = self.wal
+        return {
+            "version": 1,
+            "wal": {"seq": 0 if wal is None else wal.last_seq},
+            "profiles": [
+                encode_profile(profile) for profile in self._profiles
+            ],
+            "second_side": self.index.second_side_entities(),
+            "excluded": self.index.excluded_blocks(),
+            "compactions": self.compactions,
+        }
+
+    @classmethod
+    def recover(
+        cls,
+        wal_dir: "str | os.PathLike[str]",
+        *,
+        keys_for=None,
+        blocking: "str | None" = None,
+        fsync_policy: "str | None" = None,
+        execution: "ExecutionConfig | None" = None,
+        **config,
+    ) -> "tuple[IncrementalMetaBlocking, RecoveryReport]":
+        """Rebuild a resolver from ``wal_dir`` and re-attach its WAL.
+
+        Loads the latest intact snapshot (if any), replays every intact
+        WAL record past it through :meth:`add_batch` in commit order, and
+        resumes logging into a fresh segment. Returns
+        ``(resolver, report)``. Works on a fresh (or empty) directory
+        too, so it is the universal entry point for durable serving.
+
+        The ``resolver.json`` manifest in ``wal_dir`` is authoritative
+        for the semantic configuration (blocking, scheme, ``k``,
+        reciprocal, filtering ratio, size guard, clean/dirty) — keyword
+        arguments fill those only when no manifest exists yet. Runtime
+        knobs (``fsync_policy``, ``execution``, ``batch_size``, …) always
+        come from the call.
+
+        A torn or CRC-corrupted tail — the debris of a crash mid-write —
+        is *skipped with a warning on the report*, never raised: those
+        records were by construction never acknowledged. Replay likewise
+        stops at a sequence gap rather than guessing.
+        """
+        started = time.perf_counter()
+        wal_path = Path(os.fspath(wal_dir))
+        manifest = read_resolver_manifest(wal_path)
+        if manifest is not None:
+            for name in (
+                "scheme",
+                "k",
+                "reciprocal",
+                "filtering_ratio",
+                "max_block_size",
+                "clean_clean",
+            ):
+                if name in manifest:
+                    config[name] = manifest[name]
+            if blocking is None:
+                blocking = manifest.get("blocking")
+            if fsync_policy is None:
+                fsync_policy = manifest.get("fsync_policy")
+        if keys_for is None:
+            from repro.blocking import BLOCKING_METHODS
+
+            name = blocking or "token"
+            if name not in BLOCKING_METHODS:
+                known = ", ".join(sorted(BLOCKING_METHODS))
+                raise ValueError(
+                    f"unknown blocking method {name!r}; known: {known} "
+                    "(or pass keys_for= explicitly)"
+                )
+            keys_for = BLOCKING_METHODS[name]().keys_for
+        if execution is not None and (
+            execution.wal_dir is not None or execution.fsync_policy is not None
+        ):
+            # The constructor must not race us to the WAL directory; the
+            # log is attached only after replay.
+            execution = replace(execution, wal_dir=None, fsync_policy=None)
+        resolver = cls(keys_for, execution=execution, **config)
+
+        report = RecoveryReport(wal_dir=str(wal_path))
+        warnings: "list[str]" = []
+
+        # --- latest usable snapshot --------------------------------------
+        snapshot_seq = 0
+        snapshots = wal_path / SNAPSHOT_SUBDIR
+        if snapshots.is_dir():
+            epoch_dirs = sorted(
+                (
+                    child
+                    for child in snapshots.iterdir()
+                    if child.is_dir()
+                    and child.name.startswith(EPOCH_PREFIX)
+                    and ".tmp-" not in child.name
+                ),
+                reverse=True,
+            )
+            for epoch_dir in epoch_dirs:
+                try:
+                    state = load_epoch_state(epoch_dir)
+                    if state is None:
+                        warnings.append(
+                            f"snapshot {epoch_dir.name} has no durability "
+                            "state; ignored"
+                        )
+                        continue
+                    base, keys = load_epoch(epoch_dir)
+                    resolver._install_snapshot(
+                        base, keys, state, epoch_number(epoch_dir)
+                    )
+                except (OSError, KeyError, ValueError) as exc:
+                    warnings.append(
+                        f"unreadable snapshot {epoch_dir.name}: {exc}"
+                    )
+                    continue
+                report.snapshot_epoch = epoch_number(epoch_dir)
+                report.snapshot_profiles = len(resolver)
+                snapshot_seq = int((state.get("wal") or {}).get("seq", 0))
+                break
+
+        # --- replay intact records past the snapshot ----------------------
+        expected = snapshot_seq + 1
+        segments = wal_segments(wal_path)
+        parsed = [(path, *read_segment(path)) for path in segments]
+        for position, (path, records, tear) in enumerate(parsed):
+            stop = False
+            for record in records:
+                if record.seq <= snapshot_seq:
+                    continue
+                if record.seq != expected:
+                    report.torn_tail = (
+                        f"{path.name}: sequence gap (expected {expected}, "
+                        f"found {record.seq})"
+                    )
+                    stop = True
+                    break
+                resolver.add_batch(
+                    [decode_profile(data) for data in record.profiles],
+                    list(record.sources),
+                )
+                report.records_replayed += 1
+                report.upserts_replayed += len(record.profiles)
+                expected += 1
+            if stop:
+                break
+            if tear is not None:
+                # A later segment that resumes the chain means this tear
+                # was already skipped by a previous recovery; otherwise it
+                # is the final torn tail.
+                following = parsed[position + 1 :]
+                resumes = any(
+                    their_records and their_records[0].seq == expected
+                    for _, their_records, _ in following[:1]
+                )
+                if not resumes:
+                    report.torn_tail = f"{path.name}: {tear}"
+                    break
+                warnings.append(
+                    f"skipping previously-torn tail in {path.name}: {tear}"
+                )
+        if report.torn_tail is not None:
+            warnings.append(
+                f"stopped at torn WAL tail ({report.torn_tail}); the "
+                "affected batch was never acknowledged"
+            )
+
+        # --- resume logging in a fresh segment ----------------------------
+        last_segment = (
+            int(segments[-1].name[4:-4]) if segments else 0
+        )
+        wal = WriteAheadLog(
+            wal_path,
+            fsync_policy=fsync_policy or "batch",
+            next_seq=expected,
+            segment_index=last_segment + 1,
+        )
+        resolver._attach_wal(wal)
+        report.last_seq = expected - 1
+        report.warnings = tuple(warnings)
+        report.elapsed_seconds = time.perf_counter() - started
+        return resolver, report
+
+    def _install_snapshot(
+        self,
+        base: EntityIndex,
+        keys: "list[str] | None",
+        state: dict,
+        epoch: int,
+    ) -> None:
+        """Swap in a persisted snapshot as this (empty) resolver's state."""
+        if keys is None:
+            raise ValueError("snapshot was saved without blocking keys")
+        if bool(base.is_bilateral) != self.clean_clean:
+            raise ValueError(
+                "snapshot bilaterality does not match the resolver's "
+                "clean_clean configuration"
+            )
+        profiles = [
+            decode_profile(data) for data in state.get("profiles", ())
+        ]
+        if len(profiles) != base.num_entities:
+            raise ValueError(
+                f"snapshot state lists {len(profiles)} profiles for "
+                f"{base.num_entities} entities"
+            )
+        index = DeltaEntityIndex(
+            base,
+            keys=keys,
+            second_side=state.get("second_side"),
+            excluded=state.get("excluded"),
+        )
+        # Keep epoch numbering monotonic across restarts so future
+        # snapshots sort after every existing one.
+        index.epoch = int(epoch)
+        self.index = index
+        self._weighting = VectorizedEdgeWeighting._from_shared_index(
+            index, self.scheme
+        )
+        self._profiles = profiles
+        self._key_to_block = {key: pos for pos, key in enumerate(keys)}
+        # Criteria are a pure function of the collection: dirtying every
+        # placed node makes the next export re-derive them bit-identically
+        # to an uninterrupted run.
+        self._criteria = {}
+        self._dirty_nodes = set(index.placed_entities())
+        self._criteria_blocks = 0
+        self.compactions = int(state.get("compactions", 0))
 
     # -- internals -----------------------------------------------------------
 

@@ -14,6 +14,7 @@ from repro.serve.protocol import (
     ERR_INTERNAL,
     ERR_INVALID_REQUEST,
     ERR_OVERLOADED,
+    ERR_RECOVERING,
     ERR_SHUTTING_DOWN,
     ERR_UNKNOWN_VERB,
     MAX_FRAME_BYTES,
@@ -36,6 +37,7 @@ __all__ = [
     "ERR_INTERNAL",
     "ERR_INVALID_REQUEST",
     "ERR_OVERLOADED",
+    "ERR_RECOVERING",
     "ERR_SHUTTING_DOWN",
     "ERR_UNKNOWN_VERB",
     "MAX_FRAME_BYTES",

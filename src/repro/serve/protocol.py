@@ -21,6 +21,12 @@ Verbs
 -----
 ``ping``
     Liveness probe; returns the resolver epoch.
+``health``
+    Serving status, answered instantly even while the daemon replays its
+    write-ahead log at startup: ``status`` (``recovering``/``ready``/
+    ``failed``), queue depth, the recovery report once available, and
+    WAL/fsync latency percentiles when durability is on. Never touches
+    the resolver thread.
 ``upsert``
     Insert one profile (``profile`` + optional ``source``) or a batch
     (``profiles`` + optional ``sources``). Single upserts coalesce through
@@ -68,6 +74,7 @@ MAX_FRAME_BYTES = 1 << 20
 #: Verbs the daemon understands.
 VERBS = (
     "ping",
+    "health",
     "upsert",
     "query",
     "candidates",
@@ -83,11 +90,12 @@ ERR_UNKNOWN_VERB = "unknown-verb"  #: verb not in :data:`VERBS`
 ERR_INVALID_REQUEST = "invalid-request"  #: missing/ill-typed fields
 ERR_OVERLOADED = "overloaded"  #: bounded request queue is full
 ERR_SHUTTING_DOWN = "shutting-down"  #: graceful shutdown in progress
+ERR_RECOVERING = "recovering"  #: WAL replay in progress; retry shortly
 ERR_INTERNAL = "internal"  #: unexpected failure executing the verb
 
 #: Codes a client may safely retry after a backoff: the request was never
-#: executed (queue full) or the daemon is restarting.
-RETRYABLE_ERROR_CODES = (ERR_OVERLOADED,)
+#: executed (queue full) or the daemon is restarting/recovering.
+RETRYABLE_ERROR_CODES = (ERR_OVERLOADED, ERR_RECOVERING)
 
 
 def encode_frame(payload: dict) -> bytes:
@@ -152,6 +160,7 @@ __all__ = [
     "ERR_INTERNAL",
     "ERR_INVALID_REQUEST",
     "ERR_OVERLOADED",
+    "ERR_RECOVERING",
     "ERR_SHUTTING_DOWN",
     "ERR_UNKNOWN_VERB",
     "MAX_FRAME_BYTES",

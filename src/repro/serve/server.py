@@ -47,6 +47,17 @@ Every verb execution passes through
 and the request ordinal as the chunk index, so the existing deterministic
 fault harness (``REPRO_FAULTS``) can delay or fail chosen requests — the
 client SDK's retry/timeout tests are built on it.
+
+Recovery
+--------
+A server constructed with ``recovery=`` (a callable, typically a closure
+over :meth:`IncrementalMetaBlocking.recover`) starts accepting
+connections immediately but answers every resolver verb with the
+retryable ``recovering`` error until the callable finishes on the worker
+thread. The ``health`` verb is answered on the event loop — never queued
+behind resolver work — and reports ``recovering`` / ``ready`` /
+``failed`` plus the recovery report and live WAL/fsync latency stats, so
+orchestration probes stay cheap even under sustained ingest.
 """
 
 from __future__ import annotations
@@ -56,6 +67,7 @@ import os
 import threading
 import time
 from collections import deque
+from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 
@@ -67,6 +79,7 @@ from repro.serve.protocol import (
     ERR_INTERNAL,
     ERR_INVALID_REQUEST,
     ERR_OVERLOADED,
+    ERR_RECOVERING,
     ERR_SHUTTING_DOWN,
     ERR_UNKNOWN_VERB,
     MAX_FRAME_BYTES,
@@ -104,7 +117,17 @@ class ResolverServer:
     resolver:
         The :class:`~repro.incremental.IncrementalMetaBlocking` instance to
         serve. The server takes ownership: all access must go through the
-        protocol once :meth:`start` has run.
+        protocol once :meth:`start` has run. Mutually exclusive with
+        ``recovery`` — exactly one of the two must be given.
+    recovery:
+        Zero-argument callable producing the resolver to serve — either a
+        bare resolver or an ``(resolver, RecoveryReport)`` tuple (the
+        return shape of :meth:`IncrementalMetaBlocking.recover`). It runs
+        on the worker thread as soon as the server starts; until it
+        finishes, resolver verbs get the retryable ``recovering`` error
+        and ``health`` reports ``status: "recovering"``. If it raises,
+        the server stays up with ``status: "failed"`` (so the failure is
+        observable over the wire) and resolver verbs get ``internal``.
     path:
         Unix-domain socket path; mutually exclusive with ``host``/``port``.
         A pre-existing socket file is unlinked (stale daemons leave them
@@ -131,8 +154,9 @@ class ResolverServer:
 
     def __init__(
         self,
-        resolver: IncrementalMetaBlocking,
+        resolver: "IncrementalMetaBlocking | None" = None,
         *,
+        recovery: "Callable[[], object] | None" = None,
         path: "str | os.PathLike[str] | None" = None,
         host: "str | None" = None,
         port: int = 0,
@@ -142,17 +166,25 @@ class ResolverServer:
         max_frame_bytes: int = MAX_FRAME_BYTES,
         compact_on_shutdown: bool = False,
     ) -> None:
+        if (resolver is None) == (recovery is None):
+            raise ValueError("give exactly one of resolver or recovery")
         if path is not None and host is not None:
             raise ValueError("give either a unix socket path or a host, not both")
         if flush_size is not None:
             if flush_size < 1:
                 raise ValueError(f"flush_size must be >= 1, got {flush_size}")
-            resolver.batch_size = flush_size
+            if resolver is not None:
+                resolver.batch_size = flush_size
         if flush_interval <= 0:
             raise ValueError(f"flush_interval must be > 0, got {flush_interval}")
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
-        self.resolver = resolver
+        self.resolver: "IncrementalMetaBlocking | None" = resolver
+        self._recovery = recovery
+        self._flush_size = flush_size  # applied post-recovery when deferred
+        self._status = "ready" if resolver is not None else "recovering"
+        self._recovery_report: "dict | None" = None
+        self._recovery_error: "str | None" = None
         self.path = None if path is None else os.fspath(path)
         self.host = host if host is not None else ("127.0.0.1" if path is None else None)
         self.port = port
@@ -342,10 +374,26 @@ class ResolverServer:
             return error_response(
                 request_id, ERR_UNKNOWN_VERB, f"unknown verb {verb!r}"
             )
+        if verb == "health":
+            # Answered on the event loop, never queued: health probes must
+            # stay cheap during recovery and under resolver back-pressure.
+            self._counts["health"] = self._counts.get("health", 0) + 1
+            return ok_response(request_id, self._health_payload())
         if self._stopping:
             self._errors += 1
             return error_response(
                 request_id, ERR_SHUTTING_DOWN, "daemon is shutting down"
+            )
+        if self._status != "ready" and verb != "shutdown":
+            self._errors += 1
+            if self._status == "recovering":
+                return error_response(
+                    request_id, ERR_RECOVERING,
+                    "daemon is replaying its write-ahead log; retry later",
+                )
+            return error_response(
+                request_id, ERR_INTERNAL,
+                f"recovery failed: {self._recovery_error}",
             )
         assert self._queue is not None
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -368,6 +416,8 @@ class ResolverServer:
 
     async def _dispatch_loop(self) -> None:
         assert self._queue is not None
+        if self._recovery is not None:
+            await self._run_recovery()
         while True:
             if self._parked:
                 try:
@@ -385,6 +435,33 @@ class ResolverServer:
                 await self._do_shutdown(request, future, enqueued)
                 return
             await self._do_verb(request, future, enqueued)
+
+    async def _run_recovery(self) -> None:
+        """Dispatcher prologue: materialise the resolver before serving.
+
+        Runs the ``recovery`` callable on the worker thread (the event
+        loop keeps answering ``health`` and issuing ``recovering`` errors
+        meanwhile). A failure leaves the server up in ``failed`` status —
+        observable over the wire — rather than tearing the process down.
+        """
+        assert self._recovery is not None
+        try:
+            outcome = await self._run_blocking(self._recovery)
+        except Exception as exc:
+            self._status = "failed"
+            self._recovery_error = str(exc)
+            return
+        if isinstance(outcome, tuple):
+            resolver, report = outcome
+            self._recovery_report = (
+                report.to_dict() if hasattr(report, "to_dict") else dict(report)
+            )
+        else:
+            resolver = outcome
+        self.resolver = resolver
+        if self._flush_size is not None:
+            resolver.batch_size = self._flush_size
+        self._status = "ready"
 
     async def _run_blocking(self, fn):
         loop = asyncio.get_running_loop()
@@ -630,13 +707,15 @@ class ResolverServer:
             await self._do_verb(drained_request, drained_future, drained_enqueued)
         flushed = len(self._parked)
         await self._flush_parked()
+        resolver = self.resolver  # None when recovery never completed
         compact = bool(request.get("compact", self.compact_on_shutdown))
-        if compact:
-            await self._run_blocking(self.resolver.compact)
+        compact = compact and resolver is not None
+        if compact and resolver is not None:
+            await self._run_blocking(resolver.compact)
         result = {
-            "profiles": len(self.resolver),
-            "epoch": self.resolver.epoch,
-            "compactions": self.resolver.compactions,
+            "profiles": 0 if resolver is None else len(resolver),
+            "epoch": 0 if resolver is None else resolver.epoch,
+            "compactions": 0 if resolver is None else resolver.compactions,
             "flushed": flushed,
             "compacted": compact,
         }
@@ -655,6 +734,35 @@ class ResolverServer:
         """Current server + resolver statistics (the ``stats`` payload)."""
         return self._stats_payload()
 
+    def _health_payload(self) -> dict:
+        """The ``health`` response body (event-loop-side, no resolver calls
+        that could block — attribute reads and WAL counters only)."""
+        payload: dict = {
+            "status": self._status,
+            "uptime_seconds": round(
+                max(time.monotonic() - self._started_at, 0.0), 3
+            ),
+            "queue_depth": 0 if self._queue is None else self._queue.qsize(),
+        }
+        if self._recovery_report is not None:
+            payload["recovery"] = self._recovery_report
+        if self._recovery_error is not None:
+            payload["error"] = self._recovery_error
+        resolver = self.resolver
+        if self._status == "ready" and resolver is not None:
+            payload["profiles"] = len(resolver)
+            payload["epoch"] = resolver.epoch
+            payload["pending"] = resolver.pending
+            wal = getattr(resolver, "wal", None)
+            if wal is not None:
+                try:
+                    payload["wal"] = wal.stats()
+                except RuntimeError:
+                    # Latency deques mutate under the worker thread; a probe
+                    # that races a flush just omits the WAL block this time.
+                    pass
+        return payload
+
     def _stats_payload(self) -> dict:
         uptime = max(time.monotonic() - self._started_at, 1e-9)
         total = sum(self._counts.values())
@@ -668,7 +776,8 @@ class ResolverServer:
             if samples
         }
         return {
-            **self.resolver.stats(),
+            **({} if self.resolver is None else self.resolver.stats()),
+            "status": self._status,
             "uptime_seconds": round(uptime, 3),
             "requests": dict(self._counts),
             "total_requests": total,
@@ -678,7 +787,11 @@ class ResolverServer:
             "connections": self._connections,
             "latency_ms": latency_ms,
             "coalescing": {
-                "flush_size": self.resolver.batch_size or 1,
+                "flush_size": (
+                    (self.resolver.batch_size or 1)
+                    if self.resolver is not None
+                    else (self._flush_size or 1)
+                ),
                 "flush_interval": self.flush_interval,
             },
         }
