@@ -696,6 +696,7 @@ class DeltaEntityIndex:
         shared: bool = False,
         persist_dir: "str | os.PathLike[str] | None" = None,
         state: "dict | None" = None,
+        fsync: bool = False,
     ) -> EntityIndex | SharedEntityIndex:
         """Merge the deltas into a fresh CSR base and swap it in.
 
@@ -712,7 +713,8 @@ class DeltaEntityIndex:
         ``persist_dir`` the member arrays are also written to an
         ``epoch-NNNNNN`` directory (atomic tmp + rename); ``state``
         rides along as the epoch's ``state.json`` sidecar (the WAL
-        recovery anchor — see :mod:`repro.core.wal`).
+        recovery anchor — see :mod:`repro.core.wal`) and ``fsync``
+        makes the snapshot host-crash durable before this call returns.
         """
         indptr1, members1 = self._merge_side(side2=False)
         if self.is_bilateral:
@@ -730,7 +732,12 @@ class DeltaEntityIndex:
         self.epoch += 1
         if persist_dir is not None:
             save_epoch(
-                fresh, persist_dir, self.epoch, keys=self._keys, state=state
+                fresh,
+                persist_dir,
+                self.epoch,
+                keys=self._keys,
+                state=state,
+                fsync=fsync,
             )
         base: EntityIndex | SharedEntityIndex = fresh
         if shared:
@@ -866,12 +873,22 @@ def _epoch_dir_name(epoch: int) -> str:
     return f"{EPOCH_PREFIX}{epoch:06d}"
 
 
+def _fsync_path(path: "str | os.PathLike[str]") -> None:
+    """fsync a file or directory by path (O_RDONLY works for both)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def save_epoch(
     index: EntityIndex | SharedEntityIndex,
     directory: "str | os.PathLike[str]",
     epoch: int,
     keys: list[str] | None = None,
     state: "dict | None" = None,
+    fsync: bool = False,
 ) -> Path:
     """Persist a compacted base's member arrays to ``directory/epoch-NNNNNN``.
 
@@ -882,6 +899,12 @@ def save_epoch(
     the same atomic rename — WAL recovery stores the resolver-level state
     (profiles, exclusions, covered WAL seq) there, so a snapshot either
     carries all of it or does not exist.
+
+    With ``fsync=True`` every written file and both directories are
+    fsynced around the rename, so the snapshot is durable against a host
+    crash when this returns — required before WAL truncation retires the
+    segments the snapshot covers (a rename alone only orders the epoch
+    against other renames, not against power loss).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -909,9 +932,15 @@ def save_epoch(
             (tmp / _STATE_NAME).write_text(
                 json.dumps(state, separators=(",", ":"))
             )
+        if fsync:
+            for child in tmp.iterdir():
+                _fsync_path(child)
+            _fsync_path(tmp)
         if final.exists():
             shutil.rmtree(final)
         os.replace(tmp, final)
+        if fsync:
+            _fsync_path(directory)
     except BaseException:
         shutil.rmtree(tmp, ignore_errors=True)
         raise

@@ -436,6 +436,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_recover(args: argparse.Namespace) -> int:
+    from repro.core.wal import WalError
     from repro.incremental import IncrementalMetaBlocking
 
     try:
@@ -445,7 +446,7 @@ def cmd_recover(args: argparse.Namespace) -> int:
             scheme=args.scheme,
             k=args.k,
         )
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, WalError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if args.json:

@@ -44,9 +44,15 @@ Torn tails
 A crash mid-write leaves a truncated or CRC-broken final frame. The
 reader stops at the first damaged frame and reports it; recovery replays
 only intact records, never a partial batch, and resumes appending into a
-*new* segment whose first sequence number continues the intact chain (the
-reader follows the chain across a torn segment boundary when the next
-segment resumes at the expected sequence).
+*new* segment whose first sequence number continues the intact chain.
+Replay follows the chain across a torn segment boundary: segments holding
+no intact record (a recovery that crashed before completing its first
+append) are skipped, and the chain continues at the first later segment
+that resumes the expected sequence. A torn tail only ever *truncates* the
+chain — a sequence gap or duplicate is a different animal entirely
+(acknowledged records missing or re-issued, e.g. segments retired against
+a snapshot that is no longer readable) and recovery refuses to proceed
+with a :class:`WalError` rather than silently serving partial state.
 """
 
 from __future__ import annotations
@@ -162,8 +168,10 @@ def _segment_name(index: int) -> str:
     return f"{SEGMENT_PREFIX}{index:06d}{SEGMENT_SUFFIX}"
 
 
-def _segment_index(path: Path) -> int:
-    return int(path.name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)])
+def segment_index(path: "str | os.PathLike[str]") -> int:
+    """The ordinal encoded in a ``wal-NNNNNN.log`` segment file name."""
+    name = Path(path).name
+    return int(name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)])
 
 
 def wal_segments(directory: "str | os.PathLike[str]") -> "list[Path]":
@@ -178,7 +186,7 @@ def wal_segments(directory: "str | os.PathLike[str]") -> "list[Path]":
         and path.name.endswith(SEGMENT_SUFFIX)
         and path.name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)].isdigit()
     ]
-    return sorted(segments, key=_segment_index)
+    return sorted(segments, key=segment_index)
 
 
 def read_segment(path: "str | os.PathLike[str]") -> "tuple[list[WalRecord], str | None]":
@@ -372,7 +380,7 @@ class WriteAheadLog:
         """
         removed: "list[Path]" = []
         for path in wal_segments(self.directory):
-            if _segment_index(path) >= self._segment_index:
+            if segment_index(path) >= self._segment_index:
                 continue
             records, _tear = read_segment(path)
             last = records[-1].seq if records else 0
@@ -553,6 +561,7 @@ __all__ = [
     "read_resolver_manifest",
     "read_segment",
     "recover_resolver",
+    "segment_index",
     "sweep_stale_wal",
     "wal_segments",
     "write_resolver_manifest",

@@ -73,11 +73,13 @@ from repro.core.vectorized import VectorizedEdgeWeighting
 from repro.core.wal import (
     SNAPSHOT_SUBDIR,
     RecoveryReport,
+    WalError,
     WriteAheadLog,
     decode_profile,
     encode_profile,
     read_resolver_manifest,
     read_segment,
+    segment_index,
     wal_segments,
     write_resolver_manifest,
 )
@@ -678,11 +680,17 @@ class IncrementalMetaBlocking:
         self.compactions += 1
         state = None if self.wal is None else self._snapshot_state()
         base = self.index.compact(
-            shared=shared, persist_dir=self.compact_dir, state=state
+            shared=shared,
+            persist_dir=self.compact_dir,
+            state=state,
+            # The snapshot replaces the WAL segments it covers, so under a
+            # durable fsync policy it must itself survive a host crash
+            # before retire_through may delete them.
+            fsync=self.wal is not None and self.fsync_policy != "off",
         )
         if self.wal is not None and state is not None:
-            # The snapshot is durable (atomic rename), so every WAL
-            # segment it covers can be retired.
+            # The snapshot is durable (fsynced files + atomic rename), so
+            # every WAL segment it covers can be retired.
             self.wal.retire_through(int(state["wal"]["seq"]))
         return base
 
@@ -704,13 +712,23 @@ class IncrementalMetaBlocking:
 
     def _attach_wal(self, wal: WriteAheadLog) -> None:
         """Adopt ``wal`` as the durability log for every future commit."""
+        # Compaction snapshots anchor WAL truncation, so with a WAL they
+        # always live inside it: a snapshot elsewhere would carry the
+        # durability state recover() never looks at, while retire_through
+        # still deletes the segments it covers — silent loss of acked data.
+        snapshot_dir = wal.directory / SNAPSHOT_SUBDIR
+        if self.compact_dir is not None and Path(
+            os.fspath(self.compact_dir)
+        ).resolve() != snapshot_dir.resolve():
+            raise ValueError(
+                f"compact_dir {self.compact_dir} conflicts with wal_dir "
+                f"{wal.directory}: durable snapshots must live in "
+                f"{snapshot_dir} (drop compact_dir, or point it there)"
+            )
         self.wal = wal
         self.wal_dir = str(wal.directory)
         self.fsync_policy = wal.fsync_policy
-        if self.compact_dir is None:
-            # Compaction snapshots anchor WAL truncation, so with a WAL
-            # they always live inside it.
-            self.compact_dir = str(wal.directory / SNAPSHOT_SUBDIR)
+        self.compact_dir = str(snapshot_dir)
         manifest = read_resolver_manifest(wal.directory)
         config = self._wal_config()
         if manifest is None:
@@ -823,8 +841,12 @@ class IncrementalMetaBlocking:
 
         A torn or CRC-corrupted tail — the debris of a crash mid-write —
         is *skipped with a warning on the report*, never raised: those
-        records were by construction never acknowledged. Replay likewise
-        stops at a sequence gap rather than guessing.
+        records were by construction never acknowledged. A sequence *gap*
+        (or duplicate) is different: crash debris only ever truncates the
+        chain, so a gap means acknowledged records are missing (e.g.
+        segments retired against a snapshot that is no longer readable)
+        and replay raises :class:`~repro.core.wal.WalError` rather than
+        silently recovering partial state.
         """
         started = time.perf_counter()
         wal_path = Path(os.fspath(wal_dir))
@@ -861,6 +883,20 @@ class IncrementalMetaBlocking:
             # The constructor must not race us to the WAL directory; the
             # log is attached only after replay.
             execution = replace(execution, wal_dir=None, fsync_policy=None)
+        requested_compact = config.get("compact_dir")
+        if requested_compact is None and execution is not None:
+            requested_compact = execution.compact_dir
+        if requested_compact is not None and Path(
+            os.fspath(requested_compact)
+        ).resolve() != (wal_path / SNAPSHOT_SUBDIR).resolve():
+            # _attach_wal would reject this after replay; fail before the
+            # (potentially long) replay runs instead.
+            raise ValueError(
+                f"compact_dir {requested_compact} conflicts with wal_dir "
+                f"{wal_path}: durable snapshots must live in "
+                f"{wal_path / SNAPSHOT_SUBDIR} (drop compact_dir, or "
+                "point it there)"
+            )
         resolver = cls(keys_for, execution=execution, **config)
 
         report = RecoveryReport(wal_dir=str(wal_path))
@@ -908,17 +944,22 @@ class IncrementalMetaBlocking:
         segments = wal_segments(wal_path)
         parsed = [(path, *read_segment(path)) for path in segments]
         for position, (path, records, tear) in enumerate(parsed):
-            stop = False
             for record in records:
                 if record.seq <= snapshot_seq:
                     continue
                 if record.seq != expected:
-                    report.torn_tail = (
-                        f"{path.name}: sequence gap (expected {expected}, "
-                        f"found {record.seq})"
+                    # Crash debris only ever truncates the chain; an
+                    # out-of-order record means acknowledged data is
+                    # missing (gap) or sequence numbers were re-issued
+                    # (duplicate). Either way replaying would silently
+                    # serve partial or ambiguous state, so refuse.
+                    kind = "gap" if record.seq > expected else "duplicate"
+                    raise WalError(
+                        f"WAL sequence {kind} in {path.name}: expected "
+                        f"seq {expected}, found {record.seq}; "
+                        "acknowledged records are missing or ambiguous — "
+                        "refusing to recover partial state"
                     )
-                    stop = True
-                    break
                 resolver.add_batch(
                     [decode_profile(data) for data in record.profiles],
                     list(record.sources),
@@ -926,20 +967,35 @@ class IncrementalMetaBlocking:
                 report.records_replayed += 1
                 report.upserts_replayed += len(record.profiles)
                 expected += 1
-            if stop:
-                break
             if tear is not None:
                 # A later segment that resumes the chain means this tear
-                # was already skipped by a previous recovery; otherwise it
-                # is the final torn tail.
-                following = parsed[position + 1 :]
-                resumes = any(
-                    their_records and their_records[0].seq == expected
-                    for _, their_records, _ in following[:1]
+                # was already skipped by a previous recovery. Segments
+                # holding no intact record (a recovery that crashed before
+                # completing its first append) cannot anchor the chain —
+                # scan past them to the first later segment that does.
+                resumed_at = next(
+                    (
+                        (later_path, later_records[0].seq)
+                        for later_path, later_records, _ in parsed[
+                            position + 1 :
+                        ]
+                        if later_records
+                    ),
+                    None,
                 )
-                if not resumes:
+                if resumed_at is None:
+                    # Nothing intact follows: this tear (and any later
+                    # record-free debris) was never acknowledged.
                     report.torn_tail = f"{path.name}: {tear}"
                     break
+                if resumed_at[1] != expected:
+                    raise WalError(
+                        f"WAL does not resume after the torn tail in "
+                        f"{path.name}: {resumed_at[0].name} continues at "
+                        f"seq {resumed_at[1]}, expected {expected}; "
+                        "acknowledged records are missing — refusing to "
+                        "recover partial state"
+                    )
                 warnings.append(
                     f"skipping previously-torn tail in {path.name}: {tear}"
                 )
@@ -950,9 +1006,7 @@ class IncrementalMetaBlocking:
             )
 
         # --- resume logging in a fresh segment ----------------------------
-        last_segment = (
-            int(segments[-1].name[4:-4]) if segments else 0
-        )
+        last_segment = segment_index(segments[-1]) if segments else 0
         wal = WriteAheadLog(
             wal_path,
             fsync_policy=fsync_policy or "batch",

@@ -37,6 +37,7 @@ from repro.core.wal import (
     WalBroken,
     WalError,
     WriteAheadLog,
+    encode_profile,
     read_resolver_manifest,
     read_segment,
     sweep_stale_wal,
@@ -213,6 +214,61 @@ class TestWalWiring:
         recovered, _ = IncrementalMetaBlocking.recover(tmp_path / "wal")
         assert len(recovered) == 4  # the unacked batch is not replayed
 
+    def test_wal_dir_with_foreign_compact_dir_rejected(self, tmp_path):
+        # Snapshots anchor WAL truncation; letting them land outside the
+        # WAL dir would truncate the log against state recover() never
+        # reads. The CLI refuses the combination and so must the API.
+        with pytest.raises(ValueError, match="compact_dir"):
+            _resolver(
+                wal_dir=tmp_path / "wal", compact_dir=tmp_path / "elsewhere"
+            )
+        with pytest.raises(ValueError, match="compact_dir"):
+            _resolver(
+                execution=ExecutionConfig(
+                    wal_dir=tmp_path / "wal2",
+                    compact_dir=tmp_path / "elsewhere",
+                )
+            )
+        with pytest.raises(ValueError, match="compact_dir"):
+            IncrementalMetaBlocking.recover(
+                tmp_path / "wal3", compact_dir=tmp_path / "elsewhere"
+            )
+        # Spelling out the canonical location explicitly is fine.
+        inside = _resolver(
+            wal_dir=tmp_path / "wal4",
+            compact_dir=tmp_path / "wal4" / "snapshots",
+        )
+        assert inside.compact_dir == str(tmp_path / "wal4" / "snapshots")
+
+    def test_snapshot_fsynced_before_wal_truncation(
+        self, tmp_path, monkeypatch
+    ):
+        # The snapshot replaces the WAL segments compact() retires, so
+        # under a durable policy save_epoch must fsync it (files + dirs)
+        # before retire_through deletes them; with fsync_policy="off" the
+        # snapshot write stays fsync-free.
+        import repro.blockprocessing.delta_index as delta_index
+
+        synced: "list[int]" = []
+        real_fsync = os.fsync
+
+        def spy(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(delta_index.os, "fsync", spy)
+        durable = _resolver(wal_dir=tmp_path / "wal")  # default: batch
+        _feed(durable, _profiles(2 * BATCH))
+        synced.clear()
+        durable.compact()
+        # member arrays + manifest + state sidecar + tmp dir + parent dir
+        assert len(synced) >= 6
+        relaxed = _resolver(wal_dir=tmp_path / "wal2", fsync_policy="off")
+        _feed(relaxed, _profiles(2 * BATCH))
+        synced.clear()
+        relaxed.compact()
+        assert not synced
+
     def test_sweep_stale_wal(self, tmp_path):
         wal_dir = tmp_path / "wal"
         resolver = _resolver(wal_dir=wal_dir)
@@ -307,6 +363,78 @@ class TestRecoveryEquivalence:
         assert list(second.candidate_pairs("CNP")) == list(
             mirror.candidate_pairs("CNP")
         )
+
+
+class TestRecoveryChainIntegrity:
+    """The replay chain across torn, debris, and missing segments."""
+
+    def test_resume_skips_record_free_debris_segments(self, tmp_path):
+        # Double crash: segment 1 ends in a torn record, a first recovery
+        # resumed into segment 2 but crashed before completing its first
+        # append (zero intact records), a second recovery resumed into
+        # segment 3 and acknowledged another batch. Replay must follow
+        # the chain past the debris segment instead of stopping at the
+        # seg-1 tear and silently dropping the acked seg-3 records.
+        wal_dir = tmp_path / "wal"
+        profiles = _profiles(3 * BATCH)
+        durable = _resolver(wal_dir=wal_dir)
+        _feed(durable, profiles[: 2 * BATCH])  # seqs 1-2 in segment 1
+        durable.wal.close()
+        (segment,) = wal_segments(wal_dir)
+        with open(segment, "ab") as handle:
+            handle.write(b"\x07\x00")  # crash mid-append: torn header
+        (wal_dir / "wal-000002.log").write_bytes(b"\x40")  # debris
+        resumed = WriteAheadLog(
+            wal_dir, fsync_policy="off", next_seq=3, segment_index=3
+        )
+        resumed.append(
+            [encode_profile(p) for p in profiles[2 * BATCH :]], [0] * BATCH
+        )
+        resumed.close()
+        recovered, report = IncrementalMetaBlocking.recover(wal_dir)
+        assert len(recovered) == 3 * BATCH
+        assert report.torn_tail is None
+        assert report.last_seq == 3
+        assert any("torn" in warning for warning in report.warnings)
+        mirror = _resolver()
+        _feed(mirror, profiles)
+        assert list(recovered.candidate_pairs("CNP")) == list(
+            mirror.candidate_pairs("CNP")
+        )
+
+    def test_sequence_gap_refuses_recovery(self, tmp_path):
+        # A deleted middle segment is not crash debris — acked records
+        # are gone wholesale and recovery must refuse, not silently
+        # serve the prefix and re-issue the lost sequence numbers.
+        wal_dir = tmp_path / "wal"
+        wal = WriteAheadLog(wal_dir, fsync_policy="off", segment_bytes=1)
+        for i in range(3):  # one record per segment at segment_bytes=1
+            wal.append(
+                [encode_profile(p) for p in _profiles(2, offset=2 * i)],
+                [0, 0],
+            )
+        wal.close()
+        wal_segments(wal_dir)[1].unlink()
+        with pytest.raises(WalError, match="gap"):
+            IncrementalMetaBlocking.recover(wal_dir)
+
+    def test_unresumed_tear_refuses_recovery(self, tmp_path):
+        # Segment 1's only record is torn, yet segment 2 exists — the
+        # seq-1 record must have been acked for seq 2 to exist, so this
+        # is acked-data loss, not a skippable tail.
+        wal_dir = tmp_path / "wal"
+        wal = WriteAheadLog(wal_dir, fsync_policy="off", segment_bytes=1)
+        for i in range(2):
+            wal.append(
+                [encode_profile(p) for p in _profiles(2, offset=2 * i)],
+                [0, 0],
+            )
+        wal.close()
+        first = wal_segments(wal_dir)[0]
+        with open(first, "r+b") as handle:
+            handle.truncate(first.stat().st_size - 7)
+        with pytest.raises(WalError, match="does not resume"):
+            IncrementalMetaBlocking.recover(wal_dir)
 
 
 # -- randomized kill points ---------------------------------------------------
